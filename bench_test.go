@@ -1,0 +1,149 @@
+// Benchmarks: one testing.B per table and figure of the paper's
+// evaluation, driving the same experiment harness as cmd/experiments at a
+// bench-friendly scale. Each bench reports the headline quantity of its
+// artefact via b.ReportMetric so regressions in the *shape* of a result
+// (e.g. the adaptive replication advantage) show up in benchstat diffs,
+// not just raw speed.
+//
+// Regenerate the full-scale artefacts with:
+//
+//	go run ./cmd/experiments -all | tee experiments_output.txt
+package spatialjoin_test
+
+import (
+	"testing"
+
+	"spatialjoin"
+	"spatialjoin/internal/experiments"
+)
+
+// benchScale keeps a single bench iteration around a second.
+func benchScale() experiments.Scale {
+	return experiments.Scale{N: 10_000, Workers: 4, Reps: 1}
+}
+
+// runExperiment executes one registry artefact b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tables := e.Run(sc); len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkTable1RunningExample(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig1bReplicationOverhead(b *testing.B) {
+	// Also surface the headline ratio: UNI best over LPiB on S1xS2.
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1b(sc)
+	}
+	b.StopTimer()
+	r := replicationAdvantage(sc)
+	b.ReportMetric(r, "uni/adaptive-repl")
+}
+
+func BenchmarkFig10VaryEpsilonReplication(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11VaryEpsilonShuffle(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFig12VaryEpsilonTime(b *testing.B)        { runExperiment(b, "fig12") }
+func BenchmarkTable4Selectivity(b *testing.B)           { runExperiment(b, "table4") }
+func BenchmarkFig13Scalability(b *testing.B)            { runExperiment(b, "fig13") }
+func BenchmarkFig14VaryNodes(b *testing.B)              { runExperiment(b, "fig14") }
+func BenchmarkFig15GridResolution(b *testing.B)         { runExperiment(b, "fig15") }
+func BenchmarkFig16TupleSizeSynthetic(b *testing.B)     { runExperiment(b, "fig16") }
+func BenchmarkFig17TupleSizeMixed(b *testing.B)         { runExperiment(b, "fig17") }
+func BenchmarkFig18TupleSizeReal(b *testing.B)          { runExperiment(b, "fig18") }
+func BenchmarkTable5PostProcessing(b *testing.B)        { runExperiment(b, "table5") }
+func BenchmarkTable6Dedup(b *testing.B)                 { runExperiment(b, "table6") }
+func BenchmarkTable7LoadBalancing(b *testing.B)         { runExperiment(b, "table7") }
+
+// Extension-experiment benchmarks (ablations beyond the paper).
+func BenchmarkXSampleFraction(b *testing.B)    { runExperiment(b, "xsample") }
+func BenchmarkXPolicyFallback(b *testing.B)    { runExperiment(b, "xpolicy") }
+func BenchmarkXCostModel(b *testing.B)         { runExperiment(b, "xcostmodel") }
+func BenchmarkXObjectsExtended(b *testing.B)   { runExperiment(b, "xobjects") }
+func BenchmarkXOrderAblation(b *testing.B)     { runExperiment(b, "xorder") }
+func BenchmarkXRefPointAblation(b *testing.B)  { runExperiment(b, "xrefpoint") }
+func BenchmarkXKernelAblation(b *testing.B)    { runExperiment(b, "xkernel") }
+func BenchmarkXBroadcastCost(b *testing.B)     { runExperiment(b, "xbroadcast") }
+func BenchmarkXResolutionPlanner(b *testing.B) { runExperiment(b, "xresolution") }
+
+// replicationAdvantage measures best-universal / adaptive replication on
+// the synthetic combo.
+func replicationAdvantage(sc experiments.Scale) float64 {
+	r := spatialjoin.GenerateGaussian(sc.N, 101)
+	s := spatialjoin.GenerateGaussian(sc.N, 202)
+	adaptive, err := spatialjoin.Join(r, s, spatialjoin.Options{Eps: experiments.DefaultEps, Algorithm: spatialjoin.AdaptiveLPiB, Workers: sc.Workers})
+	if err != nil {
+		panic(err)
+	}
+	uniR, err := spatialjoin.Join(r, s, spatialjoin.Options{Eps: experiments.DefaultEps, Algorithm: spatialjoin.PBSMUniR, Workers: sc.Workers})
+	if err != nil {
+		panic(err)
+	}
+	uniS, err := spatialjoin.Join(r, s, spatialjoin.Options{Eps: experiments.DefaultEps, Algorithm: spatialjoin.PBSMUniS, Workers: sc.Workers})
+	if err != nil {
+		panic(err)
+	}
+	best := uniR.Replicated()
+	if uniS.Replicated() < best {
+		best = uniS.Replicated()
+	}
+	return float64(best) / float64(adaptive.Replicated())
+}
+
+// Component-level benchmarks: the hot paths of the core algorithm, for
+// profiling and regression tracking independent of the full pipeline.
+
+func BenchmarkAdaptiveJoin100k(b *testing.B) {
+	r := spatialjoin.GenerateGaussian(100_000, 101)
+	s := spatialjoin.GenerateGaussian(100_000, 202)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := spatialjoin.Join(r, s, spatialjoin.Options{Eps: 0.5, Algorithm: spatialjoin.AdaptiveLPiB, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Results == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkPBSMJoin100k(b *testing.B) {
+	r := spatialjoin.GenerateGaussian(100_000, 101)
+	s := spatialjoin.GenerateGaussian(100_000, 202)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := spatialjoin.Join(r, s, spatialjoin.Options{Eps: 0.5, Algorithm: spatialjoin.PBSMUniR, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Results == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkSedonaJoin100k(b *testing.B) {
+	r := spatialjoin.GenerateGaussian(100_000, 101)
+	s := spatialjoin.GenerateGaussian(100_000, 202)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := spatialjoin.Join(r, s, spatialjoin.Options{Eps: 0.5, Algorithm: spatialjoin.SedonaLike, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Results == 0 {
+			b.Fatal("no results")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command datagen generates the evaluation data sets as text files.
+//
+// Usage:
+//
+//	datagen -kind gaussian -n 200000 -seed 101 -out s1.txt
+//
+// Kinds: uniform, gaussian (the paper's 30-cluster synthetic), tiger
+// (TIGER-Hydrography-like skew), osm (OSM-Parks-like skew). The paper
+// codenames map to: S1 = gaussian seed 101, S2 = gaussian seed 202,
+// R1 = tiger seed 303, R2 = osm seed 404.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/textio"
+	"spatialjoin/internal/tuple"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "gaussian", "distribution: uniform, gaussian, tiger, osm")
+		n       = flag.Int("n", 200_000, "number of points")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output file (required)")
+		payload = flag.Int("payload", 0, "attach a payload of this many bytes per point")
+	)
+	flag.Parse()
+	if *out == "" {
+		fail("-out is required")
+	}
+	if *n <= 0 {
+		fail("-n must be positive")
+	}
+
+	w := datagen.World()
+	var ts []tuple.Tuple
+	switch strings.ToLower(*kind) {
+	case "uniform":
+		ts = datagen.Uniform(w, *n, *seed, 0)
+	case "gaussian":
+		ts = datagen.GaussianClusters(w, *n, 30, 0.1, 0.8, *seed, 0)
+	case "tiger":
+		ts = datagen.TigerLike(w, *n, *seed, 0)
+	case "osm":
+		ts = datagen.OSMLike(w, *n, *seed, 0)
+	default:
+		fail("unknown kind %q", *kind)
+	}
+	if *payload > 0 {
+		pad := strings.Repeat("x", *payload)
+		for i := range ts {
+			ts[i].Payload = []byte(pad)
+		}
+	}
+	if err := textio.WriteFile(*out, ts); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("wrote %d %s points to %s\n", len(ts), *kind, *out)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(2)
+}

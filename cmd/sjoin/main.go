@@ -1,0 +1,127 @@
+// Command sjoin runs an ε-distance spatial join between two point files.
+//
+// Usage:
+//
+//	sjoin -r left.txt -s right.txt -eps 0.5 [-algo LPiB] [-workers 8]
+//	      [-lpt] [-out pairs.txt]
+//
+// Input files hold one point per line: "x y [attributes...]". The chosen
+// algorithm's replication, shuffle and timing metrics are printed to
+// stdout; with -out, the result pairs are written as "rid sid" lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spatialjoin"
+)
+
+var algorithms = map[string]spatialjoin.Algorithm{
+	"lpib":       spatialjoin.AdaptiveLPiB,
+	"diff":       spatialjoin.AdaptiveDIFF,
+	"uni-r":      spatialjoin.PBSMUniR,
+	"uni-s":      spatialjoin.PBSMUniS,
+	"eps-grid":   spatialjoin.PBSMEpsGrid,
+	"sedona":     spatialjoin.SedonaLike,
+	"lpib-dedup": spatialjoin.AdaptiveSimpleDedup,
+	"clone":      spatialjoin.PBSMClone,
+	"auto":       spatialjoin.AutoPlanned,
+}
+
+func main() {
+	var (
+		rPath    = flag.String("r", "", "path of the R point file (required)")
+		sPath    = flag.String("s", "", "path of the S point file (required)")
+		eps      = flag.Float64("eps", 0, "distance threshold (required, > 0)")
+		algoName = flag.String("algo", "lpib", "algorithm: lpib, diff, uni-r, uni-s, eps-grid, sedona, lpib-dedup, clone, auto")
+		selfJoin = flag.Bool("self", false, "self-join: -r joined with itself (-s ignored)")
+		workers  = flag.Int("workers", 0, "simulated cluster size (default GOMAXPROCS)")
+		parts    = flag.Int("partitions", 0, "reduce partitions (default 8 x workers)")
+		sample   = flag.Float64("sample", 0, "sampling fraction (default 0.03)")
+		seed     = flag.Int64("seed", 1, "sampling seed")
+		useLPT   = flag.Bool("lpt", false, "use LPT cell placement (adaptive algorithms)")
+		gridRes  = flag.Float64("grid-res", 0, "grid resolution multiplier (default per algorithm)")
+		outPath  = flag.String("out", "", "write result pairs to this file")
+	)
+	flag.Parse()
+
+	algo, ok := algorithms[strings.ToLower(*algoName)]
+	if !ok {
+		fail("unknown algorithm %q", *algoName)
+	}
+	if *rPath == "" || (*sPath == "" && !*selfJoin) {
+		fail("both -r and -s are required (or -r with -self)")
+	}
+	if *eps <= 0 {
+		fail("-eps must be positive")
+	}
+
+	rs, err := spatialjoin.ReadFile(*rPath, 0)
+	if err != nil {
+		fail("reading R: %v", err)
+	}
+	var ss []spatialjoin.Tuple
+	if !*selfJoin {
+		ss, err = spatialjoin.ReadFile(*sPath, 1_000_000_000)
+		if err != nil {
+			fail("reading S: %v", err)
+		}
+	}
+
+	opts := spatialjoin.Options{
+		Eps:            *eps,
+		Algorithm:      algo,
+		Workers:        *workers,
+		Partitions:     *parts,
+		SampleFraction: *sample,
+		Seed:           *seed,
+		UseLPT:         *useLPT,
+		GridRes:        *gridRes,
+		Collect:        *outPath != "",
+	}
+	var rep *spatialjoin.Report
+	if *selfJoin {
+		rep, err = spatialjoin.SelfJoin(rs, opts)
+		ss = rs
+	} else {
+		rep, err = spatialjoin.Join(rs, ss, opts)
+	}
+	if err != nil {
+		fail("join: %v", err)
+	}
+
+	fmt.Printf("algorithm          %s\n", rep.Algorithm)
+	fmt.Printf("|R|, |S|           %d, %d\n", len(rs), len(ss))
+	fmt.Printf("results            %d (selectivity %.3e)\n", rep.Results, rep.Selectivity(len(rs), len(ss)))
+	fmt.Printf("replicated         %d (R: %d, S: %d)\n", rep.Replicated(), rep.ReplicatedR, rep.ReplicatedS)
+	fmt.Printf("shuffled bytes     %d (remote: %d)\n", rep.ShuffledBytes, rep.ShuffleRemoteBytes)
+	fmt.Printf("construction time  %v (sample %v, build %v, map %v, shuffle %v)\n",
+		rep.ConstructionTime(), rep.SampleTime, rep.BuildTime, rep.MapTime, rep.ShuffleTime)
+	fmt.Printf("join time          %v\n", rep.JoinTime)
+	if rep.DedupTime > 0 {
+		fmt.Printf("dedup time         %v\n", rep.DedupTime)
+	}
+	fmt.Printf("total time         %v\n", rep.TotalTime())
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail("creating output: %v", err)
+		}
+		for _, p := range rep.Pairs {
+			fmt.Fprintf(f, "%d %d\n", p.RID, p.SID)
+		}
+		if err := f.Close(); err != nil {
+			fail("writing output: %v", err)
+		}
+		fmt.Printf("pairs written      %s\n", *outPath)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sjoin: "+format+"\n", args...)
+	os.Exit(2)
+}

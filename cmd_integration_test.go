@@ -1,0 +1,122 @@
+package spatialjoin_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the command-line tools once into a temp dir and
+// returns their paths.
+func buildCmds(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range []string{"sjoin", "datagen", "experiments"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandLinePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t)
+	dir := t.TempDir()
+	rPath := filepath.Join(dir, "r.txt")
+	sPath := filepath.Join(dir, "s.txt")
+	outPath := filepath.Join(dir, "pairs.txt")
+
+	// Generate two small data sets.
+	out := runCmd(t, bins["datagen"], "-kind", "gaussian", "-n", "5000", "-seed", "101", "-out", rPath)
+	if !strings.Contains(out, "wrote 5000 gaussian points") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	runCmd(t, bins["datagen"], "-kind", "tiger", "-n", "5000", "-seed", "303", "-out", sPath)
+
+	// Join them with two algorithms; results must agree.
+	resultsOf := func(algo string) string {
+		out := runCmd(t, bins["sjoin"], "-r", rPath, "-s", sPath, "-eps", "0.8", "-algo", algo, "-out", outPath)
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "results") {
+				return strings.Fields(line)[1]
+			}
+		}
+		t.Fatalf("no results line in sjoin output: %s", out)
+		return ""
+	}
+	lpib := resultsOf("lpib")
+	unir := resultsOf("uni-r")
+	if lpib != unir {
+		t.Fatalf("algorithms disagree via CLI: lpib=%s, uni-r=%s", lpib, unir)
+	}
+
+	// The pairs file must hold exactly that many lines.
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if wantLines := lpib; wantLines != "" {
+		n := 0
+		for _, c := range wantLines {
+			n = n*10 + int(c-'0')
+		}
+		if lines != n {
+			t.Fatalf("pairs file has %d lines, results said %d", lines, n)
+		}
+	}
+
+	// experiments -list shows the registry; a tiny table1 run works.
+	list := runCmd(t, bins["experiments"], "-list")
+	for _, id := range []string{"fig10", "table6", "xobjects"} {
+		if !strings.Contains(list, id) {
+			t.Fatalf("experiments -list missing %s:\n%s", id, list)
+		}
+	}
+	t1 := runCmd(t, bins["experiments"], "-exp", "table1", "-quick")
+	if !strings.Contains(t1, "Universal replication of R set") {
+		t.Fatalf("table1 output unexpected:\n%s", t1)
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t)
+	fails := [][]string{
+		{bins["sjoin"]}, // missing required flags
+		{bins["sjoin"], "-r", "x", "-s", "y", "-eps", "0"}, // bad eps
+		{bins["sjoin"], "-r", "missing.txt", "-s", "missing.txt", "-eps", "1"},
+		{bins["datagen"], "-kind", "nope", "-out", "z.txt"},
+		{bins["datagen"]}, // missing -out
+		{bins["experiments"], "-exp", "nope"},
+		{bins["experiments"]}, // no action
+	}
+	for _, args := range fails {
+		cmd := exec.Command(args[0], args[1:]...)
+		if err := cmd.Run(); err == nil {
+			t.Errorf("%v should have failed", args)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package spatialjoin_test
+
+import (
+	"fmt"
+
+	"spatialjoin"
+)
+
+// The smallest possible use: join two tiny point sets and print the
+// matches.
+func ExampleJoin() {
+	r := spatialjoin.FromPoints([]spatialjoin.Point{
+		{X: 1, Y: 1}, {X: 5, Y: 5},
+	}, 0)
+	s := spatialjoin.FromPoints([]spatialjoin.Point{
+		{X: 1.2, Y: 1}, {X: 9, Y: 9},
+	}, 100)
+
+	rep, err := spatialjoin.Join(r, s, spatialjoin.Options{
+		Eps:     0.5,
+		Collect: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range rep.Pairs {
+		fmt.Printf("r%d matches s%d\n", p.RID, p.SID)
+	}
+	// Output: r0 matches s100
+}
+
+// Compare two algorithms on the same data: results always agree, the
+// metrics differ.
+func ExampleJoin_comparingAlgorithms() {
+	r := spatialjoin.GenerateGaussian(20_000, 101)
+	s := spatialjoin.GenerateGaussian(20_000, 202)
+
+	adaptive, err := spatialjoin.Join(r, s, spatialjoin.Options{
+		Eps:       0.5,
+		Algorithm: spatialjoin.AdaptiveLPiB,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	pbsm, err := spatialjoin.Join(r, s, spatialjoin.Options{
+		Eps:       0.5,
+		Algorithm: spatialjoin.PBSMUniR,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same results:", adaptive.Results == pbsm.Results)
+	fmt.Println("adaptive replicates less:", adaptive.Replicated() < pbsm.Replicated())
+	// Output:
+	// same results: true
+	// adaptive replicates less: true
+}
+
+// Objects with extent: polylines and polygons join exactly like points.
+func ExampleJoinObjects() {
+	road := spatialjoin.NewPolyline(1, []spatialjoin.Point{
+		{X: 0, Y: 0}, {X: 10, Y: 0},
+	})
+	park := spatialjoin.NewPolygon(2, []spatialjoin.Point{
+		{X: 4, Y: 1}, {X: 6, Y: 1}, {X: 6, Y: 3}, {X: 4, Y: 3},
+	})
+	farPark := spatialjoin.NewPolygon(3, []spatialjoin.Point{
+		{X: 40, Y: 40}, {X: 42, Y: 40}, {X: 42, Y: 42}, {X: 40, Y: 42},
+	})
+
+	rep, err := spatialjoin.JoinObjects(
+		[]spatialjoin.Object{road},
+		[]spatialjoin.Object{park, farPark},
+		spatialjoin.Options{Eps: 1.5, Collect: true},
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range rep.Pairs {
+		fmt.Printf("road %d is within 1.5 of park %d\n", p.RID, p.SID)
+	}
+	// Output: road 1 is within 1.5 of park 2
+}
+
+// BruteForce is the oracle for small inputs and tests.
+func ExampleBruteForce() {
+	r := spatialjoin.FromPoints([]spatialjoin.Point{{X: 0, Y: 0}}, 0)
+	s := spatialjoin.FromPoints([]spatialjoin.Point{{X: 3, Y: 4}}, 10)
+	fmt.Println(len(spatialjoin.BruteForce(r, s, 5)))
+	fmt.Println(len(spatialjoin.BruteForce(r, s, 4.9)))
+	// Output:
+	// 1
+	// 0
+}

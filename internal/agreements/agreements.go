@@ -1,0 +1,512 @@
+// Package agreements implements the paper's graph of agreements: the
+// directed, typed, weighted multigraph over grid cells that records, for
+// every pair of adjacent cells, which data set (R or S) is replicated
+// between them, and — per quartet subgraph — which edges are marked
+// (their tail cell's duplicate-prone points are excluded from replication
+// to the head cell) and which are locked (protected from marking because
+// another marking relies on them for correctness).
+//
+// The graph is represented as one Subgraph per quartet reference point,
+// exactly as the paper's second dictionary (Section 5.1). Agreement types
+// are a property of the unordered cell pair and are therefore computed
+// from pair-level sample statistics only, which keeps the 1–2 subgraphs
+// containing a side-sharing pair consistent by construction (Def. 4.2:
+// "the edges that link two vertices are always of the same type").
+package agreements
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+// Policy selects how agreement types are instantiated (Section 4.3).
+type Policy uint8
+
+const (
+	// LPiB (least points in boundaries): the agreement type is the data
+	// set with the fewest replication-candidate points between the two
+	// cells.
+	LPiB Policy = iota
+	// DIFF: the cell with the greatest |#R - #S| determines the type,
+	// which is the data set with the fewest points in that cell.
+	DIFF
+	// UniR replicates R everywhere: the PBSM UNI(R) baseline expressed as
+	// a graph-of-agreements instance (every agreement type is R, no
+	// triangle is mixed, nothing is marked).
+	UniR
+	// UniS is the symmetric universal instance replicating S everywhere.
+	UniS
+	// LPiBStrict is LPiB without the sampled-totals fallback on boundary
+	// ties: ties resolve straight to R. It exists for the sampling
+	// ablation (xpolicy), which quantifies how much the fallback recovers
+	// under sparse sampling.
+	LPiBStrict
+)
+
+// String names the policy as in the paper.
+func (p Policy) String() string {
+	switch p {
+	case LPiB:
+		return "LPiB"
+	case DIFF:
+		return "DIFF"
+	case UniR:
+		return "UNI(R)"
+	case UniS:
+		return "UNI(S)"
+	case LPiBStrict:
+		return "LPiB-strict"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// dirBetween returns the grid direction from quartet position i to j.
+func dirBetween(i, j grid.Pos) grid.Dir {
+	ix, iy := grid.PosCoord(i)
+	jx, jy := grid.PosCoord(j)
+	dx := jx - ix
+	dy := jy - iy
+	switch {
+	case dx == 1 && dy == 0:
+		return grid.DirE
+	case dx == -1 && dy == 0:
+		return grid.DirW
+	case dx == 0 && dy == 1:
+		return grid.DirN
+	case dx == 0 && dy == -1:
+		return grid.DirS
+	case dx == 1 && dy == 1:
+		return grid.DirNE
+	case dx == -1 && dy == 1:
+		return grid.DirNW
+	case dx == 1 && dy == -1:
+		return grid.DirSE
+	case dx == -1 && dy == -1:
+		return grid.DirSW
+	default:
+		panic("agreements: dirBetween called with identical positions")
+	}
+}
+
+// Subgraph models the agreements among the quartet of cells around one
+// grid corner: 4 vertices, 12 directed edges. Edge state is addressed by
+// (tail, head) quartet positions.
+type Subgraph struct {
+	Ref   geom.Point       // the quartet's reference point
+	Cells [grid.NumPos]int // cell ids by position; virtual cells are NoCell
+	typ   [grid.NumPos][grid.NumPos]tuple.Set
+	wgt   [grid.NumPos][grid.NumPos]int64
+	mark  [grid.NumPos][grid.NumPos]bool
+	lock  [grid.NumPos][grid.NumPos]bool
+}
+
+// Type returns the agreement type of the edge from position i to j
+// (identical in both directions by construction).
+func (s *Subgraph) Type(i, j grid.Pos) tuple.Set { return s.typ[i][j] }
+
+// Weight returns the processing-cost weight of the directed edge i->j.
+func (s *Subgraph) Weight(i, j grid.Pos) int64 { return s.wgt[i][j] }
+
+// Marked reports whether the directed edge i->j is marked: points in the
+// merged duplicate-prone area of cell i are excluded from replication to
+// cell j.
+func (s *Subgraph) Marked(i, j grid.Pos) bool { return s.mark[i][j] }
+
+// Locked reports whether the directed edge i->j is locked against marking.
+func (s *Subgraph) Locked(i, j grid.Pos) bool { return s.lock[i][j] }
+
+// Graph is the full graph of agreements of a grid: one Subgraph per
+// quartet reference point, indexed by grid.QuartetID.
+type Graph struct {
+	Grid   *grid.Grid
+	Policy Policy
+	Subs   []Subgraph
+}
+
+// Sub returns the subgraph of the quartet at corner (gx, gy).
+func (gr *Graph) Sub(gx, gy int) *Subgraph {
+	return &gr.Subs[gr.Grid.QuartetID(gx, gy)]
+}
+
+// Order selects the edge traversal order of Algorithm 1. The paper
+// argues for OrderPaper (Section 5.2); the alternatives exist for the
+// xorder ablation.
+type Order uint8
+
+const (
+	// OrderPaper visits touching-point (diagonal) edges before side
+	// edges, each group in descending weight — the paper's order, which
+	// prefers markings that need no supplementary replication
+	// (Corollary 4.9) and defuses expensive edges first.
+	OrderPaper Order = iota
+	// OrderWeightOnly sorts all 12 edges by descending weight, ignoring
+	// the diagonal-first rule.
+	OrderWeightOnly
+	// OrderIndex visits edges in fixed positional order, ignoring
+	// weights entirely.
+	OrderIndex
+)
+
+// String names the order.
+func (o Order) String() string {
+	return [...]string{"paper", "weight-only", "index"}[o]
+}
+
+// Build instantiates the graph of agreements from per-cell sample
+// statistics using the given policy, then derives the duplicate-free
+// assignment by running Algorithm 1 on every subgraph with the paper's
+// edge ordering. The grid must satisfy the l >= 2ε precondition.
+func Build(st *grid.Stats, policy Policy) *Graph {
+	return BuildOrdered(st, policy, OrderPaper)
+}
+
+// BuildOrdered is Build with an explicit Algorithm 1 edge order.
+func BuildOrdered(st *grid.Stats, policy Policy, order Order) *Graph {
+	g := st.Grid()
+	if !g.SupportsAgreements() {
+		panic(fmt.Sprintf("agreements: grid resolution %v·ε violates the l >= 2ε precondition", g.Res))
+	}
+	gr := &Graph{Grid: g, Policy: policy, Subs: make([]Subgraph, g.NumQuartets())}
+	for gy := 0; gy <= g.NY; gy++ {
+		for gx := 0; gx <= g.NX; gx++ {
+			s := gr.Sub(gx, gy)
+			s.Ref = g.RefPoint(gx, gy)
+			s.Cells = g.QuartetCells(gx, gy)
+			instantiate(s, st, policy)
+			resolveOrdered(s, order)
+		}
+	}
+	return gr
+}
+
+// BuildFromTypeFunc instantiates a graph over g whose agreement types are
+// supplied by typeOf — which must be symmetric in its arguments and may
+// receive grid.NoCell for virtual border cells — with zero edge weights,
+// then derives the duplicate-free assignment with Algorithm 1. It is used
+// by property tests and ablation experiments to exercise arbitrary
+// agreement configurations beyond what LPiB/DIFF would produce.
+func BuildFromTypeFunc(g *grid.Grid, typeOf func(ci, cj int) tuple.Set) *Graph {
+	if !g.SupportsAgreements() {
+		panic(fmt.Sprintf("agreements: grid resolution %v·ε violates the l >= 2ε precondition", g.Res))
+	}
+	gr := &Graph{Grid: g, Subs: make([]Subgraph, g.NumQuartets())}
+	for gy := 0; gy <= g.NY; gy++ {
+		for gx := 0; gx <= g.NX; gx++ {
+			s := gr.Sub(gx, gy)
+			s.Ref = g.RefPoint(gx, gy)
+			s.Cells = g.QuartetCells(gx, gy)
+			for i := grid.Pos(0); i < grid.NumPos; i++ {
+				for j := i + 1; j < grid.NumPos; j++ {
+					t := typeOf(s.Cells[i], s.Cells[j])
+					s.typ[i][j], s.typ[j][i] = t, t
+				}
+			}
+			resolve(s)
+		}
+	}
+	return gr
+}
+
+// instantiate decides types and weights for the 12 edges of s.
+func instantiate(s *Subgraph, st *grid.Stats, policy Policy) {
+	for i := grid.Pos(0); i < grid.NumPos; i++ {
+		for j := i + 1; j < grid.NumPos; j++ {
+			t := pairType(st, s.Cells[i], s.Cells[j], dirBetween(i, j), policy)
+			s.typ[i][j], s.typ[j][i] = t, t
+			s.wgt[i][j] = edgeWeight(st, s.Cells[i], s.Cells[j], dirBetween(i, j), t)
+			s.wgt[j][i] = edgeWeight(st, s.Cells[j], s.Cells[i], dirBetween(j, i), t)
+		}
+	}
+}
+
+// pairType decides the agreement type between adjacent cells ci and cj
+// (dir is the direction from ci to cj). It depends only on pair-level
+// statistics so every subgraph containing the pair reaches the same
+// decision. Ties resolve to R.
+func pairType(st *grid.Stats, ci, cj int, dir grid.Dir, policy Policy) tuple.Set {
+	switch policy {
+	case UniR:
+		return tuple.R
+	case UniS:
+		return tuple.S
+	case LPiB, LPiBStrict:
+		candR := int64(st.Candidates(ci, dir, tuple.R)) + int64(st.Candidates(cj, dir.Opposite(), tuple.R))
+		candS := int64(st.Candidates(ci, dir, tuple.S)) + int64(st.Candidates(cj, dir.Opposite(), tuple.S))
+		if candS != candR {
+			if candS < candR {
+				return tuple.S
+			}
+			return tuple.R
+		}
+		if policy == LPiBStrict {
+			return tuple.R
+		}
+		// The sampled boundary counts tie (usually 0-0 under sparse
+		// sampling): fall back to the sampled totals of the two cells,
+		// the best remaining proxy for boundary density. A final tie
+		// resolves to R.
+		csi, csj := st.At(ci), st.At(cj)
+		totR := int64(csi.Total[tuple.R]) + int64(csj.Total[tuple.R])
+		totS := int64(csi.Total[tuple.S]) + int64(csj.Total[tuple.S])
+		if totS < totR {
+			return tuple.S
+		}
+		return tuple.R
+	case DIFF:
+		csi, csj := st.At(ci), st.At(cj)
+		diffI := abs32(csi.Total[tuple.R] - csi.Total[tuple.S])
+		diffJ := abs32(csj.Total[tuple.R] - csj.Total[tuple.S])
+		decider := csi
+		switch {
+		case diffJ > diffI:
+			decider = csj
+		case diffJ == diffI && cj < ci:
+			decider = csj // deterministic tie-break by cell id
+		}
+		if decider.Total[tuple.S] < decider.Total[tuple.R] {
+			return tuple.S
+		}
+		return tuple.R
+	default:
+		panic(fmt.Sprintf("agreements: unknown policy %d", policy))
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// edgeWeight is the processing cost induced by replication along the
+// directed edge ci->cj of agreement type t: the number of t-points of ci
+// that are replication candidates toward cj, times the number of points
+// of the other set in cj (Section 4.3, "Defining edge weights").
+func edgeWeight(st *grid.Stats, ci, cj int, dir grid.Dir, t tuple.Set) int64 {
+	return int64(st.Candidates(ci, dir, t)) * int64(st.At(cj).Total[t.Other()])
+}
+
+// quartetEdge is one directed edge of a subgraph during Algorithm 1.
+type quartetEdge struct {
+	i, j     grid.Pos
+	diagonal bool
+	weight   int64
+}
+
+// otherTwo returns the two quartet positions that are neither a nor b.
+func otherTwo(a, b grid.Pos) [2]grid.Pos {
+	var out [2]grid.Pos
+	n := 0
+	for p := grid.Pos(0); p < grid.NumPos; p++ {
+		if p != a && p != b {
+			out[n] = p
+			n++
+		}
+	}
+	return out
+}
+
+// resolve runs Algorithm 1 (duplicate-free graph generation) on s: it
+// traverses the subgraph's edges — those linking cells with only a common
+// touching point first, then the side edges, each group in descending
+// weight order — and marks each eligible edge, locking the two edges whose
+// head is the third triangle vertex. When both triangles containing an
+// edge are eligible, the one whose to-be-locked edges have the largest
+// weight sum is selected (Section 5.2).
+func resolve(s *Subgraph) { resolveOrdered(s, OrderPaper) }
+
+func resolveOrdered(s *Subgraph, order Order) {
+	edges := make([]quartetEdge, 0, 12)
+	for i := grid.Pos(0); i < grid.NumPos; i++ {
+		for j := grid.Pos(0); j < grid.NumPos; j++ {
+			if i == j {
+				continue
+			}
+			edges = append(edges, quartetEdge{
+				i: i, j: j,
+				diagonal: grid.IsDiagonalPair(i, j),
+				weight:   s.wgt[i][j],
+			})
+		}
+	}
+	sort.SliceStable(edges, func(a, b int) bool {
+		ea, eb := edges[a], edges[b]
+		if order == OrderPaper && ea.diagonal != eb.diagonal {
+			return ea.diagonal // touching-point edges first
+		}
+		if order != OrderIndex && ea.weight != eb.weight {
+			return ea.weight > eb.weight // descending weight
+		}
+		if ea.i != eb.i {
+			return ea.i < eb.i // deterministic tie-break
+		}
+		return ea.j < eb.j
+	})
+
+	for _, e := range edges {
+		i, j := e.i, e.j
+		if s.lock[i][j] || s.mark[i][j] {
+			continue
+		}
+		// Only triangles whose three cells are all real can produce
+		// duplicates (virtual cells hold no points and are never joined),
+		// and marking inside a partly-virtual triangle would redirect
+		// excluded points into a virtual cell — dropping them. Skip any
+		// edge or triangle touching a virtual cell.
+		if s.Cells[i] == grid.NoCell || s.Cells[j] == grid.NoCell {
+			continue
+		}
+		bestK := grid.Pos(255)
+		var bestLockWeight int64 = -1
+		for _, k := range otherTwo(i, j) {
+			if s.Cells[k] == grid.NoCell {
+				continue
+			}
+			// Triangle (i, j, k) is eligible for marking e_ij when i is the
+			// apex of a mixed triangle: e_ik shares e_ij's type, e_jk has
+			// the other type, and neither e_jk nor e_ik is already marked.
+			if s.typ[i][k] != s.typ[i][j] || s.typ[j][k] == s.typ[i][j] {
+				continue
+			}
+			if s.mark[j][k] || s.mark[i][k] {
+				continue
+			}
+			lockWeight := s.wgt[j][k] + s.wgt[i][k]
+			if lockWeight > bestLockWeight {
+				bestLockWeight = lockWeight
+				bestK = k
+			}
+		}
+		if bestK != grid.Pos(255) {
+			s.mark[i][j] = true
+			s.lock[j][bestK] = true
+			s.lock[i][bestK] = true
+		}
+	}
+}
+
+// MixedTriangles returns the number of triangles of s that contain both
+// agreement types — the configurations that require marking (diagnostics
+// and tests).
+func (s *Subgraph) MixedTriangles() int {
+	n := 0
+	forEachTriangle(func(a, b, c grid.Pos) {
+		t1, t2, t3 := s.typ[a][b], s.typ[a][c], s.typ[b][c]
+		if t1 != t2 || t2 != t3 {
+			n++
+		}
+	})
+	return n
+}
+
+// MarkedEdges returns the number of marked directed edges in s.
+func (s *Subgraph) MarkedEdges() int {
+	n := 0
+	for i := grid.Pos(0); i < grid.NumPos; i++ {
+		for j := grid.Pos(0); j < grid.NumPos; j++ {
+			if i != j && s.mark[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// forEachTriangle visits the four 3-vertex subsets of a quartet.
+func forEachTriangle(f func(a, b, c grid.Pos)) {
+	f(grid.BL, grid.BR, grid.TL)
+	f(grid.BL, grid.BR, grid.TR)
+	f(grid.BL, grid.TL, grid.TR)
+	f(grid.BR, grid.TL, grid.TR)
+}
+
+// SetTypesForTest overrides the agreement types of the unordered pairs of
+// s and re-runs Algorithm 1, for exhaustive tests that enumerate type
+// configurations. pairs is indexed like the iteration order of
+// instantiate: (BL,BR), (BL,TL), (BL,TR), (BR,TL), (BR,TR), (TL,TR).
+func (s *Subgraph) SetTypesForTest(types [6]tuple.Set) {
+	idx := 0
+	for i := grid.Pos(0); i < grid.NumPos; i++ {
+		for j := i + 1; j < grid.NumPos; j++ {
+			s.typ[i][j], s.typ[j][i] = types[idx], types[idx]
+			idx++
+		}
+	}
+	s.mark = [grid.NumPos][grid.NumPos]bool{}
+	s.lock = [grid.NumPos][grid.NumPos]bool{}
+	resolve(s)
+}
+
+// EstimatedCosts returns, per cell, the LPT cost estimate including
+// replication: (R points native plus replicated in) × (S points native
+// plus replicated in), from sample statistics and the agreement types.
+// Marking is ignored — it only redirects a small fraction of points and
+// this is a scheduling estimate, not an exact count.
+func (gr *Graph) EstimatedCosts(st *grid.Stats) []int64 {
+	g := gr.Grid
+	costs := make([]int64, g.NumCells())
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			id := g.CellID(cx, cy)
+			cs := st.At(id)
+			est := [2]int64{int64(cs.Total[tuple.R]), int64(cs.Total[tuple.S])}
+			for d := grid.Dir(0); d < grid.NumDirs; d++ {
+				nb := g.Neighbor(cx, cy, d)
+				if nb == grid.NoCell {
+					continue
+				}
+				t := gr.PairType(cx, cy, d)
+				// Points of type t flow from the neighbour toward this cell.
+				est[t] += int64(st.Candidates(nb, d.Opposite(), t))
+			}
+			costs[id] = est[0] * est[1]
+		}
+	}
+	return costs
+}
+
+// PairType returns the agreement type between cell (cx, cy) and its
+// neighbour in direction d, looked up from a subgraph containing the
+// pair. The neighbour must exist (be a real cell).
+func (gr *Graph) PairType(cx, cy int, d grid.Dir) tuple.Set {
+	g := gr.Grid
+	id := g.CellID(cx, cy)
+	dx, dy := d.Delta()
+	nb := g.CellID(cx+dx, cy+dy)
+	// The quartet at the corner between the two cells contains both; pick
+	// the corner whose quartet holds the pair.
+	var gx, gy int
+	switch d {
+	case grid.DirE, grid.DirNE, grid.DirN:
+		gx, gy = cx+1, cy+1
+	case grid.DirW, grid.DirSW, grid.DirS:
+		gx, gy = cx, cy
+	case grid.DirNW:
+		gx, gy = cx, cy+1
+	default: // DirSE
+		gx, gy = cx+1, cy
+	}
+	s := gr.Sub(gx, gy)
+	var pi, pj grid.Pos
+	found := 0
+	for p := grid.Pos(0); p < grid.NumPos; p++ {
+		if s.Cells[p] == id {
+			pi = p
+			found++
+		}
+		if s.Cells[p] == nb {
+			pj = p
+			found++
+		}
+	}
+	if found != 2 {
+		panic("agreements: PairType picked a quartet that does not contain the pair")
+	}
+	return s.typ[pi][pj]
+}

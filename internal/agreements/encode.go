@@ -1,0 +1,153 @@
+package agreements
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+// Wire format of a resolved graph of agreements, for the broadcast step
+// of the paper's Algorithm 5 (line 6: the driver ships the grid and its
+// agreements to every worker). After resolution only the agreement types
+// and edge marks matter for point assignment — locks exist solely to
+// steer Algorithm 1 and weights solely to order it — so each quartet
+// costs exactly three bytes: 6 type bits (one per unordered cell pair in
+// canonical order) and 12 mark bits (one per directed edge).
+//
+//	magic "SJAG" | version u8 | policy u8
+//	bounds 4×f64 | eps f64 | res f64
+//	quartet count u32 | 3 bytes per quartet
+const (
+	encodeMagic   = "SJAG"
+	encodeVersion = 1
+	// bytesPerQuartet is the per-quartet payload: types + marks.
+	bytesPerQuartet = 3
+	headerBytes     = 4 + 1 + 1 + 6*8 + 4
+)
+
+// EncodedSize returns the exact number of bytes Encode will write — the
+// broadcast cost of the graph.
+func (gr *Graph) EncodedSize() int {
+	return headerBytes + bytesPerQuartet*len(gr.Subs)
+}
+
+// Encode writes the resolved graph in the wire format.
+func (gr *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(encodeMagic); err != nil {
+		return fmt.Errorf("agreements: encode: %w", err)
+	}
+	bw.WriteByte(encodeVersion)
+	bw.WriteByte(byte(gr.Policy))
+	g := gr.Grid
+	for _, f := range []float64{g.Bounds.MinX, g.Bounds.MinY, g.Bounds.MaxX, g.Bounds.MaxY, g.Eps, g.Res} {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		bw.Write(buf[:])
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(gr.Subs)))
+	bw.Write(cnt[:])
+
+	for qi := range gr.Subs {
+		s := &gr.Subs[qi]
+		var types byte
+		var marks uint16
+		bit := 0
+		mbit := 0
+		for i := grid.Pos(0); i < grid.NumPos; i++ {
+			for j := i + 1; j < grid.NumPos; j++ {
+				if s.typ[i][j] == tuple.S {
+					types |= 1 << bit
+				}
+				bit++
+				if s.mark[i][j] {
+					marks |= 1 << mbit
+				}
+				mbit++
+				if s.mark[j][i] {
+					marks |= 1 << mbit
+				}
+				mbit++
+			}
+		}
+		bw.WriteByte(types)
+		var mb [2]byte
+		binary.LittleEndian.PutUint16(mb[:], marks)
+		bw.Write(mb[:])
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("agreements: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reconstructs a graph from the wire format. The returned graph
+// assigns points identically to the encoded one; weights and locks are
+// not part of the format (they are build-time-only state).
+func Decode(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, headerBytes)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("agreements: decode: %w", err)
+	}
+	if string(head[:4]) != encodeMagic {
+		return nil, fmt.Errorf("agreements: decode: bad magic %q", head[:4])
+	}
+	if head[4] != encodeVersion {
+		return nil, fmt.Errorf("agreements: decode: unsupported version %d", head[4])
+	}
+	policy := Policy(head[5])
+	fs := make([]float64, 6)
+	for i := range fs {
+		fs[i] = math.Float64frombits(binary.LittleEndian.Uint64(head[6+8*i:]))
+	}
+	count := binary.LittleEndian.Uint32(head[6+48:])
+
+	bounds := geom.Rect{MinX: fs[0], MinY: fs[1], MaxX: fs[2], MaxY: fs[3]}
+	if bounds.IsEmpty() || fs[4] <= 0 || fs[5] <= 0 {
+		return nil, fmt.Errorf("agreements: decode: invalid grid parameters")
+	}
+	g := grid.New(bounds, fs[4], fs[5])
+	if int(count) != g.NumQuartets() {
+		return nil, fmt.Errorf("agreements: decode: %d quartets, grid needs %d", count, g.NumQuartets())
+	}
+
+	gr := &Graph{Grid: g, Policy: policy, Subs: make([]Subgraph, count)}
+	body := make([]byte, bytesPerQuartet)
+	for gy := 0; gy <= g.NY; gy++ {
+		for gx := 0; gx <= g.NX; gx++ {
+			if _, err := io.ReadFull(br, body); err != nil {
+				return nil, fmt.Errorf("agreements: decode: %w", err)
+			}
+			s := gr.Sub(gx, gy)
+			s.Ref = g.RefPoint(gx, gy)
+			s.Cells = g.QuartetCells(gx, gy)
+			types := body[0]
+			marks := binary.LittleEndian.Uint16(body[1:])
+			bit := 0
+			mbit := 0
+			for i := grid.Pos(0); i < grid.NumPos; i++ {
+				for j := i + 1; j < grid.NumPos; j++ {
+					t := tuple.R
+					if types&(1<<bit) != 0 {
+						t = tuple.S
+					}
+					bit++
+					s.typ[i][j], s.typ[j][i] = t, t
+					s.mark[i][j] = marks&(1<<mbit) != 0
+					mbit++
+					s.mark[j][i] = marks&(1<<mbit) != 0
+					mbit++
+				}
+			}
+		}
+	}
+	return gr, nil
+}

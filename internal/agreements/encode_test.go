@@ -1,0 +1,101 @@
+package agreements
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+func buildRandomGraph(t *testing.T, seed int64) *Graph {
+	t.Helper()
+	g := grid.New(geom.Rect{MinX: -2, MinY: 3, MaxX: 14, MaxY: 19}, 1, 2)
+	st := grid.NewStats(g)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 3000; i++ {
+		st.Add(tuple.Set(rng.Intn(2)), geom.Point{
+			X: -2 + rng.Float64()*16, Y: 3 + rng.Float64()*16,
+		})
+	}
+	return Build(st, LPiB)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	gr := buildRandomGraph(t, 1)
+	var buf bytes.Buffer
+	if err := gr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != gr.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize promised %d", buf.Len(), gr.EncodedSize())
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy != gr.Policy {
+		t.Fatalf("policy = %v, want %v", back.Policy, gr.Policy)
+	}
+	if back.Grid.NX != gr.Grid.NX || back.Grid.NY != gr.Grid.NY ||
+		back.Grid.Eps != gr.Grid.Eps || back.Grid.Bounds != gr.Grid.Bounds {
+		t.Fatal("grid parameters did not round trip")
+	}
+	for qi := range gr.Subs {
+		a, b := &gr.Subs[qi], &back.Subs[qi]
+		if a.Cells != b.Cells || a.Ref != b.Ref {
+			t.Fatalf("quartet %d geometry mismatch", qi)
+		}
+		for i := grid.Pos(0); i < grid.NumPos; i++ {
+			for j := grid.Pos(0); j < grid.NumPos; j++ {
+				if i == j {
+					continue
+				}
+				if a.Type(i, j) != b.Type(i, j) {
+					t.Fatalf("quartet %d edge %v->%v type mismatch", qi, i, j)
+				}
+				if a.Marked(i, j) != b.Marked(i, j) {
+					t.Fatalf("quartet %d edge %v->%v mark mismatch", qi, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	gr := buildRandomGraph(t, 2)
+	var buf bytes.Buffer
+	if err := gr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), full[4:]...),
+		"bad version": append(append([]byte("SJAG"), 99), full[5:]...),
+		"truncated":   full[:len(full)-5],
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+}
+
+func TestEncodedSizeScalesWithGrid(t *testing.T) {
+	small := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8}, 1, 2)
+	big := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 80, MaxY: 80}, 1, 2)
+	grSmall := Build(grid.NewStats(small), LPiB)
+	grBig := Build(grid.NewStats(big), LPiB)
+	if grBig.EncodedSize() <= grSmall.EncodedSize() {
+		t.Fatal("bigger grid must encode larger")
+	}
+	// 3 bytes per quartet plus a constant header.
+	want := grSmall.EncodedSize() + 3*(grBig.Grid.NumQuartets()-grSmall.Grid.NumQuartets())
+	if grBig.EncodedSize() != want {
+		t.Fatalf("encoded size = %d, want %d", grBig.EncodedSize(), want)
+	}
+}

@@ -1,0 +1,177 @@
+// Package asciichart renders numeric series as terminal line charts, so
+// cmd/experiments can show the paper's figures (not just their tables)
+// without any plotting dependency.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int  // plot columns; default 60
+	Height int  // plot rows; default 16
+	Log    bool // base-10 log y axis (requires positive values)
+}
+
+// markers distinguish series; they cycle if there are more series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the series over a shared y axis with one x slot per
+// label. Series may have fewer values than labels; missing points are
+// skipped. Returns "" when there is nothing to draw.
+func Render(title string, xlabels []string, series []Series, opts Options) string {
+	if opts.Width <= 0 {
+		opts.Width = 60
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, v := range s.Values {
+			if opts.Log && v <= 0 {
+				continue
+			}
+			any = true
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if !any || len(xlabels) == 0 {
+		return ""
+	}
+	tr := func(v float64) float64 { return v }
+	if opts.Log {
+		tr = math.Log10
+	}
+	lo, hi := tr(min), tr(max)
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	rows := opts.Height
+	cols := opts.Width
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	// x position of slot i.
+	xAt := func(i int) int {
+		if len(xlabels) == 1 {
+			return cols / 2
+		}
+		return i * (cols - 1) / (len(xlabels) - 1)
+	}
+	yAt := func(v float64) int {
+		frac := (tr(v) - lo) / (hi - lo)
+		row := int(math.Round(float64(rows-1) * frac))
+		return rows - 1 - row // row 0 is the top
+	}
+
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevX, prevY := -1, -1
+		for i, v := range s.Values {
+			if i >= len(xlabels) || (opts.Log && v <= 0) {
+				continue
+			}
+			x, y := xAt(i), yAt(v)
+			if prevX >= 0 {
+				drawLine(grid, prevX, prevY, x, y, '.')
+			}
+			grid[y][x] = m
+			prevX, prevY = x, y
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yLabel := func(row int) string {
+		frac := float64(rows-1-row) / float64(rows-1)
+		v := lo + frac*(hi-lo)
+		if opts.Log {
+			v = math.Pow(10, v)
+		}
+		return fmt.Sprintf("%10.3g", v)
+	}
+	for row := 0; row < rows; row++ {
+		label := strings.Repeat(" ", 10)
+		if row == 0 || row == rows-1 || row == rows/2 {
+			label = yLabel(row)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[row]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", cols))
+	// x labels: first, middle, last.
+	xl := make([]byte, cols+12)
+	for i := range xl {
+		xl[i] = ' '
+	}
+	place := func(slot int, label string) {
+		pos := 12 + xAt(slot) - len(label)/2
+		if pos < 0 {
+			pos = 0
+		}
+		for i := 0; i < len(label) && pos+i < len(xl); i++ {
+			xl[pos+i] = label[i]
+		}
+	}
+	place(0, xlabels[0])
+	if len(xlabels) > 2 {
+		place(len(xlabels)/2, xlabels[len(xlabels)/2])
+	}
+	if len(xlabels) > 1 {
+		place(len(xlabels)-1, xlabels[len(xlabels)-1])
+	}
+	b.Write(xl)
+	b.WriteByte('\n')
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s", markers[si%len(markers)], s.Name)
+		if (si+1)%4 == 0 || si == len(series)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// drawLine connects two grid points with a sparse dotted segment,
+// leaving endpoints for the markers.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	steps := maxInt(absInt(x1-x0), absInt(y1-y0))
+	for s := 1; s < steps; s++ {
+		x := x0 + (x1-x0)*s/steps
+		y := y0 + (y1-y0)*s/steps
+		if y >= 0 && y < len(grid) && x >= 0 && x < len(grid[y]) && grid[y][x] == ' ' {
+			grid[y][x] = ch
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

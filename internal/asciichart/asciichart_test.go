@@ -1,0 +1,103 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render("demo", []string{"a", "b", "c"}, []Series{
+		{Name: "up", Values: []float64{1, 2, 3}},
+		{Name: "down", Values: []float64{3, 2, 1}},
+	}, Options{Width: 30, Height: 8})
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	for _, want := range []string{"demo", "up", "down", "*", "o", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// 8 plot rows + frame lines.
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Fatalf("chart has only %d lines:\n%s", lines, out)
+	}
+}
+
+func TestRenderMarkerPositions(t *testing.T) {
+	// A single rising series: the first marker must be on the bottom
+	// row, the last on the top row.
+	out := Render("t", []string{"x0", "x1"}, []Series{
+		{Name: "s", Values: []float64{0, 10}},
+	}, Options{Width: 20, Height: 5})
+	lines := strings.Split(out, "\n")
+	plot := lines[1 : 1+5]
+	if !strings.Contains(plot[0], "*") {
+		t.Fatalf("max value not on top row:\n%s", out)
+	}
+	if !strings.Contains(plot[4], "*") {
+		t.Fatalf("min value not on bottom row:\n%s", out)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	out := Render("log", []string{"a", "b", "c"}, []Series{
+		{Name: "s", Values: []float64{10, 1000, 100000}},
+	}, Options{Width: 30, Height: 9, Log: true})
+	if out == "" {
+		t.Fatal("empty log chart")
+	}
+	// With log scaling, the mid point (1000) sits mid-chart.
+	lines := strings.Split(out, "\n")
+	midRow := lines[1+4]
+	if !strings.Contains(midRow, "*") {
+		t.Fatalf("log midpoint not centred:\n%s", out)
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	if out := Render("t", nil, nil, Options{}); out != "" {
+		t.Fatal("no data should render nothing")
+	}
+	if out := Render("t", []string{"a"}, []Series{{Name: "s", Values: []float64{5}}}, Options{}); out == "" {
+		t.Fatal("single point should still render")
+	}
+	// Log scale with non-positive values only.
+	if out := Render("t", []string{"a"}, []Series{{Name: "s", Values: []float64{-1}}}, Options{Log: true}); out != "" {
+		t.Fatal("log chart of non-positive values should render nothing")
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"123", 123, true},
+		{"1.5", 1.5, true},
+		{"36.8x", 36.8, true},
+		{"+5.9%", 5.9, true},
+		{"-5.2%", -5.2, true},
+		{"12.61MiB", 12.61 * (1 << 20), true},
+		{"207.47KiB", 207.47 * (1 << 10), true},
+		{"2.5GiB", 2.5 * (1 << 30), true},
+		{"64B", 64, true},
+		{"107.77ms", 0.10777, true},
+		{"1.5s", 1.5, true},
+		{"1m10.186s", 70.186, true},
+		{"LPiB", 0, false},
+		{"", 0, false},
+		{"eps=0.5", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseCell(tc.in)
+		if ok != tc.ok {
+			t.Errorf("ParseCell(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if ok && (got-tc.want > 1e-9 || tc.want-got > 1e-9) {
+			t.Errorf("ParseCell(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

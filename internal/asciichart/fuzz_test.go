@@ -1,0 +1,41 @@
+package asciichart
+
+import "testing"
+
+// FuzzParseCell must never panic on arbitrary cell text.
+func FuzzParseCell(f *testing.F) {
+	for _, seed := range []string{
+		"123", "36.8x", "12.61MiB", "107.77ms", "+5.9%", "", "LPiB",
+		"GiB", "xMiB", "1m10.186s", "-inf", "1e999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, ok := ParseCell(s)
+		if ok && v != v && s != "NaN" && s != "nan" {
+			// NaN results are only acceptable for explicit NaN inputs.
+			t.Fatalf("ParseCell(%q) returned NaN with ok=true", s)
+		}
+	})
+}
+
+// FuzzRender must never panic for arbitrary series shapes.
+func FuzzRender(f *testing.F) {
+	f.Add(3, int64(42), false)
+	f.Add(1, int64(7), true)
+	f.Add(0, int64(0), false)
+	f.Fuzz(func(t *testing.T, n int, seed int64, log bool) {
+		if n < 0 || n > 40 {
+			return
+		}
+		xl := make([]string, n)
+		vals := make([]float64, n)
+		x := seed
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			xl[i] = string(rune('a' + i%26))
+			vals[i] = float64(x%10000) / 7
+		}
+		Render("fuzz", xl, []Series{{Name: "s", Values: vals}}, Options{Log: log, Width: 20, Height: 6})
+	})
+}

@@ -1,0 +1,60 @@
+package asciichart
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseCell converts an experiment table cell back into a number so
+// tables can be charted: plain integers/floats, byte sizes with
+// KiB/MiB/GiB suffixes, Go durations ("107.77ms", "1.5s"), and ratios
+// ("36.8x"). The second return is false when the cell is not numeric or
+// not finite (NaN/Inf cannot be placed on a chart).
+func ParseCell(cell string) (float64, bool) {
+	v, ok := parseCell(cell)
+	if !ok || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
+}
+
+func parseCell(cell string) (float64, bool) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" {
+		return 0, false
+	}
+	// Ratio.
+	if strings.HasSuffix(cell, "x") {
+		if v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64); err == nil {
+			return v, true
+		}
+	}
+	// Percentage.
+	if strings.HasSuffix(cell, "%") {
+		if v, err := strconv.ParseFloat(strings.TrimPrefix(strings.TrimSuffix(cell, "%"), "+"), 64); err == nil {
+			return v, true
+		}
+	}
+	// Byte sizes.
+	for _, sfx := range []struct {
+		s string
+		m float64
+	}{{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(cell, sfx.s) {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(cell, sfx.s), 64); err == nil {
+				return v * sfx.m, true
+			}
+		}
+	}
+	// Durations (seconds).
+	if d, err := time.ParseDuration(cell); err == nil {
+		return d.Seconds(), true
+	}
+	// Plain numbers.
+	if v, err := strconv.ParseFloat(cell, 64); err == nil {
+		return v, true
+	}
+	return 0, false
+}

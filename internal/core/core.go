@@ -1,0 +1,178 @@
+// Package core implements the paper's contribution end to end: the
+// parallel ε-distance spatial join with adaptive replication (Algorithm 5).
+//
+// The pipeline follows the paper's phases exactly:
+//
+//  1. Sampling: a Bernoulli sample of each input feeds per-cell statistics
+//     (paper default 3%).
+//  2. Agreement-based grid construction: a 2ε-resolution grid is built
+//     over the data MBR and the graph of agreements is instantiated with
+//     the LPiB or DIFF policy, then made duplicate-free with edge marking
+//     and locking (Algorithm 1).
+//  3. Spatial mapping: every tuple is flat-mapped to the 1D cell keys the
+//     adaptive replication assigns it (Algorithms 2-4).
+//  4. Partition assignment and join: cells are routed to reduce
+//     partitions (hash, or the LPT placement computed from sampled cost
+//     estimates), shuffled, and each cell is joined with a plane sweep
+//     followed by the ε-distance refinement.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/lpt"
+	"spatialjoin/internal/replicate"
+	"spatialjoin/internal/sample"
+	"spatialjoin/internal/tuple"
+)
+
+// Config parameterises one adaptive join execution. Zero values select
+// the paper's defaults where one exists.
+type Config struct {
+	Eps            float64           // join distance threshold (required, > 0)
+	Res            float64           // grid resolution multiplier k (cell side k·ε); default 2
+	Policy         agreements.Policy // LPiB (default) or DIFF; UniR/UniS give PBSM-as-agreements
+	SampleFraction float64           // default 0.03 (the paper's 3%)
+	Seed           int64             // sampling seed
+	Workers        int               // simulated nodes; default GOMAXPROCS
+	Partitions     int               // reduce partitions; default 8 × workers
+	UseLPT         bool              // LPT cell placement instead of hash partitioning
+	Order          agreements.Order  // Algorithm 1 edge order; OrderPaper by default
+	Kernel         dpe.Kernel        // local join kernel; plane sweep when nil
+	Simple         bool              // non-duplicate-free assignment + distinct() (Table 6)
+	SelfFilter     bool              // self-join mode: keep only pairs with r.ID < s.ID
+	Collect        bool              // materialise result pairs
+	Bounds         *geom.Rect        // data-space MBR; computed from the inputs when nil
+	NetBandwidth   float64           // simulated bytes/s per worker link (0: off)
+}
+
+// Result is the outcome of an adaptive join.
+type Result struct {
+	dpe.Metrics
+	Pairs []tuple.Pair      // when Config.Collect
+	Grid  *grid.Grid        // the grid used
+	Graph *agreements.Graph // the resolved graph of agreements
+}
+
+// Join executes the ε-distance join R ⋈ε S with adaptive replication.
+func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("core: Eps must be positive, got %v", cfg.Eps)
+	}
+	if cfg.Res == 0 {
+		cfg.Res = 2
+	}
+	if cfg.Res < 2 {
+		return nil, fmt.Errorf("core: grid resolution %v violates the l >= 2ε requirement of agreements", cfg.Res)
+	}
+	if cfg.SampleFraction == 0 {
+		cfg.SampleFraction = sample.DefaultFraction
+	}
+	workers, partitions := Parallelism(cfg.Workers, cfg.Partitions)
+
+	bounds := DataBounds(cfg.Bounds, rs, ss)
+	g := grid.New(bounds, cfg.Eps, cfg.Res)
+
+	// Phase 1: sampling.
+	start := time.Now()
+	st := grid.NewStats(g)
+	st.AddAll(tuple.R, sample.Bernoulli(rs, cfg.SampleFraction, cfg.Seed))
+	st.AddAll(tuple.S, sample.Bernoulli(ss, cfg.SampleFraction, cfg.Seed+1))
+	sampleTime := time.Since(start)
+
+	// Phase 2: graph of agreements + duplicate-free resolution, and the
+	// cell placement.
+	start = time.Now()
+	gr := agreements.BuildOrdered(st, cfg.Policy, cfg.Order)
+	var part dpe.Partitioner = dpe.HashPartitioner{N: partitions}
+	if cfg.UseLPT {
+		costs := gr.EstimatedCosts(st)
+		part = dpe.ExplicitPartitioner{Table: lpt.Assign(costs, partitions), N: partitions}
+	}
+	buildTime := time.Since(start)
+
+	// Phases 3-4: mapping, shuffle, partition joins on the engine.
+	assign := func(p geom.Point, set tuple.Set, dst []int) []int {
+		return replicate.Adaptive(gr, p, set, dst)
+	}
+	if cfg.Simple {
+		assign = func(p geom.Point, set tuple.Set, dst []int) []int {
+			return replicate.AdaptiveSimple(gr, p, set, dst)
+		}
+	}
+	res, err := dpe.Run(dpe.Spec{
+		R: rs, S: ss, Eps: cfg.Eps,
+		AssignR: assign, AssignS: assign,
+		Part:       part,
+		Workers:    workers,
+		Kernel:     cfg.Kernel,
+		Collect:    cfg.Collect,
+		Dedup:      cfg.Simple,
+		SelfFilter: cfg.SelfFilter,
+
+		NetBandwidth: cfg.NetBandwidth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SampleTime = sampleTime
+	res.BuildTime = buildTime
+	// The resolved graph is broadcast to every worker (Algorithm 5,
+	// line 6); account its wire size per receiving node.
+	nodes := workers
+	if nodes <= 0 {
+		nodes = defaultWorkers()
+	}
+	res.BroadcastBytes = int64(gr.EncodedSize()) * int64(nodes)
+	return &Result{Metrics: res.Metrics, Pairs: res.Pairs, Grid: g, Graph: gr}, nil
+}
+
+// Parallelism resolves the worker and partition counts shared by every
+// join orchestrator in the library: workers defaults to 0 (letting the
+// engine pick GOMAXPROCS), partitions to 8 × workers — the paper's ratio
+// of 96 Spark partitions on 12 nodes.
+func Parallelism(workers, partitions int) (int, int) {
+	if partitions <= 0 {
+		w := workers
+		if w <= 0 {
+			w = defaultWorkers()
+		}
+		partitions = 8 * w
+	}
+	return workers, partitions
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// DataBounds returns explicit bounds if given, else the MBR of both
+// inputs, else the unit square so empty joins still build a valid grid.
+func DataBounds(explicit *geom.Rect, rs, ss []tuple.Tuple) geom.Rect {
+	if explicit != nil {
+		return *explicit
+	}
+	b := geom.EmptyRect()
+	for _, t := range rs {
+		b = b.ExtendPoint(t.Pt)
+	}
+	for _, t := range ss {
+		b = b.ExtendPoint(t.Pt)
+	}
+	if b.IsEmpty() {
+		return geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	// A degenerate (zero-extent) axis still needs a positive span for
+	// grid construction.
+	if b.Width() == 0 {
+		b.MaxX++
+	}
+	if b.Height() == 0 {
+		b.MaxY++
+	}
+	return b
+}

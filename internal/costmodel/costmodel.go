@@ -1,0 +1,125 @@
+// Package costmodel implements an analytical cost model for the adaptive
+// and universal replication strategies — the theoretical counterpart the
+// paper lists as future work ("deriving a theoretical cost model for our
+// algorithms is of interest").
+//
+// From the same per-cell sample statistics that drive the graph of
+// agreements, the model predicts, per strategy:
+//
+//   - the number of replicated objects,
+//   - the shuffle volume in bytes (given a tuple wire size), and
+//   - the total number of candidate pairs examined by the partition-level
+//     joins (the Σ|R_c|·|S_c| work metric), whose maximum over cells also
+//     lower-bounds the achievable makespan.
+//
+// Estimates are scaled from the sample by 1/fraction. The model is
+// deliberately marking-agnostic: marked edges redirect points between at
+// most two cells of the same quartet, which leaves the totals unchanged
+// to first order. Tests validate the predictions against measured runs.
+package costmodel
+
+import (
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/sample"
+	"spatialjoin/internal/tuple"
+)
+
+// Prediction is the model's output for one strategy.
+type Prediction struct {
+	// Replicated is the expected number of replicated objects.
+	Replicated float64
+	// ShuffledBytes is the expected shuffle volume: every native and
+	// replicated copy of a tuple crosses the shuffle once.
+	ShuffledBytes float64
+	// CandidatePairs is the expected Σ over cells of |R_c|·|S_c| after
+	// replication — the join work metric.
+	CandidatePairs float64
+	// MaxCellPairs is the largest per-cell |R_c|·|S_c|, a lower bound on
+	// the join-phase makespan in pair-comparisons.
+	MaxCellPairs float64
+}
+
+// Universal predicts the PBSM strategy replicating the given set, from
+// sampled statistics collected at the given fraction.
+func Universal(st *grid.Stats, replicated tuple.Set, fraction float64, tupleBytes int) Prediction {
+	g := st.Grid()
+	scale := sample.ScaleFactor(fraction)
+	var p Prediction
+	inbound := make([]float64, g.NumCells()) // replicated-set copies arriving per cell
+
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			id := g.CellID(cx, cy)
+			cs := st.At(id)
+			for d := grid.Dir(0); d < grid.NumDirs; d++ {
+				nb := g.Neighbor(cx, cy, d)
+				if nb == grid.NoCell {
+					continue
+				}
+				out := float64(cs.Boundary[d][replicated]) * scale
+				p.Replicated += out
+				inbound[nb] += out
+			}
+		}
+	}
+	totalTuples := 0.0
+	for id := 0; id < g.NumCells(); id++ {
+		cs := st.At(id)
+		r := float64(cs.Total[tuple.R]) * scale
+		s := float64(cs.Total[tuple.S]) * scale
+		totalTuples += r + s
+		if replicated == tuple.R {
+			r += inbound[id]
+		} else {
+			s += inbound[id]
+		}
+		pairs := r * s
+		p.CandidatePairs += pairs
+		if pairs > p.MaxCellPairs {
+			p.MaxCellPairs = pairs
+		}
+	}
+	p.ShuffledBytes = (totalTuples + p.Replicated) * float64(tupleBytes+8)
+	return p
+}
+
+// Adaptive predicts the agreement-based strategy from a resolved graph,
+// using the same statistics the graph was built from.
+func Adaptive(gr *agreements.Graph, st *grid.Stats, fraction float64, tupleBytes int) Prediction {
+	g := st.Grid()
+	scale := sample.ScaleFactor(fraction)
+	var p Prediction
+	inbound := make([][2]float64, g.NumCells())
+
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			id := g.CellID(cx, cy)
+			cs := st.At(id)
+			for d := grid.Dir(0); d < grid.NumDirs; d++ {
+				nb := g.Neighbor(cx, cy, d)
+				if nb == grid.NoCell {
+					continue
+				}
+				t := gr.PairType(cx, cy, d)
+				out := float64(cs.Boundary[d][t]) * scale
+				p.Replicated += out
+				inbound[nb][t] += out
+			}
+		}
+	}
+	totalTuples := 0.0
+	for id := 0; id < g.NumCells(); id++ {
+		cs := st.At(id)
+		r := float64(cs.Total[tuple.R])*scale + inbound[id][tuple.R]
+		s := float64(cs.Total[tuple.S])*scale + inbound[id][tuple.S]
+		totalTuples += float64(cs.Total[tuple.R])*scale + float64(cs.Total[tuple.S])*scale
+		pairs := r * s
+		p.CandidatePairs += pairs
+		if pairs > p.MaxCellPairs {
+			p.MaxCellPairs = pairs
+		}
+	}
+	p.ShuffledBytes = (totalTuples + p.Replicated) * float64(tupleBytes+8)
+	return p
+}

@@ -1,0 +1,169 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+func TestUniformBasics(t *testing.T) {
+	b := World()
+	ts := Uniform(b, 10_000, 1, 500)
+	if len(ts) != 10_000 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if ts[0].ID != 500 || ts[9999].ID != 10_499 {
+		t.Fatalf("id range %d..%d", ts[0].ID, ts[9999].ID)
+	}
+	for _, tu := range ts {
+		if !b.Contains(tu.Pt) {
+			t.Fatalf("point %v outside bounds", tu.Pt)
+		}
+	}
+	// Rough uniformity: quadrant counts within 10%.
+	c := b.Center()
+	quads := [4]int{}
+	for _, tu := range ts {
+		i := 0
+		if tu.Pt.X >= c.X {
+			i |= 1
+		}
+		if tu.Pt.Y >= c.Y {
+			i |= 2
+		}
+		quads[i]++
+	}
+	for i, q := range quads {
+		if math.Abs(float64(q)-2500) > 250 {
+			t.Fatalf("quadrant %d holds %d of 10000", i, q)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	kinds := []func() []tuple.Tuple{
+		func() []tuple.Tuple { return Uniform(World(), 1000, 7, 0) },
+		func() []tuple.Tuple { return GaussianClusters(World(), 1000, 30, 0.1, 0.8, 7, 0) },
+		func() []tuple.Tuple { return TigerLike(World(), 1000, 7, 0) },
+		func() []tuple.Tuple { return OSMLike(World(), 1000, 7, 0) },
+	}
+	for k, gen := range kinds {
+		a, b := gen(), gen()
+		if len(a) != len(b) {
+			t.Fatalf("kind %d: lengths differ", k)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Pt != b[i].Pt {
+				t.Fatalf("kind %d: element %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestAllWithinWorld(t *testing.T) {
+	b := World()
+	sets := [][]tuple.Tuple{
+		GaussianClusters(b, 5000, 30, 0.1, 0.8, 3, 0),
+		TigerLike(b, 5000, 4, 0),
+		OSMLike(b, 5000, 5, 0),
+	}
+	for k, ts := range sets {
+		if len(ts) != 5000 {
+			t.Fatalf("set %d: len %d", k, len(ts))
+		}
+		for _, tu := range ts {
+			if !b.Contains(tu.Pt) {
+				t.Fatalf("set %d: point %v outside world", k, tu.Pt)
+			}
+		}
+	}
+}
+
+// skewness: the max/median occupied-cell count must be far higher for the
+// clustered generators than for uniform data.
+func cellSkew(ts []tuple.Tuple) float64 {
+	g := grid.New(World(), 0.5, 2)
+	counts := make([]int, g.NumCells())
+	for _, tu := range ts {
+		cx, cy := g.Locate(tu.Pt)
+		counts[g.CellID(cx, cy)]++
+	}
+	max, occupied, total := 0, 0, 0
+	for _, c := range counts {
+		if c > 0 {
+			occupied++
+			total += c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(total) / float64(occupied)
+	return float64(max) / mean
+}
+
+func TestClusteredGeneratorsAreSkewed(t *testing.T) {
+	n := 50_000
+	uni := cellSkew(Uniform(World(), n, 1, 0))
+	for name, ts := range map[string][]tuple.Tuple{
+		"gaussian": GaussianClusters(World(), n, 30, 0.1, 0.8, 2, 0),
+		"tiger":    TigerLike(World(), n, 3, 0),
+		"osm":      OSMLike(World(), n, 4, 0),
+	} {
+		skew := cellSkew(ts)
+		if skew < uni*3 {
+			t.Errorf("%s: skew %.1f not clearly above uniform %.1f", name, skew, uni)
+		}
+	}
+}
+
+func TestCodenamesDistinctIDRanges(t *testing.T) {
+	sets := map[string][]tuple.Tuple{
+		"R1": R1(100), "R2": R2(100), "S1": S1(100), "S2": S2(100),
+	}
+	seen := map[int64]string{}
+	for name, ts := range sets {
+		if len(ts) != 100 {
+			t.Fatalf("%s: len %d", name, len(ts))
+		}
+		for _, tu := range ts {
+			if other, dup := seen[tu.ID]; dup {
+				t.Fatalf("id %d appears in both %s and %s", tu.ID, other, name)
+			}
+			seen[tu.ID] = name
+		}
+	}
+}
+
+func TestGaussianSigmaScaling(t *testing.T) {
+	// With a single cluster and tiny sigma, points must hug the centre.
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 59, MaxY: 59} // scale factor 1
+	ts := GaussianClusters(b, 2000, 1, 0.1, 0.1, 9, 0)
+	var cx, cy float64
+	for _, tu := range ts {
+		cx += tu.Pt.X
+		cy += tu.Pt.Y
+	}
+	cx /= float64(len(ts))
+	cy /= float64(len(ts))
+	var maxD float64
+	for _, tu := range ts {
+		if d := tu.Pt.Dist(geom.Point{X: cx, Y: cy}); d > maxD {
+			maxD = d
+		}
+	}
+	// 2000 draws from sigma=0.1: max distance around 0.4, certainly < 1.
+	if maxD > 1 {
+		t.Fatalf("sigma=0.1 cluster spread %v, expected tight cluster", maxD)
+	}
+}
+
+func TestGaussianClustersClampsClusterCount(t *testing.T) {
+	ts := GaussianClusters(World(), 100, 0, 0.1, 0.8, 1, 0)
+	if len(ts) != 100 {
+		t.Fatalf("len = %d", len(ts))
+	}
+}

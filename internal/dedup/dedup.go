@@ -1,0 +1,96 @@
+// Package dedup implements the parallel distinct operator used by the
+// non-duplicate-free join variant (Table 6 of the paper): result pairs are
+// hash-partitioned by their identifiers — modelling Spark's distinct(),
+// which shuffles the result set across the cluster — and deduplicated
+// within each partition concurrently.
+package dedup
+
+import (
+	"sync"
+
+	"spatialjoin/internal/tuple"
+)
+
+// Metrics reports the cost of a distinct pass.
+type Metrics struct {
+	Input         int64 // pairs before deduplication
+	Output        int64 // pairs after deduplication
+	ShuffledBytes int64 // bytes re-shuffled to partition the result set
+	RemoteBytes   int64 // bytes crossing simulated worker boundaries
+}
+
+// pairBytes is the wire size of one result pair during the distinct
+// shuffle: two 8-byte identifiers plus an 8-byte partition key.
+const pairBytes = 24
+
+// Distinct removes duplicate pairs in parallel across the given number of
+// workers and partitions, mimicking a cluster-wide distinct() over the
+// join output. The input order is not preserved. Workers and partitions
+// must be positive.
+func Distinct(pairs []tuple.Pair, workers, partitions int) ([]tuple.Pair, Metrics) {
+	if workers < 1 {
+		workers = 1
+	}
+	if partitions < 1 {
+		partitions = 1
+	}
+	m := Metrics{Input: int64(len(pairs))}
+
+	// Shuffle: route each pair to a partition by hash. The producing
+	// worker of a pair is modelled by its index position (the join output
+	// is spread evenly over workers), the consuming worker owns the
+	// partition round-robin.
+	parts := make([][]tuple.Pair, partitions)
+	chunk := (len(pairs) + workers - 1) / workers
+	for i, p := range pairs {
+		dst := int(pairHash(p) % uint64(partitions))
+		parts[dst] = append(parts[dst], p)
+		m.ShuffledBytes += pairBytes
+		producer := 0
+		if chunk > 0 {
+			producer = i / chunk
+		}
+		if producer != dst%workers {
+			m.RemoteBytes += pairBytes
+		}
+	}
+
+	// Deduplicate partitions concurrently.
+	out := make([][]tuple.Pair, partitions)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for pi := range parts {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			seen := make(map[tuple.Pair]struct{}, len(parts[pi]))
+			uniq := parts[pi][:0]
+			for _, p := range parts[pi] {
+				if _, dup := seen[p]; dup {
+					continue
+				}
+				seen[p] = struct{}{}
+				uniq = append(uniq, p)
+			}
+			out[pi] = uniq
+		}(pi)
+	}
+	wg.Wait()
+
+	var result []tuple.Pair
+	for _, part := range out {
+		result = append(result, part...)
+	}
+	m.Output = int64(len(result))
+	return result, m
+}
+
+func pairHash(p tuple.Pair) uint64 {
+	x := uint64(p.RID)*0x9e3779b97f4a7c15 ^ uint64(p.SID)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}

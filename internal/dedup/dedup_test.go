@@ -1,0 +1,94 @@
+package dedup
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/tuple"
+)
+
+func sorted(ps []tuple.Pair) []tuple.Pair {
+	out := append([]tuple.Pair(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RID != out[j].RID {
+			return out[i].RID < out[j].RID
+		}
+		return out[i].SID < out[j].SID
+	})
+	return out
+}
+
+func TestDistinctRemovesDuplicates(t *testing.T) {
+	in := []tuple.Pair{{RID: 1, SID: 2}, {RID: 1, SID: 2}, {RID: 3, SID: 4}, {RID: 1, SID: 2}, {RID: 3, SID: 5}}
+	out, m := Distinct(in, 2, 4)
+	want := []tuple.Pair{{RID: 1, SID: 2}, {RID: 3, SID: 4}, {RID: 3, SID: 5}}
+	got := sorted(out)
+	if len(got) != len(want) {
+		t.Fatalf("distinct = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct = %v, want %v", got, want)
+		}
+	}
+	if m.Input != 5 || m.Output != 3 {
+		t.Fatalf("metrics in/out = %d/%d, want 5/3", m.Input, m.Output)
+	}
+	if m.ShuffledBytes != 5*pairBytes {
+		t.Fatalf("shuffled bytes = %d, want %d", m.ShuffledBytes, 5*pairBytes)
+	}
+	if m.RemoteBytes > m.ShuffledBytes {
+		t.Fatalf("remote bytes %d exceed shuffled bytes %d", m.RemoteBytes, m.ShuffledBytes)
+	}
+}
+
+func TestDistinctRandomAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(5000)
+		in := make([]tuple.Pair, n)
+		for i := range in {
+			in[i] = tuple.Pair{RID: int64(rng.Intn(50)), SID: int64(rng.Intn(50))}
+		}
+		workers := 1 + rng.Intn(8)
+		partitions := 1 + rng.Intn(16)
+		out, m := Distinct(in, workers, partitions)
+
+		want := map[tuple.Pair]struct{}{}
+		for _, p := range in {
+			want[p] = struct{}{}
+		}
+		if len(out) != len(want) {
+			t.Fatalf("trial %d: distinct kept %d pairs, want %d", trial, len(out), len(want))
+		}
+		seen := map[tuple.Pair]struct{}{}
+		for _, p := range out {
+			if _, ok := want[p]; !ok {
+				t.Fatalf("trial %d: unexpected pair %v", trial, p)
+			}
+			if _, dup := seen[p]; dup {
+				t.Fatalf("trial %d: pair %v still duplicated", trial, p)
+			}
+			seen[p] = struct{}{}
+		}
+		if m.Output != int64(len(want)) {
+			t.Fatalf("trial %d: metrics output %d, want %d", trial, m.Output, len(want))
+		}
+	}
+}
+
+func TestDistinctEmpty(t *testing.T) {
+	out, m := Distinct(nil, 4, 8)
+	if len(out) != 0 || m.Input != 0 || m.Output != 0 {
+		t.Fatalf("empty distinct: out=%v metrics=%+v", out, m)
+	}
+}
+
+func TestDistinctClampsBadConfig(t *testing.T) {
+	in := []tuple.Pair{{RID: 1, SID: 1}, {RID: 1, SID: 1}}
+	out, _ := Distinct(in, 0, 0)
+	if len(out) != 1 {
+		t.Fatalf("distinct with clamped config = %v", out)
+	}
+}

@@ -1,0 +1,425 @@
+// Package dpe (data-parallel engine) is the library's Apache Spark
+// substitute: it executes the keyed map → shuffle → partition-join
+// pipeline of the paper's Algorithm 5 on an in-process pool of simulated
+// workers, with the byte-level shuffle accounting the paper's evaluation
+// reports.
+//
+// The correspondence to Spark is deliberate and close:
+//
+//   - an input split per worker plays the role of an HDFS partition,
+//   - Assign is the flatMapToPair that keys each tuple by the 1D cell ids
+//     the replication algorithm chooses,
+//   - a Partitioner routes cell ids to reduce partitions (hash-based, or
+//     an explicit LPT placement), and each reduce partition is owned by a
+//     worker round-robin,
+//   - shuffled bytes are computed from the tuple wire-size model, and the
+//     subset that crosses worker boundaries is reported as "shuffle remote
+//     reads",
+//   - every reduce partition hash-groups its records by cell and joins
+//     each cell with a plane sweep, applying the ε-distance refinement.
+//
+// The engine measures the same three quantities as the paper's cluster
+// runs — replicated objects, shuffle remote reads, execution time — with
+// the same causal structure (replication drives shuffle volume, shuffle
+// volume and per-cell cost drive time).
+package dpe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"spatialjoin/internal/dedup"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+// Assign maps a point of one input set to the cells (partitions keys) it
+// is assigned to; the first id must be the native cell.
+type Assign func(p geom.Point, set tuple.Set, dst []int) []int
+
+// Partitioner routes cell ids to reduce partitions.
+type Partitioner interface {
+	// PartitionOf returns the reduce partition of a cell id.
+	PartitionOf(cell int) int
+	// NumPartitions returns the number of reduce partitions.
+	NumPartitions() int
+}
+
+// HashPartitioner routes cells to partitions by a mixed hash — the
+// engine's default, mirroring Spark's HashPartitioner.
+type HashPartitioner struct{ N int }
+
+// PartitionOf implements Partitioner.
+func (h HashPartitioner) PartitionOf(cell int) int {
+	x := uint64(cell) * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return int(x % uint64(h.N))
+}
+
+// NumPartitions implements Partitioner.
+func (h HashPartitioner) NumPartitions() int { return h.N }
+
+// ExplicitPartitioner routes cells via a precomputed table (the LPT
+// placement). Cells outside the table fall back to hashing.
+type ExplicitPartitioner struct {
+	Table []int
+	N     int
+}
+
+// PartitionOf implements Partitioner.
+func (e ExplicitPartitioner) PartitionOf(cell int) int {
+	if cell >= 0 && cell < len(e.Table) {
+		return e.Table[cell]
+	}
+	return HashPartitioner{N: e.N}.PartitionOf(cell)
+}
+
+// NumPartitions implements Partitioner.
+func (e ExplicitPartitioner) NumPartitions() int { return e.N }
+
+// Kernel joins the R and S tuples of one cell, emitting every pair within
+// eps exactly once. The default is the plane sweep; the Sedona-style
+// baseline substitutes an R-tree build-and-probe kernel, and the
+// clone-join baseline a reference-point filter (which is why the kernel
+// receives the cell id it is joining).
+type Kernel func(cell int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit)
+
+// Spec describes one join execution.
+type Spec struct {
+	R, S    []tuple.Tuple
+	Eps     float64
+	AssignR Assign // assignment rule for R tuples
+	AssignS Assign // assignment rule for S tuples (may differ, e.g. PBSM)
+	Part    Partitioner
+	Workers int    // simulated cluster nodes; defaults to GOMAXPROCS
+	Kernel  Kernel // local join kernel; plane sweep when nil
+	Collect bool   // materialise result pairs (else count + checksum only)
+	Dedup   bool   // run a distinct() pass after the join (Table 6 variant)
+	// SelfFilter keeps only pairs with r.ID < s.ID — the self-join mode,
+	// where both inputs are the same set: it drops identity pairs and
+	// one of the two orientations of every match.
+	SelfFilter bool
+	// NetBandwidth, in bytes per second per worker link, charges the
+	// simulated cluster for its shuffle remote reads: SimulatedTime gains
+	// RemoteBytes / workers / NetBandwidth. Zero disables network
+	// simulation (in-process shuffles move no real bytes).
+	NetBandwidth float64
+}
+
+// Metrics reports everything the paper's evaluation charts need.
+type Metrics struct {
+	SampleTime  time.Duration // orchestrator-filled: input sampling
+	BuildTime   time.Duration // orchestrator-filled: grid / agreements / index build
+	MapTime     time.Duration // flatMapToPair: assignment of both inputs
+	ShuffleTime time.Duration // grouping keyed records into partitions
+	NetTime     time.Duration // simulated network cost of remote reads
+	JoinTime    time.Duration // per-partition grouping + plane sweeps
+	DedupTime   time.Duration // distinct() pass, when enabled
+
+	BroadcastBytes int64 // orchestrator-filled: structures shipped to every worker
+
+	ReplicatedR   int64 // extra copies of R tuples beyond the native cell
+	ReplicatedS   int64
+	ShuffledBytes int64 // total keyed bytes moved into reduce partitions
+	RemoteBytes   int64 // subset crossing worker boundaries ("remote reads")
+
+	Results    int64  // result pairs after refinement (and dedup, if enabled)
+	DedupInput int64  // pairs entering the distinct() pass (0 unless Dedup)
+	Checksum   uint64 // order-independent hash of result pair ids
+
+	MaxPartitionCost   int64           // largest per-partition Σ|R_c|·|S_c| (load balance)
+	TotalPartitionCost int64           // Σ over all cells of |R_c|·|S_c| (join work metric)
+	MapBusy            []time.Duration // map-phase busy time per worker
+	WorkerBusy         []time.Duration // reduce-phase busy time per worker
+}
+
+// Replicated returns the total number of replicated objects.
+func (m *Metrics) Replicated() int64 { return m.ReplicatedR + m.ReplicatedS }
+
+// ConstructionTime returns the time spent before partitions are joined:
+// sampling, structure building, mapping and shuffling (the lower part of
+// the paper's Figure 13c stacked bars).
+func (m *Metrics) ConstructionTime() time.Duration {
+	return m.SampleTime + m.BuildTime + m.MapTime + m.ShuffleTime
+}
+
+// TotalTime returns the summed pipeline phase times.
+func (m *Metrics) TotalTime() time.Duration {
+	return m.ConstructionTime() + m.JoinTime + m.DedupTime
+}
+
+// SimulatedTime returns the critical-path execution time of the simulated
+// cluster: sequential driver phases plus the busiest worker of each
+// parallel phase. On a host with fewer cores than simulated workers,
+// wall-clock times serialise the workers' CPU work and hide scaling;
+// SimulatedTime restores the cluster's makespan, which is what the
+// paper's charts plot.
+func (m *Metrics) SimulatedTime() time.Duration {
+	return m.SampleTime + m.BuildTime + maxDur(m.MapBusy) + m.ShuffleTime +
+		m.NetTime + maxDur(m.WorkerBusy) + m.DedupTime
+}
+
+// maxParallel caps in-flight simulated workers at the host's cores.
+func maxParallel(workers int) int {
+	if cores := runtime.GOMAXPROCS(0); workers > cores {
+		return cores
+	}
+	return workers
+}
+
+func maxDur(ds []time.Duration) time.Duration {
+	var max time.Duration
+	for _, d := range ds {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Result is the outcome of one engine run.
+type Result struct {
+	Metrics
+	Pairs []tuple.Pair // populated when Spec.Collect (or Spec.Dedup) is set
+}
+
+// keyed is one record of the shuffle: a tuple keyed by destination cell.
+type keyed struct {
+	cell int
+	t    tuple.Tuple
+}
+
+// Run executes the pipeline. It returns an error on invalid
+// configuration; the join itself cannot fail.
+func Run(spec Spec) (*Result, error) {
+	if spec.Eps <= 0 {
+		return nil, fmt.Errorf("dpe: eps must be positive, got %v", spec.Eps)
+	}
+	if spec.AssignR == nil || spec.AssignS == nil {
+		return nil, fmt.Errorf("dpe: both assignment functions are required")
+	}
+	if spec.Part == nil || spec.Part.NumPartitions() <= 0 {
+		return nil, fmt.Errorf("dpe: a partitioner with positive partition count is required")
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{}
+	nparts := spec.Part.NumPartitions()
+
+	// ---- Map phase: flatMapToPair on both inputs, one split per worker.
+	start := time.Now()
+	outR, replR, busyR := mapPhase(spec.R, tuple.R, spec.AssignR, spec.Part, workers)
+	outS, replS, busyS := mapPhase(spec.S, tuple.S, spec.AssignS, spec.Part, workers)
+	res.ReplicatedR, res.ReplicatedS = replR, replS
+	res.MapTime = time.Since(start)
+	res.MapBusy = make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		res.MapBusy[w] = busyR[w] + busyS[w]
+	}
+
+	// ---- Shuffle: merge per-worker map outputs into reduce partitions,
+	// accounting bytes; a record is a remote read when the partition's
+	// owner differs from the worker that produced it.
+	start = time.Now()
+	partR := make([][]keyed, nparts)
+	partS := make([][]keyed, nparts)
+	for w := 0; w < workers; w++ {
+		for p := 0; p < nparts; p++ {
+			owner := p % workers
+			for _, rec := range outR[w][p] {
+				sz := int64(rec.t.KeyedSize())
+				res.ShuffledBytes += sz
+				if owner != w {
+					res.RemoteBytes += sz
+				}
+			}
+			for _, rec := range outS[w][p] {
+				sz := int64(rec.t.KeyedSize())
+				res.ShuffledBytes += sz
+				if owner != w {
+					res.RemoteBytes += sz
+				}
+			}
+			partR[p] = append(partR[p], outR[w][p]...)
+			partS[p] = append(partS[p], outS[w][p]...)
+		}
+	}
+	res.ShuffleTime = time.Since(start)
+	if spec.NetBandwidth > 0 {
+		res.NetTime = time.Duration(float64(res.RemoteBytes) / float64(workers) / spec.NetBandwidth * float64(time.Second))
+	}
+
+	// ---- Reduce phase: per-partition hash grouping by cell + plane
+	// sweep join with refinement. Partitions are owned by workers
+	// round-robin; workers run concurrently, their partitions serially.
+	start = time.Now()
+	type partOut struct {
+		counter sweep.Counter
+		pairs   []tuple.Pair
+		cost    int64
+	}
+	outs := make([]partOut, nparts)
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	collect := spec.Collect || spec.Dedup
+	kernel := spec.Kernel
+	if kernel == nil {
+		kernel = func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+			sweep.PlaneSweep(rs, ss, eps, emit)
+		}
+	}
+	// In-flight workers are capped at GOMAXPROCS: running more simulated
+	// workers than cores would only time-slice them against each other,
+	// polluting the per-worker busy clocks the makespan model relies on.
+	sem := make(chan struct{}, maxParallel(workers))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			for p := w; p < nparts; p += workers {
+				outs[p] = joinPartition(partR[p], partS[p], spec.Eps, kernel, collect, spec.SelfFilter)
+			}
+			busy[w] = time.Since(t0)
+		}(w)
+	}
+	wg.Wait()
+	res.JoinTime = time.Since(start)
+	res.WorkerBusy = busy
+
+	for p := range outs {
+		res.Results += outs[p].counter.N
+		res.Checksum += outs[p].counter.Checksum
+		res.TotalPartitionCost += outs[p].cost
+		if outs[p].cost > res.MaxPartitionCost {
+			res.MaxPartitionCost = outs[p].cost
+		}
+		if collect {
+			res.Pairs = append(res.Pairs, outs[p].pairs...)
+		}
+	}
+
+	// ---- Optional distinct() pass (the Table 6 non-duplicate-free
+	// variant pays this extra shuffle + dedup).
+	if spec.Dedup {
+		start = time.Now()
+		uniq, dm := dedup.Distinct(res.Pairs, workers, nparts)
+		res.DedupTime = time.Since(start)
+		res.Pairs = uniq
+		res.Results = dm.Output
+		res.DedupInput = dm.Input
+		res.ShuffledBytes += dm.ShuffledBytes
+		res.RemoteBytes += dm.RemoteBytes
+		if spec.NetBandwidth > 0 {
+			res.NetTime += time.Duration(float64(dm.RemoteBytes) / float64(workers) / spec.NetBandwidth * float64(time.Second))
+		}
+		// Recompute the checksum over the deduplicated set.
+		var c sweep.Counter
+		for _, p := range uniq {
+			c.Emit(tuple.Tuple{ID: p.RID}, tuple.Tuple{ID: p.SID})
+		}
+		res.Checksum = c.Checksum
+		if !spec.Collect {
+			res.Pairs = nil
+		}
+	}
+	return res, nil
+}
+
+// mapPhase runs the keyed assignment of one input over the worker pool.
+// It returns per-worker, per-partition record buffers and the replication
+// count (assignments beyond the native cell).
+func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, workers int) ([][][]keyed, int64, []time.Duration) {
+	nparts := part.NumPartitions()
+	out := make([][][]keyed, workers)
+	repl := make([]int64, workers)
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel(workers))
+	chunk := (len(in) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo > len(in) {
+			lo = len(in)
+		}
+		if hi > len(in) {
+			hi = len(in)
+		}
+		out[w] = make([][]keyed, nparts)
+		wg.Add(1)
+		go func(w int, split []tuple.Tuple) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			var cells []int
+			for _, t := range split {
+				cells = assign(t.Pt, set, cells[:0])
+				repl[w] += int64(len(cells) - 1)
+				for _, c := range cells {
+					p := part.PartitionOf(c)
+					out[w][p] = append(out[w][p], keyed{cell: c, t: t})
+				}
+			}
+			busy[w] = time.Since(t0)
+		}(w, in[lo:hi])
+	}
+	wg.Wait()
+	var total int64
+	for _, r := range repl {
+		total += r
+	}
+	return out, total, busy
+}
+
+// joinPartition groups a reduce partition's records by cell and joins each
+// cell independently with the given kernel.
+func joinPartition(rs, ss []keyed, eps float64, kernel Kernel, collect, selfFilter bool) (out struct {
+	counter sweep.Counter
+	pairs   []tuple.Pair
+	cost    int64
+}) {
+	groupR := make(map[int][]tuple.Tuple)
+	for _, rec := range rs {
+		groupR[rec.cell] = append(groupR[rec.cell], rec.t)
+	}
+	groupS := make(map[int][]tuple.Tuple)
+	for _, rec := range ss {
+		groupS[rec.cell] = append(groupS[rec.cell], rec.t)
+	}
+	var coll sweep.Collector
+	emit := out.counter.Emit
+	if collect {
+		emit = func(r, s tuple.Tuple) {
+			out.counter.Emit(r, s)
+			coll.Emit(r, s)
+		}
+	}
+	if selfFilter {
+		inner := emit
+		emit = func(r, s tuple.Tuple) {
+			if r.ID < s.ID {
+				inner(r, s)
+			}
+		}
+	}
+	for cell, r := range groupR {
+		s := groupS[cell]
+		if len(s) == 0 {
+			continue
+		}
+		out.cost += int64(len(r)) * int64(len(s))
+		kernel(cell, r, s, eps, emit)
+	}
+	out.pairs = coll.Pairs
+	return out
+}

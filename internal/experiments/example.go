@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/replicate"
+	"spatialjoin/internal/tuple"
+)
+
+// RunningExamplePoints reconstructs the paper's Figure 2 running example:
+// a 2×2 grid of cells {A, B, C, D} with 8 R points and 8 S points whose
+// replication pattern under universal replication reproduces Table 1 of
+// the paper exactly (12 replicated R objects with per-cell costs
+// 15/4/10/12, versus 13 replicated S objects with costs 6/18/10/8).
+//
+// Cell layout (tile 4, ε 1): A = [0,4]×[4,8], B = [4,8]×[4,8],
+// C = [4,8]×[0,4], D = [0,4]×[0,4]; the common corner is (4,4).
+func RunningExamplePoints() (rs, ss []tuple.Tuple, g *grid.Grid) {
+	g = grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8}, 1, 4)
+	pts := func(base int64, ps ...geom.Point) []tuple.Tuple {
+		out := make([]tuple.Tuple, len(ps))
+		for i, p := range ps {
+			out[i] = tuple.Tuple{ID: base + int64(i) + 1, Pt: p}
+		}
+		return out
+	}
+	rs = pts(0,
+		geom.Point{X: 2, Y: 4.5},   // r1 ∈ A → D
+		geom.Point{X: 4.5, Y: 4.5}, // r2 ∈ B → A, C, D
+		geom.Point{X: 6, Y: 6},     // r3 ∈ B (not replicated)
+		geom.Point{X: 6, Y: 4.5},   // r4 ∈ B → C
+		geom.Point{X: 4.5, Y: 3.5}, // r5 ∈ C → A, B, D
+		geom.Point{X: 4.5, Y: 2},   // r6 ∈ C → D
+		geom.Point{X: 3.2, Y: 3.2}, // r7 ∈ D → A, C
+		geom.Point{X: 2, Y: 3.5},   // r8 ∈ D → A
+	)
+	ss = pts(100,
+		geom.Point{X: 3.5, Y: 6},   // s1 ∈ A → B
+		geom.Point{X: 3.5, Y: 7},   // s2 ∈ A → B
+		geom.Point{X: 3.5, Y: 4.5}, // s3 ∈ A → B, C, D
+		geom.Point{X: 4.5, Y: 6},   // s4 ∈ B → A
+		geom.Point{X: 4.3, Y: 3.7}, // s5 ∈ C → A, B, D
+		geom.Point{X: 6, Y: 2},     // s6 ∈ C (not replicated)
+		geom.Point{X: 3.6, Y: 3.6}, // s7 ∈ D → A, B, C
+		geom.Point{X: 3.5, Y: 2},   // s8 ∈ D → C
+	)
+	return rs, ss, g
+}
+
+// cellName maps the running example's cell ids to the paper's letters.
+// With the grid above: id 0 = D (0,0), id 1 = C (1,0), id 2 = A (0,1),
+// id 3 = B (1,1).
+func cellName(id int) string {
+	return map[int]string{0: "D", 1: "C", 2: "A", 3: "B"}[id]
+}
+
+// Table1 reproduces the paper's Table 1: per-cell replication counts and
+// worst-case join cost when replicating the R set universally versus the
+// S set universally, on the Figure 2 running example.
+func Table1(Scale) []*Table {
+	rs, ss, g := RunningExamplePoints()
+	var tables []*Table
+	for _, variant := range []struct {
+		name       string
+		replicateR bool
+	}{
+		{"Universal replication of R set", true},
+		{"Universal replication of S set", false},
+	} {
+		// native and replicated counts per cell and set.
+		native := make([][2]int, g.NumCells())
+		replIn := make([][2]int, g.NumCells())
+		replicated := 0
+		assign := func(ts []tuple.Tuple, set tuple.Set, repl bool) {
+			var buf []int
+			for _, t := range ts {
+				buf = replicate.Universal(g, t.Pt, repl, buf[:0])
+				native[buf[0]][set]++
+				for _, id := range buf[1:] {
+					replIn[id][set]++
+					replicated++
+				}
+			}
+		}
+		assign(rs, tuple.R, variant.replicateR)
+		assign(ss, tuple.S, !variant.replicateR)
+
+		t := &Table{
+			ID:    "table1",
+			Title: variant.name,
+			Columns: []string{
+				"cell", "native R", "native S", "replicated in", "cost (r*s)",
+			},
+		}
+		total := 0
+		// Paper order: A, B, C, D.
+		for _, id := range []int{2, 3, 1, 0} {
+			r := native[id][tuple.R] + replIn[id][tuple.R]
+			s := native[id][tuple.S] + replIn[id][tuple.S]
+			cost := r * s
+			total += cost
+			t.Rows = append(t.Rows, []string{
+				cellName(id),
+				fmt.Sprintf("%d", native[id][tuple.R]),
+				fmt.Sprintf("%d", native[id][tuple.S]),
+				fmt.Sprintf("%d", replIn[id][tuple.R]+replIn[id][tuple.S]),
+				fmt.Sprintf("%d", cost),
+			})
+		}
+		t.Rows = append(t.Rows, []string{
+			"total", "", "",
+			fmt.Sprintf("%d", replicated),
+			fmt.Sprintf("%d", total),
+		})
+		tables = append(tables, t)
+	}
+	return tables
+}

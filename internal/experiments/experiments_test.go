@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the full-suite test fast.
+func tinyScale() Scale { return Scale{N: 4000, Workers: 4} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1b", "table1", "fig10", "fig11", "fig12", "table4", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "table5", "table6", "table7",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry holds %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil || reg[i].Description == "" {
+			t.Errorf("registry[%d] incomplete", i)
+		}
+	}
+	if _, ok := Find("fig13"); !ok {
+		t.Error("Find(fig13) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+// Table 1 must reproduce the paper's numbers exactly: replicating R costs
+// 15/4/10/12 per cell (12 replicated objects, total cost 41); replicating
+// S costs 6/18/10/8 (13 replicated, total 42).
+func TestTable1MatchesPaper(t *testing.T) {
+	tables := Table1(Scale{})
+	if len(tables) != 2 {
+		t.Fatalf("Table1 produced %d tables", len(tables))
+	}
+	type expect struct {
+		costs      map[string]string
+		replicated string
+		total      string
+	}
+	wants := []expect{
+		{map[string]string{"A": "15", "B": "4", "C": "10", "D": "12"}, "12", "41"},
+		{map[string]string{"A": "6", "B": "18", "C": "10", "D": "8"}, "13", "42"},
+	}
+	for i, tb := range tables {
+		want := wants[i]
+		for _, row := range tb.Rows {
+			cell := row[0]
+			if cell == "total" {
+				if row[3] != want.replicated {
+					t.Errorf("table %d: total replicated = %s, want %s", i, row[3], want.replicated)
+				}
+				if row[4] != want.total {
+					t.Errorf("table %d: total cost = %s, want %s", i, row[4], want.total)
+				}
+				continue
+			}
+			if got := row[4]; got != want.costs[cell] {
+				t.Errorf("table %d cell %s: cost = %s, want %s", i, cell, got, want.costs[cell])
+			}
+		}
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep is slow")
+	}
+	sc := tinyScale()
+	for _, e := range FullRegistry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(sc)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.ID == "" || tb.Title == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("table %q incomplete: %+v", tb.ID, tb)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("table %q: row width %d != %d columns", tb.ID, len(row), len(tb.Columns))
+					}
+				}
+				out := tb.String()
+				if !strings.Contains(out, tb.ID) {
+					t.Fatalf("rendered table missing id: %s", out)
+				}
+			}
+		})
+	}
+}
+
+// The central claim at experiment scale: Fig 1b's best-UNI/LPiB ratio must
+// exceed 1 for every combination (adaptive replicates less).
+func TestFig1bAdaptiveWins(t *testing.T) {
+	tables := Fig1b(tinyScale())
+	for _, row := range tables[0].Rows {
+		ratio := row[len(row)-1]
+		v, err := strconv.ParseFloat(strings.TrimSuffix(ratio, "x"), 64)
+		if err != nil {
+			t.Fatalf("bad ratio %q", ratio)
+		}
+		if v <= 1 {
+			t.Errorf("combo %s: best-UNI/LPiB = %v, expected > 1", row[0], v)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "long-header"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tb.String()
+	for _, want := range []string{"demo", "long-header", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalesAreSane(t *testing.T) {
+	d, q := DefaultScale(), QuickScale()
+	if d.N <= q.N {
+		t.Fatal("default scale should exceed quick scale")
+	}
+	if len(EpsSweep) != 4 || len(SizeSweep) != 5 || len(NodeSweep) != 5 || len(ResSweep) != 4 {
+		t.Fatal("sweep lengths diverge from the paper")
+	}
+}

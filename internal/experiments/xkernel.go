@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/rtree"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+// XKernel is the local-join kernel ablation, following the in-memory
+// spatial join literature the paper builds on (Nobari et al. EDBT '17,
+// Tsitsigkos et al. SIGSPATIAL '19): with partitioning and replication
+// fixed (LPiB), only the per-cell join algorithm varies — plane sweep
+// along x, per-cell best-axis sweep, an STR R-tree build-and-probe, and
+// the quadratic nested loop as the floor.
+func XKernel(sc Scale) []*Table {
+	t := &Table{
+		ID:    "xkernel",
+		Title: "local join kernel ablation (LPiB partitioning fixed)",
+		Columns: []string{
+			"combination", "sweep-x", "best-axis", "rtree-probe", "nested-loop",
+		},
+	}
+	kernels := []struct {
+		name string
+		k    dpe.Kernel
+	}{
+		{"sweep-x", nil}, // engine default
+		{"best-axis", func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+			sweep.PlaneSweepBestAxis(rs, ss, eps, emit)
+		}},
+		{"rtree-probe", func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+			tree := rtree.Build(rs, 0)
+			for _, s := range ss {
+				tree.Within(s.Pt, eps, func(r tuple.Tuple) { emit(r, s) })
+			}
+		}},
+		{"nested-loop", func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+			sweep.NestedLoop(rs, ss, eps, emit)
+		}},
+	}
+	for _, combo := range Combos() {
+		rs := combo.R(sc.N)
+		ss := combo.S(sc.N)
+		row := []string{combo.Name}
+		var baseline *core.Result
+		for _, k := range kernels {
+			res := mustCoreRepeated(sc, rs, ss, core.Config{
+				Eps: DefaultEps, Kernel: k.k,
+				Workers: sc.Workers, Partitions: sc.Partitions, Seed: sc.Seed,
+				NetBandwidth: sc.netBandwidth(),
+			})
+			if baseline == nil {
+				baseline = res
+			} else if res.Results != baseline.Results || res.Checksum != baseline.Checksum {
+				panic("xkernel: kernels disagree on " + combo.Name)
+			}
+			row = append(row, fmtDur(res.SimulatedTime()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}
+
+// mustCoreRepeated runs core.Join sc.reps() times, returning the run with
+// the median simulated time.
+func mustCoreRepeated(sc Scale, rs, ss []tuple.Tuple, cfg core.Config) *core.Result {
+	best := make([]*core.Result, 0, sc.reps())
+	for i := 0; i < sc.reps(); i++ {
+		best = append(best, mustCore(rs, ss, cfg))
+	}
+	med := best[0]
+	for _, r := range best {
+		if r.SimulatedTime() < med.SimulatedTime() {
+			med = r
+		}
+	}
+	return med
+}

@@ -1,0 +1,263 @@
+// Package extgeom provides the geometry of spatial objects with extent —
+// line segments, polylines and simple polygons — and the exact distance
+// computations the extended ε-distance join refines candidates with.
+// It implements the paper's first future-work item ("extend the
+// abstraction of the graph of agreements for other spatial objects, such
+// as polygons and polylines"); the join-side construction lives in
+// internal/extjoin.
+package extgeom
+
+import (
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// Segment is a line segment between two endpoints.
+type Segment struct {
+	A, B geom.Point
+}
+
+// SqDistPointSegment returns the squared distance from p to the segment.
+func SqDistPointSegment(p geom.Point, s Segment) float64 {
+	dx := s.B.X - s.A.X
+	dy := s.B.Y - s.A.Y
+	len2 := dx*dx + dy*dy
+	if len2 == 0 {
+		return p.SqDist(s.A)
+	}
+	t := ((p.X-s.A.X)*dx + (p.Y-s.A.Y)*dy) / len2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.SqDist(geom.Point{X: s.A.X + t*dx, Y: s.A.Y + t*dy})
+}
+
+// SegmentsIntersect reports whether two segments share at least one point.
+func SegmentsIntersect(a, b Segment) bool {
+	d1 := orient(b.A, b.B, a.A)
+	d2 := orient(b.A, b.B, a.B)
+	d3 := orient(a.A, a.B, b.A)
+	d4 := orient(a.A, a.B, b.B)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return (d1 == 0 && onSegment(b, a.A)) ||
+		(d2 == 0 && onSegment(b, a.B)) ||
+		(d3 == 0 && onSegment(a, b.A)) ||
+		(d4 == 0 && onSegment(a, b.B))
+}
+
+// orient returns the signed area orientation of the triangle (a, b, c).
+func orient(a, b, c geom.Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether p (already known collinear with s) lies on s.
+func onSegment(s Segment, p geom.Point) bool {
+	return math.Min(s.A.X, s.B.X) <= p.X && p.X <= math.Max(s.A.X, s.B.X) &&
+		math.Min(s.A.Y, s.B.Y) <= p.Y && p.Y <= math.Max(s.A.Y, s.B.Y)
+}
+
+// SqDistSegments returns the squared distance between two segments
+// (zero when they intersect).
+func SqDistSegments(a, b Segment) float64 {
+	if SegmentsIntersect(a, b) {
+		return 0
+	}
+	d := SqDistPointSegment(a.A, b)
+	if v := SqDistPointSegment(a.B, b); v < d {
+		d = v
+	}
+	if v := SqDistPointSegment(b.A, a); v < d {
+		d = v
+	}
+	if v := SqDistPointSegment(b.B, a); v < d {
+		d = v
+	}
+	return d
+}
+
+// Kind discriminates object geometries.
+type Kind uint8
+
+const (
+	// KindPoint is a degenerate single-vertex object.
+	KindPoint Kind = iota
+	// KindPolyline is an open chain of segments.
+	KindPolyline
+	// KindPolygon is a closed simple ring (first vertex implicitly
+	// connects to the last); its interior counts as part of the object.
+	KindPolygon
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	return [...]string{"point", "polyline", "polygon"}[k]
+}
+
+// Object is a spatial object with extent: an identified point, polyline
+// or simple polygon.
+type Object struct {
+	ID    int64
+	Kind  Kind
+	Verts []geom.Point
+}
+
+// Validate reports whether the object is structurally sound.
+func (o *Object) Validate() error {
+	switch o.Kind {
+	case KindPoint:
+		if len(o.Verts) != 1 {
+			return fmt.Errorf("extgeom: point object needs exactly 1 vertex, has %d", len(o.Verts))
+		}
+	case KindPolyline:
+		if len(o.Verts) < 2 {
+			return fmt.Errorf("extgeom: polyline needs at least 2 vertices, has %d", len(o.Verts))
+		}
+	case KindPolygon:
+		if len(o.Verts) < 3 {
+			return fmt.Errorf("extgeom: polygon needs at least 3 vertices, has %d", len(o.Verts))
+		}
+	default:
+		return fmt.Errorf("extgeom: unknown kind %d", o.Kind)
+	}
+	return nil
+}
+
+// Bounds returns the object's minimum bounding rectangle.
+func (o *Object) Bounds() geom.Rect {
+	return geom.BoundingRect(o.Verts)
+}
+
+// Center returns the MBR centre, the object's grid reference point.
+func (o *Object) Center() geom.Point {
+	return o.Bounds().Center()
+}
+
+// HalfDiag returns half the MBR diagonal: the maximum distance from the
+// centre to any point of the object.
+func (o *Object) HalfDiag() float64 {
+	b := o.Bounds()
+	return math.Sqrt(b.Width()*b.Width()+b.Height()*b.Height()) / 2
+}
+
+// segments visits the object's segments. A point yields none; a polygon
+// includes the closing edge.
+func (o *Object) segments(visit func(Segment)) {
+	n := len(o.Verts)
+	for i := 0; i+1 < n; i++ {
+		visit(Segment{A: o.Verts[i], B: o.Verts[i+1]})
+	}
+	if o.Kind == KindPolygon && n >= 3 {
+		visit(Segment{A: o.Verts[n-1], B: o.Verts[0]})
+	}
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of a
+// polygon object (ray casting with boundary inclusion). Non-polygons
+// never contain points.
+func (o *Object) ContainsPoint(p geom.Point) bool {
+	if o.Kind != KindPolygon {
+		return false
+	}
+	onBoundary := false
+	o.segments(func(s Segment) {
+		if SqDistPointSegment(p, s) == 0 {
+			onBoundary = true
+		}
+	})
+	if onBoundary {
+		return true
+	}
+	inside := false
+	n := len(o.Verts)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := o.Verts[i], o.Verts[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) &&
+			p.X < (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y)+vi.X {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// SqDist returns the squared distance between two objects: zero when they
+// intersect or one contains the other, otherwise the squared minimum
+// boundary distance.
+func SqDist(a, b *Object) float64 {
+	// Point-point fast path.
+	if a.Kind == KindPoint && b.Kind == KindPoint {
+		return a.Verts[0].SqDist(b.Verts[0])
+	}
+	// Containment: a polygon swallows any vertex inside it.
+	if a.Kind == KindPolygon && a.ContainsPoint(b.Verts[0]) {
+		return 0
+	}
+	if b.Kind == KindPolygon && b.ContainsPoint(a.Verts[0]) {
+		return 0
+	}
+	best := math.Inf(1)
+	aSegs := collectSegments(a)
+	bSegs := collectSegments(b)
+	switch {
+	case len(aSegs) == 0 && len(bSegs) == 0:
+		return a.Verts[0].SqDist(b.Verts[0])
+	case len(aSegs) == 0:
+		for _, s := range bSegs {
+			if d := SqDistPointSegment(a.Verts[0], s); d < best {
+				best = d
+			}
+		}
+	case len(bSegs) == 0:
+		for _, s := range aSegs {
+			if d := SqDistPointSegment(b.Verts[0], s); d < best {
+				best = d
+			}
+		}
+	default:
+		for _, sa := range aSegs {
+			for _, sb := range bSegs {
+				if d := SqDistSegments(sa, sb); d < best {
+					best = d
+					if best == 0 {
+						return 0
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Dist returns the distance between two objects.
+func Dist(a, b *Object) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// WithinDist reports whether the two objects are within eps of each other.
+func WithinDist(a, b *Object, eps float64) bool { return SqDist(a, b) <= eps*eps }
+
+func collectSegments(o *Object) []Segment {
+	var out []Segment
+	o.segments(func(s Segment) { out = append(out, s) })
+	return out
+}
+
+// NewPoint builds a point object.
+func NewPoint(id int64, p geom.Point) Object {
+	return Object{ID: id, Kind: KindPoint, Verts: []geom.Point{p}}
+}
+
+// NewPolyline builds a polyline object from its vertex chain.
+func NewPolyline(id int64, verts []geom.Point) Object {
+	return Object{ID: id, Kind: KindPolyline, Verts: verts}
+}
+
+// NewPolygon builds a polygon object from its ring (unclosed form: the
+// last vertex connects back to the first implicitly).
+func NewPolygon(id int64, ring []geom.Point) Object {
+	return Object{ID: id, Kind: KindPolygon, Verts: ring}
+}

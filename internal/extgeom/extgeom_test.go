@@ -1,0 +1,249 @@
+package extgeom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSqDistPointSegment(t *testing.T) {
+	s := Segment{A: geom.Point{X: 0, Y: 0}, B: geom.Point{X: 10, Y: 0}}
+	tests := []struct {
+		p    geom.Point
+		want float64 // distance, not squared
+	}{
+		{geom.Point{X: 5, Y: 0}, 0},   // on the segment
+		{geom.Point{X: 5, Y: 3}, 3},   // above the middle
+		{geom.Point{X: -4, Y: 3}, 5},  // beyond A
+		{geom.Point{X: 13, Y: 4}, 5},  // beyond B
+		{geom.Point{X: 0, Y: 0}, 0},   // endpoint
+		{geom.Point{X: 10, Y: -2}, 2}, // below B
+	}
+	for _, tc := range tests {
+		if got := math.Sqrt(SqDistPointSegment(tc.p, s)); !almost(got, tc.want) {
+			t.Errorf("dist(%v, seg) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestDegenerateSegment(t *testing.T) {
+	s := Segment{A: geom.Point{X: 3, Y: 4}, B: geom.Point{X: 3, Y: 4}}
+	if got := math.Sqrt(SqDistPointSegment(geom.Point{X: 0, Y: 0}, s)); !almost(got, 5) {
+		t.Errorf("degenerate segment distance = %v, want 5", got)
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Segment
+		want bool
+	}{
+		{"crossing", Segment{geom.Point{X: 0, Y: 0}, geom.Point{X: 10, Y: 10}},
+			Segment{geom.Point{X: 0, Y: 10}, geom.Point{X: 10, Y: 0}}, true},
+		{"parallel apart", Segment{geom.Point{X: 0, Y: 0}, geom.Point{X: 10, Y: 0}},
+			Segment{geom.Point{X: 0, Y: 1}, geom.Point{X: 10, Y: 1}}, false},
+		{"touching endpoint", Segment{geom.Point{X: 0, Y: 0}, geom.Point{X: 5, Y: 5}},
+			Segment{geom.Point{X: 5, Y: 5}, geom.Point{X: 9, Y: 0}}, true},
+		{"collinear overlapping", Segment{geom.Point{X: 0, Y: 0}, geom.Point{X: 5, Y: 0}},
+			Segment{geom.Point{X: 3, Y: 0}, geom.Point{X: 8, Y: 0}}, true},
+		{"collinear disjoint", Segment{geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 0}},
+			Segment{geom.Point{X: 3, Y: 0}, geom.Point{X: 8, Y: 0}}, false},
+		{"T touch", Segment{geom.Point{X: 0, Y: 0}, geom.Point{X: 10, Y: 0}},
+			Segment{geom.Point{X: 5, Y: 0}, geom.Point{X: 5, Y: 7}}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SegmentsIntersect(tc.a, tc.b); got != tc.want {
+				t.Errorf("intersect = %v, want %v", got, tc.want)
+			}
+			if got := SegmentsIntersect(tc.b, tc.a); got != tc.want {
+				t.Errorf("intersect not symmetric")
+			}
+		})
+	}
+}
+
+func TestSqDistSegments(t *testing.T) {
+	a := Segment{geom.Point{X: 0, Y: 0}, geom.Point{X: 10, Y: 0}}
+	b := Segment{geom.Point{X: 0, Y: 3}, geom.Point{X: 10, Y: 3}}
+	if got := math.Sqrt(SqDistSegments(a, b)); !almost(got, 3) {
+		t.Errorf("parallel distance = %v, want 3", got)
+	}
+	c := Segment{geom.Point{X: 5, Y: -1}, geom.Point{X: 5, Y: 1}}
+	if got := SqDistSegments(a, c); got != 0 {
+		t.Errorf("crossing distance = %v, want 0", got)
+	}
+	d := Segment{geom.Point{X: 13, Y: 4}, geom.Point{X: 20, Y: 4}}
+	if got := math.Sqrt(SqDistSegments(a, d)); !almost(got, 5) {
+		t.Errorf("endpoint-to-endpoint distance = %v, want 5", got)
+	}
+}
+
+func TestObjectValidate(t *testing.T) {
+	bad := []Object{
+		{Kind: KindPoint, Verts: nil},
+		{Kind: KindPoint, Verts: make([]geom.Point, 2)},
+		{Kind: KindPolyline, Verts: make([]geom.Point, 1)},
+		{Kind: KindPolygon, Verts: make([]geom.Point, 2)},
+		{Kind: Kind(9), Verts: make([]geom.Point, 3)},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("object %d should be invalid", i)
+		}
+	}
+	good := []Object{
+		NewPoint(1, geom.Point{}),
+		NewPolyline(2, make([]geom.Point, 2)),
+		NewPolygon(3, make([]geom.Point, 3)),
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("object %d should be valid: %v", i, err)
+		}
+	}
+}
+
+func TestBoundsCenterHalfDiag(t *testing.T) {
+	o := NewPolyline(1, []geom.Point{{X: 0, Y: 0}, {X: 6, Y: 8}})
+	if b := o.Bounds(); b != (geom.Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 8}) {
+		t.Fatalf("bounds = %+v", b)
+	}
+	if c := o.Center(); c != (geom.Point{X: 3, Y: 4}) {
+		t.Fatalf("center = %v", c)
+	}
+	if hd := o.HalfDiag(); !almost(hd, 5) {
+		t.Fatalf("half diag = %v, want 5", hd)
+	}
+	p := NewPoint(2, geom.Point{X: 7, Y: 7})
+	if hd := p.HalfDiag(); hd != 0 {
+		t.Fatalf("point half diag = %v", hd)
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	square := NewPolygon(1, []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}})
+	inside := []geom.Point{{X: 5, Y: 5}, {X: 0.1, Y: 0.1}, {X: 9.9, Y: 9.9}}
+	for _, p := range inside {
+		if !square.ContainsPoint(p) {
+			t.Errorf("point %v should be inside", p)
+		}
+	}
+	boundary := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 5}}
+	for _, p := range boundary {
+		if !square.ContainsPoint(p) {
+			t.Errorf("boundary point %v should count as contained", p)
+		}
+	}
+	outside := []geom.Point{{X: -1, Y: 5}, {X: 11, Y: 5}, {X: 5, Y: -0.1}, {X: 5, Y: 10.1}}
+	for _, p := range outside {
+		if square.ContainsPoint(p) {
+			t.Errorf("point %v should be outside", p)
+		}
+	}
+	// Concave polygon: an L shape.
+	ell := NewPolygon(2, []geom.Point{
+		{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 4}, {X: 4, Y: 4}, {X: 4, Y: 10}, {X: 0, Y: 10},
+	})
+	if !ell.ContainsPoint(geom.Point{X: 2, Y: 8}) {
+		t.Error("L polygon should contain (2,8)")
+	}
+	if ell.ContainsPoint(geom.Point{X: 8, Y: 8}) {
+		t.Error("L polygon should not contain (8,8) (the notch)")
+	}
+	// Non-polygons never contain.
+	line := NewPolyline(3, []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}})
+	if line.ContainsPoint(geom.Point{X: 5, Y: 0}) {
+		t.Error("polyline must not report containment")
+	}
+}
+
+func TestObjectDistances(t *testing.T) {
+	square := NewPolygon(1, []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}})
+	tests := []struct {
+		name string
+		o    Object
+		want float64
+	}{
+		{"point inside polygon", NewPoint(2, geom.Point{X: 5, Y: 5}), 0},
+		{"point on boundary", NewPoint(3, geom.Point{X: 10, Y: 5}), 0},
+		{"point right of polygon", NewPoint(4, geom.Point{X: 13, Y: 5}), 3},
+		{"point diagonal from corner", NewPoint(5, geom.Point{X: 13, Y: 14}), 5},
+		{"polyline crossing", NewPolyline(6, []geom.Point{{X: -5, Y: 5}, {X: 15, Y: 5}}), 0},
+		{"polyline inside", NewPolyline(7, []geom.Point{{X: 2, Y: 2}, {X: 8, Y: 8}}), 0},
+		{"polyline outside", NewPolyline(8, []geom.Point{{X: 12, Y: 0}, {X: 12, Y: 10}}), 2},
+		{"polygon overlapping", NewPolygon(9, []geom.Point{{X: 8, Y: 8}, {X: 15, Y: 8}, {X: 15, Y: 15}, {X: 8, Y: 15}}), 0},
+		{"polygon apart", NewPolygon(10, []geom.Point{{X: 14, Y: 0}, {X: 20, Y: 0}, {X: 20, Y: 10}, {X: 14, Y: 10}}), 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dist(&square, &tc.o); !almost(got, tc.want) {
+				t.Errorf("dist = %v, want %v", got, tc.want)
+			}
+			if got := Dist(&tc.o, &square); !almost(got, tc.want) {
+				t.Errorf("dist not symmetric: %v vs %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWithinDistAndPointFastPath(t *testing.T) {
+	a := NewPoint(1, geom.Point{X: 0, Y: 0})
+	b := NewPoint(2, geom.Point{X: 3, Y: 4})
+	if !WithinDist(&a, &b, 5) {
+		t.Error("exactly eps must match")
+	}
+	if WithinDist(&a, &b, 4.99) {
+		t.Error("beyond eps must not match")
+	}
+}
+
+// Property: object distance is always <= distance between any pair of
+// vertices, and center distance <= object distance + both half diagonals.
+func TestDistanceBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randObj := func(id int64) Object {
+		base := geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		n := 2 + rng.Intn(5)
+		verts := make([]geom.Point, n)
+		for i := range verts {
+			verts[i] = geom.Point{X: base.X + rng.Float64()*4, Y: base.Y + rng.Float64()*4}
+		}
+		if rng.Intn(2) == 0 && n >= 3 {
+			return NewPolygon(id, verts)
+		}
+		return NewPolyline(id, verts)
+	}
+	for trial := 0; trial < 500; trial++ {
+		a := randObj(1)
+		b := randObj(2)
+		d := Dist(&a, &b)
+		minVert := math.Inf(1)
+		for _, va := range a.Verts {
+			for _, vb := range b.Verts {
+				if dv := va.Dist(vb); dv < minVert {
+					minVert = dv
+				}
+			}
+		}
+		if d > minVert+1e-9 {
+			t.Fatalf("trial %d: object distance %v exceeds min vertex distance %v", trial, d, minVert)
+		}
+		centerDist := a.Center().Dist(b.Center())
+		if centerDist > d+a.HalfDiag()+b.HalfDiag()+1e-9 {
+			t.Fatalf("trial %d: center distance bound violated: %v > %v + %v + %v",
+				trial, centerDist, d, a.HalfDiag(), b.HalfDiag())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPoint.String() != "point" || KindPolyline.String() != "polyline" || KindPolygon.String() != "polygon" {
+		t.Fatal("kind names broken")
+	}
+}

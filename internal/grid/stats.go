@@ -1,0 +1,109 @@
+package grid
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+// CellStats holds the sampled point counts of one cell: totals per input
+// set, and per neighbour direction the number of points that are
+// replication candidates toward that neighbour (MINDIST to the neighbour
+// cell at most ε). These counts drive the LPiB and DIFF agreement
+// policies, the edge weights of the graph of agreements, and the per-cell
+// cost estimates used by LPT scheduling.
+type CellStats struct {
+	Total    [2]int32
+	Boundary [NumDirs][2]int32
+}
+
+// Stats accumulates per-cell sample statistics over a grid.
+type Stats struct {
+	g     *Grid
+	Cells []CellStats
+}
+
+// NewStats returns empty statistics for g.
+func NewStats(g *Grid) *Stats {
+	return &Stats{g: g, Cells: make([]CellStats, g.NumCells())}
+}
+
+// Grid returns the grid the statistics are defined over.
+func (st *Stats) Grid() *Grid { return st.g }
+
+// Add records one sampled point of the given set.
+func (st *Stats) Add(set tuple.Set, p geom.Point) {
+	g := st.g
+	cx, cy := g.Locate(p)
+	cs := &st.Cells[g.CellID(cx, cy)]
+	cs.Total[set]++
+
+	u, v := g.LocalUV(p, cx, cy)
+	eps := g.Eps
+	eps2 := eps * eps
+	dw, de := u, g.Tile-u
+	ds, dn := v, g.Tile-v
+
+	if dw <= eps {
+		cs.Boundary[DirW][set]++
+	}
+	if de <= eps {
+		cs.Boundary[DirE][set]++
+	}
+	if ds <= eps {
+		cs.Boundary[DirS][set]++
+	}
+	if dn <= eps {
+		cs.Boundary[DirN][set]++
+	}
+	// Diagonal neighbours: MINDIST is the distance to the shared corner.
+	if dw*dw+ds*ds <= eps2 {
+		cs.Boundary[DirSW][set]++
+	}
+	if de*de+ds*ds <= eps2 {
+		cs.Boundary[DirSE][set]++
+	}
+	if dw*dw+dn*dn <= eps2 {
+		cs.Boundary[DirNW][set]++
+	}
+	if de*de+dn*dn <= eps2 {
+		cs.Boundary[DirNE][set]++
+	}
+}
+
+// AddAll records every tuple of ts as a sampled point of set.
+func (st *Stats) AddAll(set tuple.Set, ts []tuple.Tuple) {
+	for _, t := range ts {
+		st.Add(set, t.Pt)
+	}
+}
+
+// At returns the statistics of the cell with the given id, or a zero
+// value for virtual cells (id == NoCell), so callers can treat border
+// quartets uniformly.
+func (st *Stats) At(id int) CellStats {
+	if id == NoCell {
+		return CellStats{}
+	}
+	return st.Cells[id]
+}
+
+// Candidates returns the number of sampled points of set in cell id that
+// are replication candidates toward the neighbour in direction d.
+func (st *Stats) Candidates(id int, d Dir, set tuple.Set) int32 {
+	if id == NoCell {
+		return 0
+	}
+	return st.Cells[id].Boundary[d][set]
+}
+
+// EstimatedCost returns the per-cell join cost estimate used for LPT
+// scheduling: the product of the sampled R and S counts of the cell. The
+// caller scales by the square of the sampling factor if absolute estimates
+// are needed; LPT only requires relative costs.
+func (st *Stats) EstimatedCost(id int) int64 {
+	if id == NoCell {
+		return 0
+	}
+	cs := st.Cells[id]
+	return int64(cs.Total[tuple.R]) * int64(cs.Total[tuple.S])
+}

@@ -1,0 +1,177 @@
+package knnjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+func randomTuples(rng *rand.Rand, n int, extent float64, base int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{
+			ID: base + int64(i),
+			Pt: geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent},
+		}
+	}
+	return out
+}
+
+// bruteKNN returns the exact k nearest of r in ss, ascending, ties by id.
+func bruteKNN(r tuple.Tuple, ss []tuple.Tuple, k int) []Neighbor {
+	all := make([]Neighbor, len(ss))
+	for i, s := range ss {
+		all[i] = Neighbor{RID: r.ID, SID: s.ID, Dist: r.Pt.Dist(s.Pt)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].SID < all[j].SID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestKNNJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 3, 10} {
+		rs := randomTuples(rng, 300, 30, 0)
+		ss := randomTuples(rng, 2000, 30, 1_000_000)
+		res, err := Join(rs, ss, Config{K: k, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Neighbors) != len(rs)*k {
+			t.Fatalf("k=%d: %d neighbours, want %d", k, len(res.Neighbors), len(rs)*k)
+		}
+		// Neighbours are grouped per R point in input order.
+		for i, r := range rs {
+			got := res.Neighbors[i*k : (i+1)*k]
+			want := bruteKNN(r, ss, k)
+			for j := range want {
+				if got[j].SID != want[j].SID {
+					// Distance ties can swap ids only if distances equal.
+					if got[j].Dist != want[j].Dist {
+						t.Fatalf("k=%d r=%d neighbour %d: got id %d (%.6f), want %d (%.6f)",
+							k, r.ID, j, got[j].SID, got[j].Dist, want[j].SID, want[j].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNJoinSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// S heavily clustered in one corner; R spread everywhere, so distant
+	// R points need several radius-doubling rounds.
+	var ss []tuple.Tuple
+	for i := 0; i < 3000; i++ {
+		ss = append(ss, tuple.Tuple{ID: int64(i + 1_000_000), Pt: geom.Point{
+			X: 2 + rng.NormFloat64()*0.5, Y: 2 + rng.NormFloat64()*0.5}})
+	}
+	rs := randomTuples(rng, 200, 40, 0)
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}
+	res, err := Join(rs, ss, Config{K: 5, Workers: 3, Bounds: &bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("skewed workload finished in %d rounds; expansion untested", res.Rounds)
+	}
+	for i, r := range rs {
+		got := res.Neighbors[i*5 : (i+1)*5]
+		want := bruteKNN(r, ss, 5)
+		for j := range want {
+			if got[j].Dist != want[j].Dist {
+				t.Fatalf("r=%d neighbour %d: %.6f vs %.6f", r.ID, j, got[j].Dist, want[j].Dist)
+			}
+		}
+	}
+}
+
+func TestKNNJoinFewerThanK(t *testing.T) {
+	rs := randomTuples(rand.New(rand.NewSource(3)), 10, 5, 0)
+	ss := randomTuples(rand.New(rand.NewSource(4)), 3, 5, 100)
+	res, err := Join(rs, ss, Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every R point gets all 3 available neighbours.
+	if len(res.Neighbors) != 10*3 {
+		t.Fatalf("%d neighbours, want 30", len(res.Neighbors))
+	}
+}
+
+func TestKNNJoinValidationAndEmpty(t *testing.T) {
+	if _, err := Join(nil, nil, Config{K: 0}); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	res, err := Join(nil, nil, Config{K: 3})
+	if err != nil || len(res.Neighbors) != 0 {
+		t.Fatalf("empty join: %v, %d", err, len(res.Neighbors))
+	}
+	rs := randomTuples(rand.New(rand.NewSource(5)), 5, 5, 0)
+	res, err = Join(rs, nil, Config{K: 3})
+	if err != nil || len(res.Neighbors) != 0 {
+		t.Fatalf("empty S: %v, %d", err, len(res.Neighbors))
+	}
+}
+
+func TestKNNNeighborsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rs := randomTuples(rng, 50, 20, 0)
+	ss := randomTuples(rng, 1000, 20, 1_000_000)
+	res, err := Join(rs, ss, Config{K: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		group := res.Neighbors[i*7 : (i+1)*7]
+		for j := 1; j < len(group); j++ {
+			if group[j].Dist < group[j-1].Dist {
+				t.Fatalf("r=%d: neighbours not ascending", rs[i].ID)
+			}
+			if group[j].RID != rs[i].ID {
+				t.Fatalf("neighbour group %d carries wrong RID", i)
+			}
+		}
+	}
+	if res.CandidatesScanned <= 0 {
+		t.Fatal("work metric not recorded")
+	}
+}
+
+func TestInsertBounded(t *testing.T) {
+	var best []Neighbor
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		best = insertBounded(best, Neighbor{SID: int64(d), Dist: d}, 3)
+	}
+	if len(best) != 3 || best[0].Dist != 1 || best[1].Dist != 2 || best[2].Dist != 3 {
+		t.Fatalf("best = %v", best)
+	}
+	// Ties broken by id.
+	best = insertBounded(best[:0], Neighbor{SID: 9, Dist: 1}, 2)
+	best = insertBounded(best, Neighbor{SID: 4, Dist: 1}, 2)
+	if best[0].SID != 4 || best[1].SID != 9 {
+		t.Fatalf("tie break = %v", best)
+	}
+}
+
+func BenchmarkKNNJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rs := randomTuples(rng, 5000, 100, 0)
+	ss := randomTuples(rng, 50_000, 100, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Join(rs, ss, Config{K: 10, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

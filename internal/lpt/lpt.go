@@ -1,0 +1,95 @@
+// Package lpt implements the Longest-Processing-Time greedy heuristic for
+// the multiprocessor scheduling problem, used to assign grid cells to
+// workers so that the maximum estimated join cost per worker is minimised
+// (Section 6.2 of the paper). LPT sorts tasks by descending cost and
+// repeatedly gives the next task to the least-loaded bin; it is a 4/3
+// approximation of the NP-hard optimum.
+package lpt
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Assign distributes len(costs) tasks over nbins bins and returns, per
+// task, the bin index it was assigned to. Zero-cost tasks are spread
+// round-robin after the costly ones so empty cells do not all pile onto
+// one bin. Assign panics if nbins is not positive.
+func Assign(costs []int64, nbins int) []int {
+	if nbins <= 0 {
+		panic("lpt: number of bins must be positive")
+	}
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return costs[order[a]] > costs[order[b]]
+	})
+
+	loads := make(binHeap, nbins)
+	for i := range loads {
+		loads[i] = &bin{index: i}
+	}
+	heap.Init(&loads)
+
+	out := make([]int, len(costs))
+	rr := 0
+	for _, task := range order {
+		if costs[task] <= 0 {
+			out[task] = rr % nbins
+			rr++
+			continue
+		}
+		b := loads[0]
+		out[task] = b.index
+		b.load += costs[task]
+		heap.Fix(&loads, 0)
+	}
+	return out
+}
+
+// Loads returns the total cost per bin for a given assignment.
+func Loads(costs []int64, assign []int, nbins int) []int64 {
+	loads := make([]int64, nbins)
+	for i, b := range assign {
+		loads[b] += costs[i]
+	}
+	return loads
+}
+
+// Makespan returns the maximum bin load of an assignment — the quantity
+// LPT minimises.
+func Makespan(costs []int64, assign []int, nbins int) int64 {
+	var max int64
+	for _, l := range Loads(costs, assign, nbins) {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+type bin struct {
+	index int
+	load  int64
+}
+
+type binHeap []*bin
+
+func (h binHeap) Len() int { return len(h) }
+func (h binHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load < h[j].load
+	}
+	return h[i].index < h[j].index
+}
+func (h binHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *binHeap) Push(x interface{}) { *h = append(*h, x.(*bin)) }
+func (h *binHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,157 @@
+package lpt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignBasic(t *testing.T) {
+	costs := []int64{7, 5, 4, 3, 1}
+	assign := Assign(costs, 2)
+	if len(assign) != len(costs) {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	// LPT: 7 -> bin0; 5 -> bin1; 4 -> bin1 (load 9 vs 7... no: bin0=7,
+	// bin1=5, so 4 -> bin1=9; 3 -> bin0=10; 1 -> bin1=10). Makespan 10.
+	if got := Makespan(costs, assign, 2); got != 10 {
+		t.Fatalf("makespan = %d, want 10", got)
+	}
+}
+
+func TestAssignSingleBin(t *testing.T) {
+	costs := []int64{3, 1, 4}
+	assign := Assign(costs, 1)
+	for i, b := range assign {
+		if b != 0 {
+			t.Fatalf("task %d assigned to bin %d with 1 bin", i, b)
+		}
+	}
+}
+
+func TestAssignPanicsOnZeroBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Assign([]int64{1}, 0)
+}
+
+func TestZeroCostTasksSpread(t *testing.T) {
+	costs := make([]int64, 100) // all zero
+	assign := Assign(costs, 4)
+	counts := make([]int, 4)
+	for _, b := range assign {
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c != 25 {
+			t.Fatalf("bin %d got %d zero-cost tasks, want 25", b, c)
+		}
+	}
+}
+
+func TestAssignRange(t *testing.T) {
+	f := func(raw []uint16, nbinsRaw uint8) bool {
+		nbins := int(nbinsRaw%8) + 1
+		costs := make([]int64, len(raw))
+		for i, v := range raw {
+			costs[i] = int64(v)
+		}
+		assign := Assign(costs, nbins)
+		for _, b := range assign {
+			if b < 0 || b >= nbins {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// LPT must never be worse than 4/3·OPT + max/3; against the trivial lower
+// bound max(total/nbins, maxTask) this gives a checkable guarantee.
+func TestLPTApproximationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		nbins := 1 + rng.Intn(8)
+		costs := make([]int64, n)
+		var total, maxTask int64
+		for i := range costs {
+			costs[i] = int64(rng.Intn(1000))
+			total += costs[i]
+			if costs[i] > maxTask {
+				maxTask = costs[i]
+			}
+		}
+		assign := Assign(costs, nbins)
+		lower := (total + int64(nbins) - 1) / int64(nbins)
+		if maxTask > lower {
+			lower = maxTask
+		}
+		ms := Makespan(costs, assign, nbins)
+		// 4/3 bound with slack for integer rounding.
+		if ms*3 > lower*4+3 {
+			t.Fatalf("trial %d: makespan %d exceeds 4/3 of lower bound %d", trial, ms, lower)
+		}
+	}
+}
+
+func TestLPTBeatsRoundRobinOnSkew(t *testing.T) {
+	// One huge task and many small ones: round-robin by index can pair the
+	// huge task with extra load, LPT never does.
+	costs := []int64{1000, 1, 1, 1, 1, 1, 1, 1}
+	assign := Assign(costs, 2)
+	rr := make([]int, len(costs))
+	for i := range rr {
+		rr[i] = i % 2
+	}
+	if Makespan(costs, assign, 2) > Makespan(costs, rr, 2) {
+		t.Fatalf("LPT makespan %d worse than round robin %d",
+			Makespan(costs, assign, 2), Makespan(costs, rr, 2))
+	}
+	if got := Makespan(costs, assign, 2); got != 1000 {
+		t.Fatalf("LPT makespan = %d, want 1000", got)
+	}
+}
+
+func TestLoads(t *testing.T) {
+	costs := []int64{5, 3, 2}
+	assign := []int{0, 1, 0}
+	loads := Loads(costs, assign, 2)
+	if loads[0] != 7 || loads[1] != 3 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	if got := Assign(nil, 3); len(got) != 0 {
+		t.Fatalf("empty costs should give empty assignment, got %v", got)
+	}
+}
+
+func TestBinHeapInterface(t *testing.T) {
+	// Exercise the heap.Interface plumbing directly.
+	h := binHeap{{index: 0, load: 5}, {index: 1, load: 2}}
+	h.Push(&bin{index: 2, load: 1})
+	if h.Len() != 3 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	got := h.Pop().(*bin)
+	if got.index != 2 {
+		t.Fatalf("Pop returned bin %d, want the last-pushed", got.index)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len after pop = %d", h.Len())
+	}
+	// Less ties break by index for determinism.
+	a, b := &bin{index: 0, load: 7}, &bin{index: 1, load: 7}
+	hh := binHeap{a, b}
+	if !hh.Less(0, 1) || hh.Less(1, 0) {
+		t.Fatal("equal loads must order by index")
+	}
+}

@@ -1,0 +1,182 @@
+// Package planner chooses a join strategy from sampled statistics before
+// any data moves: it evaluates the analytical cost model of
+// internal/costmodel for the adaptive assignment and both universal
+// replication choices, and picks the cheapest by a configurable
+// objective. It is the natural application of the cost model the paper
+// lists as future work — replication decisions become a (tiny) query
+// optimisation problem.
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/costmodel"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/sample"
+	"spatialjoin/internal/tuple"
+)
+
+// Strategy is a join strategy the planner can select.
+type Strategy uint8
+
+const (
+	// Adaptive is agreement-based replication (LPiB).
+	Adaptive Strategy = iota
+	// UniversalR is PBSM replicating R.
+	UniversalR
+	// UniversalS is PBSM replicating S.
+	UniversalS
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	return [...]string{"adaptive", "UNI(R)", "UNI(S)"}[s]
+}
+
+// Objective ranks predicted costs.
+type Objective uint8
+
+const (
+	// MinShuffle minimises predicted shuffle volume — the right choice
+	// on network-bound clusters (the paper's setting).
+	MinShuffle Objective = iota
+	// MinReplication minimises predicted replicated objects.
+	MinReplication
+	// MinMakespan minimises the predicted hottest cell, the lower bound
+	// on parallel join time.
+	MinMakespan
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	return [...]string{"min-shuffle", "min-replication", "min-makespan"}[o]
+}
+
+// Choice is the planner's decision with its supporting predictions.
+type Choice struct {
+	Strategy    Strategy
+	Objective   Objective
+	Predictions map[Strategy]costmodel.Prediction
+	// Graph is the resolved graph of agreements, built as a side effect
+	// of costing the adaptive strategy; callers picking Adaptive can
+	// reuse it instead of rebuilding.
+	Graph *agreements.Graph
+	Stats *grid.Stats
+}
+
+// Plan samples both inputs at the given fraction, costs the three
+// strategies, and picks the cheapest under the objective. tupleBytes is
+// the wire size of one tuple (24 for payload-free points).
+func Plan(g *grid.Grid, rs, ss []tuple.Tuple, fraction float64, seed int64, tupleBytes int, obj Objective) (*Choice, error) {
+	if !g.SupportsAgreements() {
+		return nil, fmt.Errorf("planner: grid resolution %v·ε cannot host agreements", g.Res)
+	}
+	if fraction <= 0 {
+		fraction = sample.DefaultFraction
+	}
+	st := grid.NewStats(g)
+	st.AddAll(tuple.R, sample.Bernoulli(rs, fraction, seed))
+	st.AddAll(tuple.S, sample.Bernoulli(ss, fraction, seed+1))
+
+	gr := agreements.Build(st, agreements.LPiB)
+	preds := map[Strategy]costmodel.Prediction{
+		Adaptive:   costmodel.Adaptive(gr, st, fraction, tupleBytes),
+		UniversalR: costmodel.Universal(st, tuple.R, fraction, tupleBytes),
+		UniversalS: costmodel.Universal(st, tuple.S, fraction, tupleBytes),
+	}
+
+	best := Adaptive
+	bestCost := score(preds[Adaptive], obj)
+	for _, s := range []Strategy{UniversalR, UniversalS} {
+		if c := score(preds[s], obj); c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return &Choice{
+		Strategy:    best,
+		Objective:   obj,
+		Predictions: preds,
+		Graph:       gr,
+		Stats:       st,
+	}, nil
+}
+
+// Weights convert the cost model's mixed units into one scalar cost:
+// predicted nanoseconds.
+type Weights struct {
+	// NsPerCandidatePair is the cost of one refine comparison.
+	NsPerCandidatePair float64
+	// NsPerShuffledByte is the cost of moving one byte through the
+	// shuffle (serialisation + network amortised).
+	NsPerShuffledByte float64
+}
+
+// DefaultWeights are rough single-machine constants; they only need to
+// be correct relative to each other for resolution ranking.
+func DefaultWeights() Weights {
+	return Weights{NsPerCandidatePair: 5, NsPerShuffledByte: 1}
+}
+
+// ResolutionChoice is the outcome of PlanResolution.
+type ResolutionChoice struct {
+	Res   float64             // chosen multiplier (cell side Res·ε)
+	Costs map[float64]float64 // predicted ns per candidate resolution
+}
+
+// PlanResolution picks the grid resolution multiplier (from candidates,
+// each >= 2) that minimises the predicted adaptive join cost — the
+// "proper tuning of the number of grid partitions" of the parallel
+// in-memory join literature, driven by the cost model instead of trial
+// runs. An empty candidate list defaults to {2, 3, 4, 5} (the paper's
+// Figure 15 sweep).
+func PlanResolution(bounds geom.Rect, rs, ss []tuple.Tuple, eps, fraction float64, seed int64, tupleBytes int, w Weights, candidates []float64) (*ResolutionChoice, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("planner: eps must be positive, got %v", eps)
+	}
+	if len(candidates) == 0 {
+		candidates = []float64{2, 3, 4, 5}
+	}
+	if fraction <= 0 {
+		fraction = sample.DefaultFraction
+	}
+	if w == (Weights{}) {
+		w = DefaultWeights()
+	}
+	smpR := sample.Bernoulli(rs, fraction, seed)
+	smpS := sample.Bernoulli(ss, fraction, seed+1)
+
+	choice := &ResolutionChoice{Costs: make(map[float64]float64, len(candidates))}
+	bestCost := math.Inf(1)
+	for _, res := range candidates {
+		if res < 2 {
+			return nil, fmt.Errorf("planner: resolution %v violates the l >= 2ε requirement", res)
+		}
+		g := grid.New(bounds, eps, res)
+		st := grid.NewStats(g)
+		st.AddAll(tuple.R, smpR)
+		st.AddAll(tuple.S, smpS)
+		gr := agreements.Build(st, agreements.LPiB)
+		p := costmodel.Adaptive(gr, st, fraction, tupleBytes)
+		cost := p.CandidatePairs*w.NsPerCandidatePair + p.ShuffledBytes*w.NsPerShuffledByte
+		choice.Costs[res] = cost
+		if cost < bestCost {
+			bestCost = cost
+			choice.Res = res
+		}
+	}
+	return choice, nil
+}
+
+func score(p costmodel.Prediction, obj Objective) float64 {
+	switch obj {
+	case MinReplication:
+		return p.Replicated
+	case MinMakespan:
+		return p.MaxCellPairs
+	default: // MinShuffle
+		return p.ShuffledBytes
+	}
+}

@@ -1,0 +1,185 @@
+package planner
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+func mkGrid() *grid.Grid {
+	return grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}, 1, 2)
+}
+
+func clamp(p geom.Point) geom.Point {
+	if p.X < 0 {
+		p.X = 0
+	} else if p.X > 40 {
+		p.X = 40
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	} else if p.Y > 40 {
+		p.Y = 40
+	}
+	return p
+}
+
+// skewedSets builds R and S concentrated in different regions, the
+// configuration where adaptive replication wins.
+func skewedSets(rng *rand.Rand, n int) (rs, ss []tuple.Tuple) {
+	for i := 0; i < n; i++ {
+		rs = append(rs, tuple.Tuple{ID: int64(i), Pt: clamp(geom.Point{
+			X: 8 + rng.NormFloat64()*3, Y: 20 + rng.NormFloat64()*10})})
+		ss = append(ss, tuple.Tuple{ID: int64(i + 1_000_000), Pt: clamp(geom.Point{
+			X: 32 + rng.NormFloat64()*3, Y: 20 + rng.NormFloat64()*10})})
+	}
+	return rs, ss
+}
+
+// lopsidedSets builds a tiny R against a huge S: replicating R
+// universally is then near-free and can beat adaptive on shuffle.
+func lopsidedSets(rng *rand.Rand, nr, ns int) (rs, ss []tuple.Tuple) {
+	for i := 0; i < nr; i++ {
+		rs = append(rs, tuple.Tuple{ID: int64(i), Pt: geom.Point{
+			X: rng.Float64() * 40, Y: rng.Float64() * 40}})
+	}
+	for i := 0; i < ns; i++ {
+		ss = append(ss, tuple.Tuple{ID: int64(i + 1_000_000), Pt: geom.Point{
+			X: rng.Float64() * 40, Y: rng.Float64() * 40}})
+	}
+	return rs, ss
+}
+
+func TestPlanPicksAdaptiveOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs, ss := skewedSets(rng, 20_000)
+	for _, obj := range []Objective{MinShuffle, MinReplication} {
+		choice, err := Plan(mkGrid(), rs, ss, 0.2, 1, 24, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.Strategy != Adaptive {
+			t.Fatalf("%v: picked %v on skewed data, want adaptive (predictions: %+v)",
+				obj, choice.Strategy, choice.Predictions)
+		}
+		if choice.Graph == nil || choice.Stats == nil {
+			t.Fatal("choice must carry the built graph and stats")
+		}
+	}
+}
+
+func TestPlanPredictionsOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rs, ss := skewedSets(rng, 10_000)
+	choice, err := Plan(mkGrid(), rs, ss, 0.5, 1, 24, MinShuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := choice.Predictions[Adaptive]
+	ur := choice.Predictions[UniversalR]
+	us := choice.Predictions[UniversalS]
+	if ad.Replicated >= ur.Replicated || ad.Replicated >= us.Replicated {
+		t.Fatalf("adaptive should predict least replication: %v vs %v / %v",
+			ad.Replicated, ur.Replicated, us.Replicated)
+	}
+}
+
+func TestPlanPicksCheapUniversalWhenLopsided(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 200 R points vs 50k S points, uniform: replicating R costs almost
+	// nothing; the planner should never pick UNI(S).
+	rs, ss := lopsidedSets(rng, 200, 50_000)
+	choice, err := Plan(mkGrid(), rs, ss, 0.5, 1, 24, MinReplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Strategy == UniversalS {
+		t.Fatalf("picked UNI(S) with |S| >> |R| (predictions: %+v)", choice.Predictions)
+	}
+	// And the prediction for UNI(R) must be far below UNI(S).
+	if choice.Predictions[UniversalR].Replicated >= choice.Predictions[UniversalS].Replicated {
+		t.Fatal("UNI(R) should predict less replication than UNI(S) here")
+	}
+}
+
+func TestPlanObjectives(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rs, ss := skewedSets(rng, 5000)
+	for _, obj := range []Objective{MinShuffle, MinReplication, MinMakespan} {
+		choice, err := Plan(mkGrid(), rs, ss, 0.3, 1, 24, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if choice.Objective != obj {
+			t.Fatalf("objective not recorded: %v", choice.Objective)
+		}
+		// The chosen strategy's score must be minimal.
+		best := score(choice.Predictions[choice.Strategy], obj)
+		for s, p := range choice.Predictions {
+			if score(p, obj) < best {
+				t.Fatalf("%v: %v scores %v below chosen %v's %v",
+					obj, s, score(p, obj), choice.Strategy, best)
+			}
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	g := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 1, 1)
+	if _, err := Plan(g, nil, nil, 0.03, 1, 24, MinShuffle); err == nil {
+		t.Fatal("eps-grid resolution must be rejected")
+	}
+}
+
+func TestStrategyAndObjectiveNames(t *testing.T) {
+	if Adaptive.String() != "adaptive" || UniversalR.String() != "UNI(R)" || UniversalS.String() != "UNI(S)" {
+		t.Fatal("strategy names broken")
+	}
+	if MinShuffle.String() != "min-shuffle" || MinReplication.String() != "min-replication" || MinMakespan.String() != "min-makespan" {
+		t.Fatal("objective names broken")
+	}
+}
+
+func TestPlanResolutionPrefersFineCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Overlapping dense clusters: candidate pairs per cell grow with the
+	// cell area, so coarse grids are predictably more expensive.
+	var rs, ss []tuple.Tuple
+	for i := 0; i < 30_000; i++ {
+		c := geom.Point{X: 10 + 20*float64(i%2), Y: 20}
+		rs = append(rs, tuple.Tuple{ID: int64(i), Pt: clamp(geom.Point{
+			X: c.X + rng.NormFloat64()*3, Y: c.Y + rng.NormFloat64()*3})})
+		ss = append(ss, tuple.Tuple{ID: int64(i + 1_000_000), Pt: clamp(geom.Point{
+			X: c.X + rng.NormFloat64()*3, Y: c.Y + rng.NormFloat64()*3})})
+	}
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}
+	choice, err := PlanResolution(bounds, rs, ss, 1, 0.3, 1, 24, Weights{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choice.Costs) != 4 {
+		t.Fatalf("expected 4 candidate costs, got %d", len(choice.Costs))
+	}
+	// Candidate pairs dominate on dense data: the finest grid must win,
+	// matching the paper's Figure 15 conclusion.
+	if choice.Res != 2 {
+		t.Fatalf("chose %veps; Figure 15's data picks 2eps (costs: %v)", choice.Res, choice.Costs)
+	}
+	// Costs must be increasing in resolution for this workload.
+	if choice.Costs[2] >= choice.Costs[5] {
+		t.Fatalf("cost(2eps)=%v not below cost(5eps)=%v", choice.Costs[2], choice.Costs[5])
+	}
+}
+
+func TestPlanResolutionValidation(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if _, err := PlanResolution(bounds, nil, nil, 0, 0.1, 1, 24, Weights{}, nil); err == nil {
+		t.Fatal("eps=0 must fail")
+	}
+	if _, err := PlanResolution(bounds, nil, nil, 1, 0.1, 1, 24, Weights{}, []float64{1.5}); err == nil {
+		t.Fatal("resolution < 2 must fail")
+	}
+}

@@ -1,0 +1,144 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+func sampleTuples(rng *rand.Rand, n int, bounds geom.Rect) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{
+			ID: int64(i),
+			Pt: geom.Point{
+				X: bounds.MinX + rng.Float64()*bounds.Width(),
+				Y: bounds.MinY + rng.Float64()*bounds.Height(),
+			},
+		}
+	}
+	return out
+}
+
+func TestEmptySampleSingleLeaf(t *testing.T) {
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	p := Build(nil, b, 100, 0)
+	if p.NumLeaves() != 1 {
+		t.Fatalf("leaves = %d, want 1", p.NumLeaves())
+	}
+	if p.LeafRect(0) != b {
+		t.Fatalf("leaf rect = %+v", p.LeafRect(0))
+	}
+}
+
+func TestSplitsUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	ts := sampleTuples(rng, 1000, b)
+	p := Build(ts, b, 50, 0)
+	if p.NumLeaves() < 4 {
+		t.Fatalf("1000 points with capacity 50 should split: %d leaves", p.NumLeaves())
+	}
+}
+
+func TestLeavesTileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := geom.Rect{MinX: -5, MinY: 3, MaxX: 20, MaxY: 17}
+	ts := sampleTuples(rng, 2000, b)
+	p := Build(ts, b, 20, 0)
+
+	// Total leaf area equals the bounds area (tiling, no overlap beyond
+	// shared borders).
+	var area float64
+	for i := 0; i < p.NumLeaves(); i++ {
+		area += p.LeafRect(i).Area()
+	}
+	if diff := area - b.Area(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("leaf areas sum to %v, bounds area %v", area, b.Area())
+	}
+}
+
+func TestLocateConsistentWithLeafRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 50}
+	ts := sampleTuples(rng, 3000, b)
+	p := Build(ts, b, 25, 0)
+	for i := 0; i < 5000; i++ {
+		pt := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 50}
+		id := p.Locate(pt)
+		if !p.LeafRect(id).Contains(pt) {
+			t.Fatalf("point %v located in leaf %d %+v that does not contain it", pt, id, p.LeafRect(id))
+		}
+	}
+}
+
+func TestLocateClampsOutside(t *testing.T) {
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	p := Build(nil, b, 1, 0)
+	for _, pt := range []geom.Point{{X: -5, Y: -5}, {X: 100, Y: 3}, {X: 5, Y: 99}} {
+		id := p.Locate(pt)
+		if id < 0 || id >= p.NumLeaves() {
+			t.Fatalf("out-of-bounds point %v located in invalid leaf %d", pt, id)
+		}
+	}
+}
+
+func TestCircleLeavesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}
+	ts := sampleTuples(rng, 4000, b)
+	p := Build(ts, b, 30, 0)
+	for q := 0; q < 2000; q++ {
+		c := geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		eps := rng.Float64() * 3
+		got := map[int]bool{}
+		for _, id := range p.CircleLeaves(c, eps, nil) {
+			if got[id] {
+				t.Fatalf("duplicate leaf %d", id)
+			}
+			got[id] = true
+		}
+		for id := 0; id < p.NumLeaves(); id++ {
+			want := p.LeafRect(id).WithinMinDist(c, eps)
+			if want != got[id] {
+				t.Fatalf("query %d leaf %d: got %v, want %v", q, id, got[id], want)
+			}
+		}
+	}
+}
+
+func TestMaxDepthBoundsLeafCount(t *testing.T) {
+	// All points identical: capacity can never be met, depth must stop it.
+	ts := make([]tuple.Tuple, 100)
+	for i := range ts {
+		ts[i] = tuple.Tuple{ID: int64(i), Pt: geom.Point{X: 5, Y: 5}}
+	}
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	p := Build(ts, b, 1, 3)
+	// Depth 3 allows at most 4^3 = 64 leaves.
+	if p.NumLeaves() > 64 {
+		t.Fatalf("depth 3 produced %d leaves", p.NumLeaves())
+	}
+}
+
+func TestDenseRegionsGetFinerLeaves(t *testing.T) {
+	// Clustered sample: leaves near the cluster must be smaller than
+	// leaves far away.
+	rng := rand.New(rand.NewSource(5))
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	var ts []tuple.Tuple
+	for i := 0; i < 2000; i++ {
+		ts = append(ts, tuple.Tuple{ID: int64(i), Pt: geom.Point{
+			X: 10 + rng.NormFloat64(),
+			Y: 10 + rng.NormFloat64(),
+		}})
+	}
+	p := Build(ts, b, 50, 0)
+	dense := p.LeafRect(p.Locate(geom.Point{X: 10, Y: 10}))
+	sparse := p.LeafRect(p.Locate(geom.Point{X: 90, Y: 90}))
+	if dense.Area() >= sparse.Area() {
+		t.Fatalf("dense leaf area %v >= sparse leaf area %v", dense.Area(), sparse.Area())
+	}
+}

@@ -1,0 +1,232 @@
+// Package replicate implements the point-to-partition assignment rules of
+// every join algorithm in the library:
+//
+//   - Adaptive: the paper's Algorithms 2 (area dispatch), 3 (MeDuPAr) and
+//     4 (SupAr) over a resolved graph of agreements — correct and
+//     duplicate-free by construction.
+//   - AdaptiveSimple: the same agreements without marking, locking or
+//     supplementary areas — correct but duplicate-producing; the variant
+//     measured against a post-join deduplication step in Table 6.
+//   - Universal: PBSM-style replication of one entire data set to every
+//     cell within ε (used by UNI(R), UNI(S) and the ε-grid baseline).
+//
+// Every function appends the point's native cell first, followed by the
+// cells it is replicated to, so callers can count replication as
+// len(result) - 1.
+package replicate
+
+import (
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+// Universal assigns p under PBSM-style universal replication: the native
+// cell always; when replicated is true (p belongs to the globally
+// replicated data set), additionally every other cell whose MINDIST from
+// p is at most ε. Works for any grid resolution including the ε-grid.
+func Universal(g *grid.Grid, p geom.Point, replicated bool, dst []int) []int {
+	cx, cy := g.Locate(p)
+	dst = append(dst, g.CellID(cx, cy))
+	if replicated {
+		dst = g.ReplicationTargets(p, dst)
+	}
+	return dst
+}
+
+// Adaptive assigns p of the given set under the paper's adaptive
+// replication (Algorithm 2). The first id is the native cell; subsequent
+// ids are replication targets, deduplicated.
+func Adaptive(gr *agreements.Graph, p geom.Point, set tuple.Set, dst []int) []int {
+	g := gr.Grid
+	cx, cy, area := g.Classify(p)
+	native := g.CellID(cx, cy)
+	dst = append(dst, native)
+
+	switch area.Kind {
+	case grid.AreaInterior:
+		// No replication area: the point stays in its native cell only.
+		return dst
+
+	case grid.AreaCorner:
+		// Merged duplicate-prone area of the quartet at this corner:
+		// MeDuPAr for that quartet, then SupAr for the two nearest
+		// neighbouring quartets (Algorithm 2 lines 5-11).
+		gx, gy, pos := g.CornerQuartet(cx, cy, area.Corner)
+		sub := gr.Sub(gx, gy)
+		dst = meDuPAr(sub, g, p, set, pos, dst)
+		// Deviation from the paper's Algorithm 2 pseudocode (documented in
+		// DESIGN.md): a point in the merged duplicate-prone area of q can
+		// simultaneously lie in a supplementary area of ANOTHER triad of
+		// the same quartet (Def. 4.10 admits it: within ε of a side
+		// neighbour whose marked edge excluded partners from this cell,
+		// farther than ε from the third cell, within 2ε of the reference
+		// point). The pseudocode only probes q' and q'', which loses such
+		// pairs; running SupAr on q as well restores them.
+		dst = supAr(sub, g, p, set, pos, dst)
+		q1x, q1y, pos1, q2x, q2y, pos2 := g.AdjacentCornerQuartets(cx, cy, area.Corner)
+		dst = supAr(gr.Sub(q1x, q1y), g, p, set, pos1, dst)
+		dst = supAr(gr.Sub(q2x, q2y), g, p, set, pos2, dst)
+
+	default: // grid.AreaStrip
+		// Plain replication area: replicate across the side when the
+		// agreement type matches, then SupAr for the two quartets at the
+		// side's endpoints (Algorithm 2 lines 12-19).
+		q1x, q1y, pos1, q2x, q2y, pos2 := g.StripQuartets(p, cx, cy, area.Side)
+		sub := gr.Sub(q1x, q1y)
+		if j, ok := grid.PosAcross(pos1, area.Side); ok {
+			if sub.Cells[j] != grid.NoCell && sub.Type(pos1, j) == set {
+				dst = append(dst, sub.Cells[j])
+			}
+		}
+		dst = supAr(sub, g, p, set, pos1, dst)
+		dst = supAr(gr.Sub(q2x, q2y), g, p, set, pos2, dst)
+	}
+	return dedupeKeepFirst(dst)
+}
+
+// meDuPAr is Algorithm 3: assignment of a point located in the merged
+// duplicate-prone area of the quartet sub, where the point's native cell
+// occupies position i.
+func meDuPAr(sub *agreements.Subgraph, g *grid.Grid, p geom.Point, set tuple.Set, i grid.Pos, dst []int) []int {
+	adj := i.SideAdjacent()
+	// Lines 2-4: side-adjacent cells via unmarked same-type edges.
+	for _, j := range adj {
+		if sub.Cells[j] == grid.NoCell {
+			continue
+		}
+		if sub.Type(i, j) == set && !sub.Marked(i, j) {
+			dst = append(dst, sub.Cells[j])
+		}
+	}
+	// Lines 5-11: the cell sharing only the reference point with i.
+	l := i.Diagonal()
+	if sub.Cells[l] != grid.NoCell && sub.Type(i, l) == set && !sub.Marked(i, l) {
+		if p.WithinDist(sub.Ref, g.Eps) {
+			dst = append(dst, sub.Cells[l])
+		} else {
+			// The point cannot reach the diagonal cell directly, but if a
+			// marked same-type side edge excluded it from a side cell, it
+			// must travel to the diagonal cell instead, where its excluded
+			// pairs are recovered.
+			for _, j := range adj {
+				if sub.Type(i, j) == set && sub.Marked(i, j) {
+					dst = append(dst, sub.Cells[l])
+					break
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// supAr is Algorithm 4: assignment of a point that may lie in a
+// supplementary area of the quartet sub, where the point's native cell
+// occupies position i. A supplementary area exists opposite a marked
+// opposite-type edge e_ji: the points that edge excludes from replication
+// into i's cell travel to a third cell of the quartet, and p — which can
+// form pairs with them — must follow them there.
+func supAr(sub *agreements.Subgraph, g *grid.Grid, p geom.Point, set tuple.Set, i grid.Pos, dst []int) []int {
+	adj := i.SideAdjacent()
+	for n, j := range adj {
+		if sub.Cells[j] == grid.NoCell {
+			continue
+		}
+		// Line 3: p must be near the reference point and near cell j.
+		if !p.WithinDist(sub.Ref, 2*g.Eps) {
+			continue
+		}
+		jx, jy := g.CellCoords(sub.Cells[j])
+		if !g.CellRect(jx, jy).WithinMinDist(p, g.Eps) {
+			continue
+		}
+		// Line 4: the edge from j into i is marked with the opposite type,
+		// so j's duplicate-prone points that p could match were excluded
+		// from i's cell.
+		if sub.Type(j, i) == set || !sub.Marked(j, i) {
+			continue
+		}
+		k := adj[1-n]     // the other side-adjacent cell
+		l := i.Diagonal() // the cell sharing only the reference point
+		// Lines 5-8: follow the excluded points to whichever cell both p
+		// (via an unmarked same-type edge from i) and they (via an
+		// unmarked opposite-type edge from j) reach.
+		switch {
+		case sub.Cells[k] != grid.NoCell &&
+			sub.Type(i, k) == set && !sub.Marked(i, k) &&
+			sub.Type(j, k) != set && !sub.Marked(j, k):
+			dst = append(dst, sub.Cells[k])
+		case sub.Cells[l] != grid.NoCell &&
+			sub.Type(i, l) == set && !sub.Marked(i, l) &&
+			sub.Type(j, l) != set && !sub.Marked(j, l):
+			dst = append(dst, sub.Cells[l])
+		}
+	}
+	return dst
+}
+
+// AdaptiveSimple assigns p under agreement-based replication without the
+// duplicate-free machinery: agreements decide which set crosses each
+// border, but no edge is treated as marked and no supplementary
+// replication happens. The assignment is correct (Corollary 4.6) but
+// produces duplicate join results in quartets with mixed agreement types
+// (Lemma 4.8); it exists as the baseline for the deduplication ablation
+// (Table 6).
+func AdaptiveSimple(gr *agreements.Graph, p geom.Point, set tuple.Set, dst []int) []int {
+	g := gr.Grid
+	cx, cy, area := g.Classify(p)
+	dst = append(dst, g.CellID(cx, cy))
+
+	switch area.Kind {
+	case grid.AreaInterior:
+		return dst
+
+	case grid.AreaCorner:
+		gx, gy, pos := g.CornerQuartet(cx, cy, area.Corner)
+		sub := gr.Sub(gx, gy)
+		for _, j := range pos.SideAdjacent() {
+			if sub.Cells[j] == grid.NoCell || sub.Type(pos, j) != set {
+				continue
+			}
+			jx, jy := g.CellCoords(sub.Cells[j])
+			if g.CellRect(jx, jy).WithinMinDist(p, g.Eps) {
+				dst = append(dst, sub.Cells[j])
+			}
+		}
+		l := pos.Diagonal()
+		if sub.Cells[l] != grid.NoCell && sub.Type(pos, l) == set && p.WithinDist(sub.Ref, g.Eps) {
+			dst = append(dst, sub.Cells[l])
+		}
+
+	default: // grid.AreaStrip
+		q1x, q1y, pos1, _, _, _ := g.StripQuartets(p, cx, cy, area.Side)
+		sub := gr.Sub(q1x, q1y)
+		if j, ok := grid.PosAcross(pos1, area.Side); ok {
+			if sub.Cells[j] != grid.NoCell && sub.Type(pos1, j) == set {
+				dst = append(dst, sub.Cells[j])
+			}
+		}
+	}
+	return dst
+}
+
+// dedupeKeepFirst removes duplicate ids preserving first occurrence. The
+// slices involved hold at most four entries, so quadratic scanning wins
+// over any map-based approach.
+func dedupeKeepFirst(ids []int) []int {
+	out := ids[:0]
+	for _, id := range ids {
+		seen := false
+		for _, o := range out {
+			if o == id {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, id)
+		}
+	}
+	return out
+}

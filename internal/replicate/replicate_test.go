@@ -1,0 +1,422 @@
+package replicate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+// joinViaAssign partitions both inputs with the given assignment function,
+// joins every cell independently, and returns the sorted result pairs
+// WITHOUT removing duplicates — so a comparison against the oracle detects
+// both missing and duplicated results.
+func joinViaAssign(g *grid.Grid, rs, ss []tuple.Tuple, assign func(p geom.Point, set tuple.Set, dst []int) []int) []tuple.Pair {
+	partsR := make([][]tuple.Tuple, g.NumCells())
+	partsS := make([][]tuple.Tuple, g.NumCells())
+	var buf []int
+	for _, r := range rs {
+		buf = assign(r.Pt, tuple.R, buf[:0])
+		for _, id := range buf {
+			partsR[id] = append(partsR[id], r)
+		}
+	}
+	for _, s := range ss {
+		buf = assign(s.Pt, tuple.S, buf[:0])
+		for _, id := range buf {
+			partsS[id] = append(partsS[id], s)
+		}
+	}
+	var c sweep.Collector
+	for cell := range partsR {
+		sweep.NestedLoop(partsR[cell], partsS[cell], g.Eps, c.Emit)
+	}
+	sortPairs(c.Pairs)
+	return c.Pairs
+}
+
+func sortPairs(ps []tuple.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].RID != ps[j].RID {
+			return ps[i].RID < ps[j].RID
+		}
+		return ps[i].SID < ps[j].SID
+	})
+}
+
+func oracle(rs, ss []tuple.Tuple, eps float64) []tuple.Pair {
+	var c sweep.Collector
+	sweep.NestedLoop(rs, ss, eps, c.Emit)
+	sortPairs(c.Pairs)
+	return c.Pairs
+}
+
+// diffPairs returns a short description of the first divergence between
+// got and want, or "" if identical.
+func diffPairs(got, want []tuple.Pair) string {
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			return fmt.Sprintf("index %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(got) != len(want) {
+		which := "missing"
+		ps := want
+		if len(got) > len(want) {
+			which = "extra (duplicate)"
+			ps = got
+		}
+		i := min(len(got), len(want))
+		return fmt.Sprintf("%s results from index %d, e.g. %v (got %d, want %d)", which, i, ps[i], len(got), len(want))
+	}
+	return ""
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gridPoints generates a jittered lattice of points covering bounds with
+// the given spacing, alternating tuple sets pseudo-randomly.
+func gridPoints(bounds geom.Rect, spacing float64, rng *rand.Rand) (rs, ss []tuple.Tuple) {
+	id := int64(0)
+	for x := bounds.MinX + spacing/2; x < bounds.MaxX; x += spacing {
+		for y := bounds.MinY + spacing/2; y < bounds.MaxY; y += spacing {
+			p := geom.Point{
+				X: x + (rng.Float64()-0.5)*spacing*0.3,
+				Y: y + (rng.Float64()-0.5)*spacing*0.3,
+			}
+			if rng.Intn(2) == 0 {
+				rs = append(rs, tuple.Tuple{ID: id, Pt: p})
+			} else {
+				ss = append(ss, tuple.Tuple{ID: id + 1_000_000, Pt: p})
+			}
+			id++
+		}
+	}
+	return rs, ss
+}
+
+func TestUniversalMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, res := range []float64{1, 2, 3} { // includes the ε-grid (res 1)
+		for trial := 0; trial < 5; trial++ {
+			bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 9, MaxY: 7}
+			g := grid.New(bounds, 1, res)
+			rs, ss := gridPoints(bounds, 0.8, rng)
+			want := oracle(rs, ss, g.Eps)
+			for _, replSet := range []tuple.Set{tuple.R, tuple.S} {
+				got := joinViaAssign(g, rs, ss, func(p geom.Point, set tuple.Set, dst []int) []int {
+					return Universal(g, p, set == replSet, dst)
+				})
+				if d := diffPairs(got, want); d != "" {
+					t.Fatalf("res %v UNI(%v) trial %d: %s", res, replSet, trial, d)
+				}
+			}
+		}
+	}
+}
+
+// maskTypeFunc builds a globally consistent pair-type function for a 2x2
+// grid from a 6-bit mask over the unordered real cell pairs; virtual pairs
+// default to R.
+func maskTypeFunc(mask int) func(ci, cj int) tuple.Set {
+	pairBit := map[[2]int]int{
+		{0, 1}: 0, {0, 2}: 1, {0, 3}: 2, {1, 2}: 3, {1, 3}: 4, {2, 3}: 5,
+	}
+	return func(ci, cj int) tuple.Set {
+		if ci == grid.NoCell || cj == grid.NoCell {
+			return tuple.R
+		}
+		lo, hi := ci, cj
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if mask&(1<<pairBit[[2]int{lo, hi}]) != 0 {
+			return tuple.S
+		}
+		return tuple.R
+	}
+}
+
+// TestAdaptiveExhaustiveQuartet is the central correctness test of the
+// reproduction: on a 2x2-cell world, every one of the 64 agreement-type
+// configurations is exercised with a dense jittered point lattice, and the
+// adaptive join must equal the oracle exactly — no missing pair, no
+// duplicate.
+func TestAdaptiveExhaustiveQuartet(t *testing.T) {
+	for _, res := range []float64{2, 2.5, 4} {
+		bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 2 * res, MaxY: 2 * res}
+		g := grid.New(bounds, 1, res)
+		if g.NX != 2 || g.NY != 2 {
+			t.Fatalf("res %v: world is %dx%d cells, want 2x2", res, g.NX, g.NY)
+		}
+		rng := rand.New(rand.NewSource(int64(res * 100)))
+		rs, ss := gridPoints(bounds, 0.37, rng)
+		want := oracle(rs, ss, g.Eps)
+
+		for mask := 0; mask < 64; mask++ {
+			gr := agreements.BuildFromTypeFunc(g, maskTypeFunc(mask))
+			got := joinViaAssign(g, rs, ss, func(p geom.Point, set tuple.Set, dst []int) []int {
+				return Adaptive(gr, p, set, dst)
+			})
+			if d := diffPairs(got, want); d != "" {
+				t.Fatalf("res %v mask %06b: %s", res, mask, d)
+			}
+		}
+	}
+}
+
+// hashTypeFunc is a deterministic pseudo-random but globally consistent
+// pair-type function.
+func hashTypeFunc(seed int64) func(ci, cj int) tuple.Set {
+	return func(ci, cj int) tuple.Set {
+		lo, hi := ci, cj
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		h := uint64(lo)*0x9e3779b97f4a7c15 ^ uint64(hi)*0xbf58476d1ce4e5b9 ^ uint64(seed)*0x94d049bb133111eb
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+		return tuple.Set(h & 1)
+	}
+}
+
+// TestAdaptiveRandomGridsAndTypes stresses multi-cell grids where quartets
+// interact: random resolutions, random world shapes, pseudo-random (but
+// pair-consistent) agreement types, dense jittered lattices.
+func TestAdaptiveRandomGridsAndTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		res := 2 + rng.Float64()*2 // [2, 4)
+		w := 2 + rng.Float64()*10
+		h := 2 + rng.Float64()*10
+		bounds := geom.Rect{MinX: -3, MinY: 5, MaxX: -3 + w*res, MaxY: 5 + h*res}
+		g := grid.New(bounds, 1, res)
+		rs, ss := gridPoints(bounds, 0.9, rng)
+		want := oracle(rs, ss, g.Eps)
+
+		gr := agreements.BuildFromTypeFunc(g, hashTypeFunc(int64(trial)))
+		got := joinViaAssign(g, rs, ss, func(p geom.Point, set tuple.Set, dst []int) []int {
+			return Adaptive(gr, p, set, dst)
+		})
+		if d := diffPairs(got, want); d != "" {
+			t.Fatalf("trial %d (res %.2f, %dx%d cells): %s", trial, res, g.NX, g.NY, d)
+		}
+	}
+}
+
+// clusteredTuples places clusters of points directly around quartet
+// reference points — the most duplicate-prone geometry.
+func clusteredTuples(g *grid.Grid, rng *rand.Rand, perCorner int) (rs, ss []tuple.Tuple) {
+	id := int64(0)
+	for gy := 0; gy <= g.NY; gy++ {
+		for gx := 0; gx <= g.NX; gx++ {
+			ref := g.RefPoint(gx, gy)
+			for i := 0; i < perCorner; i++ {
+				p := geom.Point{
+					X: ref.X + (rng.Float64()-0.5)*4*g.Eps,
+					Y: ref.Y + (rng.Float64()-0.5)*4*g.Eps,
+				}
+				if !g.Bounds.Contains(p) {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					rs = append(rs, tuple.Tuple{ID: id, Pt: p})
+				} else {
+					ss = append(ss, tuple.Tuple{ID: id + 1_000_000, Pt: p})
+				}
+				id++
+			}
+		}
+	}
+	return rs, ss
+}
+
+func TestAdaptiveCornerClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		g := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 1, 2)
+		rs, ss := clusteredTuples(g, rng, 40)
+		want := oracle(rs, ss, g.Eps)
+		gr := agreements.BuildFromTypeFunc(g, hashTypeFunc(int64(trial+500)))
+		got := joinViaAssign(g, rs, ss, func(p geom.Point, set tuple.Set, dst []int) []int {
+			return Adaptive(gr, p, set, dst)
+		})
+		if d := diffPairs(got, want); d != "" {
+			t.Fatalf("trial %d: %s", trial, d)
+		}
+	}
+}
+
+// TestAdaptiveWithSampledPolicies runs the paper's actual pipeline: LPiB
+// and DIFF agreements instantiated from a 50% sample, then the adaptive
+// assignment, which must stay exact regardless of sampling noise.
+func TestAdaptiveWithSampledPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 14, MaxY: 14}, 1, 2)
+	rs, ss := gridPoints(g.Bounds, 0.5, rng)
+	want := oracle(rs, ss, g.Eps)
+	for _, pol := range []agreements.Policy{agreements.LPiB, agreements.DIFF, agreements.UniR, agreements.UniS} {
+		st := grid.NewStats(g)
+		for i, r := range rs {
+			if i%2 == 0 {
+				st.Add(tuple.R, r.Pt)
+			}
+		}
+		for i, s := range ss {
+			if i%2 == 0 {
+				st.Add(tuple.S, s.Pt)
+			}
+		}
+		gr := agreements.Build(st, pol)
+		got := joinViaAssign(g, rs, ss, func(p geom.Point, set tuple.Set, dst []int) []int {
+			return Adaptive(gr, p, set, dst)
+		})
+		if d := diffPairs(got, want); d != "" {
+			t.Fatalf("%v: %s", pol, d)
+		}
+	}
+}
+
+// TestAdaptiveSimpleCorrectButDuplicates verifies the Table 6 baseline:
+// the simplified assignment must find every result (set-correct) and, in
+// mixed-agreement configurations, actually produce duplicates.
+func TestAdaptiveSimpleCorrectButDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 1, 2)
+	rs, ss := clusteredTuples(g, rng, 60)
+	want := oracle(rs, ss, g.Eps)
+
+	sawDuplicates := false
+	for trial := 0; trial < 10; trial++ {
+		gr := agreements.BuildFromTypeFunc(g, hashTypeFunc(int64(trial+900)))
+		got := joinViaAssign(g, rs, ss, func(p geom.Point, set tuple.Set, dst []int) []int {
+			return AdaptiveSimple(gr, p, set, dst)
+		})
+		// Set-correctness: after dedup, got must equal want exactly.
+		dedup := got[:0:0]
+		for i, p := range got {
+			if i == 0 || p != got[i-1] {
+				dedup = append(dedup, p)
+			}
+		}
+		if d := diffPairs(dedup, want); d != "" {
+			t.Fatalf("trial %d: simplified assignment incorrect after dedup: %s", trial, d)
+		}
+		if len(got) > len(dedup) {
+			sawDuplicates = true
+		}
+	}
+	if !sawDuplicates {
+		t.Fatal("simplified assignment never produced duplicates across mixed configurations; the Table 6 ablation would be vacuous")
+	}
+}
+
+// TestAdaptiveReplicationAtMostThreeCells checks the paper's replication
+// bound for l >= 2ε grids: a point is assigned to its native cell plus at
+// most 3 others.
+func TestAdaptiveReplicationAtMostThreeCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 12, MaxY: 12}, 1, 2)
+	gr := agreements.BuildFromTypeFunc(g, hashTypeFunc(1))
+	var buf []int
+	for i := 0; i < 20000; i++ {
+		p := geom.Point{X: rng.Float64() * 12, Y: rng.Float64() * 12}
+		set := tuple.Set(rng.Intn(2))
+		buf = Adaptive(gr, p, set, buf[:0])
+		if len(buf) > 4 {
+			t.Fatalf("point %v assigned to %d cells: %v", p, len(buf), buf)
+		}
+		if len(buf) == 0 {
+			t.Fatalf("point %v assigned to no cell", p)
+		}
+		// Native cell must come first.
+		cx, cy := g.Locate(p)
+		if buf[0] != g.CellID(cx, cy) {
+			t.Fatalf("point %v: first assignment %d is not the native cell", p, buf[0])
+		}
+		// No duplicates.
+		for a := 0; a < len(buf); a++ {
+			for b := a + 1; b < len(buf); b++ {
+				if buf[a] == buf[b] {
+					t.Fatalf("point %v: duplicate assignment %v", p, buf)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveReplicatesLessThanUniversal confirms the core claim on a
+// skewed workload: adaptive replication moves fewer points than the best
+// universal choice.
+func TestAdaptiveReplicatesLessThanUniversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := grid.New(geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}, 1, 2)
+	// Skew: R dense in the left half, S dense in the right half, so the
+	// best set to replicate differs by region.
+	var rs, ss []tuple.Tuple
+	for i := 0; i < 20000; i++ {
+		rs = append(rs, tuple.Tuple{ID: int64(i), Pt: geom.Point{X: rng.Float64() * 22, Y: rng.Float64() * 40}})
+		ss = append(ss, tuple.Tuple{ID: int64(i + 1_000_000), Pt: geom.Point{X: 18 + rng.Float64()*22, Y: rng.Float64() * 40}})
+	}
+	st := grid.NewStats(g)
+	st.AddAll(tuple.R, rs)
+	st.AddAll(tuple.S, ss)
+	gr := agreements.Build(st, agreements.LPiB)
+
+	countRepl := func(assign func(p geom.Point, set tuple.Set, dst []int) []int) int {
+		var buf []int
+		n := 0
+		for _, r := range rs {
+			buf = assign(r.Pt, tuple.R, buf[:0])
+			n += len(buf) - 1
+		}
+		for _, s := range ss {
+			buf = assign(s.Pt, tuple.S, buf[:0])
+			n += len(buf) - 1
+		}
+		return n
+	}
+
+	adaptive := countRepl(func(p geom.Point, set tuple.Set, dst []int) []int {
+		return Adaptive(gr, p, set, dst)
+	})
+	uniR := countRepl(func(p geom.Point, set tuple.Set, dst []int) []int {
+		return Universal(g, p, set == tuple.R, dst)
+	})
+	uniS := countRepl(func(p geom.Point, set tuple.Set, dst []int) []int {
+		return Universal(g, p, set == tuple.S, dst)
+	})
+	best := min(uniR, uniS)
+	if adaptive >= best {
+		t.Fatalf("adaptive replicated %d points, universal best %d (R=%d, S=%d)", adaptive, best, uniR, uniS)
+	}
+	t.Logf("replication: adaptive=%d, UNI(R)=%d, UNI(S)=%d", adaptive, uniR, uniS)
+}
+
+func TestDedupeKeepFirst(t *testing.T) {
+	got := dedupeKeepFirst([]int{3, 1, 3, 2, 1, 3})
+	want := []int{3, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("dedupe = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupe = %v, want %v", got, want)
+		}
+	}
+	if out := dedupeKeepFirst(nil); len(out) != 0 {
+		t.Fatal("dedupe(nil) should be empty")
+	}
+}

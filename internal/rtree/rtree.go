@@ -1,0 +1,312 @@
+// Package rtree implements an STR (Sort-Tile-Recursive) bulk-loaded
+// R-tree over points with circular and rectangular range search. It plays
+// the role of Sedona's per-partition local index in the Sedona-style
+// baseline: the larger join input is indexed per partition and probed
+// with ε-circles from the smaller input.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+// DefaultFanout is the default maximum number of entries per node.
+const DefaultFanout = 16
+
+// Tree is an immutable, bulk-loaded R-tree over points.
+type Tree struct {
+	root   *node
+	size   int
+	fanout int
+}
+
+type node struct {
+	rect     geom.Rect
+	children []*node       // nil for leaves
+	entries  []tuple.Tuple // nil for internal nodes
+}
+
+// Build constructs a tree from ts using STR packing with the given fanout
+// (clamped to a minimum of 2; DefaultFanout if non-positive). The input
+// slice is not modified.
+func Build(ts []tuple.Tuple, fanout int) *Tree {
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &Tree{size: len(ts), fanout: fanout}
+	if len(ts) == 0 {
+		return t
+	}
+	entries := make([]tuple.Tuple, len(ts))
+	copy(entries, ts)
+	t.root = buildLevel(packLeaves(entries, fanout), fanout)
+	return t
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if len(n.children) == 0 {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Bounds returns the MBR of all indexed points (empty rect when empty).
+func (t *Tree) Bounds() geom.Rect {
+	if t.root == nil {
+		return geom.EmptyRect()
+	}
+	return t.root.rect
+}
+
+// packLeaves tiles sorted entries into leaf nodes of up to fanout entries
+// using the STR strategy: sort by x, cut into vertical slices of
+// ceil(sqrt(P)) leaves each, sort each slice by y, pack runs.
+func packLeaves(entries []tuple.Tuple, fanout int) []*node {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Pt.X < entries[j].Pt.X })
+	nLeaves := (len(entries) + fanout - 1) / fanout
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := sliceCount * fanout
+
+	var leaves []*node
+	for lo := 0; lo < len(entries); lo += sliceSize {
+		hi := lo + sliceSize
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		slice := entries[lo:hi]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Pt.Y < slice[j].Pt.Y })
+		for s := 0; s < len(slice); s += fanout {
+			e := s + fanout
+			if e > len(slice) {
+				e = len(slice)
+			}
+			leaf := &node{entries: slice[s:e:e], rect: geom.BoundingRect(points(slice[s:e]))}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func points(ts []tuple.Tuple) []geom.Point {
+	out := make([]geom.Point, len(ts))
+	for i, t := range ts {
+		out[i] = t.Pt
+	}
+	return out
+}
+
+// buildLevel recursively packs nodes into parents until one root remains.
+func buildLevel(nodes []*node, fanout int) *node {
+	if len(nodes) == 1 {
+		return nodes[0]
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].rect.Center().X < nodes[j].rect.Center().X })
+	nParents := (len(nodes) + fanout - 1) / fanout
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nParents))))
+	sliceSize := sliceCount * fanout
+
+	var parents []*node
+	for lo := 0; lo < len(nodes); lo += sliceSize {
+		hi := lo + sliceSize
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		slice := nodes[lo:hi]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].rect.Center().Y < slice[j].rect.Center().Y })
+		for s := 0; s < len(slice); s += fanout {
+			e := s + fanout
+			if e > len(slice) {
+				e = len(slice)
+			}
+			p := &node{children: append([]*node(nil), slice[s:e]...)}
+			p.rect = slice[s].rect
+			for _, c := range slice[s:e] {
+				p.rect = p.rect.Union(c.rect)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return buildLevel(parents, fanout)
+}
+
+// Within visits every indexed point within distance eps of center
+// (inclusive).
+func (t *Tree) Within(center geom.Point, eps float64, visit func(tuple.Tuple)) {
+	if t.root == nil {
+		return
+	}
+	eps2 := eps * eps
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.rect.SqMinDist(center) > eps2 {
+			return
+		}
+		if n.children == nil {
+			for _, e := range n.entries {
+				if e.Pt.SqDist(center) <= eps2 {
+					visit(e)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// Nearest returns up to k indexed points closest to center, ordered by
+// ascending distance (ties broken by id for determinism). It uses
+// best-first branch-and-bound traversal over node MINDISTs.
+func (t *Tree) Nearest(center geom.Point, k int) []tuple.Tuple {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	// Best-first search: a priority queue over nodes keyed by MINDIST,
+	// and a bounded max-heap of current best candidates.
+	type queued struct {
+		n    *node
+		dist float64
+	}
+	pq := []queued{{t.root, t.root.rect.SqMinDist(center)}}
+	push := func(q queued) {
+		pq = append(pq, q)
+		for i := len(pq) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if pq[parent].dist <= pq[i].dist {
+				break
+			}
+			pq[parent], pq[i] = pq[i], pq[parent]
+			i = parent
+		}
+	}
+	pop := func() queued {
+		top := pq[0]
+		last := len(pq) - 1
+		pq[0] = pq[last]
+		pq = pq[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(pq) && pq[l].dist < pq[small].dist {
+				small = l
+			}
+			if r < len(pq) && pq[r].dist < pq[small].dist {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			pq[i], pq[small] = pq[small], pq[i]
+			i = small
+		}
+		return top
+	}
+
+	type cand struct {
+		t    tuple.Tuple
+		dist float64
+	}
+	var best []cand
+	worst := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		w := 0.0
+		for _, c := range best {
+			if c.dist > w {
+				w = c.dist
+			}
+		}
+		return w
+	}
+	insert := func(c cand) {
+		best = append(best, c)
+		if len(best) > k {
+			// Drop the worst (k is small; linear scan is fine).
+			wi := 0
+			for i, b := range best {
+				if b.dist > best[wi].dist ||
+					(b.dist == best[wi].dist && b.t.ID > best[wi].t.ID) {
+					wi = i
+				}
+			}
+			best[wi] = best[len(best)-1]
+			best = best[:len(best)-1]
+		}
+	}
+
+	for len(pq) > 0 {
+		q := pop()
+		if q.dist > worst() {
+			break
+		}
+		if q.n.children == nil {
+			for _, e := range q.n.entries {
+				d := e.Pt.SqDist(center)
+				if d < worst() || len(best) < k {
+					insert(cand{e, d})
+				}
+			}
+			continue
+		}
+		for _, c := range q.n.children {
+			d := c.rect.SqMinDist(center)
+			if d <= worst() {
+				push(queued{c, d})
+			}
+		}
+	}
+	sort.Slice(best, func(i, j int) bool {
+		if best[i].dist != best[j].dist {
+			return best[i].dist < best[j].dist
+		}
+		return best[i].t.ID < best[j].t.ID
+	})
+	out := make([]tuple.Tuple, len(best))
+	for i, c := range best {
+		out[i] = c.t
+	}
+	return out
+}
+
+// SearchRect visits every indexed point inside r (borders inclusive).
+func (t *Tree) SearchRect(r geom.Rect, visit func(tuple.Tuple)) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.rect.Intersects(r) {
+			return
+		}
+		if n.children == nil {
+			for _, e := range n.entries {
+				if r.Contains(e.Pt) {
+					visit(e)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}

@@ -1,0 +1,261 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+func randomTuples(rng *rand.Rand, n int, extent float64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{
+			ID: int64(i),
+			Pt: geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent},
+		}
+	}
+	return out
+}
+
+func idsWithin(ts []tuple.Tuple, c geom.Point, eps float64) []int64 {
+	var out []int64
+	for _, t := range ts {
+		if t.Pt.WithinDist(c, eps) {
+			out = append(out, t.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, 0)
+	if tr.Size() != 0 || tr.Height() != 0 {
+		t.Fatalf("empty tree size/height = %d/%d", tr.Size(), tr.Height())
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Fatal("empty tree bounds must be empty")
+	}
+	tr.Within(geom.Point{}, 1, func(tuple.Tuple) { t.Fatal("visit on empty tree") })
+	tr.SearchRect(geom.Rect{MaxX: 1, MaxY: 1}, func(tuple.Tuple) { t.Fatal("visit on empty tree") })
+}
+
+func TestSingleEntry(t *testing.T) {
+	tr := Build([]tuple.Tuple{{ID: 7, Pt: geom.Point{X: 3, Y: 4}}}, 4)
+	if tr.Size() != 1 || tr.Height() != 1 {
+		t.Fatalf("size/height = %d/%d", tr.Size(), tr.Height())
+	}
+	var hits []int64
+	tr.Within(geom.Point{X: 0, Y: 0}, 5, func(e tuple.Tuple) { hits = append(hits, e.ID) })
+	if len(hits) != 1 || hits[0] != 7 {
+		t.Fatalf("hits = %v", hits)
+	}
+	hits = nil
+	tr.Within(geom.Point{X: 0, Y: 0}, 4.9, func(e tuple.Tuple) { hits = append(hits, e.ID) })
+	if len(hits) != 0 {
+		t.Fatalf("point beyond eps reported: %v", hits)
+	}
+}
+
+func TestWithinMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{10, 100, 5000} {
+		for _, fanout := range []int{2, 4, 16, 64} {
+			ts := randomTuples(rng, n, 50)
+			tr := Build(ts, fanout)
+			if tr.Size() != n {
+				t.Fatalf("size = %d, want %d", tr.Size(), n)
+			}
+			for q := 0; q < 50; q++ {
+				c := geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+				eps := rng.Float64() * 5
+				want := idsWithin(ts, c, eps)
+				var got []int64
+				tr.Within(c, eps, func(e tuple.Tuple) { got = append(got, e.ID) })
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(want) {
+					t.Fatalf("n=%d fanout=%d: got %d hits, want %d", n, fanout, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d fanout=%d: hit %d = %d, want %d", n, fanout, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchRectMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ts := randomTuples(rng, 3000, 30)
+	tr := Build(ts, 8)
+	for q := 0; q < 50; q++ {
+		r := geom.NewRect(rng.Float64()*30, rng.Float64()*30, rng.Float64()*30, rng.Float64()*30)
+		want := 0
+		for _, e := range ts {
+			if r.Contains(e.Pt) {
+				want++
+			}
+		}
+		got := 0
+		tr.SearchRect(r, func(tuple.Tuple) { got++ })
+		if got != want {
+			t.Fatalf("query %d: got %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestBoundsCoverAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := randomTuples(rng, 1000, 20)
+	tr := Build(ts, 16)
+	b := tr.Bounds()
+	for _, e := range ts {
+		if !b.Contains(e.Pt) {
+			t.Fatalf("bounds %+v exclude %v", b, e.Pt)
+		}
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ts := randomTuples(rng, 10_000, 100)
+	tr := Build(ts, 16)
+	// 10000 points, fanout 16: ceil(log16(10000/16)) + 1 levels ~ 4.
+	if h := tr.Height(); h < 2 || h > 5 {
+		t.Fatalf("height = %d, want 2..5", h)
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts := randomTuples(rng, 500, 10)
+	before := append([]tuple.Tuple(nil), ts...)
+	Build(ts, 8)
+	for i := range ts {
+		if ts[i].ID != before[i].ID || ts[i].Pt != before[i].Pt {
+			t.Fatal("Build reordered its input")
+		}
+	}
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	ts := make([]tuple.Tuple, 100)
+	for i := range ts {
+		ts[i] = tuple.Tuple{ID: int64(i), Pt: geom.Point{X: 1, Y: 1}}
+	}
+	tr := Build(ts, 4)
+	got := 0
+	tr.Within(geom.Point{X: 1, Y: 1}, 0, func(tuple.Tuple) { got++ })
+	if got != 100 {
+		t.Fatalf("co-located points: got %d hits, want 100", got)
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ts := randomTuples(rng, 100_000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(ts, 16)
+	}
+}
+
+func BenchmarkWithin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ts := randomTuples(rng, 100_000, 1000)
+	tr := Build(ts, 16)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		c := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		tr.Within(c, 5, func(tuple.Tuple) { n++ })
+	}
+}
+
+func nearestLinear(ts []tuple.Tuple, c geom.Point, k int) []int64 {
+	type cand struct {
+		id   int64
+		dist float64
+	}
+	cands := make([]cand, len(ts))
+	for i, t := range ts {
+		cands[i] = cand{t.ID, t.Pt.SqDist(c)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+func TestNearestMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ts := randomTuples(rng, 3000, 40)
+	tr := Build(ts, 8)
+	for q := 0; q < 200; q++ {
+		c := geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		k := 1 + rng.Intn(20)
+		want := nearestLinear(ts, c, k)
+		got := tr.Nearest(c, k)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d neighbours, want %d", q, len(got), len(want))
+		}
+		for i := range want {
+			// Equal-distance ties may legitimately order differently only
+			// if distances collide; we break ties by id in both, so exact
+			// equality is required.
+			if got[i].ID != want[i] {
+				t.Fatalf("query %d: neighbour %d = id %d, want %d", q, i, got[i].ID, want[i])
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	empty := Build(nil, 4)
+	if out := empty.Nearest(geom.Point{}, 5); out != nil {
+		t.Fatalf("empty tree knn = %v", out)
+	}
+	ts := randomTuples(rand.New(rand.NewSource(7)), 10, 5)
+	tr := Build(ts, 4)
+	if out := tr.Nearest(geom.Point{X: 1, Y: 1}, 0); out != nil {
+		t.Fatalf("k=0 should be nil, got %v", out)
+	}
+	if out := tr.Nearest(geom.Point{X: 1, Y: 1}, 100); len(out) != 10 {
+		t.Fatalf("k > n should return all %d points, got %d", 10, len(out))
+	}
+	// Ordered ascending.
+	prev := -1.0
+	for _, e := range tr.Nearest(geom.Point{X: 1, Y: 1}, 10) {
+		d := e.Pt.SqDist(geom.Point{X: 1, Y: 1})
+		if d < prev {
+			t.Fatal("knn results not sorted by distance")
+		}
+		prev = d
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ts := randomTuples(rng, 100_000, 1000)
+	tr := Build(ts, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		tr.Nearest(c, 10)
+	}
+}

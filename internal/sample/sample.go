@@ -1,0 +1,71 @@
+// Package sample provides the dataset sampling used to estimate per-cell
+// statistics before the join runs. The paper samples 3% of each input to
+// instantiate the graph of agreements and to estimate per-cell join costs
+// for LPT scheduling.
+package sample
+
+import (
+	"math/rand"
+
+	"spatialjoin/internal/tuple"
+)
+
+// DefaultFraction is the sampling fraction used by the paper (3%).
+const DefaultFraction = 0.03
+
+// Bernoulli returns an independent sample of ts where every tuple is kept
+// with probability fraction. The result is deterministic for a given seed.
+// Fractions <= 0 yield an empty sample; fractions >= 1 return all tuples.
+func Bernoulli(ts []tuple.Tuple, fraction float64, seed int64) []tuple.Tuple {
+	if fraction <= 0 || len(ts) == 0 {
+		return nil
+	}
+	if fraction >= 1 {
+		out := make([]tuple.Tuple, len(ts))
+		copy(out, ts)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tuple.Tuple, 0, int(float64(len(ts))*fraction*12/10)+1)
+	for _, t := range ts {
+		if rng.Float64() < fraction {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Reservoir returns a uniform random sample of exactly min(k, len(ts))
+// tuples using reservoir sampling. It is used where a fixed-size sample is
+// preferable to a fixed-rate one (e.g. building the quadtree partitioner).
+func Reservoir(ts []tuple.Tuple, k int, seed int64) []tuple.Tuple {
+	if k <= 0 || len(ts) == 0 {
+		return nil
+	}
+	if k >= len(ts) {
+		out := make([]tuple.Tuple, len(ts))
+		copy(out, ts)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tuple.Tuple, k)
+	copy(out, ts[:k])
+	for i := k; i < len(ts); i++ {
+		if j := rng.Intn(i + 1); j < k {
+			out[j] = ts[i]
+		}
+	}
+	return out
+}
+
+// ScaleFactor returns the multiplier that converts sampled counts into
+// full-population estimates (1/fraction, or 0 for non-positive fractions).
+func ScaleFactor(fraction float64) float64 {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction >= 1 {
+		return 1
+	}
+	return 1 / fraction
+}

@@ -1,0 +1,112 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+func tuples(n int) []tuple.Tuple {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i), Y: float64(i)}
+	}
+	return tuple.FromPoints(pts, 0)
+}
+
+func TestBernoulliFractionApproximate(t *testing.T) {
+	ts := tuples(100_000)
+	got := Bernoulli(ts, 0.03, 1)
+	want := 3000.0
+	if math.Abs(float64(len(got))-want) > want*0.2 {
+		t.Fatalf("3%% sample of 100k = %d tuples, want about 3000", len(got))
+	}
+}
+
+func TestBernoulliDeterministic(t *testing.T) {
+	ts := tuples(10_000)
+	a := Bernoulli(ts, 0.1, 99)
+	b := Bernoulli(ts, 0.1, 99)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different sample sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("same seed, different sample content at %d", i)
+		}
+	}
+	c := Bernoulli(ts, 0.1, 100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].ID != c[i].ID {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples (vanishingly unlikely)")
+	}
+}
+
+func TestBernoulliEdgeFractions(t *testing.T) {
+	ts := tuples(100)
+	if got := Bernoulli(ts, 0, 1); got != nil {
+		t.Errorf("fraction 0 should sample nothing, got %d", len(got))
+	}
+	if got := Bernoulli(ts, -1, 1); got != nil {
+		t.Errorf("negative fraction should sample nothing, got %d", len(got))
+	}
+	if got := Bernoulli(ts, 1, 1); len(got) != 100 {
+		t.Errorf("fraction 1 should keep everything, got %d", len(got))
+	}
+	if got := Bernoulli(nil, 0.5, 1); got != nil {
+		t.Errorf("empty input should sample nothing, got %d", len(got))
+	}
+}
+
+func TestReservoirSize(t *testing.T) {
+	ts := tuples(1000)
+	if got := Reservoir(ts, 50, 1); len(got) != 50 {
+		t.Errorf("reservoir size = %d, want 50", len(got))
+	}
+	if got := Reservoir(ts, 5000, 1); len(got) != 1000 {
+		t.Errorf("k > n should return all, got %d", len(got))
+	}
+	if got := Reservoir(ts, 0, 1); got != nil {
+		t.Errorf("k=0 should return nil, got %d", len(got))
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Every element should appear with probability k/n across many seeds.
+	ts := tuples(100)
+	const k, trials = 10, 2000
+	counts := make([]int, len(ts))
+	for seed := int64(0); seed < trials; seed++ {
+		for _, tu := range Reservoir(ts, k, seed) {
+			counts[tu.ID]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(len(ts))
+	for id, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.5 {
+			t.Fatalf("element %d sampled %d times, want about %.0f", id, c, want)
+		}
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	if got := ScaleFactor(0.03); math.Abs(got-1/0.03) > 1e-12 {
+		t.Errorf("ScaleFactor(0.03) = %v", got)
+	}
+	if ScaleFactor(0) != 0 || ScaleFactor(-2) != 0 {
+		t.Error("non-positive fractions must scale to 0")
+	}
+	if ScaleFactor(1) != 1 || ScaleFactor(2) != 1 {
+		t.Error("fractions >= 1 must scale to 1")
+	}
+}

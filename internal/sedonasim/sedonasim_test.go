@@ -1,0 +1,115 @@
+package sedonasim
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+func gaussian(rng *rand.Rand, n int, base int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	centers := []geom.Point{{X: 12, Y: 12}, {X: 35, Y: 20}, {X: 20, Y: 38}}
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		out[i] = tuple.Tuple{
+			ID: base + int64(i),
+			Pt: geom.Point{X: c.X + rng.NormFloat64()*5, Y: c.Y + rng.NormFloat64()*5},
+		}
+	}
+	return out
+}
+
+func TestMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	eps := 0.9
+	for trial, sizes := range [][2]int{{4000, 3000}, {2000, 5000}, {3000, 3000}} {
+		rs := gaussian(rng, sizes[0], 0)
+		ss := gaussian(rng, sizes[1], 1_000_000)
+		var want sweep.Counter
+		sweep.NestedLoop(rs, ss, eps, want.Emit)
+		res, err := Join(rs, ss, Config{Eps: eps, Workers: 4, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Results != want.N || res.Checksum != want.Checksum {
+			t.Fatalf("sizes %v: results %d/%x, want %d/%x", sizes, res.Results, res.Checksum, want.N, want.Checksum)
+		}
+	}
+}
+
+func TestOnlySmallerSetReplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rs := gaussian(rng, 1000, 0)
+	ss := gaussian(rng, 4000, 1_000_000)
+	res, err := Join(rs, ss, Config{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R is smaller: it is the replicated side, S is uniquely assigned.
+	if res.ReplicatedS != 0 {
+		t.Fatalf("indexed set replicated: %d", res.ReplicatedS)
+	}
+	// Swap roles.
+	res, err = Join(ss, rs, Config{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReplicatedR != 0 {
+		t.Fatalf("indexed set replicated after swap: %d", res.ReplicatedR)
+	}
+}
+
+func TestPartitionerExposedAndAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	rs := gaussian(rng, 5000, 0)
+	ss := gaussian(rng, 5000, 1_000_000)
+	res, err := Join(rs, ss, Config{Eps: 1, Partitions: 32, SampleFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioner == nil {
+		t.Fatal("partitioner not exposed")
+	}
+	if res.Partitioner.NumLeaves() < 4 {
+		t.Fatalf("partitioner has %d leaves, expected a real split", res.Partitioner.NumLeaves())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Join(nil, nil, Config{Eps: 0}); err == nil {
+		t.Error("expected error for eps=0")
+	}
+	if _, err := Join(nil, nil, Config{Eps: 1}); err != nil {
+		t.Errorf("empty join should succeed: %v", err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	rs := gaussian(rng, 400, 0)
+	ss := gaussian(rng, 400, 1_000_000)
+	res, err := Join(rs, ss, Config{Eps: 1.5, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(res.Pairs)) != res.Results {
+		t.Fatalf("collected %d, counted %d", len(res.Pairs), res.Results)
+	}
+}
+
+func TestMoveNativeFirst(t *testing.T) {
+	ids := []int{5, 3, 9}
+	out := moveNativeFirst(ids, 9)
+	if out[0] != 9 {
+		t.Fatalf("native not first: %v", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing native leaf must panic")
+		}
+	}()
+	moveNativeFirst([]int{1, 2}, 7)
+}

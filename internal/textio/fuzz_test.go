@@ -1,0 +1,41 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead must never panic and, for lines it accepts, re-serialising and
+// re-reading must be a fixed point.
+func FuzzRead(f *testing.F) {
+	f.Add("1 2\n")
+	f.Add("1.5 -2.5 some payload\n")
+	f.Add("# comment\n\n3 4\n")
+	f.Add("nan inf\n")
+	f.Add("1e308 -1e308\n")
+	f.Add("x y\n")
+	f.Add("1\t2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ts, err := Read(strings.NewReader(input), 0)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var sb strings.Builder
+		if err := Write(&sb, ts); err != nil {
+			t.Fatalf("write after successful read failed: %v", err)
+		}
+		back, err := Read(strings.NewReader(sb.String()), 0)
+		if err != nil {
+			t.Fatalf("round trip re-read failed: %v\nserialised: %q", err, sb.String())
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("round trip length %d != %d", len(back), len(ts))
+		}
+		for i := range ts {
+			// NaN never equals itself; compare bit-for-bit via formatting.
+			if ts[i].Pt != back[i].Pt && !(ts[i].Pt.X != ts[i].Pt.X || ts[i].Pt.Y != ts[i].Pt.Y) {
+				t.Fatalf("point %d changed: %v -> %v", i, ts[i].Pt, back[i].Pt)
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+// Package textio reads and writes point data sets in the whitespace-
+// separated text format the paper loads from HDFS: one point per line,
+// "x y" optionally followed by arbitrary non-spatial attribute text that
+// is preserved as the tuple payload.
+package textio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+// Read parses tuples from r, assigning sequential ids from idBase. Blank
+// lines and lines starting with '#' are skipped. Any text after the two
+// coordinates becomes the tuple payload.
+func Read(r io.Reader, idBase int64) ([]tuple.Tuple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []tuple.Tuple
+	id := idBase
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		xs, rest, _ := strings.Cut(line, " ")
+		ys, payload, _ := strings.Cut(strings.TrimLeft(rest, " \t"), " ")
+		x, err := strconv.ParseFloat(xs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("textio: line %d: bad x coordinate %q: %w", lineNo, xs, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(ys), 64)
+		if err != nil {
+			return nil, fmt.Errorf("textio: line %d: bad y coordinate %q: %w", lineNo, ys, err)
+		}
+		t := tuple.Tuple{ID: id, Pt: geom.Point{X: x, Y: y}}
+		if payload = strings.TrimSpace(payload); payload != "" {
+			t.Payload = []byte(payload)
+		}
+		out = append(out, t)
+		id++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	return out, nil
+}
+
+// Write serialises tuples to w, one per line.
+func Write(w io.Writer, ts []tuple.Tuple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := fmt.Fprintf(bw, "%g %g", t.Pt.X, t.Pt.Y); err != nil {
+			return fmt.Errorf("textio: %w", err)
+		}
+		if len(t.Payload) > 0 {
+			if _, err := bw.WriteString(" " + string(t.Payload)); err != nil {
+				return fmt.Errorf("textio: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("textio: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a data set from a file.
+func ReadFile(path string, idBase int64) ([]tuple.Tuple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	defer f.Close()
+	return Read(f, idBase)
+}
+
+// WriteFile writes a data set to a file, creating or truncating it.
+func WriteFile(path string, ts []tuple.Tuple) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("textio: %w", err)
+	}
+	if err := Write(f, ts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,152 @@
+package textio
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "1.5 2.5\n-3 4.25\n"
+	ts, err := Read(strings.NewReader(in), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if ts[0].ID != 100 || ts[0].Pt != (geom.Point{X: 1.5, Y: 2.5}) {
+		t.Fatalf("first tuple %+v", ts[0])
+	}
+	if ts[1].ID != 101 || ts[1].Pt != (geom.Point{X: -3, Y: 4.25}) {
+		t.Fatalf("second tuple %+v", ts[1])
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 2\n   \n# more\n3 4\n"
+	ts, err := Read(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("len = %d, want 2", len(ts))
+	}
+}
+
+func TestReadPayload(t *testing.T) {
+	in := "1 2 Central Park, NYC\n"
+	ts, err := Read(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ts[0].Payload) != "Central Park, NYC" {
+		t.Fatalf("payload = %q", ts[0].Payload)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"abc 2\n", "1 xyz\n", "1\n"} {
+		if _, err := Read(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pts.txt")
+	in := []tuple.Tuple{
+		{ID: 0, Pt: geom.Point{X: 1.25, Y: -7}},
+		{ID: 1, Pt: geom.Point{X: 0.001, Y: 99.5}, Payload: []byte("tag=water")},
+	}
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip len %d", len(out))
+	}
+	for i := range in {
+		if out[i].Pt != in[i].Pt {
+			t.Fatalf("tuple %d point %v != %v", i, out[i].Pt, in[i].Pt)
+		}
+		if string(out[i].Payload) != string(in[i].Payload) {
+			t.Fatalf("tuple %d payload %q != %q", i, out[i].Payload, in[i].Payload)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/file.txt", 0); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestTabSeparated(t *testing.T) {
+	// A tab between coordinates is tolerated via TrimLeft.
+	ts, err := Read(strings.NewReader("1 \t2\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Pt != (geom.Point{X: 1, Y: 2}) {
+		t.Fatalf("tuple %+v", ts[0])
+	}
+}
+
+// failWriter errors after n bytes, driving Write's error paths.
+type failWriter struct{ remaining int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, errFull
+	}
+	n := len(p)
+	if n > f.remaining {
+		n = f.remaining
+	}
+	f.remaining -= n
+	if n < len(p) {
+		return n, errFull
+	}
+	return n, nil
+}
+
+var errFull = fmt.Errorf("disk full")
+
+func TestWriteErrors(t *testing.T) {
+	ts := []tuple.Tuple{
+		{ID: 0, Pt: geom.Point{X: 1, Y: 2}, Payload: []byte("attributes here")},
+		{ID: 1, Pt: geom.Point{X: 3, Y: 4}, Payload: []byte("more attributes")},
+	}
+	// Different cut points exercise the coordinate, payload and newline
+	// write failures (bufio defers errors until the buffer flushes, so
+	// any cut must surface by Flush at the latest).
+	for _, budget := range []int{0, 3, 9, 17} {
+		if err := Write(&failWriter{remaining: budget}, ts); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+	// A large enough budget succeeds.
+	if err := Write(&failWriter{remaining: 1 << 16}, ts); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	// Unwritable path.
+	if err := WriteFile("/nonexistent-dir/sub/file.txt", nil); err == nil {
+		t.Fatal("expected create error")
+	}
+	// Write into a directory path.
+	dir := t.TempDir()
+	if err := WriteFile(dir, []tuple.Tuple{{}}); err == nil {
+		t.Fatal("expected error writing to a directory")
+	}
+}

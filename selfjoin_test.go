@@ -1,0 +1,71 @@
+package spatialjoin
+
+import (
+	"testing"
+)
+
+// bruteSelf returns every unordered pair {a, b}, a.ID < b.ID, within eps.
+func bruteSelf(ts []Tuple, eps float64) []Pair {
+	var out []Pair
+	eps2 := eps * eps
+	for i := range ts {
+		for j := range ts {
+			if ts[i].ID < ts[j].ID && ts[i].Pt.SqDist(ts[j].Pt) <= eps2 {
+				out = append(out, Pair{RID: ts[i].ID, SID: ts[j].ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func TestSelfJoinMatchesBruteForce(t *testing.T) {
+	ts := GenerateGaussian(3000, 77)
+	const eps = 0.4
+	want := bruteSelf(ts, eps)
+	if len(want) == 0 {
+		t.Fatal("workload produced no self-pairs; test is vacuous")
+	}
+
+	for _, algo := range []Algorithm{
+		AdaptiveLPiB, AdaptiveDIFF, PBSMUniR, PBSMUniS, PBSMEpsGrid, PBSMClone, SedonaLike,
+	} {
+		rep, err := SelfJoin(ts, Options{Eps: eps, Algorithm: algo, Collect: true, Workers: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		got := append([]Pair(nil), rep.Pairs...)
+		sortPairs(got)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d pairs, want %d", algo, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: pair %d: %v vs %v", algo, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSelfJoinOrientationInvariant(t *testing.T) {
+	ts := GenerateUniform(2000, 5)
+	rep, err := SelfJoin(ts, Options{Eps: 1.2, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Pairs {
+		if p.RID >= p.SID {
+			t.Fatalf("pair %v not in canonical orientation", p)
+		}
+	}
+}
+
+func TestSelfJoinRejectsDedupVariant(t *testing.T) {
+	ts := GenerateUniform(10, 1)
+	if _, err := SelfJoin(ts, Options{Eps: 1, Algorithm: AdaptiveSimpleDedup}); err == nil {
+		t.Fatal("dedup ablation must be rejected for self-joins")
+	}
+	if _, err := SelfJoin(ts, Options{Eps: 1, Algorithm: AutoPlanned}); err == nil {
+		t.Fatal("auto planner must be rejected for self-joins")
+	}
+}

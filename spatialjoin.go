@@ -1,0 +1,458 @@
+// Package spatialjoin is a parallel ε-distance spatial join library with
+// adaptive replication, reproducing "Parallel Spatial Join Processing with
+// Adaptive Replication" (Koutroumanis, Doulkeridis, Vlachou — EDBT 2025).
+//
+// Given two point sets R and S and a distance threshold ε, Join reports
+// every pair (r, s) with d(r, s) ≤ ε. The library partitions space with a
+// grid and replicates boundary points so partitions join independently in
+// parallel. Its contribution over classic PBSM is adaptive replication:
+// every pair of adjacent cells locally agrees on which data set crosses
+// their border, minimising replication on skewed data while a graph-based
+// marking/locking scheme keeps the result correct and duplicate-free.
+//
+// Six algorithms share one interface: the adaptive join with the LPiB or
+// DIFF agreement policy, three PBSM baselines (UNI(R), UNI(S), ε-grid),
+// and a Sedona-style quadtree + R-tree join. All run on an in-process
+// data-parallel engine that reports the replication, shuffle-byte and
+// timing metrics of the paper's evaluation.
+//
+// Quickstart:
+//
+//	r := spatialjoin.GenerateTigerLike(200_000, 1)
+//	s := spatialjoin.GenerateGaussian(200_000, 2)
+//	rep, err := spatialjoin.Join(r, s, spatialjoin.Options{
+//		Eps:       0.5,
+//		Algorithm: spatialjoin.AdaptiveLPiB,
+//	})
+package spatialjoin
+
+import (
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/knnjoin"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/planner"
+	"spatialjoin/internal/sedonasim"
+	"spatialjoin/internal/textio"
+	"spatialjoin/internal/tuple"
+)
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Rect is a closed axis-aligned rectangle.
+type Rect = geom.Rect
+
+// Tuple is one input record: an identified point with optional payload.
+type Tuple = tuple.Tuple
+
+// Pair is one join result, the identifiers of matched (r, s) tuples.
+type Pair = tuple.Pair
+
+// Algorithm selects the join strategy.
+type Algorithm uint8
+
+const (
+	// AdaptiveLPiB is the paper's algorithm with the "least points in
+	// boundaries" agreement policy (the default).
+	AdaptiveLPiB Algorithm = iota
+	// AdaptiveDIFF is the paper's algorithm with the "greatest count
+	// difference" agreement policy.
+	AdaptiveDIFF
+	// PBSMUniR is PBSM replicating the whole R input on a 2ε grid.
+	PBSMUniR
+	// PBSMUniS is PBSM replicating the whole S input on a 2ε grid.
+	PBSMUniS
+	// PBSMEpsGrid is PBSM on an ε×ε grid replicating the smaller input.
+	PBSMEpsGrid
+	// SedonaLike joins with quadtree partitioning and per-partition
+	// R-tree indexes, mirroring Apache Sedona's distance join.
+	SedonaLike
+	// AdaptiveSimpleDedup is the ablation variant: agreement-based
+	// replication without the duplicate-free machinery, followed by a
+	// parallel distinct() pass.
+	AdaptiveSimpleDedup
+	// PBSMClone is Patel & DeWitt's clone join: both inputs replicated on
+	// a 2ε grid, duplicates avoided with the reference-point technique (a
+	// pair is reported only by the cell containing its midpoint).
+	PBSMClone
+	// AutoPlanned lets the cost-model planner choose between adaptive
+	// replication and the two universal choices from sampled statistics,
+	// minimising predicted shuffle volume. Report.Algorithm holds the
+	// strategy it selected.
+	AutoPlanned
+)
+
+// String names the algorithm as in the paper's charts.
+func (a Algorithm) String() string {
+	switch a {
+	case AdaptiveLPiB:
+		return "LPiB"
+	case AdaptiveDIFF:
+		return "DIFF"
+	case PBSMUniR:
+		return "UNI(R)"
+	case PBSMUniS:
+		return "UNI(S)"
+	case PBSMEpsGrid:
+		return "eps-grid"
+	case SedonaLike:
+		return "Sedona"
+	case AdaptiveSimpleDedup:
+		return "LPiB+dedup"
+	case PBSMClone:
+		return "clone+refpoint"
+	case AutoPlanned:
+		return "auto"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Options configures a join. Only Eps is required.
+type Options struct {
+	// Eps is the join distance threshold (required, > 0).
+	Eps float64
+	// Algorithm selects the strategy; AdaptiveLPiB by default.
+	Algorithm Algorithm
+	// Workers is the simulated cluster size; GOMAXPROCS when 0.
+	Workers int
+	// Partitions is the number of reduce partitions; 8×workers when 0.
+	Partitions int
+	// SampleFraction is the sampling rate for statistics and partitioner
+	// construction; the paper's 3% when 0.
+	SampleFraction float64
+	// Seed makes sampling deterministic.
+	Seed int64
+	// UseLPT enables the LPT cell placement (adaptive algorithms only).
+	UseLPT bool
+	// GridRes overrides the grid resolution multiplier (cell side =
+	// GridRes·ε); the algorithm default when 0. Must be >= 2 for the
+	// adaptive algorithms.
+	GridRes float64
+	// Collect materialises the result pairs in Report.Pairs; otherwise
+	// only the count and checksum are returned.
+	Collect bool
+	// Bounds fixes the data-space MBR; computed from the inputs when nil.
+	Bounds *Rect
+	// NetBandwidth simulates the cluster interconnect: remote shuffle
+	// reads are charged at this many bytes per second per worker link in
+	// SimulatedTime. Zero disables network simulation.
+	NetBandwidth float64
+}
+
+// Report is the unified outcome of any algorithm.
+type Report struct {
+	Algorithm Algorithm
+	// Results is the number of (r, s) pairs within Eps; Checksum is an
+	// order-independent hash of their identifiers.
+	Results  int64
+	Checksum uint64
+	// Pairs holds the materialised results when Options.Collect was set.
+	Pairs []Pair
+	// Replication and shuffle metrics (the paper's chart quantities).
+	ReplicatedR, ReplicatedS int64
+	ShuffledBytes            int64
+	ShuffleRemoteBytes       int64
+	// BroadcastBytes is the wire size of driver-built structures (grid +
+	// graph of agreements) shipped to every worker before the join.
+	BroadcastBytes int64
+	// Phase timings. Construction covers sampling, structure building,
+	// mapping and shuffling; Join covers the partition-level joins.
+	SampleTime, BuildTime, MapTime, ShuffleTime time.Duration
+	NetTime                                     time.Duration
+	JoinTime, DedupTime                         time.Duration
+	// MaxPartitionCost is the largest per-partition Σ|R_c|·|S_c|, a load
+	// balance indicator; CandidatePairs is the total Σ|R_c|·|S_c| across
+	// cells, the deterministic join-work metric.
+	MaxPartitionCost int64
+	CandidatePairs   int64
+	// MapBusyMax and JoinBusyMax are the busiest worker's CPU time in the
+	// map and join phases — the parallel-phase makespans of the simulated
+	// cluster.
+	MapBusyMax, JoinBusyMax time.Duration
+	// SimulatedTime is the critical-path time of the simulated cluster:
+	// sequential driver phases plus the busiest worker of each parallel
+	// phase. Unlike TotalTime (wall clock), it reflects multi-node
+	// scaling even when the host has fewer cores than simulated workers.
+	SimulatedTime time.Duration
+}
+
+// SimulatedConstructionTime returns the pre-join part of SimulatedTime:
+// sampling, structure building, the busiest map worker, and shuffling.
+func (r *Report) SimulatedConstructionTime() time.Duration {
+	return r.SampleTime + r.BuildTime + r.MapBusyMax + r.ShuffleTime + r.NetTime
+}
+
+// SimulatedJoinTime returns the join part of SimulatedTime: the busiest
+// join worker plus the distinct() pass when one ran.
+func (r *Report) SimulatedJoinTime() time.Duration {
+	return r.JoinBusyMax + r.DedupTime
+}
+
+// Replicated returns the total replicated objects across both inputs.
+func (r *Report) Replicated() int64 { return r.ReplicatedR + r.ReplicatedS }
+
+// ConstructionTime returns sampling + building + mapping + shuffling.
+func (r *Report) ConstructionTime() time.Duration {
+	return r.SampleTime + r.BuildTime + r.MapTime + r.ShuffleTime
+}
+
+// TotalTime returns the end-to-end execution time.
+func (r *Report) TotalTime() time.Duration {
+	return r.ConstructionTime() + r.JoinTime + r.DedupTime
+}
+
+// Selectivity returns Results / (|R|·|S|) for the given input sizes, the
+// quantity of the paper's Table 4.
+func (r *Report) Selectivity(nr, ns int) float64 {
+	if nr == 0 || ns == 0 {
+		return 0
+	}
+	return float64(r.Results) / (float64(nr) * float64(ns))
+}
+
+// Join computes the ε-distance join R ⋈ε S with the selected algorithm.
+func Join(rs, ss []Tuple, opt Options) (*Report, error) {
+	switch opt.Algorithm {
+	case AutoPlanned:
+		return autoJoin(rs, ss, opt)
+
+	case AdaptiveLPiB, AdaptiveDIFF, AdaptiveSimpleDedup:
+		policy := agreements.LPiB
+		if opt.Algorithm == AdaptiveDIFF {
+			policy = agreements.DIFF
+		}
+		res, err := core.Join(rs, ss, core.Config{
+			Eps:            opt.Eps,
+			Res:            opt.GridRes,
+			Policy:         policy,
+			SampleFraction: opt.SampleFraction,
+			Seed:           opt.Seed,
+			Workers:        opt.Workers,
+			Partitions:     opt.Partitions,
+			UseLPT:         opt.UseLPT,
+			Simple:         opt.Algorithm == AdaptiveSimpleDedup,
+			Collect:        opt.Collect,
+			Bounds:         opt.Bounds,
+			NetBandwidth:   opt.NetBandwidth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return report(opt.Algorithm, res.Metrics, res.Pairs), nil
+
+	case PBSMUniR, PBSMUniS, PBSMEpsGrid, PBSMClone:
+		variant := map[Algorithm]pbsm.Variant{
+			PBSMUniR: pbsm.UniR, PBSMUniS: pbsm.UniS,
+			PBSMEpsGrid: pbsm.EpsGrid, PBSMClone: pbsm.Clone,
+		}[opt.Algorithm]
+		res, err := pbsm.Join(rs, ss, pbsm.Config{
+			Eps:          opt.Eps,
+			Variant:      variant,
+			Workers:      opt.Workers,
+			Partitions:   opt.Partitions,
+			Collect:      opt.Collect,
+			Bounds:       opt.Bounds,
+			NetBandwidth: opt.NetBandwidth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return report(opt.Algorithm, res.Metrics, res.Pairs), nil
+
+	case SedonaLike:
+		res, err := sedonasim.Join(rs, ss, sedonasim.Config{
+			Eps:            opt.Eps,
+			Workers:        opt.Workers,
+			Partitions:     opt.Partitions,
+			SampleFraction: opt.SampleFraction,
+			Seed:           opt.Seed,
+			Collect:        opt.Collect,
+			Bounds:         opt.Bounds,
+			NetBandwidth:   opt.NetBandwidth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return report(opt.Algorithm, res.Metrics, res.Pairs), nil
+
+	default:
+		return nil, fmt.Errorf("spatialjoin: unknown algorithm %v", opt.Algorithm)
+	}
+}
+
+// BruteForce computes the join by comparing all pairs — O(|R|·|S|), the
+// correctness oracle for tests and tiny inputs.
+func BruteForce(rs, ss []Tuple, eps float64) []Pair {
+	var out []Pair
+	eps2 := eps * eps
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Pt.SqDist(s.Pt) <= eps2 {
+				out = append(out, Pair{RID: r.ID, SID: s.ID})
+			}
+		}
+	}
+	return out
+}
+
+// Data set helpers ----------------------------------------------------
+
+// World returns the default 100×100 data space of the bundled generators.
+func World() Rect { return datagen.World() }
+
+// GenerateUniform produces n uniform points with sequential ids from 0.
+func GenerateUniform(n int, seed int64) []Tuple {
+	return datagen.Uniform(datagen.World(), n, seed, 0)
+}
+
+// GenerateGaussian produces the paper's synthetic distribution: n points
+// over 30 Gaussian clusters with σ in the paper's range.
+func GenerateGaussian(n int, seed int64) []Tuple {
+	return datagen.GaussianClusters(datagen.World(), n, 30, 0.1, 0.8, seed, 2_000_000_000)
+}
+
+// GenerateTigerLike produces a TIGER-Hydrography-like skewed set.
+func GenerateTigerLike(n int, seed int64) []Tuple {
+	return datagen.TigerLike(datagen.World(), n, seed, 0)
+}
+
+// GenerateOSMLike produces an OSM-Parks-like skewed set.
+func GenerateOSMLike(n int, seed int64) []Tuple {
+	return datagen.OSMLike(datagen.World(), n, seed, 1_000_000_000)
+}
+
+// WithPayloads attaches a payload of the given size to every tuple,
+// modelling non-spatial attributes that must travel through shuffles.
+func WithPayloads(ts []Tuple, bytes int) []Tuple {
+	return tuple.WithPayloads(ts, bytes)
+}
+
+// FromPoints wraps raw points into tuples with sequential ids from base.
+func FromPoints(pts []Point, base int64) []Tuple {
+	return tuple.FromPoints(pts, base)
+}
+
+// ReadFile loads a data set from a text file ("x y [attributes...]" per
+// line), assigning sequential ids from idBase.
+func ReadFile(path string, idBase int64) ([]Tuple, error) {
+	return textio.ReadFile(path, idBase)
+}
+
+// WriteFile saves a data set to a text file.
+func WriteFile(path string, ts []Tuple) error {
+	return textio.WriteFile(path, ts)
+}
+
+// report converts engine metrics into the public Report.
+func report(a Algorithm, m dpe.Metrics, pairs []Pair) *Report {
+	return &Report{
+		Algorithm:          a,
+		Results:            m.Results,
+		Checksum:           m.Checksum,
+		Pairs:              pairs,
+		ReplicatedR:        m.ReplicatedR,
+		ReplicatedS:        m.ReplicatedS,
+		ShuffledBytes:      m.ShuffledBytes,
+		ShuffleRemoteBytes: m.RemoteBytes,
+		BroadcastBytes:     m.BroadcastBytes,
+		SampleTime:         m.SampleTime,
+		BuildTime:          m.BuildTime,
+		MapTime:            m.MapTime,
+		ShuffleTime:        m.ShuffleTime,
+		JoinTime:           m.JoinTime,
+		DedupTime:          m.DedupTime,
+		NetTime:            m.NetTime,
+		MaxPartitionCost:   m.MaxPartitionCost,
+		CandidatePairs:     m.TotalPartitionCost,
+		MapBusyMax:         maxDuration(m.MapBusy),
+		JoinBusyMax:        maxDuration(m.WorkerBusy),
+		SimulatedTime:      m.SimulatedTime(),
+	}
+}
+
+// maxDuration returns the largest element of ds (0 when empty).
+func maxDuration(ds []time.Duration) time.Duration {
+	var max time.Duration
+	for _, d := range ds {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// autoJoin implements the AutoPlanned algorithm: sample, cost the three
+// strategies with the analytical model, run the cheapest.
+func autoJoin(rs, ss []Tuple, opt Options) (*Report, error) {
+	if opt.Eps <= 0 {
+		return nil, fmt.Errorf("spatialjoin: Eps must be positive, got %v", opt.Eps)
+	}
+	res := opt.GridRes
+	if res == 0 {
+		res = 2
+	}
+	bounds := core.DataBounds(opt.Bounds, rs, ss)
+	g := grid.New(bounds, opt.Eps, res)
+	tupleBytes := 24
+	if len(rs) > 0 {
+		tupleBytes = rs[0].SerializedSize()
+	}
+	choice, err := planner.Plan(g, rs, ss, opt.SampleFraction, opt.Seed, tupleBytes, planner.MinShuffle)
+	if err != nil {
+		return nil, err
+	}
+	resolved := opt
+	switch choice.Strategy {
+	case planner.UniversalR:
+		resolved.Algorithm = PBSMUniR
+	case planner.UniversalS:
+		resolved.Algorithm = PBSMUniS
+	default:
+		resolved.Algorithm = AdaptiveLPiB
+	}
+	return Join(rs, ss, resolved)
+}
+
+// Neighbor is one kNN join result: SID is among the K nearest S points
+// of RID, at distance Dist.
+type Neighbor = knnjoin.Neighbor
+
+// KNNReport is the outcome of a kNN join.
+type KNNReport struct {
+	// Neighbors holds, per R point in input order, its (up to) k nearest
+	// S points sorted by ascending distance.
+	Neighbors []Neighbor
+	// Rounds is the number of radius-doubling rounds the slowest query
+	// point needed; CandidatesScanned is the total distance evaluations.
+	Rounds            int
+	CandidatesScanned int64
+}
+
+// KNNJoin finds, for every point of rs, its k nearest neighbours in ss —
+// the kNN join operator of the related distributed spatial analytics
+// systems (Sedona, LocationSpark, Simba). Only Options.Workers and
+// Options.Bounds apply.
+func KNNJoin(rs, ss []Tuple, k int, opt Options) (*KNNReport, error) {
+	res, err := knnjoin.Join(rs, ss, knnjoin.Config{
+		K:       k,
+		Workers: opt.Workers,
+		Bounds:  opt.Bounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KNNReport{
+		Neighbors:         res.Neighbors,
+		Rounds:            res.Rounds,
+		CandidatesScanned: res.CandidatesScanned,
+	}, nil
+}
