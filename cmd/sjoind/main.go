@@ -1,0 +1,90 @@
+// Command sjoind is a long-running spatial-join service: an HTTP daemon
+// over the library's prepared-plan serving layer.
+//
+// Usage:
+//
+//	sjoind [-addr :8080] [-max-concurrent N] [-max-queue N]
+//	       [-plan-cache N] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST   /v1/datasets?name=r           upload "x y [payload]" lines
+//	POST   /v1/datasets?name=r&generate=gaussian&n=200000&seed=1
+//	GET    /v1/datasets                  list datasets
+//	DELETE /v1/datasets/{name}           drop a dataset
+//	POST   /v1/join                      {"r":..,"s":..,"eps":..,...}
+//	POST   /v1/join/count                count-only fast path
+//	GET    /healthz                      200 ok / 503 draining
+//	GET    /metrics                      Prometheus text format
+//	GET    /debug/vars                   JSON metrics mirror
+//
+// On SIGTERM/SIGINT the daemon stops accepting work (healthz turns 503
+// so load balancers take it out of rotation), drains in-flight requests
+// for up to -drain-grace, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spatialjoin/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxConc    = flag.Int("max-concurrent", 0, "concurrent join executions (default GOMAXPROCS)")
+		maxQueue   = flag.Int("max-queue", 64, "admission queue depth before 429s")
+		planCache  = flag.Int("plan-cache", 32, "prepared plans kept in the LRU cache")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		PlanCacheSize:  *planCache,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sjoind: %v", err)
+	}
+	// The chosen port is printed first so scripts (and the integration
+	// test) can bind ":0" and discover where the daemon landed.
+	fmt.Printf("sjoind listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		log.Printf("sjoind: %v received, draining (grace %v)", sig, *drainGrace)
+		svc.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("sjoind: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("sjoind: drained cleanly")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("sjoind: %v", err)
+		}
+	}
+}

@@ -50,6 +50,11 @@ type Config struct {
 	Collect        bool              // materialise result pairs
 	Bounds         *geom.Rect        // data-space MBR; computed from the inputs when nil
 	NetBandwidth   float64           // simulated bytes/s per worker link (0: off)
+
+	// SampleR and SampleS optionally supply pre-drawn Bernoulli samples of
+	// the inputs (e.g. cached by a serving layer across ε re-plans); when
+	// nil, samples are drawn from the inputs with SampleFraction and Seed.
+	SampleR, SampleS []tuple.Tuple
 }
 
 // Result is the outcome of an adaptive join.
@@ -60,8 +65,29 @@ type Result struct {
 	Graph *agreements.Graph // the resolved graph of agreements
 }
 
-// Join executes the ε-distance join R ⋈ε S with adaptive replication.
-func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
+// Plan is a reusable adaptive-join execution plan: the grid, sampled
+// statistics, resolved graph of agreements, cell placement, and the
+// already-replicated partition-bucketed tuples. Building one pays the
+// whole construction pipeline once; Execute then runs only the
+// partition-level joins and may be called repeatedly and concurrently.
+type Plan struct {
+	Grid  *grid.Grid
+	Stats *grid.Stats
+	Graph *agreements.Graph
+
+	prep *dpe.Prepared
+	cfg  Config
+
+	// SampleTime and BuildTime are the construction-phase timings;
+	// BroadcastBytes is the graph's wire size per receiving node.
+	SampleTime, BuildTime time.Duration
+	BroadcastBytes        int64
+}
+
+// BuildPlan runs phases 1-3 of the paper's pipeline — sampling, graph of
+// agreements, cell placement, mapping and shuffling — and returns the
+// reusable plan without joining the partitions.
+func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 	if cfg.Eps <= 0 {
 		return nil, fmt.Errorf("core: Eps must be positive, got %v", cfg.Eps)
 	}
@@ -79,11 +105,18 @@ func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
 	bounds := DataBounds(cfg.Bounds, rs, ss)
 	g := grid.New(bounds, cfg.Eps, cfg.Res)
 
-	// Phase 1: sampling.
+	// Phase 1: sampling (skipped when the caller supplies cached samples).
 	start := time.Now()
 	st := grid.NewStats(g)
-	st.AddAll(tuple.R, sample.Bernoulli(rs, cfg.SampleFraction, cfg.Seed))
-	st.AddAll(tuple.S, sample.Bernoulli(ss, cfg.SampleFraction, cfg.Seed+1))
+	sr, sSample := cfg.SampleR, cfg.SampleS
+	if sr == nil {
+		sr = sample.Bernoulli(rs, cfg.SampleFraction, cfg.Seed)
+	}
+	if sSample == nil {
+		sSample = sample.Bernoulli(ss, cfg.SampleFraction, cfg.Seed+1)
+	}
+	st.AddAll(tuple.R, sr)
+	st.AddAll(tuple.S, sSample)
 	sampleTime := time.Since(start)
 
 	// Phase 2: graph of agreements + duplicate-free resolution, and the
@@ -97,7 +130,7 @@ func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
 	}
 	buildTime := time.Since(start)
 
-	// Phases 3-4: mapping, shuffle, partition joins on the engine.
+	// Phase 3: mapping and shuffling on the engine.
 	assign := func(p geom.Point, set tuple.Set, dst []int) []int {
 		return replicate.Adaptive(gr, p, set, dst)
 	}
@@ -106,7 +139,7 @@ func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
 			return replicate.AdaptiveSimple(gr, p, set, dst)
 		}
 	}
-	res, err := dpe.Run(dpe.Spec{
+	prep, err := dpe.Prepare(dpe.Spec{
 		R: rs, S: ss, Eps: cfg.Eps,
 		AssignR: assign, AssignS: assign,
 		Part:       part,
@@ -121,16 +154,61 @@ func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.SampleTime = sampleTime
-	res.BuildTime = buildTime
 	// The resolved graph is broadcast to every worker (Algorithm 5,
 	// line 6); account its wire size per receiving node.
 	nodes := workers
 	if nodes <= 0 {
 		nodes = defaultWorkers()
 	}
-	res.BroadcastBytes = int64(gr.EncodedSize()) * int64(nodes)
-	return &Result{Metrics: res.Metrics, Pairs: res.Pairs, Grid: g, Graph: gr}, nil
+	return &Plan{
+		Grid: g, Stats: st, Graph: gr,
+		prep: prep, cfg: cfg,
+		SampleTime: sampleTime, BuildTime: buildTime,
+		BroadcastBytes: int64(gr.EncodedSize()) * int64(nodes),
+	}, nil
+}
+
+// Exec are the per-execution knobs of a Plan.
+type Exec struct {
+	// Eps optionally re-sweeps the plan with a smaller threshold; any
+	// value in (0, plan ε] is correct and duplicate-free. Zero means the
+	// plan's ε.
+	Eps float64
+	// Collect materialises the result pairs.
+	Collect bool
+}
+
+// Eps returns the distance threshold the plan was built for.
+func (p *Plan) Eps() float64 { return p.cfg.Eps }
+
+// FootprintBytes returns the wire size of the partitioned tuples the
+// plan retains — what a plan cache should account for.
+func (p *Plan) FootprintBytes() int64 { return p.prep.FootprintBytes() }
+
+// Replicated returns the replicated objects the plan serves per Execute.
+func (p *Plan) Replicated() int64 { return p.prep.Replicated() }
+
+// Execute runs the partition-level joins of the plan. Safe for
+// concurrent use; construction metrics are carried into every result.
+func (p *Plan) Execute(e Exec) (*Result, error) {
+	res, err := p.prep.Execute(dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
+	if err != nil {
+		return nil, err
+	}
+	res.SampleTime = p.SampleTime
+	res.BuildTime = p.BuildTime
+	res.BroadcastBytes = p.BroadcastBytes
+	return &Result{Metrics: res.Metrics, Pairs: res.Pairs, Grid: p.Grid, Graph: p.Graph}, nil
+}
+
+// Join executes the ε-distance join R ⋈ε S with adaptive replication —
+// BuildPlan followed by a single Execute.
+func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
+	p, err := BuildPlan(rs, ss, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(Exec{Collect: cfg.Collect})
 }
 
 // Parallelism resolves the worker and partition counts shared by every

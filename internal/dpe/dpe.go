@@ -192,9 +192,23 @@ type keyed struct {
 	t    tuple.Tuple
 }
 
-// Run executes the pipeline. It returns an error on invalid
-// configuration; the join itself cannot fail.
-func Run(spec Spec) (*Result, error) {
+// Prepared holds the reusable product of the map and shuffle phases: the
+// already-replicated, partition-bucketed tuples of both inputs, plus the
+// construction metrics. One Prepared can be Executed any number of times
+// (concurrently, if desired) without re-mapping or re-shuffling — the
+// substrate of prepared-plan serving, where plan construction is paid
+// once and amortised over many probes.
+type Prepared struct {
+	spec         Spec
+	workers      int
+	partR, partS [][]keyed
+	build        Metrics // map + shuffle phase metrics
+}
+
+// Prepare runs the map and shuffle phases of the pipeline and returns the
+// partitioned datasets without joining them. It returns an error on
+// invalid configuration; the phases themselves cannot fail.
+func Prepare(spec Spec) (*Prepared, error) {
 	if spec.Eps <= 0 {
 		return nil, fmt.Errorf("dpe: eps must be positive, got %v", spec.Eps)
 	}
@@ -209,7 +223,8 @@ func Run(spec Spec) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	res := &Result{}
+	pr := &Prepared{spec: spec, workers: workers}
+	res := &pr.build
 	nparts := spec.Part.NumPartitions()
 
 	// ---- Map phase: flatMapToPair on both inputs, one split per worker.
@@ -254,11 +269,55 @@ func Run(spec Spec) (*Result, error) {
 	if spec.NetBandwidth > 0 {
 		res.NetTime = time.Duration(float64(res.RemoteBytes) / float64(workers) / spec.NetBandwidth * float64(time.Second))
 	}
+	pr.partR, pr.partS = partR, partS
+	return pr, nil
+}
+
+// Eps returns the distance threshold the plan was prepared for — the
+// upper bound on the ε any Execute may use.
+func (pr *Prepared) Eps() float64 { return pr.spec.Eps }
+
+// FootprintBytes returns the wire size of the partition-bucketed tuples
+// the plan holds — the quantity a plan cache should account for.
+func (pr *Prepared) FootprintBytes() int64 { return pr.build.ShuffledBytes }
+
+// Replicated returns the replicated objects the plan serves per Execute.
+func (pr *Prepared) Replicated() int64 { return pr.build.Replicated() }
+
+// ExecOptions are the per-execution knobs of a Prepared join.
+type ExecOptions struct {
+	// Eps optionally re-sweeps the prepared partitions with a smaller
+	// threshold. Replication for ε co-locates every pair within ε' ≤ ε in
+	// exactly one common cell, so any ε' in (0, plan ε] stays correct and
+	// duplicate-free. Zero means the plan's own ε.
+	Eps float64
+	// Collect materialises the result pairs.
+	Collect bool
+}
+
+// Execute runs the reduce phase (and the distinct() pass, when the spec
+// asked for one) over the prepared partitions. It is safe to call
+// concurrently: the partition buckets are only read.
+func (pr *Prepared) Execute(opt ExecOptions) (*Result, error) {
+	eps := opt.Eps
+	if eps == 0 {
+		eps = pr.spec.Eps
+	}
+	if eps <= 0 || eps > pr.spec.Eps {
+		return nil, fmt.Errorf("dpe: execute eps %v outside (0, %v], the range the plan's replication supports", opt.Eps, pr.spec.Eps)
+	}
+	spec := pr.spec
+	workers := pr.workers
+	partR, partS := pr.partR, pr.partS
+	nparts := spec.Part.NumPartitions()
+	collectOut := opt.Collect
+
+	res := &Result{Metrics: pr.build}
 
 	// ---- Reduce phase: per-partition hash grouping by cell + plane
 	// sweep join with refinement. Partitions are owned by workers
 	// round-robin; workers run concurrently, their partitions serially.
-	start = time.Now()
+	start := time.Now()
 	type partOut struct {
 		counter sweep.Counter
 		pairs   []tuple.Pair
@@ -267,7 +326,7 @@ func Run(spec Spec) (*Result, error) {
 	outs := make([]partOut, nparts)
 	busy := make([]time.Duration, workers)
 	var wg sync.WaitGroup
-	collect := spec.Collect || spec.Dedup
+	collect := collectOut || spec.Dedup
 	kernel := spec.Kernel
 	if kernel == nil {
 		kernel = func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
@@ -286,7 +345,7 @@ func Run(spec Spec) (*Result, error) {
 			defer func() { <-sem }()
 			t0 := time.Now()
 			for p := w; p < nparts; p += workers {
-				outs[p] = joinPartition(partR[p], partS[p], spec.Eps, kernel, collect, spec.SelfFilter)
+				outs[p] = joinPartition(partR[p], partS[p], eps, kernel, collect, spec.SelfFilter)
 			}
 			busy[w] = time.Since(t0)
 		}(w)
@@ -327,11 +386,21 @@ func Run(spec Spec) (*Result, error) {
 			c.Emit(tuple.Tuple{ID: p.RID}, tuple.Tuple{ID: p.SID})
 		}
 		res.Checksum = c.Checksum
-		if !spec.Collect {
+		if !collectOut {
 			res.Pairs = nil
 		}
 	}
 	return res, nil
+}
+
+// Run executes the full pipeline — Prepare followed by a single Execute —
+// preserving the one-shot batch interface.
+func Run(spec Spec) (*Result, error) {
+	pr, err := Prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Execute(ExecOptions{Collect: spec.Collect})
 }
 
 // mapPhase runs the keyed assignment of one input over the worker pool.

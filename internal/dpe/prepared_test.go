@@ -1,0 +1,125 @@
+package dpe
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestPrepareExecuteMatchesRun asserts that splitting the pipeline into
+// Prepare + Execute is observationally identical to the one-shot Run,
+// and that repeated executions of the same plan agree bit for bit.
+func TestPrepareExecuteMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rs := randomTuples(rng, 2000, 20, 0)
+	ss := randomTuples(rng, 2000, 20, 1_000_000)
+	spec, _ := uniSpec(rs, ss, 0.6, 4, 16)
+
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := pr.Execute(ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Results != want.Results || got.Checksum != want.Checksum {
+			t.Fatalf("execute %d: (%d, %#x) != run (%d, %#x)",
+				i, got.Results, got.Checksum, want.Results, want.Checksum)
+		}
+		if got.ReplicatedR != want.ReplicatedR || got.ShuffledBytes != want.ShuffledBytes {
+			t.Fatalf("execute %d lost construction metrics", i)
+		}
+	}
+	if pr.FootprintBytes() != want.ShuffledBytes {
+		t.Fatalf("footprint %d != shuffled bytes %d", pr.FootprintBytes(), want.ShuffledBytes)
+	}
+}
+
+// TestPreparedConcurrentExecute hammers one plan from many goroutines;
+// run under -race this checks Execute never mutates shared plan state.
+func TestPreparedConcurrentExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rs := randomTuples(rng, 1000, 20, 0)
+	ss := randomTuples(rng, 1000, 20, 1_000_000)
+	spec, _ := uniSpec(rs, ss, 0.5, 4, 16)
+	pr, err := Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pr.Execute(ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(collect bool) {
+			defer wg.Done()
+			got, err := pr.Execute(ExecOptions{Collect: collect})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.Results != base.Results || got.Checksum != base.Checksum {
+				t.Errorf("concurrent execute diverged: (%d, %#x) != (%d, %#x)",
+					got.Results, got.Checksum, base.Results, base.Checksum)
+			}
+			if collect && int64(len(got.Pairs)) != got.Results {
+				t.Errorf("collected %d pairs, counted %d", len(got.Pairs), got.Results)
+			}
+		}(i%2 == 0)
+	}
+	wg.Wait()
+}
+
+// TestPreparedEpsResweep executes a plan prepared for a large ε with
+// smaller thresholds: every ε' ≤ ε must match a fresh Run at ε', and
+// thresholds outside (0, ε] must be rejected.
+func TestPreparedEpsResweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rs := randomTuples(rng, 2000, 20, 0)
+	ss := randomTuples(rng, 2000, 20, 1_000_000)
+	const eps = 0.8
+	spec, _ := uniSpec(rs, ss, eps, 4, 16)
+	pr, err := Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Eps() != eps {
+		t.Fatalf("plan eps %v, want %v", pr.Eps(), eps)
+	}
+	for _, sub := range []float64{0.8, 0.6, 0.3} {
+		got, err := pr.Execute(ExecOptions{Eps: sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Independent reference: a one-shot Run whose grid and replication
+		// are built for ε' directly.
+		freshSpec, _ := uniSpec(rs, ss, sub, 4, 16)
+		ref, err := Run(freshSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Results != ref.Results || got.Checksum != ref.Checksum {
+			t.Fatalf("eps %v: (%d, %#x) != (%d, %#x)", sub, got.Results, got.Checksum, ref.Results, ref.Checksum)
+		}
+	}
+	// Sanity: smaller eps yields strictly fewer results on this data.
+	big, _ := pr.Execute(ExecOptions{Eps: 0.8})
+	small, _ := pr.Execute(ExecOptions{Eps: 0.3})
+	if small.Results >= big.Results {
+		t.Fatalf("re-sweep not monotone: %d >= %d", small.Results, big.Results)
+	}
+	if _, err := pr.Execute(ExecOptions{Eps: 1.5}); err == nil {
+		t.Fatal("eps beyond the plan's threshold must be rejected")
+	}
+	if _, err := pr.Execute(ExecOptions{Eps: -1}); err == nil {
+		t.Fatal("negative eps must be rejected")
+	}
+}

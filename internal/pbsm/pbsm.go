@@ -83,8 +83,19 @@ type Result struct {
 	Grid  *grid.Grid
 }
 
-// Join executes the ε-distance join with universal replication.
-func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
+// Plan is a reusable PBSM execution plan: the grid plus the replicated,
+// partition-bucketed tuples. Execute may be called repeatedly and
+// concurrently.
+type Plan struct {
+	Grid *grid.Grid
+
+	prep      *dpe.Prepared
+	buildTime time.Duration
+}
+
+// BuildPlan constructs the grid, maps and shuffles both inputs, and
+// returns the reusable plan without joining the partitions.
+func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 	if cfg.Eps <= 0 {
 		return nil, fmt.Errorf("pbsm: Eps must be positive, got %v", cfg.Eps)
 	}
@@ -119,12 +130,41 @@ func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
 		spec.AssignR, spec.AssignS = both, both
 		spec.Kernel = refPointKernel(g)
 	}
-	out, err := dpe.Run(spec)
+	prep, err := dpe.Prepare(spec)
 	if err != nil {
 		return nil, err
 	}
-	out.BuildTime = buildTime
-	return &Result{Metrics: out.Metrics, Pairs: out.Pairs, Grid: g}, nil
+	return &Plan{Grid: g, prep: prep, buildTime: buildTime}, nil
+}
+
+// Eps returns the distance threshold the plan was built for.
+func (p *Plan) Eps() float64 { return p.prep.Eps() }
+
+// FootprintBytes returns the wire size of the partitioned tuples.
+func (p *Plan) FootprintBytes() int64 { return p.prep.FootprintBytes() }
+
+// Replicated returns the replicated objects the plan serves per Execute.
+func (p *Plan) Replicated() int64 { return p.prep.Replicated() }
+
+// Execute runs the partition-level joins of the plan; e.Eps in
+// (0, plan ε] re-sweeps with a smaller threshold (0 means the plan's ε).
+func (p *Plan) Execute(e core.Exec) (*Result, error) {
+	out, err := p.prep.Execute(dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
+	if err != nil {
+		return nil, err
+	}
+	out.BuildTime = p.buildTime
+	return &Result{Metrics: out.Metrics, Pairs: out.Pairs, Grid: p.Grid}, nil
+}
+
+// Join executes the ε-distance join with universal replication —
+// BuildPlan followed by a single Execute.
+func Join(rs, ss []tuple.Tuple, cfg Config) (*Result, error) {
+	p, err := BuildPlan(rs, ss, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(core.Exec{Collect: cfg.Collect})
 }
 
 // Res returns the grid resolution multiplier of the variant.

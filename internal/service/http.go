@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/textio"
+)
+
+// algorithmNames maps the wire names accepted by the API (the same ones
+// cmd/sjoin takes) to algorithms.
+var algorithmNames = map[string]spatialjoin.Algorithm{
+	"":           spatialjoin.AdaptiveLPiB,
+	"lpib":       spatialjoin.AdaptiveLPiB,
+	"diff":       spatialjoin.AdaptiveDIFF,
+	"uni-r":      spatialjoin.PBSMUniR,
+	"uni-s":      spatialjoin.PBSMUniS,
+	"eps-grid":   spatialjoin.PBSMEpsGrid,
+	"sedona":     spatialjoin.SedonaLike,
+	"lpib-dedup": spatialjoin.AdaptiveSimpleDedup,
+	"clone":      spatialjoin.PBSMClone,
+	"auto":       spatialjoin.AutoPlanned,
+}
+
+// joinRequestWire is the JSON body of POST /v1/join.
+type joinRequestWire struct {
+	R              string  `json:"r"`
+	S              string  `json:"s"`
+	Eps            float64 `json:"eps"`
+	Algorithm      string  `json:"algorithm,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	Partitions     int     `json:"partitions,omitempty"`
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	UseLPT         bool    `json:"use_lpt,omitempty"`
+	GridRes        float64 `json:"grid_res,omitempty"`
+	Collect        bool    `json:"collect,omitempty"`
+	Limit          int     `json:"limit,omitempty"`
+	TimeoutMillis  int64   `json:"timeout_ms,omitempty"`
+}
+
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/datasets?name=N       upload a dataset ("x y [payload]" lines)
+//	POST   /v1/datasets?name=N&generate=K&n=M&seed=S   generate one instead
+//	GET    /v1/datasets              list datasets
+//	DELETE /v1/datasets/{name}       drop a dataset (and its cached plans)
+//	POST   /v1/join                  execute a join (JSON body)
+//	POST   /v1/join/count            same, but never materialises pairs
+//	GET    /healthz                  200 ok / 503 draining
+//	GET    /metrics                  Prometheus text format
+//	GET    /debug/vars               JSON mirror of /metrics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets_put", s.handlePutDataset))
+	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets_list", s.handleListDatasets))
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets_delete", s.handleDeleteDataset))
+	mux.HandleFunc("POST /v1/join", s.instrument("join", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		return s.handleJoin(w, r, true)
+	}))
+	mux.HandleFunc("POST /v1/join/count", s.instrument("join_count", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		return s.handleJoin(w, r, false)
+	}))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return mux
+}
+
+// instrument wraps a handler with request counting by endpoint and code.
+func (s *Service) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) (int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		code, err := h(w, r)
+		if err != nil {
+			writeError(w, code, err)
+		}
+		s.Metrics.Requests.Inc(endpoint, strconv.Itoa(code))
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorWire{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) (int, error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+	return code, nil
+}
+
+func (s *Service) handlePutDataset(w http.ResponseWriter, r *http.Request) (int, error) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		return http.StatusBadRequest, fmt.Errorf("service: query parameter 'name' is required")
+	}
+	var ts []spatialjoin.Tuple
+	if kind := r.URL.Query().Get("generate"); kind != "" {
+		n, err := strconv.Atoi(r.URL.Query().Get("n"))
+		if err != nil || n <= 0 || n > 10_000_000 {
+			return http.StatusBadRequest, fmt.Errorf("service: generate requires 'n' in [1, 1e7]")
+		}
+		seed, _ := strconv.ParseInt(r.URL.Query().Get("seed"), 10, 64)
+		switch kind {
+		case "uniform":
+			ts = spatialjoin.GenerateUniform(n, seed)
+		case "gaussian":
+			ts = spatialjoin.GenerateGaussian(n, seed)
+		case "tiger":
+			ts = spatialjoin.GenerateTigerLike(n, seed)
+		case "osm":
+			ts = spatialjoin.GenerateOSMLike(n, seed)
+		default:
+			return http.StatusBadRequest, fmt.Errorf("service: unknown generator %q (uniform, gaussian, tiger, osm)", kind)
+		}
+	} else {
+		var err error
+		ts, err = textio.Read(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes), 0)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		if len(ts) == 0 {
+			return http.StatusBadRequest, fmt.Errorf("service: upload contained no points")
+		}
+	}
+	rev, err := s.Registry.Put(name, ts)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	// A replaced dataset invalidates plans referencing the old revision;
+	// drop them eagerly rather than waiting for LRU pressure.
+	s.cache.Invalidate(name)
+	b := boundsOf(ts)
+	return writeJSON(w, http.StatusCreated, DatasetInfo{
+		Name: name, Points: len(ts), Rev: rev,
+		MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY,
+	})
+}
+
+func (s *Service) handleListDatasets(w http.ResponseWriter, r *http.Request) (int, error) {
+	return writeJSON(w, http.StatusOK, s.Registry.List())
+}
+
+func (s *Service) handleDeleteDataset(w http.ResponseWriter, r *http.Request) (int, error) {
+	name := r.PathValue("name")
+	if !s.Registry.Delete(name) {
+		return http.StatusNotFound, fmt.Errorf("service: unknown dataset %q", name)
+	}
+	s.cache.Invalidate(name)
+	return writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request, allowCollect bool) (int, error) {
+	var wire joinRequestWire
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("service: bad join request: %w", err)
+	}
+	algo, ok := algorithmNames[strings.ToLower(wire.Algorithm)]
+	if !ok {
+		return http.StatusBadRequest, fmt.Errorf("service: unknown algorithm %q", wire.Algorithm)
+	}
+	req := JoinRequest{
+		R: wire.R, S: wire.S, Eps: wire.Eps, Algorithm: algo,
+		Workers: wire.Workers, Partitions: wire.Partitions,
+		SampleFraction: wire.SampleFraction, Seed: wire.Seed,
+		UseLPT: wire.UseLPT, GridRes: wire.GridRes,
+		Collect: wire.Collect && allowCollect, Limit: wire.Limit,
+		Timeout: time.Duration(wire.TimeoutMillis) * time.Millisecond,
+	}
+	resp, err := s.Join(r.Context(), req)
+	if err != nil {
+		return joinErrorCode(err), err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// joinErrorCode maps service errors to HTTP status codes.
+func joinErrorCode(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, spatialjoin.ErrNotPreparable):
+		// Still a valid query — it just cannot be cached; the service
+		// runs Sedona-like joins one-shot, so reaching here is a bug
+		// guard rather than an expected path.
+		return http.StatusBadRequest
+	case strings.Contains(err.Error(), "unknown dataset"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Metrics.Render(w)
+}
+
+func (s *Service) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Metrics.Snapshot())
+}

@@ -1,0 +1,271 @@
+// Metrics: a dependency-free micro-registry of counters, gauges and
+// histograms rendered in the Prometheus text exposition format on
+// /metrics, with a JSON mirror on /debug/vars.
+
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// counter is a monotonically increasing metric.
+type counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+func (c *counter) Add(n int64) { c.v.Add(n) }
+func (c *counter) Inc()        { c.v.Add(1) }
+func (c *counter) Value() int64 {
+	return c.v.Load()
+}
+
+// gauge is a metric that can go up and down.
+type gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+func (g *gauge) Add(n int64) { g.v.Add(n) }
+func (g *gauge) Set(n int64) { g.v.Store(n) }
+func (g *gauge) Value() int64 {
+	return g.v.Load()
+}
+
+// counterVec is a counter partitioned by label values.
+type counterVec struct {
+	name, help string
+	labels     []string // label names, in render order
+
+	mu   sync.Mutex
+	vals map[string]*atomic.Int64 // key: label values joined by '\xff'
+}
+
+func (c *counterVec) Inc(labelValues ...string) {
+	if len(labelValues) != len(c.labels) {
+		panic(fmt.Sprintf("metric %s: %d label values for %d labels", c.name, len(labelValues), len(c.labels)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	c.mu.Lock()
+	v, ok := c.vals[key]
+	if !ok {
+		if c.vals == nil {
+			c.vals = map[string]*atomic.Int64{}
+		}
+		v = &atomic.Int64{}
+		c.vals[key] = v
+	}
+	c.mu.Unlock()
+	v.Add(1)
+}
+
+// Value returns the count for one label combination (0 if never seen).
+func (c *counterVec) Value(labelValues ...string) int64 {
+	key := strings.Join(labelValues, "\xff")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.vals[key]; ok {
+		return v.Load()
+	}
+	return 0
+}
+
+// histogram is a fixed-bucket cumulative histogram of seconds.
+type histogram struct {
+	name, help string
+	bounds     []float64 // upper bounds, ascending; +Inf implicit
+
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+func newHistogram(name, help string, bounds ...float64) *histogram {
+	return &histogram{name: name, help: help, bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// defBuckets are latency buckets from 100µs to ~100s.
+var defBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Metrics is the service's metric set.
+type Metrics struct {
+	Requests *counterVec // by endpoint, code
+	Rejected *counterVec // by reason (queue_full, draining, timeout)
+
+	InFlight   *gauge
+	QueueDepth *gauge
+	QueueWait  *histogram
+
+	PlanCacheHits      *counter
+	PlanCacheMisses    *counter
+	PlanCacheEvictions *counter
+	PlanCacheEntries   *gauge
+	PlanCacheBytes     *gauge
+
+	PlanBuild *histogram // prepared-plan construction latency
+	Probe     *histogram // plan execution (probe) latency
+
+	JoinResults      *counter // result pairs served
+	ReplicatedServed *counter // replicated objects served by executed plans
+	Datasets         *gauge
+	DatasetPoints    *gauge
+}
+
+// NewMetrics builds the service metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Requests: &counterVec{name: "sjoind_requests_total", help: "HTTP requests by endpoint and status code.",
+			labels: []string{"endpoint", "code"}},
+		Rejected: &counterVec{name: "sjoind_rejected_total", help: "Requests rejected by admission control, by reason.",
+			labels: []string{"reason"}},
+		InFlight:   &gauge{name: "sjoind_requests_in_flight", help: "Join requests currently executing."},
+		QueueDepth: &gauge{name: "sjoind_queue_depth", help: "Join requests waiting for an execution slot."},
+		QueueWait:  newHistogram("sjoind_queue_wait_seconds", "Time spent waiting for an execution slot.", defBuckets...),
+
+		PlanCacheHits:      &counter{name: "sjoind_plan_cache_hits_total", help: "Join requests served from a cached prepared plan."},
+		PlanCacheMisses:    &counter{name: "sjoind_plan_cache_misses_total", help: "Join requests that had to build a prepared plan."},
+		PlanCacheEvictions: &counter{name: "sjoind_plan_cache_evictions_total", help: "Prepared plans evicted by the LRU policy."},
+		PlanCacheEntries:   &gauge{name: "sjoind_plan_cache_entries", help: "Prepared plans currently cached."},
+		PlanCacheBytes:     &gauge{name: "sjoind_plan_cache_bytes", help: "Approximate wire size of the cached partitioned tuples."},
+
+		PlanBuild: newHistogram("sjoind_plan_build_seconds", "Prepared-plan construction latency (sample, grid, agreements, map, shuffle).", defBuckets...),
+		Probe:     newHistogram("sjoind_probe_seconds", "Plan execution latency (partition-level joins).", defBuckets...),
+
+		JoinResults:      &counter{name: "sjoind_join_results_total", help: "Result pairs counted across all joins."},
+		ReplicatedServed: &counter{name: "sjoind_replicated_objects_served_total", help: "Replicated objects served by executed plans."},
+		Datasets:         &gauge{name: "sjoind_datasets", help: "Datasets currently registered."},
+		DatasetPoints:    &gauge{name: "sjoind_dataset_points", help: "Total points across registered datasets."},
+	}
+}
+
+// Render writes the metric set in the Prometheus text exposition format.
+func (m *Metrics) Render(w io.Writer) {
+	for _, c := range []*counter{
+		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
+		m.JoinResults, m.ReplicatedServed,
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+	}
+	for _, g := range []*gauge{
+		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
+		m.Datasets, m.DatasetPoints,
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+	}
+	for _, v := range []*counterVec{m.Requests, m.Rejected} {
+		renderVec(w, v)
+	}
+	for _, h := range []*histogram{m.QueueWait, m.PlanBuild, m.Probe} {
+		renderHistogram(w, h)
+	}
+}
+
+func renderVec(w io.Writer, v *counterVec) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name)
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		labels string
+		n      int64
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		vals := strings.Split(k, "\xff")
+		parts := make([]string, len(v.labels))
+		for i, name := range v.labels {
+			parts[i] = fmt.Sprintf("%s=%q", name, vals[i])
+		}
+		rows = append(rows, row{labels: strings.Join(parts, ","), n: v.vals[k].Load()})
+	}
+	v.mu.Unlock()
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, r.labels, r.n)
+	}
+}
+
+func renderHistogram(w io.Writer, h *histogram) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(ub), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", h.name, n)
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// Snapshot returns the metric set as a flat JSON-friendly map — the
+// /debug/vars mirror of the Prometheus exposition.
+func (m *Metrics) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, c := range []*counter{
+		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
+		m.JoinResults, m.ReplicatedServed,
+	} {
+		out[c.name] = c.Value()
+	}
+	for _, g := range []*gauge{
+		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
+		m.Datasets, m.DatasetPoints,
+	} {
+		out[g.name] = g.Value()
+	}
+	for _, v := range []*counterVec{m.Requests, m.Rejected} {
+		sub := map[string]int64{}
+		v.mu.Lock()
+		for k, n := range v.vals {
+			sub[strings.ReplaceAll(k, "\xff", ",")] = n.Load()
+		}
+		v.mu.Unlock()
+		out[v.name] = sub
+	}
+	for _, h := range []*histogram{m.QueueWait, m.PlanBuild, m.Probe} {
+		h.mu.Lock()
+		out[h.name] = map[string]any{"count": h.n, "sum_seconds": h.sum}
+		h.mu.Unlock()
+	}
+	return out
+}

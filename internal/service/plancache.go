@@ -1,0 +1,163 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"spatialjoin"
+)
+
+// PlanKey identifies one prepared plan: the dataset pair (by name AND
+// revision, so re-uploads invalidate), the join parameters, and the
+// algorithm. Two requests with equal keys can share a plan.
+type PlanKey struct {
+	R, S           string
+	RRev, SRev     int64
+	Eps            float64
+	Algorithm      spatialjoin.Algorithm
+	Workers        int
+	Partitions     int
+	SampleFraction float64
+	Seed           int64
+	UseLPT         bool
+	GridRes        float64
+}
+
+// planCache is an LRU cache of prepared plans with single-flight
+// construction: concurrent requests for the same key build the plan
+// exactly once and share the result. Errors are returned to every
+// waiter but never cached.
+type planCache struct {
+	cap     int
+	metrics *Metrics
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[PlanKey]*list.Element
+	bytes    int64
+	inflight map[PlanKey]*planCall
+}
+
+type planEntry struct {
+	key  PlanKey
+	plan *spatialjoin.PreparedJoin
+}
+
+type planCall struct {
+	done chan struct{}
+	plan *spatialjoin.PreparedJoin
+	err  error
+}
+
+func newPlanCache(capacity int, m *Metrics) *planCache {
+	return &planCache{
+		cap:      capacity,
+		metrics:  m,
+		ll:       list.New(),
+		items:    map[PlanKey]*list.Element{},
+		inflight: map[PlanKey]*planCall{},
+	}
+}
+
+// GetOrBuild returns the cached plan for key, or builds it with build.
+// The returned bool reports whether the caller skipped construction.
+// Concurrent callers with the same key wait for the first builder and
+// share its plan, so misses (and PlanBuild observations) count actual
+// constructions exactly once per key generation.
+func (c *planCache) GetOrBuild(key PlanKey, build func() (*spatialjoin.PreparedJoin, error)) (*spatialjoin.PreparedJoin, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		plan := el.Value.(*planEntry).plan
+		c.mu.Unlock()
+		if c.metrics != nil {
+			c.metrics.PlanCacheHits.Inc()
+		}
+		return plan, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		if c.metrics != nil {
+			c.metrics.PlanCacheHits.Inc()
+		}
+		return call.plan, true, nil
+	}
+	call := &planCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	if c.metrics != nil {
+		c.metrics.PlanCacheMisses.Inc()
+	}
+	call.plan, call.err = build()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.insert(key, call.plan)
+	}
+	c.mu.Unlock()
+	return call.plan, false, call.err
+}
+
+// insert adds a plan and evicts from the LRU tail past capacity.
+// Callers hold c.mu.
+func (c *planCache) insert(key PlanKey, plan *spatialjoin.PreparedJoin) {
+	if el, ok := c.items[key]; ok { // lost a race with another builder
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	c.bytes += plan.FootprintBytes()
+	for c.cap > 0 && c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		e := tail.Value.(*planEntry)
+		c.ll.Remove(tail)
+		delete(c.items, e.key)
+		c.bytes -= e.plan.FootprintBytes()
+		if c.metrics != nil {
+			c.metrics.PlanCacheEvictions.Inc()
+		}
+	}
+	if c.metrics != nil {
+		c.metrics.PlanCacheEntries.Set(int64(c.ll.Len()))
+		c.metrics.PlanCacheBytes.Set(c.bytes)
+	}
+}
+
+// Invalidate drops every cached plan that references dataset name — used
+// when a dataset is deleted or replaced. (Replacement alone is already
+// safe via revisions; invalidation frees the memory eagerly.)
+func (c *planCache) Invalidate(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*planEntry)
+		if e.key.R == name || e.key.S == name {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.bytes -= e.plan.FootprintBytes()
+			dropped++
+		}
+		el = next
+	}
+	if c.metrics != nil && dropped > 0 {
+		c.metrics.PlanCacheEntries.Set(int64(c.ll.Len()))
+		c.metrics.PlanCacheBytes.Set(c.bytes)
+	}
+	return dropped
+}
+
+// Len returns the number of cached plans.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spatialjoin"
+)
+
+// sampleKey identifies one cached Bernoulli sample of a dataset.
+type sampleKey struct {
+	fraction float64
+	seed     int64
+}
+
+// dataset is one registered, immutable point set. Re-uploading under the
+// same name replaces it and bumps the revision, invalidating plan-cache
+// keys that embedded the old revision.
+type dataset struct {
+	Name   string
+	Rev    int64
+	Tuples []spatialjoin.Tuple
+	Bounds spatialjoin.Rect
+
+	mu      sync.Mutex
+	samples map[sampleKey][]spatialjoin.Tuple
+}
+
+// sample returns the dataset's Bernoulli sample for (fraction, seed),
+// drawing and caching it on first use — the reuse that makes ε re-plans
+// skip the sampling pass.
+func (d *dataset) sample(fraction float64, seed int64) []spatialjoin.Tuple {
+	key := sampleKey{fraction, seed}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.samples[key]; ok {
+		return s
+	}
+	s := spatialjoin.Sample(d.Tuples, fraction, seed)
+	if d.samples == nil {
+		d.samples = map[sampleKey][]spatialjoin.Tuple{}
+	}
+	d.samples[key] = s
+	return s
+}
+
+// DatasetInfo describes a registered dataset to clients.
+type DatasetInfo struct {
+	Name   string  `json:"name"`
+	Points int     `json:"points"`
+	Rev    int64   `json:"rev"`
+	MinX   float64 `json:"min_x"`
+	MinY   float64 `json:"min_y"`
+	MaxX   float64 `json:"max_x"`
+	MaxY   float64 `json:"max_y"`
+}
+
+// Registry is the in-memory dataset store of the service.
+type Registry struct {
+	mu      sync.RWMutex
+	m       map[string]*dataset
+	nextRev int64
+	metrics *Metrics
+}
+
+// NewRegistry builds an empty registry reporting into m (may be nil).
+func NewRegistry(m *Metrics) *Registry {
+	return &Registry{m: map[string]*dataset{}, metrics: m}
+}
+
+// Put registers (or replaces) a dataset and returns its revision.
+func (r *Registry) Put(name string, ts []spatialjoin.Tuple) (int64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("service: dataset name must not be empty")
+	}
+	if len(ts) == 0 {
+		return 0, fmt.Errorf("service: dataset %q has no points", name)
+	}
+	b := boundsOf(ts)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextRev++
+	var delta int
+	if old, ok := r.m[name]; ok {
+		delta = -len(old.Tuples)
+	}
+	r.m[name] = &dataset{Name: name, Rev: r.nextRev, Tuples: ts, Bounds: b}
+	if r.metrics != nil {
+		r.metrics.Datasets.Set(int64(len(r.m)))
+		r.metrics.DatasetPoints.Add(int64(len(ts) + delta))
+	}
+	return r.nextRev, nil
+}
+
+// Get returns a registered dataset.
+func (r *Registry) Get(name string) (*dataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+// Delete removes a dataset; it reports whether one was present.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.m[name]
+	if ok {
+		delete(r.m, name)
+		if r.metrics != nil {
+			r.metrics.Datasets.Set(int64(len(r.m)))
+			r.metrics.DatasetPoints.Add(-int64(len(d.Tuples)))
+		}
+	}
+	return ok
+}
+
+// List describes all datasets, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.m))
+	for _, d := range r.m {
+		out = append(out, DatasetInfo{
+			Name: d.Name, Points: len(d.Tuples), Rev: d.Rev,
+			MinX: d.Bounds.MinX, MinY: d.Bounds.MinY,
+			MaxX: d.Bounds.MaxX, MaxY: d.Bounds.MaxY,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func boundsOf(ts []spatialjoin.Tuple) spatialjoin.Rect {
+	b := spatialjoin.Rect{MinX: ts[0].Pt.X, MinY: ts[0].Pt.Y, MaxX: ts[0].Pt.X, MaxY: ts[0].Pt.Y}
+	for _, t := range ts[1:] {
+		if t.Pt.X < b.MinX {
+			b.MinX = t.Pt.X
+		}
+		if t.Pt.X > b.MaxX {
+			b.MaxX = t.Pt.X
+		}
+		if t.Pt.Y < b.MinY {
+			b.MinY = t.Pt.Y
+		}
+		if t.Pt.Y > b.MaxY {
+			b.MaxY = t.Pt.Y
+		}
+	}
+	return b
+}

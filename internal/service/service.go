@@ -1,0 +1,351 @@
+// Package service is the serving layer of the spatial-join library: a
+// long-running join service with a dataset registry, a prepared-plan
+// cache (LRU + single-flight), a bounded execution pool with admission
+// control, and Prometheus-style metrics. cmd/sjoind wraps it in an HTTP
+// daemon.
+//
+// The design amortises the paper's whole construction pipeline —
+// sampling, grid + graph-of-agreements build, adaptive replication,
+// shuffle — across many queries: the first request for a (datasets, ε,
+// algorithm) combination builds a PreparedJoin via the root facade, and
+// every subsequent request (including concurrent duplicates, which
+// single-flight collapses into one build) pays only the partition-level
+// join probes.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"spatialjoin"
+)
+
+// Config tunes the service. Zero values select sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing joins; default
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds joins waiting for a slot; beyond it requests are
+	// rejected with ErrOverloaded (HTTP 429). Default 64.
+	MaxQueue int
+	// PlanCacheSize is the LRU capacity in plans; default 32.
+	PlanCacheSize int
+	// DefaultTimeout applies to join requests that set none; default 30s.
+	DefaultTimeout time.Duration
+	// MaxUploadBytes bounds dataset upload bodies; default 64 MiB.
+	MaxUploadBytes int64
+	// MaxCollect caps the pairs a single response may materialise;
+	// default 10000.
+	MaxCollect int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxCollect <= 0 {
+		c.MaxCollect = 10000
+	}
+	return c
+}
+
+// ErrOverloaded is returned when the admission queue is full.
+var ErrOverloaded = errors.New("service: queue full, try again later")
+
+// ErrDraining is returned once Drain has started.
+var ErrDraining = errors.New("service: draining, not accepting new work")
+
+// Service is the long-running join service.
+type Service struct {
+	cfg      Config
+	Registry *Registry
+	Metrics  *Metrics
+
+	cache    *planCache
+	slots    chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+}
+
+// New builds a service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	return &Service{
+		cfg:      cfg,
+		Registry: NewRegistry(m),
+		Metrics:  m,
+		cache:    newPlanCache(cfg.PlanCacheSize, m),
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// StartDrain flips the service into draining mode: /healthz turns 503
+// and new join work is rejected; in-flight work continues.
+func (s *Service) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// PlanCacheLen returns the number of cached prepared plans.
+func (s *Service) PlanCacheLen() int { return s.cache.Len() }
+
+// InFlight returns the number of joins currently executing.
+func (s *Service) InFlight() int64 { return s.Metrics.InFlight.Value() }
+
+// acquire admits one join into the bounded pool, waiting for a slot
+// until ctx expires. It returns a release func on success.
+func (s *Service) acquire(ctx context.Context) (func(), error) {
+	if s.draining.Load() {
+		s.Metrics.Rejected.Inc("draining")
+		return nil, ErrDraining
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.Metrics.Rejected.Inc("queue_full")
+		return nil, ErrOverloaded
+	}
+	s.Metrics.QueueDepth.Set(s.queued.Load())
+	t0 := time.Now()
+	defer func() {
+		s.queued.Add(-1)
+		s.Metrics.QueueDepth.Set(s.queued.Load())
+		s.Metrics.QueueWait.Observe(time.Since(t0).Seconds())
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		s.Metrics.InFlight.Add(1)
+		return func() {
+			s.Metrics.InFlight.Add(-1)
+			<-s.slots
+		}, nil
+	case <-ctx.Done():
+		s.Metrics.Rejected.Inc("timeout")
+		return nil, ctx.Err()
+	}
+}
+
+// JoinRequest is one join query against registered datasets.
+type JoinRequest struct {
+	R, S      string  // dataset names (both required)
+	Eps       float64 // distance threshold (required)
+	Algorithm spatialjoin.Algorithm
+
+	Workers        int
+	Partitions     int
+	SampleFraction float64
+	Seed           int64
+	UseLPT         bool
+	GridRes        float64
+
+	Collect bool // materialise pairs (capped at Config.MaxCollect)
+	Limit   int  // cap on returned pairs; 0 means Config.MaxCollect
+
+	Timeout time.Duration // per-request; 0 means Config.DefaultTimeout
+}
+
+// JoinResponse reports one join execution.
+type JoinResponse struct {
+	Algorithm   string  `json:"algorithm"`
+	Results     int64   `json:"results"`
+	Checksum    string  `json:"checksum"` // hex, order-independent over pair ids
+	Selectivity float64 `json:"selectivity"`
+
+	PlanCache   string `json:"plan_cache"` // "hit" or "miss"
+	ReplicatedR int64  `json:"replicated_r"`
+	ReplicatedS int64  `json:"replicated_s"`
+
+	BuildMillis float64 `json:"build_ms"` // plan construction (0 on cache hits)
+	ProbeMillis float64 `json:"probe_ms"` // partition-level joins
+
+	Pairs     [][2]int64 `json:"pairs,omitempty"` // when Collect, capped at Limit
+	Truncated bool       `json:"truncated,omitempty"`
+}
+
+// Join executes one join request end to end: admission, plan cache
+// lookup (single-flight build on miss), probe, metric accounting.
+func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	rd, err := s.Registry.Get(req.R)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := s.Registry.Get(req.S)
+	if err != nil {
+		return nil, err
+	}
+
+	opt := spatialjoin.Options{
+		Eps:            req.Eps,
+		Algorithm:      req.Algorithm,
+		Workers:        req.Workers,
+		Partitions:     req.Partitions,
+		SampleFraction: req.SampleFraction,
+		Seed:           req.Seed,
+		UseLPT:         req.UseLPT,
+		GridRes:        req.GridRes,
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	released := false
+	defer func() {
+		if !released {
+			release()
+		}
+	}()
+
+	// SedonaLike has no reusable plan: run it one-shot on the pool,
+	// bypassing the plan cache.
+	if req.Algorithm == spatialjoin.SedonaLike {
+		o := opt
+		o.Collect = req.Collect
+		t0 := time.Now()
+		rep, err := spatialjoin.Join(rd.Tuples, sd.Tuples, o)
+		if err != nil {
+			return nil, err
+		}
+		s.Metrics.Probe.Observe(time.Since(t0).Seconds())
+		s.Metrics.JoinResults.Add(rep.Results)
+		return s.respond(req, rep, rd, sd, false, 0, time.Since(t0)), nil
+	}
+
+	key := PlanKey{
+		R: rd.Name, S: sd.Name, RRev: rd.Rev, SRev: sd.Rev,
+		Eps: req.Eps, Algorithm: req.Algorithm,
+		Workers: req.Workers, Partitions: req.Partitions,
+		SampleFraction: req.SampleFraction, Seed: req.Seed,
+		UseLPT: req.UseLPT, GridRes: req.GridRes,
+	}
+
+	var buildDur time.Duration
+	plan, hit, err := s.cache.GetOrBuild(key, func() (*spatialjoin.PreparedJoin, error) {
+		o := opt
+		// Reuse the datasets' cached Bernoulli samples across plans (e.g.
+		// ε re-sweeps): the facade draws R with Seed and S with Seed+1.
+		if isAdaptive(req.Algorithm) {
+			o.PresampledR = rd.sample(o.SampleFraction, o.Seed)
+			o.PresampledS = sd.sample(o.SampleFraction, o.Seed+1)
+		}
+		t0 := time.Now()
+		p, err := spatialjoin.Prepare(rd.Tuples, sd.Tuples, o)
+		if err != nil {
+			return nil, err
+		}
+		buildDur = time.Since(t0)
+		s.Metrics.PlanBuild.Observe(buildDur.Seconds())
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Probe on a goroutine so the request context can time out even
+	// mid-join; an abandoned probe finishes in the background and only
+	// then releases its slot (the pool stays honest about CPU use).
+	type probeResult struct {
+		rep   *spatialjoin.Report
+		probe time.Duration
+		err   error
+	}
+	ch := make(chan probeResult, 1)
+	released = true
+	go func() {
+		defer release()
+		t0 := time.Now()
+		rep, err := plan.Execute(spatialjoin.ExecOptions{Collect: req.Collect})
+		probe := time.Since(t0)
+		if err == nil {
+			s.Metrics.Probe.Observe(probe.Seconds())
+			s.Metrics.JoinResults.Add(rep.Results)
+			s.Metrics.ReplicatedServed.Add(plan.Replicated())
+		}
+		ch <- probeResult{rep: rep, probe: probe, err: err}
+	}()
+	var rep *spatialjoin.Report
+	var probe time.Duration
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		rep, probe = r.rep, r.probe
+	case <-ctx.Done():
+		s.Metrics.Rejected.Inc("timeout")
+		return nil, ctx.Err()
+	}
+
+	return s.respond(req, rep, rd, sd, hit, buildDur, probe), nil
+}
+
+// respond converts a Report into the wire response.
+func (s *Service) respond(req JoinRequest, rep *spatialjoin.Report, rd, sd *dataset, hit bool, build, probe time.Duration) *JoinResponse {
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxCollect {
+		limit = s.cfg.MaxCollect
+	}
+	resp := &JoinResponse{
+		Algorithm:   rep.Algorithm.String(),
+		Results:     rep.Results,
+		Checksum:    fmt.Sprintf("%016x", rep.Checksum),
+		Selectivity: rep.Selectivity(len(rd.Tuples), len(sd.Tuples)),
+		ReplicatedR: rep.ReplicatedR,
+		ReplicatedS: rep.ReplicatedS,
+		PlanCache:   "miss",
+		BuildMillis: float64(build) / float64(time.Millisecond),
+		ProbeMillis: float64(probe) / float64(time.Millisecond),
+	}
+	if hit {
+		resp.PlanCache = "hit"
+	}
+	if req.Collect {
+		n := len(rep.Pairs)
+		if n > limit {
+			n = limit
+			resp.Truncated = true
+		}
+		resp.Pairs = make([][2]int64, n)
+		for i := 0; i < n; i++ {
+			resp.Pairs[i] = [2]int64{rep.Pairs[i].RID, rep.Pairs[i].SID}
+		}
+	}
+	return resp
+}
+
+func isAdaptive(a spatialjoin.Algorithm) bool {
+	switch a {
+	case spatialjoin.AdaptiveLPiB, spatialjoin.AdaptiveDIFF, spatialjoin.AdaptiveSimpleDedup:
+		return true
+	}
+	return false
+}

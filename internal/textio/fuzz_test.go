@@ -6,7 +6,9 @@ import (
 )
 
 // FuzzRead must never panic and, for lines it accepts, re-serialising and
-// re-reading must be a fixed point.
+// re-reading must be a fixed point. The seed corpus covers the interesting
+// input classes: malformed coordinates, huge payloads, empty and
+// whitespace-only lines, comments, CRLF, and binary junk.
 func FuzzRead(f *testing.F) {
 	f.Add("1 2\n")
 	f.Add("1.5 -2.5 some payload\n")
@@ -15,16 +17,41 @@ func FuzzRead(f *testing.F) {
 	f.Add("1e308 -1e308\n")
 	f.Add("x y\n")
 	f.Add("1\t2\n")
+	// Malformed coordinates in assorted shapes.
+	f.Add("1,5 2,5\n")  // locale decimal commas
+	f.Add("0x10 5\n")   // hex floats need the 0x1p form
+	f.Add("--1 2\n")    // double sign
+	f.Add("1 2e\n")     // truncated exponent
+	f.Add("3 \n")       // missing y entirely
+	f.Add("∞ 2\n")      // non-ASCII junk
+	f.Add("1 2\x003\n") // NUL inside the y token
+	// Huge payloads and long lines.
+	f.Add("0.5 0.5 " + strings.Repeat("payload-", 4096) + "\n")
+	f.Add("1 1 " + strings.Repeat("x", 100_000) + "\n")
+	// Empty-ish inputs: blank lines, whitespace-only lines, CRLF, no
+	// trailing newline.
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("   \n\t\n")
+	f.Add("1 2\r\n3 4\r\n")
+	f.Add("5 6")
+	f.Add("#only a comment")
 	f.Fuzz(func(t *testing.T, input string) {
-		ts, err := Read(strings.NewReader(input), 0)
+		const idBase = 7
+		ts, err := Read(strings.NewReader(input), idBase)
 		if err != nil {
 			return // rejected input is fine; panics are not
+		}
+		for i, tp := range ts {
+			if tp.ID != idBase+int64(i) {
+				t.Fatalf("tuple %d has id %d, want sequential from %d", i, tp.ID, idBase)
+			}
 		}
 		var sb strings.Builder
 		if err := Write(&sb, ts); err != nil {
 			t.Fatalf("write after successful read failed: %v", err)
 		}
-		back, err := Read(strings.NewReader(sb.String()), 0)
+		back, err := Read(strings.NewReader(sb.String()), idBase)
 		if err != nil {
 			t.Fatalf("round trip re-read failed: %v\nserialised: %q", err, sb.String())
 		}
@@ -32,9 +59,12 @@ func FuzzRead(f *testing.F) {
 			t.Fatalf("round trip length %d != %d", len(back), len(ts))
 		}
 		for i := range ts {
-			// NaN never equals itself; compare bit-for-bit via formatting.
+			// NaN never equals itself; skip the comparison for NaN points.
 			if ts[i].Pt != back[i].Pt && !(ts[i].Pt.X != ts[i].Pt.X || ts[i].Pt.Y != ts[i].Pt.Y) {
 				t.Fatalf("point %d changed: %v -> %v", i, ts[i].Pt, back[i].Pt)
+			}
+			if string(ts[i].Payload) != string(back[i].Payload) {
+				t.Fatalf("payload %d changed: %q -> %q", i, ts[i].Payload, back[i].Payload)
 			}
 		}
 	})

@@ -1,0 +1,79 @@
+package spatialjoin
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestOptionsValidation exercises every rejection of Options.Validate —
+// each must produce a descriptive error instead of a downstream panic or
+// silent misbehaviour, through both Validate and the Join entry point.
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want string // substring of the error
+	}{
+		{"zero eps", Options{Eps: 0}, "Eps must be positive"},
+		{"negative eps", Options{Eps: -0.5}, "Eps must be positive"},
+		{"negative workers", Options{Eps: 1, Workers: -4}, "Workers must not be negative"},
+		{"negative partitions", Options{Eps: 1, Partitions: -8}, "Partitions must not be negative"},
+		{"negative sample fraction", Options{Eps: 1, SampleFraction: -0.1}, "SampleFraction must be in [0, 1]"},
+		{"sample fraction above one", Options{Eps: 1, SampleFraction: 1.5}, "SampleFraction must be in [0, 1]"},
+		{"negative grid res", Options{Eps: 1, GridRes: -2}, "GridRes must not be negative"},
+		{"adaptive grid res below 2", Options{Eps: 1, GridRes: 1.5}, "l ≥ 2ε"},
+		{"adaptive grid res below 2 (DIFF)", Options{Eps: 1, Algorithm: AdaptiveDIFF, GridRes: 0.5}, "l ≥ 2ε"},
+		{"unknown algorithm", Options{Eps: 1, Algorithm: Algorithm(200)}, "unknown algorithm"},
+		{"empty bounds", Options{Eps: 1, Bounds: &Rect{MinX: 1, MinY: 0, MaxX: 1, MaxY: 2}}, "non-positive extent"},
+	}
+	rs := GenerateUniform(50, 1)
+	ss := GenerateUniform(50, 2)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.opt.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.want)
+			}
+			if _, err := Join(rs, ss, c.opt); err == nil {
+				t.Fatal("Join accepted invalid options")
+			}
+			if _, err := SelfJoin(rs, c.opt); err == nil {
+				t.Fatal("SelfJoin accepted invalid options")
+			}
+		})
+	}
+}
+
+// TestOptionsValidationAccepts pins down values that must NOT be
+// rejected: defaults, baseline grid resolutions below 2, full sampling.
+func TestOptionsValidationAccepts(t *testing.T) {
+	for _, opt := range []Options{
+		{Eps: 0.5},
+		{Eps: 0.5, Algorithm: PBSMEpsGrid, GridRes: 1}, // fine for baselines
+		{Eps: 0.5, SampleFraction: 1},
+		{Eps: 0.5, GridRes: 2, Workers: 3, Partitions: 7},
+	} {
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", opt, err)
+		}
+	}
+}
+
+// TestSelectivityZeroCardinality: Selectivity must return 0, never
+// NaN or Inf, when either input is empty.
+func TestSelectivityZeroCardinality(t *testing.T) {
+	rep := &Report{Results: 42}
+	for _, c := range [][2]int{{0, 10}, {10, 0}, {0, 0}} {
+		got := rep.Selectivity(c[0], c[1])
+		if got != 0 {
+			t.Fatalf("Selectivity(%d, %d) = %v, want 0", c[0], c[1], got)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Selectivity(%d, %d) = %v, must be finite", c[0], c[1], got)
+		}
+	}
+	if got := rep.Selectivity(7, 6); got != float64(42)/42 {
+		t.Fatalf("Selectivity(7, 6) = %v, want 1", got)
+	}
+}

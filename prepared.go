@@ -1,0 +1,186 @@
+package spatialjoin
+
+import (
+	"errors"
+	"fmt"
+
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/planner"
+)
+
+// ErrNotPreparable reports an algorithm whose execution cannot be split
+// into a reusable plan plus cheap probes (currently only SedonaLike,
+// whose quadtree partitions are rebuilt per run).
+var ErrNotPreparable = errors.New("spatialjoin: algorithm does not support prepared plans")
+
+// ExecOptions configures one execution of a PreparedJoin.
+type ExecOptions struct {
+	// Eps optionally re-sweeps the plan with a smaller threshold. The
+	// plan's replication co-locates every pair within its ε in exactly
+	// one common cell, so any ε' in (0, plan ε] remains correct and
+	// duplicate-free. Zero means the plan's own ε.
+	Eps float64
+	// Collect materialises the result pairs in Report.Pairs.
+	Collect bool
+}
+
+// PreparedJoin is a reusable execution plan for an ε-distance join: the
+// sampled statistics, grid, resolved graph of agreements (adaptive
+// algorithms), cell placement, and the already-replicated,
+// partition-bucketed tuples of both inputs. Construction is paid once by
+// Prepare; Execute then runs only the partition-level joins and is safe
+// to call repeatedly and concurrently — the shape a long-running join
+// service caches and serves probes from.
+type PreparedJoin struct {
+	algorithm Algorithm
+	collect   bool
+	adaptive  *core.Plan
+	universal *pbsm.Plan
+}
+
+// Prepare builds a reusable plan for the join R ⋈ε S. The AutoPlanned
+// algorithm is resolved to a concrete strategy at prepare time; the
+// SedonaLike baseline returns ErrNotPreparable.
+func Prepare(rs, ss []Tuple, opt Options) (*PreparedJoin, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	switch opt.Algorithm {
+	case AutoPlanned:
+		resolved, err := resolveAuto(rs, ss, opt)
+		if err != nil {
+			return nil, err
+		}
+		opt.Algorithm = resolved
+		return Prepare(rs, ss, opt)
+
+	case AdaptiveLPiB, AdaptiveDIFF, AdaptiveSimpleDedup:
+		policy := agreements.LPiB
+		if opt.Algorithm == AdaptiveDIFF {
+			policy = agreements.DIFF
+		}
+		plan, err := core.BuildPlan(rs, ss, core.Config{
+			Eps:            opt.Eps,
+			Res:            opt.GridRes,
+			Policy:         policy,
+			SampleFraction: opt.SampleFraction,
+			Seed:           opt.Seed,
+			Workers:        opt.Workers,
+			Partitions:     opt.Partitions,
+			UseLPT:         opt.UseLPT,
+			Simple:         opt.Algorithm == AdaptiveSimpleDedup,
+			Collect:        opt.Collect,
+			Bounds:         opt.Bounds,
+			NetBandwidth:   opt.NetBandwidth,
+			SampleR:        opt.PresampledR,
+			SampleS:        opt.PresampledS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &PreparedJoin{algorithm: opt.Algorithm, collect: opt.Collect, adaptive: plan}, nil
+
+	case PBSMUniR, PBSMUniS, PBSMEpsGrid, PBSMClone:
+		variant := map[Algorithm]pbsm.Variant{
+			PBSMUniR: pbsm.UniR, PBSMUniS: pbsm.UniS,
+			PBSMEpsGrid: pbsm.EpsGrid, PBSMClone: pbsm.Clone,
+		}[opt.Algorithm]
+		plan, err := pbsm.BuildPlan(rs, ss, pbsm.Config{
+			Eps:          opt.Eps,
+			Variant:      variant,
+			Workers:      opt.Workers,
+			Partitions:   opt.Partitions,
+			Collect:      opt.Collect,
+			Bounds:       opt.Bounds,
+			NetBandwidth: opt.NetBandwidth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &PreparedJoin{algorithm: opt.Algorithm, collect: opt.Collect, universal: plan}, nil
+
+	case SedonaLike:
+		return nil, fmt.Errorf("%w: %v", ErrNotPreparable, opt.Algorithm)
+
+	default:
+		return nil, fmt.Errorf("spatialjoin: unknown algorithm %v", opt.Algorithm)
+	}
+}
+
+// Algorithm returns the concrete strategy of the plan (AutoPlanned is
+// resolved at prepare time).
+func (p *PreparedJoin) Algorithm() Algorithm { return p.algorithm }
+
+// Eps returns the distance threshold the plan was prepared for — the
+// upper bound on ExecOptions.Eps.
+func (p *PreparedJoin) Eps() float64 {
+	if p.adaptive != nil {
+		return p.adaptive.Eps()
+	}
+	return p.universal.Eps()
+}
+
+// FootprintBytes returns the wire size of the partition-bucketed tuples
+// the plan retains — what a plan cache should account for.
+func (p *PreparedJoin) FootprintBytes() int64 {
+	if p.adaptive != nil {
+		return p.adaptive.FootprintBytes()
+	}
+	return p.universal.FootprintBytes()
+}
+
+// Replicated returns the replicated objects the plan serves per Execute.
+func (p *PreparedJoin) Replicated() int64 {
+	if p.adaptive != nil {
+		return p.adaptive.Replicated()
+	}
+	return p.universal.Replicated()
+}
+
+// Execute runs the partition-level joins of the plan and reports the
+// outcome. Construction metrics (sampling, build, map, shuffle) are
+// carried into every Report; only the join phase is re-run.
+func (p *PreparedJoin) Execute(e ExecOptions) (*Report, error) {
+	if p.adaptive != nil {
+		res, err := p.adaptive.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect})
+		if err != nil {
+			return nil, err
+		}
+		return report(p.algorithm, res.Metrics, res.Pairs), nil
+	}
+	res, err := p.universal.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect})
+	if err != nil {
+		return nil, err
+	}
+	return report(p.algorithm, res.Metrics, res.Pairs), nil
+}
+
+// resolveAuto runs the cost-model planner on sampled statistics and
+// returns the concrete strategy AutoPlanned selects.
+func resolveAuto(rs, ss []Tuple, opt Options) (Algorithm, error) {
+	res := opt.GridRes
+	if res == 0 {
+		res = 2
+	}
+	bounds := core.DataBounds(opt.Bounds, rs, ss)
+	g := grid.New(bounds, opt.Eps, res)
+	tupleBytes := 24
+	if len(rs) > 0 {
+		tupleBytes = rs[0].SerializedSize()
+	}
+	choice, err := planner.Plan(g, rs, ss, opt.SampleFraction, opt.Seed, tupleBytes, planner.MinShuffle)
+	if err != nil {
+		return 0, err
+	}
+	switch choice.Strategy {
+	case planner.UniversalR:
+		return PBSMUniR, nil
+	case planner.UniversalS:
+		return PBSMUniS, nil
+	default:
+		return AdaptiveLPiB, nil
+	}
+}

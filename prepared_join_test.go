@@ -1,0 +1,151 @@
+package spatialjoin
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestPreparedJoinMatchesJoin: for every preparable algorithm, Prepare +
+// repeated Execute must reproduce the one-shot Join bit for bit.
+func TestPreparedJoinMatchesJoin(t *testing.T) {
+	rs := GenerateTigerLike(4000, 11)
+	ss := GenerateGaussian(4000, 12)
+	algos := []Algorithm{
+		AdaptiveLPiB, AdaptiveDIFF, AdaptiveSimpleDedup,
+		PBSMUniR, PBSMUniS, PBSMEpsGrid, PBSMClone, AutoPlanned,
+	}
+	for _, a := range algos {
+		t.Run(a.String(), func(t *testing.T) {
+			opt := Options{Eps: 0.6, Algorithm: a, Seed: 3}
+			want, err := Join(rs, ss, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Prepare(rs, ss, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a == AutoPlanned && p.Algorithm() == AutoPlanned {
+				t.Fatal("AutoPlanned must resolve to a concrete strategy")
+			}
+			if p.Eps() != 0.6 {
+				t.Fatalf("plan eps %v", p.Eps())
+			}
+			if p.FootprintBytes() <= 0 {
+				t.Fatalf("footprint %d", p.FootprintBytes())
+			}
+			for i := 0; i < 2; i++ {
+				got, err := p.Execute(ExecOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Results != want.Results || got.Checksum != want.Checksum {
+					t.Fatalf("execute %d: (%d, %#x) != join (%d, %#x)",
+						i, got.Results, got.Checksum, want.Results, want.Checksum)
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedJoinEpsResweep: executing a plan with a smaller ε must
+// match a from-scratch join at that ε (same grid regime), and a larger ε
+// must be rejected.
+func TestPreparedJoinEpsResweep(t *testing.T) {
+	rs := GenerateUniform(3000, 21)
+	ss := GenerateUniform(3000, 22)
+	p, err := Prepare(rs, ss, Options{Eps: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Execute(ExecOptions{Eps: 0.5, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(rs, ss, 0.5)
+	if int(got.Results) != len(want) {
+		t.Fatalf("re-sweep at 0.5 found %d pairs, oracle %d", got.Results, len(want))
+	}
+	if len(got.Pairs) != len(want) {
+		t.Fatalf("collected %d pairs, oracle %d", len(got.Pairs), len(want))
+	}
+	if _, err := p.Execute(ExecOptions{Eps: 0.9}); err == nil {
+		t.Fatal("eps above the plan's threshold must be rejected")
+	}
+}
+
+// TestPreparedJoinConcurrent executes one plan from many goroutines;
+// under -race this proves Execute shares no mutable state.
+func TestPreparedJoinConcurrent(t *testing.T) {
+	rs := GenerateGaussian(3000, 31)
+	ss := GenerateTigerLike(3000, 32)
+	p, err := Prepare(rs, ss, Options{Eps: 0.5, UseLPT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Execute(ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := p.Execute(ExecOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.Checksum != base.Checksum {
+				t.Errorf("checksum diverged: %#x != %#x", got.Checksum, base.Checksum)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPrepareSedonaNotPreparable: the Sedona-style baseline has no
+// reusable plan and must say so with ErrNotPreparable.
+func TestPrepareSedonaNotPreparable(t *testing.T) {
+	rs := GenerateUniform(100, 1)
+	ss := GenerateUniform(100, 2)
+	_, err := Prepare(rs, ss, Options{Eps: 0.5, Algorithm: SedonaLike})
+	if !errors.Is(err, ErrNotPreparable) {
+		t.Fatalf("err = %v, want ErrNotPreparable", err)
+	}
+}
+
+// TestPrepareWithPresample: feeding the samples Prepare would draw back
+// through PresampledR/S must produce the identical plan outcome.
+func TestPrepareWithPresample(t *testing.T) {
+	rs := GenerateTigerLike(3000, 41)
+	ss := GenerateGaussian(3000, 42)
+	opt := Options{Eps: 0.6, Seed: 5}
+	direct, err := Prepare(rs, ss, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := opt
+	pre.PresampledR = Sample(rs, opt.SampleFraction, opt.Seed)
+	pre.PresampledS = Sample(ss, opt.SampleFraction, opt.Seed+1)
+	cached, err := Prepare(rs, ss, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := direct.Execute(ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cached.Execute(ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.Results != b.Results ||
+		a.ReplicatedR != b.ReplicatedR || a.ReplicatedS != b.ReplicatedS {
+		t.Fatalf("presampled plan diverged: (%d, %#x, repl %d/%d) != (%d, %#x, repl %d/%d)",
+			b.Results, b.Checksum, b.ReplicatedR, b.ReplicatedS,
+			a.Results, a.Checksum, a.ReplicatedR, a.ReplicatedS)
+	}
+}

@@ -15,6 +15,9 @@ import (
 // analysis (the MR-DSJ setting of the paper's related work); any
 // algorithm except the dedup ablation can execute one.
 func SelfJoin(ts []Tuple, opt Options) (*Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	switch opt.Algorithm {
 	case AdaptiveLPiB, AdaptiveDIFF:
 		policy := agreements.LPiB

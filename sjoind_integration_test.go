@@ -1,0 +1,167 @@
+package spatialjoin_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startSjoind launches the daemon on a random port and returns its base
+// URL plus the running command (for signalling). The daemon prints its
+// listen address first, which is how the port is discovered.
+func startSjoind(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("reading sjoind banner: %v (got %q)", err, line)
+	}
+	const prefix = "sjoind listening on "
+	if !strings.HasPrefix(line, prefix) {
+		cmd.Process.Kill()
+		t.Fatalf("unexpected banner: %q", line)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	// Drain the rest of stdout so the daemon never blocks on a full pipe.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := stdout.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	return "http://" + addr, cmd
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v", url, err)
+	}
+	return resp.StatusCode, m
+}
+
+// TestSjoindEndToEnd runs the daemon as a real process: uploads two
+// generated datasets, runs the same join twice (the second must hit the
+// plan cache with an identical checksum), then verifies that SIGTERM
+// drains an in-flight join before the process exits cleanly.
+func TestSjoindEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t)
+	base, cmd := startSjoind(t, bins["sjoind"])
+	defer cmd.Process.Kill()
+
+	for _, q := range []string{
+		"name=r&generate=gaussian&n=20000&seed=1",
+		"name=s&generate=uniform&n=20000&seed=2",
+	} {
+		if code, m := postJSON(t, base+"/v1/datasets?"+q, ""); code != http.StatusCreated {
+			t.Fatalf("upload %s: status %d, %v", q, code, m)
+		}
+	}
+
+	join := `{"r":"r","s":"s","eps":0.4,"algorithm":"lpib"}`
+	code, first := postJSON(t, base+"/v1/join", join)
+	if code != http.StatusOK || first["plan_cache"] != "miss" {
+		t.Fatalf("first join: status %d, %v", code, first)
+	}
+	code, second := postJSON(t, base+"/v1/join", join)
+	if code != http.StatusOK || second["plan_cache"] != "hit" {
+		t.Fatalf("second join: status %d, %v", code, second)
+	}
+	if first["checksum"] != second["checksum"] || first["results"] != second["results"] {
+		t.Fatalf("cache hit changed the answer: %v vs %v", first, second)
+	}
+
+	// Graceful shutdown: start a join heavy enough to still be in flight
+	// when SIGTERM lands; the response must complete and match, and the
+	// daemon must exit 0.
+	if code, m := postJSON(t, base+"/v1/datasets?name=big&generate=gaussian&n=400000&seed=3", ""); code != http.StatusCreated {
+		t.Fatalf("upload big: status %d, %v", code, m)
+	}
+	type result struct {
+		code int
+		body map[string]any
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/join/count", "application/json",
+			strings.NewReader(`{"r":"big","s":"big","eps":0.3,"algorithm":"lpib"}`))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		inflight <- result{code: resp.StatusCode, body: m, err: err}
+	}()
+	time.Sleep(200 * time.Millisecond) // let the join get admitted
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	r := <-inflight
+	if r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("in-flight join during drain: %v (status %d, %v)", r.err, r.code, r.body)
+	}
+	if n, ok := r.body["results"].(float64); !ok || n <= 0 {
+		t.Fatalf("drained join returned %v", r.body["results"])
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sjoind exited non-zero after drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sjoind did not exit after SIGTERM")
+	}
+
+	// The daemon is gone: new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after drain")
+	}
+}
+
+// TestSjoindRejectsBadFlags checks the daemon fails fast on a bad listen
+// address instead of starting half-configured.
+func TestSjoindRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t)
+	out, err := exec.Command(bins["sjoind"], "-addr", "256.256.256.256:99999").CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad -addr accepted: %s", out)
+	}
+	if !strings.Contains(string(out), "sjoind:") {
+		t.Fatalf("unexpected error output: %s", out)
+	}
+}

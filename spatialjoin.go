@@ -30,15 +30,11 @@ import (
 	"fmt"
 	"time"
 
-	"spatialjoin/internal/agreements"
-	"spatialjoin/internal/core"
 	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
-	"spatialjoin/internal/grid"
 	"spatialjoin/internal/knnjoin"
-	"spatialjoin/internal/pbsm"
-	"spatialjoin/internal/planner"
+	"spatialjoin/internal/sample"
 	"spatialjoin/internal/sedonasim"
 	"spatialjoin/internal/textio"
 	"spatialjoin/internal/tuple"
@@ -146,6 +142,46 @@ type Options struct {
 	// reads are charged at this many bytes per second per worker link in
 	// SimulatedTime. Zero disables network simulation.
 	NetBandwidth float64
+	// PresampledR and PresampledS optionally supply pre-drawn Bernoulli
+	// samples of the inputs — as produced by Sample with (SampleFraction,
+	// Seed) and (SampleFraction, Seed+1) respectively — letting a serving
+	// layer reuse cached samples across repeated plan constructions (e.g.
+	// ε re-sweeps). When nil, samples are drawn from the inputs.
+	PresampledR, PresampledS []Tuple
+}
+
+// Validate checks the options for values that would cause downstream
+// panics or silent misbehaviour, returning a descriptive error.
+func (o Options) Validate() error {
+	if o.Eps <= 0 {
+		return fmt.Errorf("spatialjoin: Options.Eps must be positive, got %v", o.Eps)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("spatialjoin: Options.Workers must not be negative, got %d (use 0 for the GOMAXPROCS default)", o.Workers)
+	}
+	if o.Partitions < 0 {
+		return fmt.Errorf("spatialjoin: Options.Partitions must not be negative, got %d (use 0 for the 8×workers default)", o.Partitions)
+	}
+	if o.SampleFraction < 0 || o.SampleFraction > 1 {
+		return fmt.Errorf("spatialjoin: Options.SampleFraction must be in [0, 1], got %v (0 selects the paper's 3%%)", o.SampleFraction)
+	}
+	if o.GridRes < 0 {
+		return fmt.Errorf("spatialjoin: Options.GridRes must not be negative, got %v", o.GridRes)
+	}
+	switch o.Algorithm {
+	case AdaptiveLPiB, AdaptiveDIFF, AdaptiveSimpleDedup, AutoPlanned:
+		if o.GridRes > 0 && o.GridRes < 2 {
+			return fmt.Errorf("spatialjoin: Options.GridRes %v violates the l ≥ 2ε requirement of adaptive replication (use 0 for the default, or a value ≥ 2)", o.GridRes)
+		}
+	case PBSMUniR, PBSMUniS, PBSMEpsGrid, PBSMClone, SedonaLike:
+		// Any positive resolution is structurally fine for the baselines.
+	default:
+		return fmt.Errorf("spatialjoin: unknown algorithm %v", o.Algorithm)
+	}
+	if o.Bounds != nil && (o.Bounds.MaxX <= o.Bounds.MinX || o.Bounds.MaxY <= o.Bounds.MinY) {
+		return fmt.Errorf("spatialjoin: Options.Bounds %+v has a non-positive extent", *o.Bounds)
+	}
+	return nil
 }
 
 // Report is the unified outcome of any algorithm.
@@ -220,54 +256,13 @@ func (r *Report) Selectivity(nr, ns int) float64 {
 }
 
 // Join computes the ε-distance join R ⋈ε S with the selected algorithm.
+// Every algorithm except SedonaLike runs as Prepare followed by a single
+// Execute; callers that repeat a join should Prepare once themselves.
 func Join(rs, ss []Tuple, opt Options) (*Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	switch opt.Algorithm {
-	case AutoPlanned:
-		return autoJoin(rs, ss, opt)
-
-	case AdaptiveLPiB, AdaptiveDIFF, AdaptiveSimpleDedup:
-		policy := agreements.LPiB
-		if opt.Algorithm == AdaptiveDIFF {
-			policy = agreements.DIFF
-		}
-		res, err := core.Join(rs, ss, core.Config{
-			Eps:            opt.Eps,
-			Res:            opt.GridRes,
-			Policy:         policy,
-			SampleFraction: opt.SampleFraction,
-			Seed:           opt.Seed,
-			Workers:        opt.Workers,
-			Partitions:     opt.Partitions,
-			UseLPT:         opt.UseLPT,
-			Simple:         opt.Algorithm == AdaptiveSimpleDedup,
-			Collect:        opt.Collect,
-			Bounds:         opt.Bounds,
-			NetBandwidth:   opt.NetBandwidth,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return report(opt.Algorithm, res.Metrics, res.Pairs), nil
-
-	case PBSMUniR, PBSMUniS, PBSMEpsGrid, PBSMClone:
-		variant := map[Algorithm]pbsm.Variant{
-			PBSMUniR: pbsm.UniR, PBSMUniS: pbsm.UniS,
-			PBSMEpsGrid: pbsm.EpsGrid, PBSMClone: pbsm.Clone,
-		}[opt.Algorithm]
-		res, err := pbsm.Join(rs, ss, pbsm.Config{
-			Eps:          opt.Eps,
-			Variant:      variant,
-			Workers:      opt.Workers,
-			Partitions:   opt.Partitions,
-			Collect:      opt.Collect,
-			Bounds:       opt.Bounds,
-			NetBandwidth: opt.NetBandwidth,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return report(opt.Algorithm, res.Metrics, res.Pairs), nil
-
 	case SedonaLike:
 		res, err := sedonasim.Join(rs, ss, sedonasim.Config{
 			Eps:            opt.Eps,
@@ -285,7 +280,11 @@ func Join(rs, ss []Tuple, opt Options) (*Report, error) {
 		return report(opt.Algorithm, res.Metrics, res.Pairs), nil
 
 	default:
-		return nil, fmt.Errorf("spatialjoin: unknown algorithm %v", opt.Algorithm)
+		p, err := Prepare(rs, ss, opt)
+		if err != nil {
+			return nil, err
+		}
+		return p.Execute(ExecOptions{Collect: opt.Collect})
 	}
 }
 
@@ -390,36 +389,15 @@ func maxDuration(ds []time.Duration) time.Duration {
 	return max
 }
 
-// autoJoin implements the AutoPlanned algorithm: sample, cost the three
-// strategies with the analytical model, run the cheapest.
-func autoJoin(rs, ss []Tuple, opt Options) (*Report, error) {
-	if opt.Eps <= 0 {
-		return nil, fmt.Errorf("spatialjoin: Eps must be positive, got %v", opt.Eps)
+// Sample draws the Bernoulli sample the adaptive algorithms use for
+// their statistics: fraction of ts (the paper's 3% when 0), seeded
+// deterministically. Serving layers can cache its output and feed it
+// back through Options.PresampledR / PresampledS.
+func Sample(ts []Tuple, fraction float64, seed int64) []Tuple {
+	if fraction == 0 {
+		fraction = sample.DefaultFraction
 	}
-	res := opt.GridRes
-	if res == 0 {
-		res = 2
-	}
-	bounds := core.DataBounds(opt.Bounds, rs, ss)
-	g := grid.New(bounds, opt.Eps, res)
-	tupleBytes := 24
-	if len(rs) > 0 {
-		tupleBytes = rs[0].SerializedSize()
-	}
-	choice, err := planner.Plan(g, rs, ss, opt.SampleFraction, opt.Seed, tupleBytes, planner.MinShuffle)
-	if err != nil {
-		return nil, err
-	}
-	resolved := opt
-	switch choice.Strategy {
-	case planner.UniversalR:
-		resolved.Algorithm = PBSMUniR
-	case planner.UniversalS:
-		resolved.Algorithm = PBSMUniS
-	default:
-		resolved.Algorithm = AdaptiveLPiB
-	}
-	return Join(rs, ss, resolved)
+	return sample.Bernoulli(ts, fraction, seed)
 }
 
 // Neighbor is one kNN join result: SID is among the K nearest S points
