@@ -1,0 +1,186 @@
+package spatialjoin_test
+
+import (
+	"context"
+	"os/exec"
+	"sort"
+	"testing"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/cluster"
+	"spatialjoin/internal/experiments"
+)
+
+// buildWorker compiles cmd/sjoin-worker into a temp dir.
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir() + "/sjoin-worker"
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/sjoin-worker")
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sjoin-worker: %v\n%s", err, msg)
+	}
+	return bin
+}
+
+// startWorkerProc launches one sjoin-worker process against the
+// coordinator and returns it; cleanup kills it if still running.
+func startWorkerProc(t *testing.T, bin string, coord *cluster.Coordinator, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-connect", coord.Addr().String()}, args...)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting worker: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	})
+	return cmd
+}
+
+func sortedPairs(ps []spatialjoin.Pair) []spatialjoin.Pair {
+	out := append([]spatialjoin.Pair(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RID != out[j].RID {
+			return out[i].RID < out[j].RID
+		}
+		return out[i].SID < out[j].SID
+	})
+	return out
+}
+
+func assertSamePairs(t *testing.T, label string, got, want []spatialjoin.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d is %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestClusterFaultInjectionE2E runs the acceptance scenario of the
+// cluster backend end to end with real worker processes: a 3-worker
+// cluster join over the seed generators at the experiments' default ε
+// must return the byte-identical sorted pair set as the in-process
+// engine — and must still do so when one worker process is killed
+// mid-join.
+func TestClusterFaultInjectionE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns worker processes")
+	}
+	bin := buildWorker(t)
+
+	// Seed generators: one uniform input, one gaussian, at the scaled
+	// paper default ε.
+	eps := experiments.DefaultEps
+	rs := spatialjoin.GenerateUniform(4000, 1)
+	ss := spatialjoin.GenerateGaussian(4000, 2)
+	opt := spatialjoin.Options{Eps: eps, Algorithm: spatialjoin.AdaptiveLPiB, UseLPT: true, Workers: 3, Collect: true}
+
+	localRep, err := spatialjoin.Join(rs, ss, opt)
+	if err != nil {
+		t.Fatalf("local join: %v", err)
+	}
+	want := sortedPairs(localRep.Pairs)
+
+	// The oracle: the cluster result must equal brute force too, not just
+	// the local engine (they could share a bug).
+	brute := sortedPairs(spatialjoin.BruteForce(rs, ss, eps))
+	assertSamePairs(t, "local vs brute force", want, brute)
+
+	t.Run("healthy", func(t *testing.T) {
+		coord, err := cluster.Listen("127.0.0.1:0", cluster.Config{Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		for i := 0; i < 3; i++ {
+			startWorkerProc(t, bin, coord, "-name", "w"+string(rune('0'+i)))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := coord.WaitForWorkers(ctx, 3); err != nil {
+			t.Fatal(err)
+		}
+
+		o := opt
+		o.Engine = coord.Engine()
+		rep, err := spatialjoin.Join(rs, ss, o)
+		if err != nil {
+			t.Fatalf("cluster join: %v", err)
+		}
+		assertSamePairs(t, "cluster vs local", sortedPairs(rep.Pairs), want)
+		if rep.Checksum != localRep.Checksum {
+			t.Errorf("cluster checksum %#x, local %#x", rep.Checksum, localRep.Checksum)
+		}
+		if cm := rep.Cluster; cm.Workers != 3 || cm.TaskBytesRemote <= 0 || cm.BroadcastBytes <= 0 {
+			t.Errorf("cluster metrics implausible: %+v", cm)
+		}
+	})
+
+	t.Run("worker-killed-mid-join", func(t *testing.T) {
+		coord, err := cluster.Listen("127.0.0.1:0", cluster.Config{
+			HeartbeatInterval: 50 * time.Millisecond,
+			Logf:              t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+
+		// The victim stalls each task and runs them one at a time, so a
+		// kill shortly after dispatch is guaranteed to land while its
+		// partitions are outstanding.
+		victim := startWorkerProc(t, bin, coord, "-name", "victim", "-task-delay", "400ms", "-parallel", "1")
+		startWorkerProc(t, bin, coord, "-name", "s1")
+		startWorkerProc(t, bin, coord, "-name", "s2")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := coord.WaitForWorkers(ctx, 3); err != nil {
+			t.Fatal(err)
+		}
+
+		o := opt
+		o.Engine = coord.Engine()
+		type outcome struct {
+			rep *spatialjoin.Report
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			rep, err := spatialjoin.Join(rs, ss, o)
+			ch <- outcome{rep, err}
+		}()
+
+		// Kill the victim process while its tasks are in flight.
+		time.Sleep(150 * time.Millisecond)
+		if err := victim.Process.Kill(); err != nil {
+			t.Fatalf("killing victim: %v", err)
+		}
+
+		select {
+		case out := <-ch:
+			if out.err != nil {
+				t.Fatalf("cluster join after worker kill: %v", out.err)
+			}
+			assertSamePairs(t, "cluster-after-kill vs local", sortedPairs(out.rep.Pairs), want)
+			assertSamePairs(t, "cluster-after-kill vs brute force", sortedPairs(out.rep.Pairs), brute)
+			if out.rep.Checksum != localRep.Checksum {
+				t.Errorf("checksum after kill %#x, local %#x", out.rep.Checksum, localRep.Checksum)
+			}
+			if out.rep.Cluster.Retries == 0 {
+				t.Errorf("victim was killed mid-join but no task was retried")
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("cluster join did not recover from the worker kill")
+		}
+		if st := coord.Stats(); st.WorkersLost == 0 {
+			t.Errorf("coordinator never declared the killed worker dead: %+v", st)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+// Command sjoin-worker is one worker process of a spatial-join cluster.
+// It dials the coordinator (a `sjoin --cluster-listen` run or a
+// `sjoind --cluster-listen` daemon), announces itself, and then executes
+// the reduce-partition join tasks streamed to it until the coordinator
+// goes away or the process receives SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	sjoin-worker -connect host:7077 [-name w1] [-parallel N]
+//	             [-heartbeat 500ms] [-task-delay 0]
+//
+// -task-delay stalls every task before it runs; it exists for fault
+// injection and straggler experiments, not production use.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spatialjoin/internal/cluster"
+)
+
+func main() {
+	var (
+		connect   = flag.String("connect", "", "coordinator address (required), e.g. 127.0.0.1:7077")
+		name      = flag.String("name", "", "worker name in coordinator logs (default the hostname)")
+		parallel  = flag.Int("parallel", 0, "concurrent task executors (default GOMAXPROCS)")
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "liveness beacon period")
+		taskDelay = flag.Duration("task-delay", 0, "stall every task by this long (fault-injection aid)")
+	)
+	flag.Parse()
+
+	if *connect == "" {
+		log.Fatal("sjoin-worker: -connect is required")
+	}
+	if *name == "" {
+		if host, err := os.Hostname(); err == nil {
+			*name = host
+		} else {
+			*name = "worker"
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigCh
+		log.Printf("sjoin-worker: %v received, disconnecting", sig)
+		cancel()
+	}()
+
+	err := cluster.RunWorker(ctx, *connect, cluster.WorkerOptions{
+		Name:              *name,
+		Parallel:          *parallel,
+		HeartbeatInterval: *heartbeat,
+		TaskDelay:         *taskDelay,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("sjoin-worker: %v", err)
+	}
+}

@@ -8,15 +8,28 @@
 // Input files hold one point per line: "x y [attributes...]". The chosen
 // algorithm's replication, shuffle and timing metrics are printed to
 // stdout; with -out, the result pairs are written as "rid sid" lines.
+//
+// Cluster mode: with -cluster-workers N the join's partition-level work
+// runs on N sjoin-worker processes instead of in-process. sjoin listens
+// on -cluster-listen, prints the address, waits for the workers to
+// connect, and reports the measured wire bytes alongside the modelled
+// shuffle metrics:
+//
+//	sjoin -cluster-listen :7077 -cluster-workers 3 -r a.txt -s b.txt -eps 0.5 &
+//	sjoin-worker -connect 127.0.0.1:7077   # × 3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
+	"time"
 
 	"spatialjoin"
+	"spatialjoin/internal/cluster"
 )
 
 var algorithms = map[string]spatialjoin.Algorithm{
@@ -45,6 +58,10 @@ func main() {
 		useLPT   = flag.Bool("lpt", false, "use LPT cell placement (adaptive algorithms)")
 		gridRes  = flag.Float64("grid-res", 0, "grid resolution multiplier (default per algorithm)")
 		outPath  = flag.String("out", "", "write result pairs to this file")
+
+		clusterListen  = flag.String("cluster-listen", "", "run the join on a worker cluster, accepting sjoin-worker connections on this address (e.g. :7077)")
+		clusterWorkers = flag.Int("cluster-workers", 0, "worker processes to wait for before joining (requires -cluster-listen)")
+		clusterWait    = flag.Duration("cluster-wait", time.Minute, "how long to wait for -cluster-workers connections")
 	)
 	flag.Parse()
 
@@ -82,6 +99,28 @@ func main() {
 		GridRes:        *gridRes,
 		Collect:        *outPath != "",
 	}
+
+	if *clusterListen != "" || *clusterWorkers > 0 {
+		if *clusterListen == "" {
+			fail("-cluster-workers requires -cluster-listen")
+		}
+		if *clusterWorkers <= 0 {
+			fail("-cluster-listen requires -cluster-workers > 0")
+		}
+		coord, err := cluster.Listen(*clusterListen, cluster.Config{Logf: log.Printf})
+		if err != nil {
+			fail("cluster: %v", err)
+		}
+		defer coord.Close()
+		fmt.Printf("cluster listening on %s, waiting for %d workers\n", coord.Addr(), *clusterWorkers)
+		ctx, cancel := context.WithTimeout(context.Background(), *clusterWait)
+		if err := coord.WaitForWorkers(ctx, *clusterWorkers); err != nil {
+			cancel()
+			fail("cluster: %v", err)
+		}
+		cancel()
+		opts.Engine = coord.Engine()
+	}
 	var rep *spatialjoin.Report
 	if *selfJoin {
 		rep, err = spatialjoin.SelfJoin(rs, opts)
@@ -105,6 +144,15 @@ func main() {
 		fmt.Printf("dedup time         %v\n", rep.DedupTime)
 	}
 	fmt.Printf("total time         %v\n", rep.TotalTime())
+	if cm := rep.Cluster; cm.Workers > 0 {
+		fmt.Printf("cluster workers    %d\n", cm.Workers)
+		fmt.Printf("wire task bytes    %d (local: %d, remote: %d)\n",
+			cm.TaskBytesLocal+cm.TaskBytesRemote, cm.TaskBytesLocal, cm.TaskBytesRemote)
+		fmt.Printf("wire broadcast     %d bytes\n", cm.BroadcastBytes)
+		fmt.Printf("wire results       %d bytes\n", cm.ResultBytes)
+		fmt.Printf("cluster tasks      %d (retries %d, speculative %d launched / %d won)\n",
+			cm.Tasks, cm.Retries, cm.SpeculativeLaunched, cm.SpeculativeWins)
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

@@ -5,6 +5,13 @@
 //
 //	sjoind [-addr :8080] [-max-concurrent N] [-max-queue N]
 //	       [-plan-cache N] [-timeout 30s]
+//	       [-cluster-listen :7077] [-cluster-workers N]
+//
+// With -cluster-listen the daemon also accepts sjoin-worker connections
+// on that address and executes every join's partition-level work on the
+// connected workers; -cluster-workers N blocks startup until N workers
+// have joined. Measured wire counters surface as sjoind_cluster_* on
+// /metrics.
 //
 // Endpoints:
 //
@@ -36,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"spatialjoin/internal/cluster"
 	"spatialjoin/internal/service"
 )
 
@@ -47,15 +55,41 @@ func main() {
 		planCache  = flag.Int("plan-cache", 32, "prepared plans kept in the LRU cache")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown drain deadline")
+
+		clusterListen  = flag.String("cluster-listen", "", "accept sjoin-worker connections on this address and run joins on them")
+		clusterWorkers = flag.Int("cluster-workers", 0, "workers to wait for before serving (requires -cluster-listen)")
+		clusterWait    = flag.Duration("cluster-wait", time.Minute, "how long to wait for -cluster-workers connections")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
 		PlanCacheSize:  *planCache,
 		DefaultTimeout: *timeout,
-	})
+	}
+	if *clusterWorkers > 0 && *clusterListen == "" {
+		log.Fatal("sjoind: -cluster-workers requires -cluster-listen")
+	}
+	if *clusterListen != "" {
+		coord, err := cluster.Listen(*clusterListen, cluster.Config{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("sjoind: %v", err)
+		}
+		defer coord.Close()
+		fmt.Printf("sjoind cluster listening on %s\n", coord.Addr())
+		if *clusterWorkers > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *clusterWait)
+			err := coord.WaitForWorkers(ctx, *clusterWorkers)
+			cancel()
+			if err != nil {
+				log.Fatalf("sjoind: %v", err)
+			}
+			log.Printf("sjoind: %d cluster workers connected", coord.NumWorkers())
+		}
+		cfg.Engine = coord.Engine()
+	}
+	svc := service.New(cfg)
 	srv := &http.Server{Handler: svc.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)

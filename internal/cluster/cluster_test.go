@@ -1,0 +1,440 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/replicate"
+	"spatialjoin/internal/tuple"
+)
+
+// testHarness is one coordinator plus in-process workers, each on its own
+// cancellable context so tests can kill them individually.
+type testHarness struct {
+	t     *testing.T
+	coord *Coordinator
+	kill  []context.CancelFunc
+	done  []chan error
+}
+
+func startHarness(t *testing.T, cfg Config, workers ...WorkerOptions) *testHarness {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	coord, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	h := &testHarness{t: t, coord: coord}
+	t.Cleanup(func() {
+		coord.Close()
+		for _, k := range h.kill {
+			k()
+		}
+		for _, d := range h.done {
+			<-d
+		}
+	})
+	for _, w := range workers {
+		h.addWorker(w)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := coord.WaitForWorkers(ctx, len(workers)); err != nil {
+		t.Fatalf("WaitForWorkers: %v", err)
+	}
+	return h
+}
+
+func (h *testHarness) addWorker(opt WorkerOptions) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	h.kill = append(h.kill, cancel)
+	h.done = append(h.done, done)
+	go func() {
+		done <- RunWorker(ctx, h.coord.Addr().String(), opt)
+	}()
+}
+
+// uniRSpec builds a UNI(R)-style spec (R replicated on a 2ε grid) over the
+// seed generators' distributions.
+func uniRSpec(rs, ss []tuple.Tuple, eps float64, collect bool) dpe.Spec {
+	g := grid.New(datagen.World(), eps, 2)
+	return dpe.Spec{
+		R: rs, S: ss, Eps: eps,
+		AssignR: func(p geom.Point, set tuple.Set, dst []int) []int {
+			return replicate.Universal(g, p, true, dst)
+		},
+		AssignS: func(p geom.Point, set tuple.Set, dst []int) []int {
+			return replicate.Universal(g, p, false, dst)
+		},
+		Part:    dpe.HashPartitioner{N: 24},
+		Workers: 3,
+		Collect: collect,
+	}
+}
+
+// cloneSpec builds a clone-join spec whose reference-point kernel must be
+// rebuilt by workers from the wire description.
+func cloneSpec(rs, ss []tuple.Tuple, eps float64) dpe.Spec {
+	bounds := datagen.World()
+	g := grid.New(bounds, eps, 2)
+	both := func(p geom.Point, set tuple.Set, dst []int) []int {
+		return replicate.Universal(g, p, true, dst)
+	}
+	return dpe.Spec{
+		R: rs, S: ss, Eps: eps,
+		AssignR: both, AssignS: both,
+		Part:       dpe.HashPartitioner{N: 24},
+		Workers:    3,
+		Collect:    true,
+		Kernel:     pbsm.RefPointKernel(g),
+		KernelDesc: dpe.KernelDesc{Kind: dpe.KernelRefPoint, Bounds: bounds, GridEps: eps, GridRes: 2},
+	}
+}
+
+func sortPairs(ps []tuple.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].RID != ps[j].RID {
+			return ps[i].RID < ps[j].RID
+		}
+		return ps[i].SID < ps[j].SID
+	})
+}
+
+// runBoth executes the same spec on the local engine and on the cluster
+// engine and asserts identical results.
+func runBoth(t *testing.T, h *testHarness, spec dpe.Spec) (*dpe.Result, *dpe.Result) {
+	t.Helper()
+	local, err := dpe.Run(spec)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	spec.Engine = h.coord.Engine()
+	clustered, err := dpe.Run(spec)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if clustered.Results != local.Results {
+		t.Errorf("cluster found %d pairs, local %d", clustered.Results, local.Results)
+	}
+	if clustered.Checksum != local.Checksum {
+		t.Errorf("cluster checksum %#x, local %#x", clustered.Checksum, local.Checksum)
+	}
+	if spec.Collect {
+		sortPairs(local.Pairs)
+		sortPairs(clustered.Pairs)
+		if len(local.Pairs) != len(clustered.Pairs) {
+			t.Fatalf("cluster collected %d pairs, local %d", len(clustered.Pairs), len(local.Pairs))
+		}
+		for i := range local.Pairs {
+			if local.Pairs[i] != clustered.Pairs[i] {
+				t.Fatalf("pair %d differs: cluster %v, local %v", i, clustered.Pairs[i], local.Pairs[i])
+			}
+		}
+	}
+	return local, clustered
+}
+
+func TestClusterMatchesLocal(t *testing.T) {
+	world := datagen.World()
+	rsUni := datagen.Uniform(world, 2000, 1, 0)
+	ssUni := datagen.Uniform(world, 2000, 2, 1<<20)
+	rsGau := datagen.GaussianClusters(world, 2000, 30, 0.1, 0.8, 3, 2<<20)
+	ssGau := datagen.GaussianClusters(world, 2000, 30, 0.1, 0.8, 4, 3<<20)
+
+	h := startHarness(t, Config{}, WorkerOptions{Name: "w0"}, WorkerOptions{Name: "w1"}, WorkerOptions{Name: "w2"})
+
+	t.Run("uniform", func(t *testing.T) {
+		_, clustered := runBoth(t, h, uniRSpec(rsUni, ssUni, 0.5, true))
+		cm := clustered.Cluster
+		if cm.Workers != 3 {
+			t.Errorf("run used %d workers, want 3", cm.Workers)
+		}
+		if cm.TaskBytesLocal <= 0 || cm.TaskBytesRemote <= 0 {
+			t.Errorf("measured shuffle bytes local=%d remote=%d, want both positive", cm.TaskBytesLocal, cm.TaskBytesRemote)
+		}
+		if cm.BroadcastBytes <= 0 || clustered.BroadcastBytes != cm.BroadcastBytes {
+			t.Errorf("BroadcastBytes=%d, Cluster.BroadcastBytes=%d, want equal and positive", clustered.BroadcastBytes, cm.BroadcastBytes)
+		}
+		if cm.Tasks <= 0 || cm.ResultBytes <= 0 {
+			t.Errorf("Tasks=%d ResultBytes=%d, want both positive", cm.Tasks, cm.ResultBytes)
+		}
+	})
+	t.Run("gaussian", func(t *testing.T) {
+		runBoth(t, h, uniRSpec(rsGau, ssGau, 0.5, true))
+	})
+	t.Run("count-only", func(t *testing.T) {
+		_, clustered := runBoth(t, h, uniRSpec(rsUni, ssUni, 0.5, false))
+		if clustered.Pairs != nil {
+			t.Errorf("count-only run materialised %d pairs", len(clustered.Pairs))
+		}
+	})
+	t.Run("clone-refpoint-kernel", func(t *testing.T) {
+		runBoth(t, h, cloneSpec(rsGau, ssGau, 0.5))
+	})
+	t.Run("smaller-exec-eps", func(t *testing.T) {
+		spec := uniRSpec(rsUni, ssUni, 0.5, true)
+		localPr, err := dpe.Prepare(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Engine = h.coord.Engine()
+		clusterPr, err := dpe.Prepare(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := localPr.Execute(dpe.ExecOptions{Eps: 0.25, Collect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clustered, err := clusterPr.Execute(dpe.ExecOptions{Eps: 0.25, Collect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clustered.Results != local.Results || clustered.Checksum != local.Checksum {
+			t.Errorf("eps=0.25 re-sweep: cluster (%d, %#x), local (%d, %#x)",
+				clustered.Results, clustered.Checksum, local.Results, local.Checksum)
+		}
+	})
+}
+
+func TestClusterDedup(t *testing.T) {
+	world := datagen.World()
+	rs := datagen.Uniform(world, 1500, 5, 0)
+	ss := datagen.Uniform(world, 1500, 6, 1<<20)
+	h := startHarness(t, Config{}, WorkerOptions{Name: "w0"}, WorkerOptions{Name: "w1"})
+
+	// Clone join WITHOUT the reference-point filter emits duplicates; the
+	// engine-level distinct() pass must remove them identically on both
+	// backends.
+	spec := cloneSpec(rs, ss, 0.5)
+	spec.Kernel, spec.KernelDesc = nil, dpe.KernelDesc{}
+	spec.Dedup = true
+	local, clustered := runBoth(t, h, spec)
+	if local.DedupInput <= local.Results {
+		t.Fatalf("dedup scenario produced no duplicates (in=%d out=%d) — test is vacuous", local.DedupInput, local.Results)
+	}
+	if clustered.DedupInput != local.DedupInput {
+		t.Errorf("cluster dedup input %d, local %d", clustered.DedupInput, local.DedupInput)
+	}
+}
+
+func TestClusterWorkerDeathMidJoin(t *testing.T) {
+	world := datagen.World()
+	rs := datagen.Uniform(world, 2000, 7, 0)
+	ss := datagen.Uniform(world, 2000, 8, 1<<20)
+
+	// The victim stalls every task long enough for the kill to land while
+	// its share of partitions is still outstanding.
+	h := startHarness(t, Config{HeartbeatInterval: 50 * time.Millisecond},
+		WorkerOptions{Name: "victim", TaskDelay: 400 * time.Millisecond, Parallel: 1},
+		WorkerOptions{Name: "s1"},
+		WorkerOptions{Name: "s2"},
+	)
+
+	spec := uniRSpec(rs, ss, 0.5, true)
+	local, err := dpe.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec.Engine = h.coord.Engine()
+	resCh := make(chan *dpe.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := dpe.Run(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+
+	// Kill the victim while its tasks are in flight (worker 0 gets the
+	// plan first, so it owns partitions 0, 3, 6, ...).
+	time.Sleep(100 * time.Millisecond)
+	h.kill[0]()
+
+	select {
+	case err := <-errCh:
+		t.Fatalf("cluster run failed after worker death: %v", err)
+	case res := <-resCh:
+		if res.Results != local.Results || res.Checksum != local.Checksum {
+			t.Errorf("after worker death: cluster (%d, %#x), local (%d, %#x)",
+				res.Results, res.Checksum, local.Results, local.Checksum)
+		}
+		sortPairs(res.Pairs)
+		sortPairs(local.Pairs)
+		if len(res.Pairs) != len(local.Pairs) {
+			t.Fatalf("after worker death: %d pairs, want %d", len(res.Pairs), len(local.Pairs))
+		}
+		for i := range local.Pairs {
+			if res.Pairs[i] != local.Pairs[i] {
+				t.Fatalf("pair %d differs after worker death", i)
+			}
+		}
+		if res.Cluster.Retries == 0 {
+			t.Errorf("worker died mid-join but no task was retried")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster run did not finish after worker death")
+	}
+
+	st := h.coord.Stats()
+	if st.WorkersLost == 0 {
+		t.Errorf("Stats().WorkersLost = 0 after killing a worker")
+	}
+}
+
+func TestClusterSpeculativeStraggler(t *testing.T) {
+	world := datagen.World()
+	rs := datagen.Uniform(world, 1500, 9, 0)
+	ss := datagen.Uniform(world, 1500, 10, 1<<20)
+
+	// One healthy worker, one straggler that stalls every task far past
+	// the threshold: its partitions must be speculatively duplicated on
+	// the healthy worker, whose copies win.
+	h := startHarness(t,
+		Config{StragglerMin: 100 * time.Millisecond, StragglerFactor: 2},
+		WorkerOptions{Name: "fast"},
+		WorkerOptions{Name: "slow", TaskDelay: 5 * time.Second, Parallel: 1},
+	)
+
+	spec := uniRSpec(rs, ss, 0.5, true)
+	local, err := dpe.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Engine = h.coord.Engine()
+	start := time.Now()
+	clustered, err := dpe.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Errorf("run took %v: speculation should beat the 5s straggler delay", elapsed)
+	}
+	if clustered.Results != local.Results || clustered.Checksum != local.Checksum {
+		t.Errorf("speculative run: cluster (%d, %#x), local (%d, %#x)",
+			clustered.Results, clustered.Checksum, local.Results, local.Checksum)
+	}
+	cm := clustered.Cluster
+	if cm.SpeculativeLaunched == 0 {
+		t.Errorf("no speculative attempt launched against a %v straggler", 5*time.Second)
+	}
+	if cm.SpeculativeWins == 0 {
+		t.Errorf("speculative attempts launched (%d) but none won", cm.SpeculativeLaunched)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	rs := datagen.Uniform(datagen.World(), 100, 11, 0)
+	ss := datagen.Uniform(datagen.World(), 100, 12, 1<<20)
+
+	t.Run("no-workers", func(t *testing.T) {
+		coord, err := Listen("127.0.0.1:0", Config{Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		spec := uniRSpec(rs, ss, 0.5, false)
+		spec.Engine = coord.Engine()
+		if _, err := dpe.Run(spec); !errors.Is(err, ErrNoWorkers) {
+			t.Errorf("run with no workers: err = %v, want ErrNoWorkers", err)
+		}
+	})
+	t.Run("custom-kernel", func(t *testing.T) {
+		h := startHarness(t, Config{}, WorkerOptions{Name: "w0"})
+		spec := uniRSpec(rs, ss, 0.5, false)
+		spec.Kernel = pbsm.RefPointKernel(grid.New(datagen.World(), 0.5, 2)) // no KernelDesc: not portable
+		spec.Engine = h.coord.Engine()
+		if _, err := dpe.Run(spec); !errors.Is(err, ErrKernelNotPortable) {
+			t.Errorf("run with undescribed kernel: err = %v, want ErrKernelNotPortable", err)
+		}
+	})
+	t.Run("cancelled-context", func(t *testing.T) {
+		h := startHarness(t, Config{}, WorkerOptions{Name: "w0", TaskDelay: time.Second})
+		spec := uniRSpec(rs, ss, 0.5, false)
+		spec.Engine = h.coord.Engine()
+		pr, err := dpe.Prepare(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		if _, err := pr.ExecuteContext(ctx, dpe.ExecOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("cancelled run: err = %v, want DeadlineExceeded", err)
+		}
+	})
+}
+
+func TestClusterProtoRoundTrips(t *testing.T) {
+	t.Run("hello", func(t *testing.T) {
+		m, err := decodeHello(helloMsg{name: "w-1"}.encode())
+		if err != nil || m.name != "w-1" {
+			t.Fatalf("hello round trip: %+v, %v", m, err)
+		}
+		if _, err := decodeHello([]byte("XXXX\x01\x00\x00")); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("plan", func(t *testing.T) {
+		in := planMsg{
+			id: 7, eps: 0.25, selfFilter: true, collect: true,
+			kernel:    dpe.KernelDesc{Kind: dpe.KernelRefPoint, Bounds: geom.NewRect(0, 0, 10, 20), GridEps: 0.5, GridRes: 2},
+			broadcast: []byte{1, 2, 3},
+		}
+		out, err := decodePlan(in.encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.id != in.id || out.eps != in.eps || !out.selfFilter || !out.collect ||
+			out.kernel != in.kernel || string(out.broadcast) != string(in.broadcast) {
+			t.Fatalf("plan round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("task", func(t *testing.T) {
+		rs := []dpe.Keyed{{Cell: 5, Src: 0, T: tuple.Tuple{ID: 1, Pt: geom.Point{X: 1, Y: 2}}}}
+		ss := []dpe.Keyed{{Cell: 5, Src: 1, T: tuple.Tuple{ID: 2, Pt: geom.Point{X: 3, Y: 4}, Payload: []byte("p")}}}
+		frame, local, remote := encodeTask(taskHeader{plan: 1, part: 2, attempt: 3}, rs, ss,
+			func(src int) bool { return src == 0 })
+		if local <= 0 || remote <= 0 {
+			t.Fatalf("byte classification: local=%d remote=%d", local, remote)
+		}
+		h, gotR, gotS, err := decodeTask(frame[frameHeader:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != (taskHeader{plan: 1, part: 2, attempt: 3}) || len(gotR) != 1 || len(gotS) != 1 {
+			t.Fatalf("task round trip: %+v, %d/%d records", h, len(gotR), len(gotS))
+		}
+		if gotR[0].Cell != 5 || gotR[0].T.ID != 1 || string(gotS[0].T.Payload) != "p" {
+			t.Fatalf("task records corrupted: %+v / %+v", gotR[0], gotS[0])
+		}
+	})
+	t.Run("result", func(t *testing.T) {
+		in := resultMsg{
+			taskHeader: taskHeader{plan: 9, part: 1, attempt: 0},
+			dur:        time.Second, results: 2, checksum: 0xbeef, cost: 42,
+			pairs: []tuple.Pair{{RID: 1, SID: 2}, {RID: 3, SID: 4}},
+		}
+		out, err := decodeResult(in.encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.taskHeader != in.taskHeader || out.dur != in.dur || out.results != in.results ||
+			out.checksum != in.checksum || out.cost != in.cost || len(out.pairs) != 2 || out.pairs[1] != in.pairs[1] {
+			t.Fatalf("result round trip: got %+v, want %+v", out, in)
+		}
+	})
+}

@@ -1,0 +1,859 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/tuple"
+)
+
+// ErrNoWorkers is returned when an execution needs a worker and none is
+// live (or none survives to the end of the run).
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// ErrKernelNotPortable is returned for plans whose join kernel has no
+// wire description (e.g. the Sedona R-tree kernel): they run on the
+// local engine only.
+var ErrKernelNotPortable = errors.New("cluster: plan kernel cannot run on remote workers")
+
+// maxTaskRetries bounds re-executions of one task before the run is
+// declared failed.
+const maxTaskRetries = 8
+
+// Config tunes the coordinator. Zero values select defaults.
+type Config struct {
+	// HeartbeatInterval is the expected worker beacon period; default
+	// 500ms. A worker silent for HeartbeatMisses intervals is declared
+	// dead and its tasks are re-queued.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the tolerated number of missed beacons;
+	// default 5.
+	HeartbeatMisses int
+	// StragglerMin is the floor a task must run before it can be
+	// speculatively duplicated; default 2s.
+	StragglerMin time.Duration
+	// StragglerFactor scales the median completed-task time into the
+	// speculation threshold (threshold = max(StragglerMin, factor ×
+	// median)); default 3.
+	StragglerFactor float64
+	// MaxFrame bounds one protocol frame; default 1 GiB.
+	MaxFrame int
+	// Logf receives progress and fault events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 5
+	}
+	if c.StragglerMin <= 0 {
+		c.StragglerMin = 2 * time.Second
+	}
+	if c.StragglerFactor <= 0 {
+		c.StragglerFactor = 3
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = defaultMaxFrame
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the coordinator's lifetime
+// counters.
+type Stats struct {
+	Workers       int   // currently live worker processes
+	WorkersJoined int64 // handshakes accepted since start
+	WorkersLost   int64 // workers declared dead (conn error or heartbeat miss)
+
+	Tasks               int64 // tasks completed across all runs
+	Retries             int64 // task re-executions after failures
+	SpeculativeLaunched int64 // duplicate attempts launched for stragglers
+	SpeculativeWins     int64 // speculative attempts that finished first
+
+	TaskBytesLocal  int64 // streamed task bytes headed to the map-local worker
+	TaskBytesRemote int64 // streamed task bytes crossing worker boundaries
+	BroadcastBytes  int64 // plan frames shipped (grid, agreements, placement)
+	ResultBytes     int64 // result frames received
+}
+
+// Coordinator accepts worker connections and executes prepared joins on
+// them. It implements the engine side of the protocol; its Engine method
+// adapts it to dpe.Engine so orchestrators can treat it as a drop-in
+// backend.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	workers  map[int64]*remote
+	runs     map[uint64]*run
+	nextWID  int64
+	memberCh chan struct{} // closed and replaced on every membership change
+	closed   bool
+
+	nextPlan atomic.Uint64
+
+	stWorkersJoined, stWorkersLost               atomic.Int64
+	stTasks, stRetries, stSpecLaunch, stSpecWins atomic.Int64
+	stBytesLocal, stBytesRemote                  atomic.Int64
+	stBroadcast, stResultBytes                   atomic.Int64
+}
+
+// remote is the coordinator's handle on one connected worker.
+type remote struct {
+	id   int64
+	name string
+	conn net.Conn
+
+	wmu      sync.Mutex // serialises frame writes
+	lastSeen atomic.Int64
+	dead     atomic.Bool
+}
+
+func (w *remote) send(frame []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	_, err := w.conn.Write(frame)
+	return err
+}
+
+// Listen starts a coordinator on addr (e.g. ":7077", or ":0" to pick a
+// free port, discoverable via Addr).
+func Listen(addr string, cfg Config) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c := &Coordinator{
+		cfg:      cfg.withDefaults(),
+		ln:       ln,
+		workers:  map[int64]*remote{},
+		runs:     map[uint64]*run{},
+		memberCh: make(chan struct{}),
+	}
+	go c.acceptLoop()
+	go c.monitorLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Close stops accepting workers and disconnects the connected ones.
+// In-flight runs fail with ErrNoWorkers.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	workers := make([]*remote, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, w := range workers {
+		c.dropWorker(w, errors.New("coordinator closed"))
+	}
+	return err
+}
+
+// NumWorkers returns the number of live workers.
+func (c *Coordinator) NumWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// WaitForWorkers blocks until at least n workers are connected or ctx
+// expires.
+func (c *Coordinator) WaitForWorkers(ctx context.Context, n int) error {
+	for {
+		c.mu.Lock()
+		have, ch, closed := len(c.workers), c.memberCh, c.closed
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		if closed {
+			return errors.New("cluster: coordinator closed")
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: waiting for %d workers (have %d): %w", n, have, ctx.Err())
+		}
+	}
+}
+
+// Stats snapshots the lifetime counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Workers:             c.NumWorkers(),
+		WorkersJoined:       c.stWorkersJoined.Load(),
+		WorkersLost:         c.stWorkersLost.Load(),
+		Tasks:               c.stTasks.Load(),
+		Retries:             c.stRetries.Load(),
+		SpeculativeLaunched: c.stSpecLaunch.Load(),
+		SpeculativeWins:     c.stSpecWins.Load(),
+		TaskBytesLocal:      c.stBytesLocal.Load(),
+		TaskBytesRemote:     c.stBytesRemote.Load(),
+		BroadcastBytes:      c.stBroadcast.Load(),
+		ResultBytes:         c.stResultBytes.Load(),
+	}
+}
+
+// Engine adapts the coordinator to the data-parallel engine's pluggable
+// backend interface.
+func (c *Coordinator) Engine() dpe.Engine { return engine{c} }
+
+// acceptLoop admits workers: each connection must open with a hello
+// frame before it joins the pool.
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.handshake(conn)
+	}
+}
+
+func (c *Coordinator) handshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	typ, payload, err := readFrame(br, 1<<16)
+	if err != nil || typ != msgHello {
+		conn.Close()
+		return
+	}
+	hello, err := decodeHello(payload)
+	if err != nil {
+		c.cfg.Logf("cluster: rejecting worker: %v", err)
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	w := &remote{name: hello.name, conn: conn}
+	w.lastSeen.Store(time.Now().UnixNano())
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.nextWID++
+	w.id = c.nextWID
+	c.workers[w.id] = w
+	close(c.memberCh)
+	c.memberCh = make(chan struct{})
+	c.mu.Unlock()
+	c.stWorkersJoined.Add(1)
+	c.cfg.Logf("cluster: worker %d (%s) joined from %s", w.id, w.name, conn.RemoteAddr())
+
+	c.readLoop(w, br)
+}
+
+// readLoop consumes a worker's frames until the connection breaks.
+func (c *Coordinator) readLoop(w *remote, br *bufio.Reader) {
+	for {
+		typ, payload, err := readFrame(br, c.cfg.MaxFrame)
+		if err != nil {
+			c.dropWorker(w, err)
+			return
+		}
+		w.lastSeen.Store(time.Now().UnixNano())
+		switch typ {
+		case msgHeartbeat:
+			// lastSeen update above is the whole point.
+		case msgResult:
+			c.handleResult(w, payload)
+		case msgTaskErr:
+			c.handleTaskErr(w, payload)
+		default:
+			c.dropWorker(w, fmt.Errorf("unexpected frame type %d", typ))
+			return
+		}
+	}
+}
+
+// monitorLoop declares workers dead when their heartbeats stop.
+func (c *Coordinator) monitorLoop() {
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	limit := time.Duration(c.cfg.HeartbeatMisses) * c.cfg.HeartbeatInterval
+	for range ticker.C {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		var stale []*remote
+		now := time.Now().UnixNano()
+		for _, w := range c.workers {
+			if now-w.lastSeen.Load() > int64(limit) {
+				stale = append(stale, w)
+			}
+		}
+		c.mu.Unlock()
+		for _, w := range stale {
+			c.dropWorker(w, fmt.Errorf("missed %d heartbeats", c.cfg.HeartbeatMisses))
+		}
+	}
+}
+
+// dropWorker removes a worker from the pool and re-queues its unfinished
+// task attempts on survivors. Idempotent; never called with locks held.
+func (c *Coordinator) dropWorker(w *remote, cause error) {
+	if !w.dead.CompareAndSwap(false, true) {
+		return
+	}
+	w.conn.Close()
+	c.mu.Lock()
+	delete(c.workers, w.id)
+	close(c.memberCh)
+	c.memberCh = make(chan struct{})
+	runs := make([]*run, 0, len(c.runs))
+	for _, r := range c.runs {
+		runs = append(runs, r)
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	c.stWorkersLost.Add(1)
+	if !closed {
+		c.cfg.Logf("cluster: worker %d (%s) lost: %v", w.id, w.name, cause)
+	}
+	for _, r := range runs {
+		c.requeueWorker(r, w.id)
+	}
+}
+
+// liveWorkers returns the live workers ordered by id.
+func (c *Coordinator) liveWorkers() []*remote {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*remote, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// run is the coordinator-side state of one engine execution.
+type run struct {
+	id      uint64
+	collect bool
+	workers []*remote // plan recipients, in dispatch order (stable for src mapping)
+
+	mu      sync.Mutex
+	tasks   map[uint32]*task
+	pending int
+	rr      int // round-robin cursor for re-assignments
+	durs    []time.Duration
+	failed  error
+	done    chan struct{}
+
+	results            int64
+	checksum           uint64
+	totalCost, maxCost int64
+	pairs              []tuple.Pair
+	busy               map[int64]time.Duration
+	cm                 dpe.ClusterMetrics
+}
+
+// task is one reduce partition of a run.
+type task struct {
+	part        uint32
+	rs, ss      []dpe.Keyed
+	active      []attempt
+	nextAttempt uint32
+	retries     int
+	completed   bool
+}
+
+type attempt struct {
+	id          uint32
+	worker      int64
+	start       time.Time
+	speculative bool
+}
+
+// engine adapts the coordinator to dpe.Engine.
+type engine struct{ c *Coordinator }
+
+// ExecutePrepared implements dpe.Engine: broadcast the plan, stream the
+// partitions to their owners, collect results with retry and
+// speculation, and assemble the metrics.
+func (e engine) ExecutePrepared(ctx context.Context, pr *dpe.Prepared, opt dpe.ExecOptions) (*dpe.Result, error) {
+	c := e.c
+	kd := pr.WireKernel()
+	if kd.Kind == dpe.KernelCustom {
+		return nil, ErrKernelNotPortable
+	}
+
+	r := &run{
+		id:      c.nextPlan.Add(1),
+		collect: opt.Collect,
+		tasks:   map[uint32]*task{},
+		done:    make(chan struct{}),
+		busy:    map[int64]time.Duration{},
+	}
+
+	// ---- Plan broadcast (Algorithm 5 line 6, in real bytes): grid,
+	// agreements and placement travel to every worker before any tuple.
+	planFrame := appendFrame(msgPlan, planMsg{
+		id:         r.id,
+		eps:        opt.Eps,
+		selfFilter: pr.SelfFilter(),
+		collect:    opt.Collect,
+		kernel:     kd,
+		broadcast:  pr.Broadcast(),
+	}.encode())
+	for _, w := range c.liveWorkers() {
+		if err := w.send(planFrame); err != nil {
+			c.dropWorker(w, err)
+			continue
+		}
+		r.workers = append(r.workers, w)
+		r.cm.BroadcastBytes += int64(len(planFrame))
+	}
+	if len(r.workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	r.cm.Workers = len(r.workers)
+
+	c.mu.Lock()
+	c.runs[r.id] = r
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.runs, r.id)
+		c.mu.Unlock()
+		c.accumulate(r)
+	}()
+
+	// ---- Task construction: one task per reduce partition that holds
+	// records of both inputs (one-sided partitions cannot produce pairs,
+	// matching the local engine's cell-level short circuit).
+	start := time.Now()
+	var tasks []*task
+	for p := 0; p < pr.NumPartitions(); p++ {
+		rs, ss := pr.Partition(p)
+		if len(rs) == 0 || len(ss) == 0 {
+			continue
+		}
+		t := &task{part: uint32(p), rs: rs, ss: ss}
+		r.tasks[t.part] = t
+		tasks = append(tasks, t)
+	}
+	r.mu.Lock()
+	r.pending = len(tasks)
+	r.mu.Unlock()
+
+	if len(tasks) > 0 {
+		// ---- The shuffle: partition i is owned by worker i mod W, the
+		// same round-robin ownership the local engine and the LPT
+		// placement assume.
+		for i, t := range tasks {
+			c.dispatch(r, t, r.workers[i%len(r.workers)], false)
+		}
+
+		stop := make(chan struct{})
+		go c.speculateLoop(r, stop)
+		select {
+		case <-ctx.Done():
+			close(stop)
+			r.fail(ctx.Err())
+			c.broadcastPlanDone(r)
+			return nil, ctx.Err()
+		case <-r.done:
+			close(stop)
+		}
+		c.broadcastPlanDone(r)
+		r.mu.Lock()
+		err := r.failed
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Assemble the result on top of the construction metrics.
+	res := &dpe.Result{Metrics: pr.BuildMetrics()}
+	res.JoinTime = time.Since(start)
+	r.mu.Lock()
+	res.Results = r.results
+	res.Checksum = r.checksum
+	res.TotalPartitionCost = r.totalCost
+	res.MaxPartitionCost = r.maxCost
+	if r.collect {
+		res.Pairs = r.pairs
+	}
+	res.WorkerBusy = make([]time.Duration, 0, len(r.workers))
+	for _, w := range r.workers {
+		res.WorkerBusy = append(res.WorkerBusy, r.busy[w.id])
+	}
+	res.Cluster = r.cm
+	r.mu.Unlock()
+	res.BroadcastBytes = res.Cluster.BroadcastBytes
+	return res, nil
+}
+
+// requeueWorker strips a dead worker's attempts from a run and re-queues
+// tasks left with no active attempt.
+func (c *Coordinator) requeueWorker(r *run, workerID int64) {
+	type resend struct {
+		t *task
+		w *remote
+	}
+	var resends []resend
+	r.mu.Lock()
+	if r.failed != nil {
+		r.mu.Unlock()
+		return
+	}
+	for _, t := range r.tasks {
+		if t.completed {
+			continue
+		}
+		kept := t.active[:0]
+		stripped := false
+		for _, a := range t.active {
+			if a.worker == workerID {
+				stripped = true
+				continue
+			}
+			kept = append(kept, a)
+		}
+		t.active = kept
+		if !stripped || len(t.active) > 0 {
+			continue
+		}
+		// The task's only attempt died: re-execute on a survivor.
+		w := r.pickLocked(workerID)
+		if w == nil {
+			err := fmt.Errorf("%w: partition %d lost its last worker", ErrNoWorkers, t.part)
+			r.failLocked(err)
+			r.mu.Unlock()
+			c.broadcastPlanDone(r)
+			return
+		}
+		t.retries++
+		r.cm.Retries++
+		if t.retries > maxTaskRetries {
+			r.failLocked(fmt.Errorf("cluster: partition %d failed %d times", t.part, t.retries))
+			r.mu.Unlock()
+			c.broadcastPlanDone(r)
+			return
+		}
+		resends = append(resends, resend{t: t, w: w})
+	}
+	r.mu.Unlock()
+	for _, rs := range resends {
+		c.cfg.Logf("cluster: re-queueing partition %d of plan %d on worker %d", rs.t.part, r.id, rs.w.id)
+		c.dispatch(r, rs.t, rs.w, false)
+	}
+}
+
+// dispatch registers an attempt of t on w and streams the task frame —
+// used for first executions, retries and speculation alike, so retry
+// bytes are measured too. Must be called without r.mu or c.mu held.
+func (c *Coordinator) dispatch(r *run, t *task, w *remote, speculative bool) {
+	r.mu.Lock()
+	if t.completed || r.failed != nil {
+		r.mu.Unlock()
+		return
+	}
+	att := attempt{id: t.nextAttempt, worker: w.id, start: time.Now(), speculative: speculative}
+	t.nextAttempt++
+	t.active = append(t.active, att)
+	nw := len(r.workers)
+	r.mu.Unlock()
+
+	frame, local, remote := encodeTask(
+		taskHeader{plan: r.id, part: t.part, attempt: att.id},
+		t.rs, t.ss,
+		func(src int) bool { return r.workers[src%nw] == w },
+	)
+	r.mu.Lock()
+	r.cm.TaskBytesLocal += local
+	r.cm.TaskBytesRemote += remote
+	r.mu.Unlock()
+	if err := w.send(frame); err != nil {
+		c.dropWorker(w, err)
+	}
+}
+
+// pickLocked chooses the live plan recipient with the fewest active
+// attempts, excluding a worker id. Caller holds r.mu.
+func (r *run) pickLocked(exclude int64) *remote {
+	load := map[int64]int{}
+	for _, t := range r.tasks {
+		if t.completed {
+			continue
+		}
+		for _, a := range t.active {
+			load[a.worker]++
+		}
+	}
+	var best *remote
+	bestLoad := 0
+	for i := 0; i < len(r.workers); i++ {
+		w := r.workers[(r.rr+i)%len(r.workers)]
+		if w.id == exclude || w.dead.Load() {
+			continue
+		}
+		if best == nil || load[w.id] < bestLoad {
+			best, bestLoad = w, load[w.id]
+		}
+	}
+	r.rr++
+	return best
+}
+
+func (r *run) failLocked(err error) {
+	if r.failed == nil {
+		r.failed = err
+		close(r.done)
+	}
+}
+
+func (r *run) fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending > 0 {
+		r.failLocked(err)
+	}
+}
+
+// handleResult settles one task attempt: the first result for a
+// partition wins, later duplicates (lost speculation races) are dropped.
+func (c *Coordinator) handleResult(w *remote, payload []byte) {
+	m, err := decodeResult(payload)
+	if err != nil {
+		c.dropWorker(w, err)
+		return
+	}
+	c.mu.Lock()
+	r := c.runs[m.plan]
+	c.mu.Unlock()
+	if r == nil {
+		return // plan already finished or abandoned
+	}
+
+	var losers []attempt
+	r.mu.Lock()
+	t := r.tasks[m.part]
+	if t == nil || t.completed || r.failed != nil {
+		r.mu.Unlock()
+		return
+	}
+	t.completed = true
+	winnerSpeculative := false
+	for _, a := range t.active {
+		if a.id == m.attempt {
+			winnerSpeculative = a.speculative
+		} else {
+			losers = append(losers, a)
+		}
+	}
+	t.active = nil
+	// Free the partition buckets: a completed task's tuples are not
+	// needed for any retry.
+	t.rs, t.ss = nil, nil
+
+	r.durs = append(r.durs, m.dur)
+	r.busy[w.id] += m.dur
+	r.results += m.results
+	r.checksum += m.checksum
+	r.totalCost += m.cost
+	if m.cost > r.maxCost {
+		r.maxCost = m.cost
+	}
+	if r.collect {
+		r.pairs = append(r.pairs, m.pairs...)
+	}
+	r.cm.Tasks++
+	r.cm.ResultBytes += int64(frameHeader + len(payload))
+	if winnerSpeculative {
+		r.cm.SpeculativeWins++
+	}
+	r.pending--
+	finished := r.pending == 0
+	if finished {
+		close(r.done)
+	}
+	r.mu.Unlock()
+
+	// Cancel the losing attempts (best effort; a late result is ignored
+	// anyway).
+	if len(losers) > 0 {
+		cancel := appendFrame(msgCancel, cancelMsg{plan: r.id, part: m.part}.encode())
+		c.mu.Lock()
+		for _, a := range losers {
+			if lw := c.workers[a.worker]; lw != nil {
+				go lw.send(cancel)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// handleTaskErr re-queues a failed attempt on another worker.
+func (c *Coordinator) handleTaskErr(w *remote, payload []byte) {
+	m, err := decodeTaskErr(payload)
+	if err != nil {
+		c.dropWorker(w, err)
+		return
+	}
+	c.mu.Lock()
+	r := c.runs[m.plan]
+	c.mu.Unlock()
+	if r == nil {
+		return
+	}
+	c.cfg.Logf("cluster: worker %d failed partition %d of plan %d: %s", w.id, m.part, m.plan, m.msg)
+
+	r.mu.Lock()
+	t := r.tasks[m.part]
+	if t == nil || t.completed || r.failed != nil {
+		r.mu.Unlock()
+		return
+	}
+	kept := t.active[:0]
+	for _, a := range t.active {
+		if a.id != m.attempt {
+			kept = append(kept, a)
+		}
+	}
+	t.active = kept
+	if len(t.active) > 0 {
+		r.mu.Unlock()
+		return // a sibling attempt is still running
+	}
+	t.retries++
+	r.cm.Retries++
+	if t.retries > maxTaskRetries {
+		r.failLocked(fmt.Errorf("cluster: partition %d failed %d times (last: %s)", t.part, t.retries, m.msg))
+		r.mu.Unlock()
+		c.broadcastPlanDone(r)
+		return
+	}
+	next := r.pickLocked(w.id)
+	if next == nil {
+		next = r.pickLocked(-1) // accept the failing worker if it is the only one left
+	}
+	if next == nil {
+		r.failLocked(fmt.Errorf("%w: partition %d has nowhere to retry", ErrNoWorkers, t.part))
+		r.mu.Unlock()
+		c.broadcastPlanDone(r)
+		return
+	}
+	r.mu.Unlock()
+	c.dispatch(r, t, next, false)
+}
+
+// speculateLoop duplicates straggling tasks: once a task's only attempt
+// has run past max(StragglerMin, StragglerFactor × median completed
+// duration), a second attempt is launched on another worker and the
+// first finisher wins.
+func (c *Coordinator) speculateLoop(r *run, stop <-chan struct{}) {
+	interval := c.cfg.StragglerMin / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-r.done:
+			return
+		case <-ticker.C:
+		}
+
+		type spec struct {
+			t *task
+			w *remote
+		}
+		var specs []spec
+		now := time.Now()
+		r.mu.Lock()
+		threshold := c.cfg.StragglerMin
+		if n := len(r.durs); n > 0 {
+			sorted := append([]time.Duration(nil), r.durs...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			if scaled := time.Duration(c.cfg.StragglerFactor * float64(sorted[n/2])); scaled > threshold {
+				threshold = scaled
+			}
+		}
+		if len(r.workers) > 1 && r.failed == nil {
+			for _, t := range r.tasks {
+				if t.completed || len(t.active) != 1 || t.active[0].speculative {
+					continue
+				}
+				if now.Sub(t.active[0].start) < threshold {
+					continue
+				}
+				if w := r.pickLocked(t.active[0].worker); w != nil {
+					specs = append(specs, spec{t: t, w: w})
+					r.cm.SpeculativeLaunched++
+				}
+			}
+		}
+		r.mu.Unlock()
+		for _, s := range specs {
+			c.cfg.Logf("cluster: speculating partition %d of plan %d on worker %d", s.t.part, r.id, s.w.id)
+			c.dispatch(r, s.t, s.w, true)
+		}
+	}
+}
+
+// broadcastPlanDone tells every plan recipient to free the plan's state
+// and drop its queued tasks.
+func (c *Coordinator) broadcastPlanDone(r *run) {
+	frame := appendFrame(msgPlanDone, encodePlanDone(r.id))
+	for _, w := range r.workers {
+		if !w.dead.Load() {
+			go w.send(frame)
+		}
+	}
+}
+
+// accumulate folds a finished run's counters into the lifetime stats.
+func (c *Coordinator) accumulate(r *run) {
+	r.mu.Lock()
+	cm := r.cm
+	r.mu.Unlock()
+	c.stTasks.Add(cm.Tasks)
+	c.stRetries.Add(cm.Retries)
+	c.stSpecLaunch.Add(cm.SpeculativeLaunched)
+	c.stSpecWins.Add(cm.SpeculativeWins)
+	c.stBytesLocal.Add(cm.TaskBytesLocal)
+	c.stBytesRemote.Add(cm.TaskBytesRemote)
+	c.stBroadcast.Add(cm.BroadcastBytes)
+	c.stResultBytes.Add(cm.ResultBytes)
+}

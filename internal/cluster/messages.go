@@ -1,0 +1,270 @@
+// Typed encode/decode of the protocol's message payloads, shared by the
+// coordinator and the worker.
+
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/tuple"
+)
+
+// helloMsg is the worker → coordinator handshake.
+type helloMsg struct {
+	name string
+}
+
+func (m helloMsg) encode() []byte {
+	b := append([]byte(nil), helloMagic...)
+	b = append(b, protoVersion)
+	return appendStr16(b, m.name)
+}
+
+func decodeHello(b []byte) (helloMsg, error) {
+	r := newReader(b)
+	if magic := r.take(4); string(magic) != helloMagic {
+		return helloMsg{}, fmt.Errorf("cluster: bad hello magic %q", magic)
+	}
+	if v := r.u8(); v != protoVersion {
+		return helloMsg{}, fmt.Errorf("cluster: worker speaks protocol v%d, coordinator v%d", v, protoVersion)
+	}
+	m := helloMsg{name: r.str16()}
+	return m, r.err("hello")
+}
+
+// planMsg is the coordinator → worker broadcast of one execution's plan:
+// the join parameters, the kernel description, and the opaque broadcast
+// blob (encoded grid + graph of agreements + LPT placement).
+type planMsg struct {
+	id         uint64
+	eps        float64
+	selfFilter bool
+	collect    bool
+	kernel     dpe.KernelDesc
+	broadcast  []byte
+}
+
+const (
+	planFlagSelfFilter = 1 << 0
+	planFlagCollect    = 1 << 1
+)
+
+func (m planMsg) encode() []byte {
+	b := binary.LittleEndian.AppendUint64(nil, m.id)
+	b = appendF64(b, m.eps)
+	var flags byte
+	if m.selfFilter {
+		flags |= planFlagSelfFilter
+	}
+	if m.collect {
+		flags |= planFlagCollect
+	}
+	b = append(b, flags, byte(m.kernel.Kind))
+	if m.kernel.Kind == dpe.KernelRefPoint {
+		for _, f := range []float64{
+			m.kernel.Bounds.MinX, m.kernel.Bounds.MinY,
+			m.kernel.Bounds.MaxX, m.kernel.Bounds.MaxY,
+			m.kernel.GridEps, m.kernel.GridRes,
+		} {
+			b = appendF64(b, f)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.broadcast)))
+	return append(b, m.broadcast...)
+}
+
+func decodePlan(b []byte) (planMsg, error) {
+	r := newReader(b)
+	var m planMsg
+	m.id = r.u64()
+	m.eps = r.f64()
+	flags := r.u8()
+	m.selfFilter = flags&planFlagSelfFilter != 0
+	m.collect = flags&planFlagCollect != 0
+	m.kernel.Kind = dpe.KernelKind(r.u8())
+	if m.kernel.Kind == dpe.KernelRefPoint {
+		m.kernel.Bounds.MinX = r.f64()
+		m.kernel.Bounds.MinY = r.f64()
+		m.kernel.Bounds.MaxX = r.f64()
+		m.kernel.Bounds.MaxY = r.f64()
+		m.kernel.GridEps = r.f64()
+		m.kernel.GridRes = r.f64()
+	}
+	n := int(r.u32())
+	m.broadcast = append([]byte(nil), r.take(n)...)
+	return m, r.err("plan")
+}
+
+// taskHeader identifies one task attempt: (plan, partition, attempt).
+type taskHeader struct {
+	plan    uint64
+	part    uint32
+	attempt uint32
+}
+
+func appendTaskHeader(b []byte, h taskHeader) []byte {
+	b = binary.LittleEndian.AppendUint64(b, h.plan)
+	b = binary.LittleEndian.AppendUint32(b, h.part)
+	return binary.LittleEndian.AppendUint32(b, h.attempt)
+}
+
+func readTaskHeader(r *reader) taskHeader {
+	return taskHeader{plan: r.u64(), part: r.u32(), attempt: r.u32()}
+}
+
+// encodeTask frames one reduce partition's shuffle records. isLocal
+// classifies a record's producing map split as co-located with the
+// receiving worker; the returned local/remote byte counts cover the
+// record payload (cell key + tuple wire bytes) — the cluster's measured
+// counterpart of the engine's modelled shuffle reads.
+func encodeTask(h taskHeader, rs, ss []dpe.Keyed, isLocal func(src int) bool) (frame []byte, local, remote int64) {
+	size := 16 + 8
+	for _, rec := range rs {
+		size += 8 + rec.T.WireSize()
+	}
+	for _, rec := range ss {
+		size += 8 + rec.T.WireSize()
+	}
+	b := make([]byte, 0, size)
+	b = appendTaskHeader(b, h)
+	for _, side := range [2][]dpe.Keyed{rs, ss} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(side)))
+		for _, rec := range side {
+			n0 := len(b)
+			b = binary.LittleEndian.AppendUint64(b, uint64(rec.Cell))
+			b = tuple.AppendTuple(b, rec.T)
+			if isLocal(rec.Src) {
+				local += int64(len(b) - n0)
+			} else {
+				remote += int64(len(b) - n0)
+			}
+		}
+	}
+	return appendFrame(msgTask, b), local, remote
+}
+
+func decodeTask(b []byte) (h taskHeader, rs, ss []dpe.Keyed, err error) {
+	r := newReader(b)
+	h = readTaskHeader(r)
+	for side := 0; side < 2; side++ {
+		n := int(r.u32())
+		if !r.ok || n < 0 || n > len(r.b) {
+			return h, nil, nil, fmt.Errorf("cluster: task frame declares %d records beyond its size", n)
+		}
+		recs := make([]dpe.Keyed, 0, n)
+		for i := 0; i < n; i++ {
+			cell := int(int64(r.u64()))
+			t, consumed, terr := tuple.DecodeTuple(r.b)
+			if !r.ok || terr != nil {
+				return h, nil, nil, fmt.Errorf("cluster: short task frame")
+			}
+			r.b = r.b[consumed:]
+			recs = append(recs, dpe.Keyed{Cell: cell, T: t})
+		}
+		if side == 0 {
+			rs = recs
+		} else {
+			ss = recs
+		}
+	}
+	return h, rs, ss, r.err("task")
+}
+
+// resultMsg carries one completed task's join outcome back to the
+// coordinator, including the worker-side execution time for the busy
+// clocks and straggler statistics.
+type resultMsg struct {
+	taskHeader
+	dur      time.Duration
+	results  int64
+	checksum uint64
+	cost     int64
+	pairs    []tuple.Pair
+}
+
+func (m resultMsg) encode() []byte {
+	b := make([]byte, 0, 16+40+len(m.pairs)*tuple.PairWireSize)
+	b = appendTaskHeader(b, m.taskHeader)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.dur))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.results))
+	b = binary.LittleEndian.AppendUint64(b, m.checksum)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.cost))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.pairs)))
+	for _, p := range m.pairs {
+		b = tuple.AppendPair(b, p)
+	}
+	return b
+}
+
+func decodeResult(b []byte) (resultMsg, error) {
+	r := newReader(b)
+	var m resultMsg
+	m.taskHeader = readTaskHeader(r)
+	m.dur = time.Duration(r.u64())
+	m.results = int64(r.u64())
+	m.checksum = r.u64()
+	m.cost = int64(r.u64())
+	n := int(r.u32())
+	if !r.ok || n < 0 || n*tuple.PairWireSize > len(r.b) {
+		return m, fmt.Errorf("cluster: result frame declares %d pairs beyond its size", n)
+	}
+	if n > 0 {
+		m.pairs = make([]tuple.Pair, n)
+		for i := 0; i < n; i++ {
+			p, err := tuple.DecodePair(r.take(tuple.PairWireSize))
+			if err != nil {
+				return m, err
+			}
+			m.pairs[i] = p
+		}
+	}
+	return m, r.err("result")
+}
+
+// taskErrMsg reports a failed task attempt.
+type taskErrMsg struct {
+	taskHeader
+	msg string
+}
+
+func (m taskErrMsg) encode() []byte {
+	return appendStr16(appendTaskHeader(nil, m.taskHeader), m.msg)
+}
+
+func decodeTaskErr(b []byte) (taskErrMsg, error) {
+	r := newReader(b)
+	m := taskErrMsg{taskHeader: readTaskHeader(r)}
+	m.msg = r.str16()
+	return m, r.err("task error")
+}
+
+// cancelMsg tells a worker to drop one task (a speculation race it
+// lost, or a plan that was abandoned).
+type cancelMsg struct {
+	plan uint64
+	part uint32
+}
+
+func (m cancelMsg) encode() []byte {
+	b := binary.LittleEndian.AppendUint64(nil, m.plan)
+	return binary.LittleEndian.AppendUint32(b, m.part)
+}
+
+func decodeCancel(b []byte) (cancelMsg, error) {
+	r := newReader(b)
+	m := cancelMsg{plan: r.u64(), part: r.u32()}
+	return m, r.err("cancel")
+}
+
+func encodePlanDone(plan uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, plan)
+}
+
+func decodePlanDone(b []byte) (uint64, error) {
+	r := newReader(b)
+	id := r.u64()
+	return id, r.err("plan done")
+}

@@ -1,0 +1,156 @@
+// Package cluster is the real multi-process execution backend of the
+// data-parallel engine: a coordinator and N worker processes connected
+// over TCP with a length-prefixed binary protocol. Where the local
+// engine simulates workers in-process and models shuffle bytes, the
+// cluster engine ships the prepared plan (grid, agreements, LPT
+// placement) and the partition-bucketed tuples over actual sockets, so
+// the replication decisions of the paper drive measured network bytes.
+//
+// The coordinator owns the prepared partitions (the product of the map +
+// shuffle phases) and streams each reduce partition to its owning worker
+// as one task. Liveness is tracked with heartbeats: a worker that dies
+// or goes silent has its unfinished tasks re-queued on survivors, and
+// tasks that run past a straggler threshold are speculatively duplicated
+// on a second worker with first-result-wins deduplication — the fault
+// model of the MapReduce/Spark lineage the paper's evaluation ran on.
+//
+// Wire format. Every frame is
+//
+//	length u32 (type + payload) | type u8 | payload
+//
+// in little-endian byte order, with tuples and pairs encoded by
+// internal/tuple's wire format. The protocol is deliberately dumb:
+// no compression, no pipelining windows — measured bytes should map
+// one-to-one onto the replication and placement decisions under test.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// protoVersion is bumped on any incompatible frame change.
+const protoVersion = 1
+
+// helloMagic opens the worker → coordinator handshake.
+const helloMagic = "SJWK"
+
+// Frame types.
+const (
+	msgHello     byte = 1 // worker → coordinator: magic, version, name
+	msgHeartbeat byte = 2 // worker → coordinator: liveness beacon
+	msgPlan      byte = 3 // coordinator → worker: per-execution plan broadcast
+	msgTask      byte = 4 // coordinator → worker: one reduce partition's records
+	msgResult    byte = 5 // worker → coordinator: one task's join outcome
+	msgTaskErr   byte = 6 // worker → coordinator: task execution failed
+	msgCancel    byte = 7 // coordinator → worker: drop a task (speculation lost)
+	msgPlanDone  byte = 8 // coordinator → worker: plan finished, free its state
+)
+
+// defaultMaxFrame bounds a single frame; a task carries a whole reduce
+// partition, so the cap is generous.
+const defaultMaxFrame = 1 << 30
+
+// frame length prefix + type byte.
+const frameHeader = 4 + 1
+
+// appendFrame wraps a payload into a frame ready for a single Write.
+func appendFrame(typ byte, payload []byte) []byte {
+	buf := make([]byte, 0, frameHeader+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+len(payload)))
+	buf = append(buf, typ)
+	return append(buf, payload...)
+}
+
+// readFrame reads one frame from r, enforcing the size cap.
+func readFrame(r *bufio.Reader, max int) (byte, []byte, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(head[:]))
+	if n < 1 || n > max {
+		return 0, nil, fmt.Errorf("cluster: frame of %d bytes outside (0, %d]", n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// reader is a cursor over a frame payload with typed little-endian reads.
+// The ok flag latches false on the first underrun so call sites can
+// decode unconditionally and check once.
+type reader struct {
+	b  []byte
+	ok bool
+}
+
+func newReader(b []byte) *reader { return &reader{b: b, ok: true} }
+
+func (r *reader) take(n int) []byte {
+	if !r.ok || len(r.b) < n {
+		r.ok = false
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str16() string {
+	n := r.take(2)
+	if n == nil {
+		return ""
+	}
+	return string(r.take(int(binary.LittleEndian.Uint16(n))))
+}
+
+func (r *reader) err(context string) error {
+	if r.ok {
+		return nil
+	}
+	return fmt.Errorf("cluster: short %s frame", context)
+}
+
+func appendStr16(dst []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func appendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/pbsm"
+)
+
+// WorkerOptions tunes one worker process.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator logs; default "worker".
+	Name string
+	// Parallel is the number of concurrent task executors; default
+	// GOMAXPROCS.
+	Parallel int
+	// HeartbeatInterval is the liveness beacon period; default 500ms and
+	// must stay below the coordinator's miss window.
+	HeartbeatInterval time.Duration
+	// TaskDelay stalls every task before it runs — a fault-injection and
+	// straggler-simulation aid for tests; default 0.
+	TaskDelay time.Duration
+	// MaxFrame bounds one protocol frame; default 1 GiB.
+	MaxFrame int
+	// Logf receives progress events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Name == "" {
+		o.Name = "worker"
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = defaultMaxFrame
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// workerPlan is the worker-side state of one broadcast plan.
+type workerPlan struct {
+	eps        float64
+	selfFilter bool
+	collect    bool
+	kernel     dpe.Kernel
+}
+
+// workerTask is one queued task attempt.
+type workerTask struct {
+	h      taskHeader
+	rs, ss []dpe.Keyed
+}
+
+// workerState is everything the read loop and the executors share.
+type workerState struct {
+	opt  WorkerOptions
+	conn net.Conn
+	wmu  sync.Mutex // serialises frame writes (results vs heartbeats)
+
+	mu        sync.Mutex
+	plans     map[uint64]*workerPlan
+	cancelled map[taskKey]bool
+}
+
+type taskKey struct {
+	plan uint64
+	part uint32
+}
+
+func (w *workerState) send(frame []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	_, err := w.conn.Write(frame)
+	return err
+}
+
+// RunWorker connects to the coordinator at addr and serves tasks until
+// ctx is cancelled (returns nil) or the connection breaks (returns the
+// read error). One process typically hosts exactly one RunWorker call.
+func RunWorker(ctx context.Context, addr string, opt WorkerOptions) error {
+	opt = opt.withDefaults()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	w := &workerState{
+		opt:       opt,
+		conn:      conn,
+		plans:     map[uint64]*workerPlan{},
+		cancelled: map[taskKey]bool{},
+	}
+	if err := w.send(appendFrame(msgHello, helloMsg{name: opt.Name}.encode())); err != nil {
+		return fmt.Errorf("cluster: hello: %w", err)
+	}
+	opt.Logf("cluster: worker %q connected to %s", opt.Name, addr)
+
+	// The context watcher unblocks the read loop by closing the socket.
+	stopped := make(chan struct{})
+	defer close(stopped)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stopped:
+		}
+	}()
+
+	// Heartbeats ride their own ticker so long task queues never starve
+	// liveness.
+	heartbeat := appendFrame(msgHeartbeat, nil)
+	go func() {
+		ticker := time.NewTicker(opt.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if w.send(heartbeat) != nil {
+					return
+				}
+			case <-stopped:
+				return
+			}
+		}
+	}()
+
+	// Task executors drain a buffered queue so the read loop stays
+	// responsive to cancels and new plans while joins run.
+	tasks := make(chan workerTask, 1024)
+	defer close(tasks)
+	for i := 0; i < opt.Parallel; i++ {
+		go func() {
+			for t := range tasks {
+				w.runTask(t)
+			}
+		}()
+	}
+
+	br := bufio.NewReader(conn)
+	for {
+		typ, payload, err := readFrame(br, opt.MaxFrame)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if errors.Is(err, io.EOF) {
+				// The coordinator closed the connection: a finished sjoin
+				// run or a stopping daemon. Normal end of service.
+				opt.Logf("cluster: coordinator closed the connection, exiting")
+				return nil
+			}
+			return fmt.Errorf("cluster: coordinator connection: %w", err)
+		}
+		switch typ {
+		case msgPlan:
+			if err := w.handlePlan(payload); err != nil {
+				return err
+			}
+		case msgTask:
+			h, rs, ss, err := decodeTask(payload)
+			if err != nil {
+				return err
+			}
+			select {
+			case tasks <- workerTask{h: h, rs: rs, ss: ss}:
+			default:
+				// Queue full: the coordinator oversubscribed us wildly;
+				// refuse rather than deadlock the read loop.
+				w.sendTaskErr(h, "worker task queue overflow")
+			}
+		case msgCancel:
+			m, err := decodeCancel(payload)
+			if err != nil {
+				return err
+			}
+			w.mu.Lock()
+			w.cancelled[taskKey{m.plan, m.part}] = true
+			w.mu.Unlock()
+		case msgPlanDone:
+			id, err := decodePlanDone(payload)
+			if err != nil {
+				return err
+			}
+			w.mu.Lock()
+			delete(w.plans, id)
+			for k := range w.cancelled {
+				if k.plan == id {
+					delete(w.cancelled, k)
+				}
+			}
+			w.mu.Unlock()
+		default:
+			return fmt.Errorf("cluster: unexpected frame type %d from coordinator", typ)
+		}
+	}
+}
+
+// handlePlan installs a broadcast plan, rebuilding its kernel from the
+// wire description.
+func (w *workerState) handlePlan(payload []byte) error {
+	m, err := decodePlan(payload)
+	if err != nil {
+		return err
+	}
+	p := &workerPlan{eps: m.eps, selfFilter: m.selfFilter, collect: m.collect}
+	switch m.kernel.Kind {
+	case dpe.KernelSweep:
+		// nil kernel: JoinPartition defaults to the plane sweep.
+	case dpe.KernelRefPoint:
+		g := grid.New(m.kernel.Bounds, m.kernel.GridEps, m.kernel.GridRes)
+		p.kernel = pbsm.RefPointKernel(g)
+	default:
+		return fmt.Errorf("cluster: plan %d carries unknown kernel kind %d", m.id, m.kernel.Kind)
+	}
+	w.mu.Lock()
+	w.plans[m.id] = p
+	w.mu.Unlock()
+	w.opt.Logf("cluster: plan %d installed (eps=%v, %d broadcast bytes)", m.id, m.eps, len(m.broadcast))
+	return nil
+}
+
+// runTask joins one reduce partition and reports the outcome. Panics are
+// converted into task errors so one poisoned partition cannot kill the
+// worker.
+func (w *workerState) runTask(t workerTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.sendTaskErr(t.h, fmt.Sprintf("panic: %v", r))
+		}
+	}()
+
+	w.mu.Lock()
+	plan := w.plans[t.h.plan]
+	dropped := w.cancelled[taskKey{t.h.plan, t.h.part}]
+	w.mu.Unlock()
+	if plan == nil || dropped {
+		return // plan finished, or a speculation race this attempt lost
+	}
+	if w.opt.TaskDelay > 0 {
+		time.Sleep(w.opt.TaskDelay)
+		// A cancel may have raced the injected stall (a lost speculation):
+		// skip the join rather than burn the executor.
+		w.mu.Lock()
+		dropped = w.cancelled[taskKey{t.h.plan, t.h.part}]
+		w.mu.Unlock()
+		if dropped {
+			return
+		}
+	}
+
+	start := time.Now()
+	out := dpe.JoinPartition(t.rs, t.ss, plan.eps, plan.kernel, plan.collect, plan.selfFilter)
+	m := resultMsg{
+		taskHeader: t.h,
+		dur:        time.Since(start),
+		results:    out.Results,
+		checksum:   out.Checksum,
+		cost:       out.Cost,
+		pairs:      out.Pairs,
+	}
+	w.send(appendFrame(msgResult, m.encode()))
+}
+
+func (w *workerState) sendTaskErr(h taskHeader, msg string) {
+	w.send(appendFrame(msgTaskErr, taskErrMsg{taskHeader: h, msg: msg}.encode()))
+}

@@ -18,6 +18,9 @@
 package core
 
 import (
+	"bytes"
+	"context"
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"time"
@@ -50,6 +53,15 @@ type Config struct {
 	Collect        bool              // materialise result pairs
 	Bounds         *geom.Rect        // data-space MBR; computed from the inputs when nil
 	NetBandwidth   float64           // simulated bytes/s per worker link (0: off)
+	PoolSize       int               // OS-level goroutine pool cap; default GOMAXPROCS
+
+	// Engine selects the execution backend for the partition-level joins:
+	// nil runs them on the in-process local engine; a cluster engine ships
+	// them to remote worker processes. With a non-nil Engine the plan also
+	// carries the encoded graph of agreements and LPT placement as the
+	// broadcast blob workers receive (Algorithm 5's driver broadcast, in
+	// real bytes).
+	Engine dpe.Engine
 
 	// SampleR and SampleS optionally supply pre-drawn Bernoulli samples of
 	// the inputs (e.g. cached by a serving layer across ε re-plans); when
@@ -139,7 +151,7 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 			return replicate.AdaptiveSimple(gr, p, set, dst)
 		}
 	}
-	prep, err := dpe.Prepare(dpe.Spec{
+	spec := dpe.Spec{
 		R: rs, S: ss, Eps: cfg.Eps,
 		AssignR: assign, AssignS: assign,
 		Part:       part,
@@ -150,7 +162,13 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 		SelfFilter: cfg.SelfFilter,
 
 		NetBandwidth: cfg.NetBandwidth,
-	})
+		PoolSize:     cfg.PoolSize,
+		Engine:       cfg.Engine,
+	}
+	if cfg.Engine != nil {
+		spec.Broadcast = broadcastBlob(gr, part)
+	}
+	prep, err := dpe.Prepare(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +194,8 @@ type Exec struct {
 	Eps float64
 	// Collect materialises the result pairs.
 	Collect bool
+	// Ctx cancels an in-flight execution; nil means context.Background().
+	Ctx context.Context
 }
 
 // Eps returns the distance threshold the plan was built for.
@@ -191,14 +211,39 @@ func (p *Plan) Replicated() int64 { return p.prep.Replicated() }
 // Execute runs the partition-level joins of the plan. Safe for
 // concurrent use; construction metrics are carried into every result.
 func (p *Plan) Execute(e Exec) (*Result, error) {
-	res, err := p.prep.Execute(dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
+	ctx := e.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := p.prep.ExecuteContext(ctx, dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
 	if err != nil {
 		return nil, err
 	}
 	res.SampleTime = p.SampleTime
 	res.BuildTime = p.BuildTime
-	res.BroadcastBytes = p.BroadcastBytes
+	// A distributed engine reports the broadcast it actually shipped;
+	// otherwise fall back to the modelled per-node graph size.
+	if res.BroadcastBytes == 0 {
+		res.BroadcastBytes = p.BroadcastBytes
+	}
 	return &Result{Metrics: res.Metrics, Pairs: res.Pairs, Grid: p.Grid, Graph: p.Graph}, nil
+}
+
+// broadcastBlob serialises what the driver ships to every worker of a
+// distributed engine: the resolved graph of agreements (its own wire
+// format) followed by the explicit cell placement table, when one exists.
+func broadcastBlob(gr *agreements.Graph, part dpe.Partitioner) []byte {
+	var buf bytes.Buffer
+	buf.Grow(gr.EncodedSize())
+	gr.Encode(&buf) // cannot fail on a bytes.Buffer
+	if ep, ok := part.(dpe.ExplicitPartitioner); ok {
+		b := binary.LittleEndian.AppendUint32(nil, uint32(len(ep.Table)))
+		for _, p := range ep.Table {
+			b = binary.LittleEndian.AppendUint32(b, uint32(p))
+		}
+		buf.Write(b)
+	}
+	return buf.Bytes()
 }
 
 // Join executes the ε-distance join R ⋈ε S with adaptive replication —

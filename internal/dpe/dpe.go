@@ -1,8 +1,7 @@
 // Package dpe (data-parallel engine) is the library's Apache Spark
 // substitute: it executes the keyed map → shuffle → partition-join
-// pipeline of the paper's Algorithm 5 on an in-process pool of simulated
-// workers, with the byte-level shuffle accounting the paper's evaluation
-// reports.
+// pipeline of the paper's Algorithm 5, with the byte-level shuffle
+// accounting the paper's evaluation reports.
 //
 // The correspondence to Spark is deliberate and close:
 //
@@ -18,6 +17,12 @@
 //   - every reduce partition hash-groups its records by cell and joins
 //     each cell with a plane sweep, applying the ε-distance refinement.
 //
+// The reduce phase runs on a pluggable Engine: the default local engine
+// joins partitions on an in-process goroutine pool of simulated workers,
+// while internal/cluster provides a real multi-process backend that ships
+// partitions to worker processes over TCP and measures actual shuffle
+// bytes, retries and speculative re-executions.
+//
 // The engine measures the same three quantities as the paper's cluster
 // runs — replicated objects, shuffle remote reads, execution time — with
 // the same causal structure (replication drives shuffle volume, shuffle
@@ -25,6 +30,7 @@
 package dpe
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -87,6 +93,29 @@ func (e ExplicitPartitioner) NumPartitions() int { return e.N }
 // receives the cell id it is joining).
 type Kernel func(cell int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit)
 
+// KernelKind enumerates the join kernels a remote worker can rebuild
+// from a wire description.
+type KernelKind uint8
+
+const (
+	// KernelSweep is the default plane-sweep kernel.
+	KernelSweep KernelKind = iota
+	// KernelRefPoint is the reference-point filtered sweep of the clone
+	// join; it needs the grid geometry to locate pair midpoints.
+	KernelRefPoint
+	// KernelCustom marks a kernel that cannot be described on the wire
+	// (e.g. the Sedona R-tree kernel); such plans execute locally only.
+	KernelCustom
+)
+
+// KernelDesc is the wire-reconstructible description of a join kernel.
+type KernelDesc struct {
+	Kind KernelKind
+	// Grid geometry, used by KernelRefPoint.
+	Bounds           geom.Rect
+	GridEps, GridRes float64
+}
+
 // Spec describes one join execution.
 type Spec struct {
 	R, S    []tuple.Tuple
@@ -107,6 +136,61 @@ type Spec struct {
 	// RemoteBytes / workers / NetBandwidth. Zero disables network
 	// simulation (in-process shuffles move no real bytes).
 	NetBandwidth float64
+	// PoolSize caps the OS-level goroutine pool that runs the simulated
+	// workers in the map and local reduce phases. Zero means GOMAXPROCS.
+	// It bounds real parallelism only; Workers sets the simulated cluster
+	// size that shuffle accounting and busy clocks model.
+	PoolSize int
+	// Engine is the execution backend for the reduce phase; nil selects
+	// the in-process local engine. A cluster engine instead ships
+	// partitions to remote worker processes and measures real bytes.
+	Engine Engine
+	// Broadcast is an opaque blob a distributed Engine ships to every
+	// worker alongside the plan — for the adaptive join, the encoded
+	// graph of agreements and the LPT placement (Algorithm 5's driver
+	// broadcast, now in real bytes). The local engine ignores it.
+	Broadcast []byte
+	// KernelDesc describes Kernel in a form a remote worker can
+	// reconstruct. Leave zero when Kernel is nil (plane sweep). A non-nil
+	// Kernel with a zero descriptor is treated as KernelCustom: the plan
+	// is local-only and cluster engines reject it.
+	KernelDesc KernelDesc
+}
+
+// Engine executes the reduce phase of a Prepared join. The eps in opt is
+// already resolved (non-zero, validated against the plan) and opt.Collect
+// already accounts for a pending distinct() pass; the dedup pass itself
+// runs in ExecuteContext after the engine returns.
+type Engine interface {
+	ExecutePrepared(ctx context.Context, pr *Prepared, opt ExecOptions) (*Result, error)
+}
+
+// ClusterMetrics are the measured-on-the-wire counters of a distributed
+// engine run. All fields are zero when the local engine executed the
+// join.
+type ClusterMetrics struct {
+	Workers int // live worker processes that served the run
+
+	// TaskBytesLocal and TaskBytesRemote split the streamed task payload
+	// bytes by whether the receiving worker is the one the record's map
+	// split is co-located with (a "local read" in the paper's shuffle
+	// model) — measured on real encoded bytes, unlike the wire-size model
+	// of ShuffledBytes/RemoteBytes.
+	TaskBytesLocal  int64
+	TaskBytesRemote int64
+	// BroadcastBytes is the measured size of the plan frames (grid,
+	// agreements, placement) shipped to every worker.
+	BroadcastBytes int64
+	// ResultBytes is the measured size of the result frames received.
+	ResultBytes int64
+
+	Tasks   int64 // partition tasks executed to completion
+	Retries int64 // task re-executions after a worker died or failed
+	// SpeculativeLaunched counts duplicate attempts launched for
+	// straggling tasks; SpeculativeWins counts those that finished before
+	// the original attempt (first result wins, the loser is cancelled).
+	SpeculativeLaunched int64
+	SpeculativeWins     int64
 }
 
 // Metrics reports everything the paper's evaluation charts need.
@@ -134,6 +218,10 @@ type Metrics struct {
 	TotalPartitionCost int64           // Σ over all cells of |R_c|·|S_c| (join work metric)
 	MapBusy            []time.Duration // map-phase busy time per worker
 	WorkerBusy         []time.Duration // reduce-phase busy time per worker
+
+	// Cluster holds the measured counters of a distributed engine run
+	// (zero under the local engine).
+	Cluster ClusterMetrics
 }
 
 // Replicated returns the total number of replicated objects.
@@ -162,10 +250,14 @@ func (m *Metrics) SimulatedTime() time.Duration {
 		m.NetTime + maxDur(m.WorkerBusy) + m.DedupTime
 }
 
-// maxParallel caps in-flight simulated workers at the host's cores.
-func maxParallel(workers int) int {
-	if cores := runtime.GOMAXPROCS(0); workers > cores {
-		return cores
+// maxParallel caps in-flight simulated workers at the pool size (the
+// host's cores when pool is 0).
+func maxParallel(workers, pool int) int {
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if workers > pool {
+		return pool
 	}
 	return workers
 }
@@ -186,10 +278,14 @@ type Result struct {
 	Pairs []tuple.Pair // populated when Spec.Collect (or Spec.Dedup) is set
 }
 
-// keyed is one record of the shuffle: a tuple keyed by destination cell.
-type keyed struct {
-	cell int
-	t    tuple.Tuple
+// Keyed is one record of the shuffle: a tuple keyed by destination cell.
+// Src is the map split (simulated worker) that produced the record; a
+// distributed engine uses it to classify streamed bytes as local or
+// remote reads.
+type Keyed struct {
+	Cell int
+	Src  int
+	T    tuple.Tuple
 }
 
 // Prepared holds the reusable product of the map and shuffle phases: the
@@ -201,7 +297,7 @@ type keyed struct {
 type Prepared struct {
 	spec         Spec
 	workers      int
-	partR, partS [][]keyed
+	partR, partS [][]Keyed
 	build        Metrics // map + shuffle phase metrics
 }
 
@@ -218,6 +314,9 @@ func Prepare(spec Spec) (*Prepared, error) {
 	if spec.Part == nil || spec.Part.NumPartitions() <= 0 {
 		return nil, fmt.Errorf("dpe: a partitioner with positive partition count is required")
 	}
+	if spec.PoolSize < 0 {
+		return nil, fmt.Errorf("dpe: pool size must not be negative, got %d", spec.PoolSize)
+	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -229,8 +328,8 @@ func Prepare(spec Spec) (*Prepared, error) {
 
 	// ---- Map phase: flatMapToPair on both inputs, one split per worker.
 	start := time.Now()
-	outR, replR, busyR := mapPhase(spec.R, tuple.R, spec.AssignR, spec.Part, workers)
-	outS, replS, busyS := mapPhase(spec.S, tuple.S, spec.AssignS, spec.Part, workers)
+	outR, replR, busyR := mapPhase(spec.R, tuple.R, spec.AssignR, spec.Part, workers, spec.PoolSize)
+	outS, replS, busyS := mapPhase(spec.S, tuple.S, spec.AssignS, spec.Part, workers, spec.PoolSize)
 	res.ReplicatedR, res.ReplicatedS = replR, replS
 	res.MapTime = time.Since(start)
 	res.MapBusy = make([]time.Duration, workers)
@@ -242,20 +341,20 @@ func Prepare(spec Spec) (*Prepared, error) {
 	// accounting bytes; a record is a remote read when the partition's
 	// owner differs from the worker that produced it.
 	start = time.Now()
-	partR := make([][]keyed, nparts)
-	partS := make([][]keyed, nparts)
+	partR := make([][]Keyed, nparts)
+	partS := make([][]Keyed, nparts)
 	for w := 0; w < workers; w++ {
 		for p := 0; p < nparts; p++ {
 			owner := p % workers
 			for _, rec := range outR[w][p] {
-				sz := int64(rec.t.KeyedSize())
+				sz := int64(rec.T.KeyedSize())
 				res.ShuffledBytes += sz
 				if owner != w {
 					res.RemoteBytes += sz
 				}
 			}
 			for _, rec := range outS[w][p] {
-				sz := int64(rec.t.KeyedSize())
+				sz := int64(rec.T.KeyedSize())
 				res.ShuffledBytes += sz
 				if owner != w {
 					res.RemoteBytes += sz
@@ -284,6 +383,39 @@ func (pr *Prepared) FootprintBytes() int64 { return pr.build.ShuffledBytes }
 // Replicated returns the replicated objects the plan serves per Execute.
 func (pr *Prepared) Replicated() int64 { return pr.build.Replicated() }
 
+// Workers returns the simulated cluster size of the plan: Keyed.Src
+// values lie in [0, Workers()).
+func (pr *Prepared) Workers() int { return pr.workers }
+
+// NumPartitions returns the number of reduce partitions of the plan.
+func (pr *Prepared) NumPartitions() int { return len(pr.partR) }
+
+// Partition returns the R and S shuffle records of one reduce partition.
+// The slices are shared and must not be mutated.
+func (pr *Prepared) Partition(p int) (rs, ss []Keyed) { return pr.partR[p], pr.partS[p] }
+
+// SelfFilter reports whether the plan joins in self-join mode.
+func (pr *Prepared) SelfFilter() bool { return pr.spec.SelfFilter }
+
+// Broadcast returns the opaque per-worker broadcast blob of the plan
+// (nil when the orchestrator attached none).
+func (pr *Prepared) Broadcast() []byte { return pr.spec.Broadcast }
+
+// BuildMetrics returns a copy of the construction-phase metrics, the
+// base every engine's Result starts from.
+func (pr *Prepared) BuildMetrics() Metrics { return pr.build }
+
+// WireKernel returns the wire description of the plan's join kernel.
+func (pr *Prepared) WireKernel() KernelDesc {
+	if pr.spec.Kernel == nil {
+		return KernelDesc{Kind: KernelSweep}
+	}
+	if pr.spec.KernelDesc.Kind != KernelSweep {
+		return pr.spec.KernelDesc
+	}
+	return KernelDesc{Kind: KernelCustom}
+}
+
 // ExecOptions are the per-execution knobs of a Prepared join.
 type ExecOptions struct {
 	// Eps optionally re-sweeps the prepared partitions with a smaller
@@ -299,6 +431,13 @@ type ExecOptions struct {
 // asked for one) over the prepared partitions. It is safe to call
 // concurrently: the partition buckets are only read.
 func (pr *Prepared) Execute(opt ExecOptions) (*Result, error) {
+	return pr.ExecuteContext(context.Background(), opt)
+}
+
+// ExecuteContext is Execute with cancellation: when ctx expires, the
+// engine abandons unstarted partitions and returns ctx's error. The
+// engine used is Spec.Engine (the in-process local engine when nil).
+func (pr *Prepared) ExecuteContext(ctx context.Context, opt ExecOptions) (*Result, error) {
 	eps := opt.Eps
 	if eps == 0 {
 		eps = pr.spec.Eps
@@ -306,79 +445,33 @@ func (pr *Prepared) Execute(opt ExecOptions) (*Result, error) {
 	if eps <= 0 || eps > pr.spec.Eps {
 		return nil, fmt.Errorf("dpe: execute eps %v outside (0, %v], the range the plan's replication supports", opt.Eps, pr.spec.Eps)
 	}
-	spec := pr.spec
-	workers := pr.workers
-	partR, partS := pr.partR, pr.partS
-	nparts := spec.Part.NumPartitions()
 	collectOut := opt.Collect
 
-	res := &Result{Metrics: pr.build}
-
-	// ---- Reduce phase: per-partition hash grouping by cell + plane
-	// sweep join with refinement. Partitions are owned by workers
-	// round-robin; workers run concurrently, their partitions serially.
-	start := time.Now()
-	type partOut struct {
-		counter sweep.Counter
-		pairs   []tuple.Pair
-		cost    int64
+	eng := pr.spec.Engine
+	if eng == nil {
+		eng = LocalEngine{}
 	}
-	outs := make([]partOut, nparts)
-	busy := make([]time.Duration, workers)
-	var wg sync.WaitGroup
-	collect := collectOut || spec.Dedup
-	kernel := spec.Kernel
-	if kernel == nil {
-		kernel = func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
-			sweep.PlaneSweep(rs, ss, eps, emit)
-		}
-	}
-	// In-flight workers are capped at GOMAXPROCS: running more simulated
-	// workers than cores would only time-slice them against each other,
-	// polluting the per-worker busy clocks the makespan model relies on.
-	sem := make(chan struct{}, maxParallel(workers))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
-			for p := w; p < nparts; p += workers {
-				outs[p] = joinPartition(partR[p], partS[p], eps, kernel, collect, spec.SelfFilter)
-			}
-			busy[w] = time.Since(t0)
-		}(w)
-	}
-	wg.Wait()
-	res.JoinTime = time.Since(start)
-	res.WorkerBusy = busy
-
-	for p := range outs {
-		res.Results += outs[p].counter.N
-		res.Checksum += outs[p].counter.Checksum
-		res.TotalPartitionCost += outs[p].cost
-		if outs[p].cost > res.MaxPartitionCost {
-			res.MaxPartitionCost = outs[p].cost
-		}
-		if collect {
-			res.Pairs = append(res.Pairs, outs[p].pairs...)
-		}
+	res, err := eng.ExecutePrepared(ctx, pr, ExecOptions{
+		Eps:     eps,
+		Collect: collectOut || pr.spec.Dedup,
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// ---- Optional distinct() pass (the Table 6 non-duplicate-free
 	// variant pays this extra shuffle + dedup).
-	if spec.Dedup {
-		start = time.Now()
-		uniq, dm := dedup.Distinct(res.Pairs, workers, nparts)
+	if pr.spec.Dedup {
+		start := time.Now()
+		uniq, dm := dedup.Distinct(res.Pairs, pr.workers, pr.NumPartitions())
 		res.DedupTime = time.Since(start)
 		res.Pairs = uniq
 		res.Results = dm.Output
 		res.DedupInput = dm.Input
 		res.ShuffledBytes += dm.ShuffledBytes
 		res.RemoteBytes += dm.RemoteBytes
-		if spec.NetBandwidth > 0 {
-			res.NetTime += time.Duration(float64(dm.RemoteBytes) / float64(workers) / spec.NetBandwidth * float64(time.Second))
+		if pr.spec.NetBandwidth > 0 {
+			res.NetTime += time.Duration(float64(dm.RemoteBytes) / float64(pr.workers) / pr.spec.NetBandwidth * float64(time.Second))
 		}
 		// Recompute the checksum over the deduplicated set.
 		var c sweep.Counter
@@ -406,13 +499,13 @@ func Run(spec Spec) (*Result, error) {
 // mapPhase runs the keyed assignment of one input over the worker pool.
 // It returns per-worker, per-partition record buffers and the replication
 // count (assignments beyond the native cell).
-func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, workers int) ([][][]keyed, int64, []time.Duration) {
+func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, workers, pool int) ([][][]Keyed, int64, []time.Duration) {
 	nparts := part.NumPartitions()
-	out := make([][][]keyed, workers)
+	out := make([][][]Keyed, workers)
 	repl := make([]int64, workers)
 	busy := make([]time.Duration, workers)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel(workers))
+	sem := make(chan struct{}, maxParallel(workers, pool))
 	chunk := (len(in) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -423,7 +516,7 @@ func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, 
 		if hi > len(in) {
 			hi = len(in)
 		}
-		out[w] = make([][]keyed, nparts)
+		out[w] = make([][]Keyed, nparts)
 		wg.Add(1)
 		go func(w int, split []tuple.Tuple) {
 			defer wg.Done()
@@ -436,7 +529,7 @@ func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, 
 				repl[w] += int64(len(cells) - 1)
 				for _, c := range cells {
 					p := part.PartitionOf(c)
-					out[w][p] = append(out[w][p], keyed{cell: c, t: t})
+					out[w][p] = append(out[w][p], Keyed{Cell: c, Src: w, T: t})
 				}
 			}
 			busy[w] = time.Since(t0)
@@ -450,26 +543,39 @@ func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, 
 	return out, total, busy
 }
 
-// joinPartition groups a reduce partition's records by cell and joins each
-// cell independently with the given kernel.
-func joinPartition(rs, ss []keyed, eps float64, kernel Kernel, collect, selfFilter bool) (out struct {
-	counter sweep.Counter
-	pairs   []tuple.Pair
-	cost    int64
-}) {
+// PartitionResult is the outcome of joining one reduce partition.
+type PartitionResult struct {
+	Results  int64
+	Checksum uint64
+	Pairs    []tuple.Pair
+	Cost     int64 // Σ over the partition's cells of |R_c|·|S_c|
+}
+
+// JoinPartition groups a reduce partition's records by cell and joins
+// each cell independently with the given kernel (the plane sweep when
+// nil). It is the partition-level join both the local engine and remote
+// cluster workers run.
+func JoinPartition(rs, ss []Keyed, eps float64, kernel Kernel, collect, selfFilter bool) PartitionResult {
+	if kernel == nil {
+		kernel = func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+			sweep.PlaneSweep(rs, ss, eps, emit)
+		}
+	}
 	groupR := make(map[int][]tuple.Tuple)
 	for _, rec := range rs {
-		groupR[rec.cell] = append(groupR[rec.cell], rec.t)
+		groupR[rec.Cell] = append(groupR[rec.Cell], rec.T)
 	}
 	groupS := make(map[int][]tuple.Tuple)
 	for _, rec := range ss {
-		groupS[rec.cell] = append(groupS[rec.cell], rec.t)
+		groupS[rec.Cell] = append(groupS[rec.Cell], rec.T)
 	}
+	var out PartitionResult
+	var counter sweep.Counter
 	var coll sweep.Collector
-	emit := out.counter.Emit
+	emit := counter.Emit
 	if collect {
 		emit = func(r, s tuple.Tuple) {
-			out.counter.Emit(r, s)
+			counter.Emit(r, s)
 			coll.Emit(r, s)
 		}
 	}
@@ -486,9 +592,11 @@ func joinPartition(rs, ss []keyed, eps float64, kernel Kernel, collect, selfFilt
 		if len(s) == 0 {
 			continue
 		}
-		out.cost += int64(len(r)) * int64(len(s))
+		out.Cost += int64(len(r)) * int64(len(s))
 		kernel(cell, r, s, eps, emit)
 	}
-	out.pairs = coll.Pairs
+	out.Results = counter.N
+	out.Checksum = counter.Checksum
+	out.Pairs = coll.Pairs
 	return out
 }

@@ -155,3 +155,64 @@ func TestBinHeapInterface(t *testing.T) {
 		t.Fatal("equal loads must order by index")
 	}
 }
+
+func TestAssignZeroCostRoundRobin(t *testing.T) {
+	// All-zero costs must take the round-robin path: tasks spread evenly
+	// over the bins in order instead of piling onto the least-loaded one.
+	const n, nbins = 10, 3
+	assign := Assign(make([]int64, n), nbins)
+	counts := make([]int, nbins)
+	for i, b := range assign {
+		if b != i%nbins {
+			t.Fatalf("zero-cost task %d assigned to bin %d, want round-robin bin %d", i, b, i%nbins)
+		}
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c < n/nbins || c > n/nbins+1 {
+			t.Fatalf("bin %d holds %d zero-cost tasks, want a balanced %d..%d", b, c, n/nbins, n/nbins+1)
+		}
+	}
+
+	// Mixed: zero-cost tasks still round-robin from bin 0 in task order,
+	// regardless of where the costly tasks land.
+	costs := []int64{5, 0, 9, 0, 0, 2}
+	assign = Assign(costs, nbins)
+	rr := 0
+	for i, c := range costs {
+		if c != 0 {
+			continue
+		}
+		if assign[i] != rr%nbins {
+			t.Fatalf("zero-cost task %d assigned to bin %d, want %d", i, assign[i], rr%nbins)
+		}
+		rr++
+	}
+}
+
+func TestAssignStableUnderEqualCosts(t *testing.T) {
+	// Equal costs everywhere: the descending sort is stable and the heap
+	// breaks load ties by bin index, so the placement must be exactly the
+	// task-order round-robin — and identical across repeated calls. A
+	// deterministic placement is what lets a coordinator re-derive task
+	// ownership after failures.
+	const n, nbins = 12, 4
+	costs := make([]int64, n)
+	for i := range costs {
+		costs[i] = 7
+	}
+	first := Assign(costs, nbins)
+	for i, b := range first {
+		if b != i%nbins {
+			t.Fatalf("equal-cost task %d assigned to bin %d, want %d", i, b, i%nbins)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		again := Assign(costs, nbins)
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("trial %d: task %d moved from bin %d to %d under identical input", trial, i, first[i], again[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package pbsm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -74,6 +75,10 @@ type Config struct {
 	NetBandwidth float64
 	// SelfFilter enables self-join mode: keep only pairs with r.ID < s.ID.
 	SelfFilter bool
+	// PoolSize caps the OS-level goroutine pool; default GOMAXPROCS.
+	PoolSize int
+	// Engine selects the execution backend (nil: in-process local engine).
+	Engine dpe.Engine
 }
 
 // Result is the outcome of a PBSM join.
@@ -122,6 +127,8 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 
 		NetBandwidth: cfg.NetBandwidth,
 		SelfFilter:   cfg.SelfFilter,
+		PoolSize:     cfg.PoolSize,
+		Engine:       cfg.Engine,
 	}
 	if cfg.Variant == Clone {
 		both := func(p geom.Point, set tuple.Set, dst []int) []int {
@@ -129,6 +136,8 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 		}
 		spec.AssignR, spec.AssignS = both, both
 		spec.Kernel = refPointKernel(g)
+		// Remote workers rebuild the kernel from the grid geometry.
+		spec.KernelDesc = dpe.KernelDesc{Kind: dpe.KernelRefPoint, Bounds: bounds, GridEps: cfg.Eps, GridRes: res}
 	}
 	prep, err := dpe.Prepare(spec)
 	if err != nil {
@@ -149,7 +158,11 @@ func (p *Plan) Replicated() int64 { return p.prep.Replicated() }
 // Execute runs the partition-level joins of the plan; e.Eps in
 // (0, plan ε] re-sweeps with a smaller threshold (0 means the plan's ε).
 func (p *Plan) Execute(e core.Exec) (*Result, error) {
-	out, err := p.prep.Execute(dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
+	ctx := e.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out, err := p.prep.ExecuteContext(ctx, dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +187,11 @@ func (c Config) Res() float64 {
 	}
 	return 2
 }
+
+// RefPointKernel exposes the reference-point kernel so execution
+// backends (internal/cluster's workers) can rebuild it from the plan's
+// wire kernel description.
+func RefPointKernel(g *grid.Grid) dpe.Kernel { return refPointKernel(g) }
 
 // refPointKernel wraps the plane sweep with the reference-point filter:
 // a pair is emitted only by the cell containing its midpoint.

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"spatialjoin"
 )
 
 // counter is a monotonically increasing metric.
@@ -135,6 +137,19 @@ type Metrics struct {
 	ReplicatedServed *counter // replicated objects served by executed plans
 	Datasets         *gauge
 	DatasetPoints    *gauge
+
+	// Measured wire counters of distributed (cluster-engine) runs,
+	// accumulated from each probe's ClusterMetrics. All stay zero while
+	// the daemon runs on the in-process engine.
+	ClusterWorkers         *gauge   // workers that served the most recent run
+	ClusterTaskBytesLocal  *counter // streamed task bytes read worker-locally
+	ClusterTaskBytesRemote *counter // streamed task bytes crossing workers
+	ClusterBroadcastBytes  *counter // plan broadcast bytes shipped
+	ClusterResultBytes     *counter // result frame bytes received
+	ClusterTasks           *counter // partition tasks completed
+	ClusterRetries         *counter // task re-executions after failures
+	ClusterSpecLaunched    *counter // speculative attempts launched
+	ClusterSpecWins        *counter // speculative attempts that won
 }
 
 // NewMetrics builds the service metric set.
@@ -161,7 +176,34 @@ func NewMetrics() *Metrics {
 		ReplicatedServed: &counter{name: "sjoind_replicated_objects_served_total", help: "Replicated objects served by executed plans."},
 		Datasets:         &gauge{name: "sjoind_datasets", help: "Datasets currently registered."},
 		DatasetPoints:    &gauge{name: "sjoind_dataset_points", help: "Total points across registered datasets."},
+
+		ClusterWorkers:         &gauge{name: "sjoind_cluster_workers", help: "Worker processes that served the most recent distributed join."},
+		ClusterTaskBytesLocal:  &counter{name: "sjoind_cluster_task_bytes_local_total", help: "Measured task bytes streamed to the worker co-located with the producing map split."},
+		ClusterTaskBytesRemote: &counter{name: "sjoind_cluster_task_bytes_remote_total", help: "Measured task bytes streamed across worker boundaries (real shuffle remote reads)."},
+		ClusterBroadcastBytes:  &counter{name: "sjoind_cluster_broadcast_bytes_total", help: "Measured plan broadcast bytes (grid, agreements, placement) shipped to workers."},
+		ClusterResultBytes:     &counter{name: "sjoind_cluster_result_bytes_total", help: "Measured result frame bytes received from workers."},
+		ClusterTasks:           &counter{name: "sjoind_cluster_tasks_total", help: "Partition tasks completed by cluster workers."},
+		ClusterRetries:         &counter{name: "sjoind_cluster_task_retries_total", help: "Task re-executions after a worker died or failed."},
+		ClusterSpecLaunched:    &counter{name: "sjoind_cluster_speculative_launched_total", help: "Duplicate attempts launched for straggling tasks."},
+		ClusterSpecWins:        &counter{name: "sjoind_cluster_speculative_wins_total", help: "Speculative attempts that finished before the original."},
 	}
+}
+
+// ObserveCluster folds one distributed run's measured wire counters into
+// the registry; runs on the in-process engine (zero Workers) are ignored.
+func (m *Metrics) ObserveCluster(cm spatialjoin.ClusterMetrics) {
+	if cm.Workers == 0 {
+		return
+	}
+	m.ClusterWorkers.Set(int64(cm.Workers))
+	m.ClusterTaskBytesLocal.Add(cm.TaskBytesLocal)
+	m.ClusterTaskBytesRemote.Add(cm.TaskBytesRemote)
+	m.ClusterBroadcastBytes.Add(cm.BroadcastBytes)
+	m.ClusterResultBytes.Add(cm.ResultBytes)
+	m.ClusterTasks.Add(cm.Tasks)
+	m.ClusterRetries.Add(cm.Retries)
+	m.ClusterSpecLaunched.Add(cm.SpeculativeLaunched)
+	m.ClusterSpecWins.Add(cm.SpeculativeWins)
 }
 
 // Render writes the metric set in the Prometheus text exposition format.
@@ -169,12 +211,16 @@ func (m *Metrics) Render(w io.Writer) {
 	for _, c := range []*counter{
 		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
 		m.JoinResults, m.ReplicatedServed,
+		m.ClusterTaskBytesLocal, m.ClusterTaskBytesRemote,
+		m.ClusterBroadcastBytes, m.ClusterResultBytes,
+		m.ClusterTasks, m.ClusterRetries,
+		m.ClusterSpecLaunched, m.ClusterSpecWins,
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
 	}
 	for _, g := range []*gauge{
 		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
-		m.Datasets, m.DatasetPoints,
+		m.Datasets, m.DatasetPoints, m.ClusterWorkers,
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
 	}
@@ -244,12 +290,16 @@ func (m *Metrics) Snapshot() map[string]any {
 	for _, c := range []*counter{
 		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
 		m.JoinResults, m.ReplicatedServed,
+		m.ClusterTaskBytesLocal, m.ClusterTaskBytesRemote,
+		m.ClusterBroadcastBytes, m.ClusterResultBytes,
+		m.ClusterTasks, m.ClusterRetries,
+		m.ClusterSpecLaunched, m.ClusterSpecWins,
 	} {
 		out[c.name] = c.Value()
 	}
 	for _, g := range []*gauge{
 		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
-		m.Datasets, m.DatasetPoints,
+		m.Datasets, m.DatasetPoints, m.ClusterWorkers,
 	} {
 		out[g.name] = g.Value()
 	}

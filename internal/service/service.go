@@ -41,6 +41,11 @@ type Config struct {
 	// MaxCollect caps the pairs a single response may materialise;
 	// default 10000.
 	MaxCollect int
+	// Engine selects the execution backend every join runs on: nil is
+	// the in-process engine; a cluster coordinator's Engine ships
+	// partition joins to remote worker processes. Measured wire counters
+	// of distributed runs surface as the sjoind_cluster_* metrics.
+	Engine spatialjoin.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +212,11 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		UseLPT:         req.UseLPT,
 		GridRes:        req.GridRes,
 	}
+	// Sedona's R-tree kernel has no wire description; it always runs
+	// in-process, even when the daemon serves a cluster.
+	if req.Algorithm != spatialjoin.SedonaLike {
+		opt.Engine = s.cfg.Engine
+	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -228,7 +238,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		o := opt
 		o.Collect = req.Collect
 		t0 := time.Now()
-		rep, err := spatialjoin.Join(rd.Tuples, sd.Tuples, o)
+		rep, err := spatialjoin.JoinContext(ctx, rd.Tuples, sd.Tuples, o)
 		if err != nil {
 			return nil, err
 		}
@@ -283,12 +293,16 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 	go func() {
 		defer release()
 		t0 := time.Now()
-		rep, err := plan.Execute(spatialjoin.ExecOptions{Collect: req.Collect})
+		// The request context rides into the engine, so a deadline that
+		// fires mid-join cancels the in-flight partition work instead of
+		// letting it run to completion unobserved.
+		rep, err := plan.ExecuteContext(ctx, spatialjoin.ExecOptions{Collect: req.Collect})
 		probe := time.Since(t0)
 		if err == nil {
 			s.Metrics.Probe.Observe(probe.Seconds())
 			s.Metrics.JoinResults.Add(rep.Results)
 			s.Metrics.ReplicatedServed.Add(plan.Replicated())
+			s.Metrics.ObserveCluster(rep.Cluster)
 		}
 		ch <- probeResult{rep: rep, probe: probe, err: err}
 	}()

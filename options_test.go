@@ -1,9 +1,13 @@
 package spatialjoin
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"spatialjoin/internal/dpe"
 )
 
 // TestOptionsValidation exercises every rejection of Options.Validate —
@@ -24,6 +28,8 @@ func TestOptionsValidation(t *testing.T) {
 		{"negative grid res", Options{Eps: 1, GridRes: -2}, "GridRes must not be negative"},
 		{"adaptive grid res below 2", Options{Eps: 1, GridRes: 1.5}, "l ≥ 2ε"},
 		{"adaptive grid res below 2 (DIFF)", Options{Eps: 1, Algorithm: AdaptiveDIFF, GridRes: 0.5}, "l ≥ 2ε"},
+		{"negative pool size", Options{Eps: 1, PoolSize: -2}, "PoolSize must not be negative"},
+		{"sedona on remote engine", Options{Eps: 1, Algorithm: SedonaLike, Engine: dpe.LocalEngine{}}, "cannot run on a remote engine"},
 		{"unknown algorithm", Options{Eps: 1, Algorithm: Algorithm(200)}, "unknown algorithm"},
 		{"empty bounds", Options{Eps: 1, Bounds: &Rect{MinX: 1, MinY: 0, MaxX: 1, MaxY: 2}}, "non-positive extent"},
 	}
@@ -57,6 +63,33 @@ func TestOptionsValidationAccepts(t *testing.T) {
 		if err := opt.Validate(); err != nil {
 			t.Fatalf("Validate(%+v) = %v, want nil", opt, err)
 		}
+	}
+}
+
+// TestJoinContextCancellation: a context that is already cancelled must
+// abort both the one-shot and the prepared-plan execution paths instead
+// of running the join to completion (this is what lets sjoind deadlines
+// cancel in-flight work).
+func TestJoinContextCancellation(t *testing.T) {
+	rs := GenerateUniform(2000, 3)
+	ss := GenerateGaussian(2000, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := JoinContext(ctx, rs, ss, Options{Eps: 0.5, Collect: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("JoinContext(cancelled) = %v, want context.Canceled", err)
+	}
+
+	plan, err := Prepare(rs, ss, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.ExecuteContext(ctx, ExecOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteContext(cancelled) = %v, want context.Canceled", err)
+	}
+	// A live context still joins normally.
+	if rep, err := JoinContext(context.Background(), rs, ss, Options{Eps: 0.5}); err != nil || rep.Results == 0 {
+		t.Fatalf("JoinContext(live) = %v, %v", rep, err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package spatialjoin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -75,6 +76,8 @@ func Prepare(rs, ss []Tuple, opt Options) (*PreparedJoin, error) {
 			Collect:        opt.Collect,
 			Bounds:         opt.Bounds,
 			NetBandwidth:   opt.NetBandwidth,
+			PoolSize:       opt.PoolSize,
+			Engine:         opt.Engine,
 			SampleR:        opt.PresampledR,
 			SampleS:        opt.PresampledS,
 		})
@@ -96,6 +99,8 @@ func Prepare(rs, ss []Tuple, opt Options) (*PreparedJoin, error) {
 			Collect:      opt.Collect,
 			Bounds:       opt.Bounds,
 			NetBandwidth: opt.NetBandwidth,
+			PoolSize:     opt.PoolSize,
+			Engine:       opt.Engine,
 		})
 		if err != nil {
 			return nil, err
@@ -144,14 +149,21 @@ func (p *PreparedJoin) Replicated() int64 {
 // outcome. Construction metrics (sampling, build, map, shuffle) are
 // carried into every Report; only the join phase is re-run.
 func (p *PreparedJoin) Execute(e ExecOptions) (*Report, error) {
+	return p.ExecuteContext(context.Background(), e)
+}
+
+// ExecuteContext is Execute with cancellation: when ctx expires the
+// engine abandons unstarted partitions and returns ctx's error — the hook
+// a serving layer uses to make request deadlines cancel in-flight joins.
+func (p *PreparedJoin) ExecuteContext(ctx context.Context, e ExecOptions) (*Report, error) {
 	if p.adaptive != nil {
-		res, err := p.adaptive.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect})
+		res, err := p.adaptive.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect, Ctx: ctx})
 		if err != nil {
 			return nil, err
 		}
 		return report(p.algorithm, res.Metrics, res.Pairs), nil
 	}
-	res, err := p.universal.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect})
+	res, err := p.universal.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}

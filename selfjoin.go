@@ -36,6 +36,8 @@ func SelfJoin(ts []Tuple, opt Options) (*Report, error) {
 			Collect:        opt.Collect,
 			Bounds:         opt.Bounds,
 			NetBandwidth:   opt.NetBandwidth,
+			PoolSize:       opt.PoolSize,
+			Engine:         opt.Engine,
 			SelfFilter:     true,
 		})
 		if err != nil {
@@ -56,6 +58,8 @@ func SelfJoin(ts []Tuple, opt Options) (*Report, error) {
 			Collect:      opt.Collect,
 			Bounds:       opt.Bounds,
 			NetBandwidth: opt.NetBandwidth,
+			PoolSize:     opt.PoolSize,
+			Engine:       opt.Engine,
 			SelfFilter:   true,
 		})
 		if err != nil {

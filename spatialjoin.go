@@ -27,6 +27,7 @@
 package spatialjoin
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,6 +52,16 @@ type Tuple = tuple.Tuple
 
 // Pair is one join result, the identifiers of matched (r, s) tuples.
 type Pair = tuple.Pair
+
+// Engine is a pluggable execution backend for the partition-level joins:
+// nil (the default) runs them on the in-process engine of simulated
+// workers, while a cluster coordinator's Engine ships them to remote
+// worker processes over TCP.
+type Engine = dpe.Engine
+
+// ClusterMetrics are the measured-on-the-wire counters of a distributed
+// engine run (all zero under the in-process engine).
+type ClusterMetrics = dpe.ClusterMetrics
 
 // Algorithm selects the join strategy.
 type Algorithm uint8
@@ -148,6 +159,14 @@ type Options struct {
 	// layer reuse cached samples across repeated plan constructions (e.g.
 	// ε re-sweeps). When nil, samples are drawn from the inputs.
 	PresampledR, PresampledS []Tuple
+	// PoolSize caps the OS-level goroutine pool that runs the simulated
+	// workers; GOMAXPROCS when 0. Unlike Workers it changes only real
+	// parallelism, not the modelled cluster size.
+	PoolSize int
+	// Engine selects the execution backend for the partition-level joins;
+	// nil runs them in-process. SedonaLike does not support remote
+	// engines (its R-tree kernel has no wire description).
+	Engine Engine
 }
 
 // Validate checks the options for values that would cause downstream
@@ -167,6 +186,12 @@ func (o Options) Validate() error {
 	}
 	if o.GridRes < 0 {
 		return fmt.Errorf("spatialjoin: Options.GridRes must not be negative, got %v", o.GridRes)
+	}
+	if o.PoolSize < 0 {
+		return fmt.Errorf("spatialjoin: Options.PoolSize must not be negative, got %d (use 0 for the GOMAXPROCS default)", o.PoolSize)
+	}
+	if o.Engine != nil && o.Algorithm == SedonaLike {
+		return fmt.Errorf("spatialjoin: %v cannot run on a remote engine: its R-tree kernel has no wire description", o.Algorithm)
 	}
 	switch o.Algorithm {
 	case AdaptiveLPiB, AdaptiveDIFF, AdaptiveSimpleDedup, AutoPlanned:
@@ -219,6 +244,11 @@ type Report struct {
 	// phase. Unlike TotalTime (wall clock), it reflects multi-node
 	// scaling even when the host has fewer cores than simulated workers.
 	SimulatedTime time.Duration
+	// Cluster holds the measured wire counters when the join ran on a
+	// distributed Engine (zero otherwise): real shuffle bytes split into
+	// worker-local and remote reads, broadcast and result bytes, task
+	// retries and speculative executions.
+	Cluster ClusterMetrics
 }
 
 // SimulatedConstructionTime returns the pre-join part of SimulatedTime:
@@ -259,6 +289,15 @@ func (r *Report) Selectivity(nr, ns int) float64 {
 // Every algorithm except SedonaLike runs as Prepare followed by a single
 // Execute; callers that repeat a join should Prepare once themselves.
 func Join(rs, ss []Tuple, opt Options) (*Report, error) {
+	return JoinContext(context.Background(), rs, ss, opt)
+}
+
+// JoinContext is Join with cancellation: when ctx expires, the engine
+// abandons unstarted partitions (a cluster engine additionally tells its
+// workers to drop queued tasks) and ctx's error is returned. Plan
+// construction itself is not interruptible — only the partition-level
+// joins observe ctx.
+func JoinContext(ctx context.Context, rs, ss []Tuple, opt Options) (*Report, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -284,7 +323,7 @@ func Join(rs, ss []Tuple, opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		return p.Execute(ExecOptions{Collect: opt.Collect})
+		return p.ExecuteContext(ctx, ExecOptions{Collect: opt.Collect})
 	}
 }
 
@@ -375,6 +414,7 @@ func report(a Algorithm, m dpe.Metrics, pairs []Pair) *Report {
 		MapBusyMax:         maxDuration(m.MapBusy),
 		JoinBusyMax:        maxDuration(m.WorkerBusy),
 		SimulatedTime:      m.SimulatedTime(),
+		Cluster:            m.Cluster,
 	}
 }
 
