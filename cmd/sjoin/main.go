@@ -17,19 +17,46 @@
 //
 //	sjoin -cluster-listen :7077 -cluster-workers 3 -r a.txt -s b.txt -eps 0.5 &
 //	sjoin-worker -connect 127.0.0.1:7077   # × 3
+//
+// Follow mode: with -follow the command becomes a continuous join. It
+// tails a mutation file and prints one line per result delta ("+ rid sid"
+// when a pair starts qualifying, "- rid sid" when one stops). Mutation
+// lines are:
+//
+//	r <id> <x> <y>     upsert a point of R (insert, move, or refresh)
+//	s <id> <x> <y>     upsert a point of S
+//	del r <id>         delete a point of R (same for s)
+//	rebalance          force an agreement drift scan
+//	# ...              comment
+//
+//	sjoin -follow mutations.txt -eps 0.5 -bounds 0,0,100,100
+//
+// -follow-poll sets how often the file is re-read once exhausted; 0 makes
+// a single pass and exits at EOF (for scripts). -bounds declares the
+// data-space MBR the streaming grid covers, and -algo must be lpib or
+// diff. A summary "# ..." line is printed at the end.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"spatialjoin"
+	"spatialjoin/internal/agreements"
 	"spatialjoin/internal/cluster"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/stream"
+	"spatialjoin/internal/tuple"
 )
 
 var algorithms = map[string]spatialjoin.Algorithm{
@@ -62,8 +89,17 @@ func main() {
 		clusterListen  = flag.String("cluster-listen", "", "run the join on a worker cluster, accepting sjoin-worker connections on this address (e.g. :7077)")
 		clusterWorkers = flag.Int("cluster-workers", 0, "worker processes to wait for before joining (requires -cluster-listen)")
 		clusterWait    = flag.Duration("cluster-wait", time.Minute, "how long to wait for -cluster-workers connections")
+
+		followPath = flag.String("follow", "", "continuous join: tail this mutation file and print result deltas")
+		followPoll = flag.Duration("follow-poll", 200*time.Millisecond, "poll interval once -follow reaches EOF (0: single pass, exit at EOF)")
+		boundsSpec = flag.String("bounds", "", "data-space MBR as minx,miny,maxx,maxy (required with -follow)")
 	)
 	flag.Parse()
+
+	if *followPath != "" {
+		followMain(*followPath, *followPoll, *boundsSpec, *eps, *algoName, *gridRes)
+		return
+	}
 
 	algo, ok := algorithms[strings.ToLower(*algoName)]
 	if !ok {
@@ -166,6 +202,150 @@ func main() {
 			fail("writing output: %v", err)
 		}
 		fmt.Printf("pairs written      %s\n", *outPath)
+	}
+}
+
+// followMain is the continuous-join entry point: it builds a streaming
+// engine, tails the mutation file, and prints result deltas as they are
+// emitted.
+func followMain(path string, poll time.Duration, boundsSpec string, eps float64, algoName string, gridRes float64) {
+	if eps <= 0 {
+		fail("-eps must be positive")
+	}
+	var policy agreements.Policy
+	switch strings.ToLower(algoName) {
+	case "lpib":
+		policy = agreements.LPiB
+	case "diff":
+		policy = agreements.DIFF
+	default:
+		fail("-follow supports -algo lpib or diff, got %q", algoName)
+	}
+	parts := strings.Split(boundsSpec, ",")
+	if len(parts) != 4 {
+		fail("-follow requires -bounds minx,miny,maxx,maxy")
+	}
+	var b [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			fail("-bounds element %d: %v", i+1, err)
+		}
+		b[i] = v
+	}
+	eng, err := stream.New(stream.Config{
+		Eps:     eps,
+		Bounds:  geom.Rect{MinX: b[0], MinY: b[1], MaxX: b[2], MaxY: b[3]},
+		GridRes: gridRes,
+		Policy:  policy,
+	})
+	if err != nil {
+		fail("follow: %v", err)
+	}
+	sub := eng.Subscribe()
+	defer sub.Close()
+
+	f, err := os.Open(path)
+	if err != nil {
+		fail("follow: %v", err)
+	}
+	defer f.Close()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	drain := func() {
+		for {
+			d, ok := sub.TryNext()
+			if !ok {
+				break
+			}
+			fmt.Fprintf(out, "%s %d %d\n", d.Op, d.RID, d.SID)
+		}
+		out.Flush()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	rd := bufio.NewReader(f)
+	var pending string
+	lineNo := 0
+tail:
+	for {
+		chunk, err := rd.ReadString('\n')
+		pending += chunk
+		switch {
+		case err == nil:
+			lineNo++
+			followLine(eng, strings.TrimSpace(pending), lineNo)
+			pending = ""
+			drain()
+		case err == io.EOF:
+			if poll <= 0 {
+				if strings.TrimSpace(pending) != "" {
+					lineNo++
+					followLine(eng, strings.TrimSpace(pending), lineNo)
+					drain()
+				}
+				break tail
+			}
+			select {
+			case <-sigCh:
+				break tail
+			case <-time.After(poll):
+			}
+		default:
+			fail("follow: reading %s: %v", path, err)
+		}
+	}
+	c := eng.Counters()
+	fmt.Fprintf(out, "# upserts=%d deletes=%d rejected=%d deltas=+%d/-%d live=%d/%d replicas=%d flips=%d migrations=%d\n",
+		c.Upserts, c.Deletes, c.Rejected, c.DeltasAdded, c.DeltasRemoved,
+		c.LiveR, c.LiveS, c.Replicas, c.AgreementFlips, c.Migrations)
+}
+
+// followLine applies one mutation-file line to the engine.
+func followLine(eng *stream.Engine, line string, lineNo int) {
+	if line == "" || strings.HasPrefix(line, "#") {
+		return
+	}
+	fs := strings.Fields(line)
+	parseSet := func(s string) (tuple.Set, bool) {
+		switch strings.ToLower(s) {
+		case "r":
+			return tuple.R, true
+		case "s":
+			return tuple.S, true
+		}
+		return 0, false
+	}
+	switch strings.ToLower(fs[0]) {
+	case "rebalance":
+		eng.Rebalance()
+	case "del":
+		if len(fs) != 3 {
+			fail("follow line %d: want \"del r|s <id>\", got %q", lineNo, line)
+		}
+		set, ok := parseSet(fs[1])
+		id, err := strconv.ParseInt(fs[2], 10, 64)
+		if !ok || err != nil {
+			fail("follow line %d: bad delete %q", lineNo, line)
+		}
+		eng.Delete(set, id)
+	case "r", "s":
+		if len(fs) != 4 {
+			fail("follow line %d: want \"r|s <id> <x> <y>\", got %q", lineNo, line)
+		}
+		set, _ := parseSet(fs[0])
+		id, err1 := strconv.ParseInt(fs[1], 10, 64)
+		x, err2 := strconv.ParseFloat(fs[2], 64)
+		y, err3 := strconv.ParseFloat(fs[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			fail("follow line %d: bad upsert %q", lineNo, line)
+		}
+		eng.Upsert(set, spatialjoin.Tuple{ID: id, Pt: spatialjoin.Point{X: x, Y: y}})
+	default:
+		fail("follow line %d: unknown mutation %q", lineNo, line)
 	}
 }
 

@@ -21,6 +21,11 @@
 //	DELETE /v1/datasets/{name}           drop a dataset
 //	POST   /v1/join                      {"r":..,"s":..,"eps":..,...}
 //	POST   /v1/join/count                count-only fast path
+//	POST   /v1/stream                    create a continuous join stream
+//	GET    /v1/stream                    list streams
+//	DELETE /v1/stream/{name}             tear a stream down
+//	POST   /v1/stream/ingest?name=N      apply NDJSON point mutations
+//	GET    /v1/stream/subscribe?name=N   chunked NDJSON result deltas
 //	GET    /healthz                      200 ok / 503 draining
 //	GET    /metrics                      Prometheus text format
 //	GET    /debug/vars                   JSON metrics mirror

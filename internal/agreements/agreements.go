@@ -212,6 +212,45 @@ func BuildFromTypeFunc(g *grid.Grid, typeOf func(ci, cj int) tuple.Set) *Graph {
 	return gr
 }
 
+// TypeForPair exposes the pair-level agreement decision to incremental
+// callers: the type the policy would assign, from the statistics st, to
+// the unordered pair of adjacent cells ci and cj, where dir is the
+// direction from ci to cj. Either cell may be grid.NoCell. The streaming
+// engine's rebalancer evaluates it against exact live histograms to detect
+// when skew drift has flipped a pair's agreement.
+func TypeForPair(st *grid.Stats, ci, cj int, dir grid.Dir, policy Policy) tuple.Set {
+	return pairType(st, ci, cj, dir, policy)
+}
+
+// RebuildSub re-derives one quartet's subgraph in place: agreement types
+// are re-read from typeOf (which must be symmetric in its arguments and
+// may receive grid.NoCell), edge weights are recomputed from st (zero
+// when st is nil), and the duplicate-free assignment is re-derived by
+// re-running Algorithm 1's edge marking and locking. This is the
+// incremental entry point of the streaming engine's rebalancer, which —
+// when a pair's agreement flips — rebuilds exactly the subgraphs
+// containing that pair instead of the whole graph. Callers must rebuild
+// every subgraph containing a flipped pair in the same update, or the
+// graph violates Def. 4.2's type consistency.
+func (gr *Graph) RebuildSub(st *grid.Stats, gx, gy int, typeOf func(ci, cj int) tuple.Set) {
+	s := gr.Sub(gx, gy)
+	for i := grid.Pos(0); i < grid.NumPos; i++ {
+		for j := i + 1; j < grid.NumPos; j++ {
+			t := typeOf(s.Cells[i], s.Cells[j])
+			s.typ[i][j], s.typ[j][i] = t, t
+			if st != nil {
+				s.wgt[i][j] = edgeWeight(st, s.Cells[i], s.Cells[j], dirBetween(i, j), t)
+				s.wgt[j][i] = edgeWeight(st, s.Cells[j], s.Cells[i], dirBetween(j, i), t)
+			} else {
+				s.wgt[i][j], s.wgt[j][i] = 0, 0
+			}
+		}
+	}
+	s.mark = [grid.NumPos][grid.NumPos]bool{}
+	s.lock = [grid.NumPos][grid.NumPos]bool{}
+	resolve(s)
+}
+
 // instantiate decides types and weights for the 12 edges of s.
 func instantiate(s *Subgraph, st *grid.Stats, policy Policy) {
 	for i := grid.Pos(0); i < grid.NumPos; i++ {

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+// fuzzMaxFrame keeps the fuzzer from asking readFrame for gigabyte
+// bodies; the production cap is exercised by its own seed below.
+const fuzzMaxFrame = 1 << 20
+
+// FuzzFrame feeds arbitrary bytes through the wire protocol's framing
+// and every payload decoder. Decoders may reject input with errors but
+// must never panic, over-allocate past the frame, or read out of
+// bounds; any frame that parses must survive a re-frame round trip.
+func FuzzFrame(f *testing.F) {
+	// Truncated and degenerate frames.
+	f.Add([]byte{})
+	f.Add([]byte{0x01})                                          // partial length prefix
+	f.Add([]byte{0x0a, 0x00, 0x00, 0x00, 0x01})                  // declares 10 bytes, carries 1
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})                        // zero-length frame (no type byte)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01})                  // length far past the cap
+	f.Add(binary.LittleEndian.AppendUint32(nil, fuzzMaxFrame+1)) // just past the cap
+
+	// Well-formed frames of every type, built with the real encoders.
+	hello := append([]byte(helloMagic), protoVersion)
+	f.Add(appendFrame(msgHello, appendStr16(hello, "worker-1")))
+	badHello := append([]byte("NOPE"), protoVersion)
+	f.Add(appendFrame(msgHello, appendStr16(badHello, "worker-1")))
+	f.Add(appendFrame(msgHeartbeat, nil))
+	f.Add(appendFrame(msgPlan, planMsg{
+		id: 7, eps: 0.5, selfFilter: true, collect: true,
+		kernel: dpe.KernelDesc{
+			Kind:   dpe.KernelRefPoint,
+			Bounds: geom.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4},
+		},
+		broadcast: []byte("opaque plan bytes"),
+	}.encode()))
+	taskFrame, _, _ := encodeTask(taskHeader{plan: 7, part: 3, attempt: 1},
+		[]dpe.Keyed{{Cell: 5, T: tuple.Tuple{ID: 1, Pt: geom.Point{X: 1, Y: 2}}}},
+		[]dpe.Keyed{{Cell: 5, T: tuple.Tuple{ID: 2, Pt: geom.Point{X: 1.25, Y: 2}, Payload: []byte("p")}}},
+		func(int) bool { return true })
+	f.Add(taskFrame)
+	f.Add(appendFrame(msgResult, resultMsg{
+		taskHeader: taskHeader{plan: 7, part: 3, attempt: 1},
+		results:    1, checksum: 42, cost: 9,
+		pairs: []tuple.Pair{{RID: 1, SID: 2}},
+	}.encode()))
+	f.Add(appendFrame(msgTaskErr, taskErrMsg{
+		taskHeader: taskHeader{plan: 7, part: 3}, msg: "boom",
+	}.encode()))
+	f.Add(appendFrame(msgCancel, cancelMsg{plan: 7, part: 3}.encode()))
+	f.Add(appendFrame(msgPlanDone, encodePlanDone(7)))
+
+	// Frames whose payloads lie about their contents.
+	lyingTask := appendTaskHeader(nil, taskHeader{plan: 1})
+	lyingTask = binary.LittleEndian.AppendUint32(lyingTask, 1<<30) // a billion records, no bytes
+	f.Add(appendFrame(msgTask, lyingTask))
+	lyingResult := resultMsg{taskHeader: taskHeader{plan: 1}}.encode()
+	binary.LittleEndian.PutUint32(lyingResult[len(lyingResult)-4:], 1<<30)
+	f.Add(appendFrame(msgResult, lyingResult))
+
+	// Two frames back to back: framing must resynchronise.
+	f.Add(append(appendFrame(msgHeartbeat, nil), appendFrame(msgCancel, cancelMsg{plan: 1}.encode())...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			typ, payload, err := readFrame(br, fuzzMaxFrame)
+			if err != nil {
+				return // rejected cleanly; nothing more to parse
+			}
+			switch typ {
+			case msgHello:
+				decodeHello(payload)
+			case msgPlan:
+				decodePlan(payload)
+			case msgTask:
+				decodeTask(payload)
+			case msgResult:
+				decodeResult(payload)
+			case msgTaskErr:
+				decodeTaskErr(payload)
+			case msgCancel:
+				decodeCancel(payload)
+			case msgPlanDone:
+				decodePlanDone(payload)
+			}
+			// Any frame that framed must round-trip bit-identically.
+			reframed := appendFrame(typ, payload)
+			typ2, payload2, err2 := readFrame(bufio.NewReader(bytes.NewReader(reframed)), fuzzMaxFrame)
+			if err2 != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+				t.Fatalf("round trip broke: typ %d->%d err=%v", typ, typ2, err2)
+			}
+		}
+	})
+}

@@ -70,6 +70,50 @@ func (st *Stats) Add(set tuple.Set, p geom.Point) {
 	}
 }
 
+// Remove is the inverse of Add: it retracts one previously recorded point
+// of the given set, decrementing the same total and boundary counters Add
+// incremented. It is the incremental entry point the streaming engine uses
+// to keep exact per-cell histograms over live (not sampled) points as
+// mutations arrive. Removing a point that was never added corrupts the
+// histograms; the caller owns that invariant.
+func (st *Stats) Remove(set tuple.Set, p geom.Point) {
+	g := st.g
+	cx, cy := g.Locate(p)
+	cs := &st.Cells[g.CellID(cx, cy)]
+	cs.Total[set]--
+
+	u, v := g.LocalUV(p, cx, cy)
+	eps := g.Eps
+	eps2 := eps * eps
+	dw, de := u, g.Tile-u
+	ds, dn := v, g.Tile-v
+
+	if dw <= eps {
+		cs.Boundary[DirW][set]--
+	}
+	if de <= eps {
+		cs.Boundary[DirE][set]--
+	}
+	if ds <= eps {
+		cs.Boundary[DirS][set]--
+	}
+	if dn <= eps {
+		cs.Boundary[DirN][set]--
+	}
+	if dw*dw+ds*ds <= eps2 {
+		cs.Boundary[DirSW][set]--
+	}
+	if de*de+ds*ds <= eps2 {
+		cs.Boundary[DirSE][set]--
+	}
+	if dw*dw+dn*dn <= eps2 {
+		cs.Boundary[DirNW][set]--
+	}
+	if de*de+dn*dn <= eps2 {
+		cs.Boundary[DirNE][set]--
+	}
+}
+
 // AddAll records every tuple of ts as a sampled point of set.
 func (st *Stats) AddAll(set tuple.Set, ts []tuple.Tuple) {
 	for _, t := range ts {

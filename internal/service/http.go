@@ -58,11 +58,17 @@ type errorWire struct {
 //	DELETE /v1/datasets/{name}       drop a dataset (and its cached plans)
 //	POST   /v1/join                  execute a join (JSON body)
 //	POST   /v1/join/count            same, but never materialises pairs
+//	POST   /v1/stream                create a streaming join (JSON body)
+//	GET    /v1/stream                list streams
+//	DELETE /v1/stream/{name}         tear a stream down
+//	POST   /v1/stream/ingest?name=N  apply NDJSON mutations
+//	GET    /v1/stream/subscribe?name=N  chunked NDJSON delta feed
 //	GET    /healthz                  200 ok / 503 draining
 //	GET    /metrics                  Prometheus text format
 //	GET    /debug/vars               JSON mirror of /metrics
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.registerStreamRoutes(mux)
 	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets_put", s.handlePutDataset))
 	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets_list", s.handleListDatasets))
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets_delete", s.handleDeleteDataset))

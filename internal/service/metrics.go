@@ -49,7 +49,9 @@ type counterVec struct {
 	vals map[string]*atomic.Int64 // key: label values joined by '\xff'
 }
 
-func (c *counterVec) Inc(labelValues ...string) {
+func (c *counterVec) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+func (c *counterVec) Add(n int64, labelValues ...string) {
 	if len(labelValues) != len(c.labels) {
 		panic(fmt.Sprintf("metric %s: %d label values for %d labels", c.name, len(labelValues), len(c.labels)))
 	}
@@ -64,7 +66,7 @@ func (c *counterVec) Inc(labelValues ...string) {
 		c.vals[key] = v
 	}
 	c.mu.Unlock()
-	v.Add(1)
+	v.Add(n)
 }
 
 // Value returns the count for one label combination (0 if never seen).
@@ -138,6 +140,20 @@ type Metrics struct {
 	Datasets         *gauge
 	DatasetPoints    *gauge
 
+	// Streaming-join engine counters, folded in per ingest batch from
+	// each stream engine's counter diffs. All stay zero until a stream
+	// is created.
+	StreamIngested       *counter    // upserts + deletes accepted across streams
+	StreamDeltaPairs     *counterVec // result-set deltas emitted, by op (add, remove)
+	StreamCellRebuilds   *counter    // per-cell slab compactions
+	StreamAgreementFlips *counter    // LPiB/DIFF agreement decisions flipped by drift
+	StreamMigrations     *counter    // replica copies moved by rebalances
+	StreamExpired        *counter    // points dropped by sliding-window TTL expiry
+	Streams              *gauge      // live streams
+	StreamPoints         *gauge      // live points across streams
+	StreamReplicas       *gauge      // dedicated replica copies across streams
+	StreamSubscribers    *gauge      // attached delta subscribers
+
 	// Measured wire counters of distributed (cluster-engine) runs,
 	// accumulated from each probe's ClusterMetrics. All stay zero while
 	// the daemon runs on the in-process engine.
@@ -177,6 +193,18 @@ func NewMetrics() *Metrics {
 		Datasets:         &gauge{name: "sjoind_datasets", help: "Datasets currently registered."},
 		DatasetPoints:    &gauge{name: "sjoind_dataset_points", help: "Total points across registered datasets."},
 
+		StreamIngested: &counter{name: "sjoind_stream_ingested_total", help: "Stream mutations (upserts and deletes) accepted."},
+		StreamDeltaPairs: &counterVec{name: "sjoind_stream_delta_pairs_total", help: "Result-set deltas emitted to stream subscribers, by op.",
+			labels: []string{"op"}},
+		StreamCellRebuilds:   &counter{name: "sjoind_stream_cell_rebuilds_total", help: "Per-cell sorted-slab compactions past the dirty threshold."},
+		StreamAgreementFlips: &counter{name: "sjoind_stream_agreement_flips_total", help: "Agreement decisions flipped by cardinality drift rebalances."},
+		StreamMigrations:     &counter{name: "sjoind_stream_rebalance_migrations_total", help: "Replica copies moved between cells by rebalances."},
+		StreamExpired:        &counter{name: "sjoind_stream_expired_total", help: "Points dropped by sliding-window TTL expiry."},
+		Streams:              &gauge{name: "sjoind_streams", help: "Streams currently live."},
+		StreamPoints:         &gauge{name: "sjoind_stream_points", help: "Live points across all streams."},
+		StreamReplicas:       &gauge{name: "sjoind_stream_replicas", help: "Dedicated replica copies across all streams."},
+		StreamSubscribers:    &gauge{name: "sjoind_stream_subscribers", help: "Delta subscribers currently attached."},
+
 		ClusterWorkers:         &gauge{name: "sjoind_cluster_workers", help: "Worker processes that served the most recent distributed join."},
 		ClusterTaskBytesLocal:  &counter{name: "sjoind_cluster_task_bytes_local_total", help: "Measured task bytes streamed to the worker co-located with the producing map split."},
 		ClusterTaskBytesRemote: &counter{name: "sjoind_cluster_task_bytes_remote_total", help: "Measured task bytes streamed across worker boundaries (real shuffle remote reads)."},
@@ -211,6 +239,8 @@ func (m *Metrics) Render(w io.Writer) {
 	for _, c := range []*counter{
 		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
 		m.JoinResults, m.ReplicatedServed,
+		m.StreamIngested, m.StreamCellRebuilds, m.StreamAgreementFlips,
+		m.StreamMigrations, m.StreamExpired,
 		m.ClusterTaskBytesLocal, m.ClusterTaskBytesRemote,
 		m.ClusterBroadcastBytes, m.ClusterResultBytes,
 		m.ClusterTasks, m.ClusterRetries,
@@ -220,11 +250,13 @@ func (m *Metrics) Render(w io.Writer) {
 	}
 	for _, g := range []*gauge{
 		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
-		m.Datasets, m.DatasetPoints, m.ClusterWorkers,
+		m.Datasets, m.DatasetPoints,
+		m.Streams, m.StreamPoints, m.StreamReplicas, m.StreamSubscribers,
+		m.ClusterWorkers,
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
 	}
-	for _, v := range []*counterVec{m.Requests, m.Rejected} {
+	for _, v := range []*counterVec{m.Requests, m.Rejected, m.StreamDeltaPairs} {
 		renderVec(w, v)
 	}
 	for _, h := range []*histogram{m.QueueWait, m.PlanBuild, m.Probe} {
@@ -290,6 +322,8 @@ func (m *Metrics) Snapshot() map[string]any {
 	for _, c := range []*counter{
 		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
 		m.JoinResults, m.ReplicatedServed,
+		m.StreamIngested, m.StreamCellRebuilds, m.StreamAgreementFlips,
+		m.StreamMigrations, m.StreamExpired,
 		m.ClusterTaskBytesLocal, m.ClusterTaskBytesRemote,
 		m.ClusterBroadcastBytes, m.ClusterResultBytes,
 		m.ClusterTasks, m.ClusterRetries,
@@ -299,11 +333,13 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	for _, g := range []*gauge{
 		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
-		m.Datasets, m.DatasetPoints, m.ClusterWorkers,
+		m.Datasets, m.DatasetPoints,
+		m.Streams, m.StreamPoints, m.StreamReplicas, m.StreamSubscribers,
+		m.ClusterWorkers,
 	} {
 		out[g.name] = g.Value()
 	}
-	for _, v := range []*counterVec{m.Requests, m.Rejected} {
+	for _, v := range []*counterVec{m.Requests, m.Rejected, m.StreamDeltaPairs} {
 		sub := map[string]int64{}
 		v.mu.Lock()
 		for k, n := range v.vals {

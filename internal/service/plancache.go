@@ -8,11 +8,13 @@ import (
 )
 
 // PlanKey identifies one prepared plan: the dataset pair (by name AND
-// revision, so re-uploads invalidate), the join parameters, and the
-// algorithm. Two requests with equal keys can share a plan.
+// revision AND generation, so both re-uploads and in-place mutations via
+// Registry.Apply invalidate), the join parameters, and the algorithm.
+// Two requests with equal keys can share a plan.
 type PlanKey struct {
 	R, S           string
 	RRev, SRev     int64
+	RGen, SGen     int64
 	Eps            float64
 	Algorithm      spatialjoin.Algorithm
 	Workers        int

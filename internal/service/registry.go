@@ -14,12 +14,15 @@ type sampleKey struct {
 	seed     int64
 }
 
-// dataset is one registered, immutable point set. Re-uploading under the
-// same name replaces it and bumps the revision, invalidating plan-cache
-// keys that embedded the old revision.
+// dataset is one registered point set. Re-uploading under the same name
+// replaces it and bumps the revision; in-place mutation through Apply
+// (stream ingest mirrored into a dataset) bumps the generation instead.
+// Plan-cache keys embed both, so either kind of update invalidates stale
+// plans. The Tuples slice itself is immutable: Apply builds a fresh one.
 type dataset struct {
 	Name   string
 	Rev    int64
+	Gen    int64
 	Tuples []spatialjoin.Tuple
 	Bounds spatialjoin.Rect
 
@@ -50,6 +53,7 @@ type DatasetInfo struct {
 	Name   string  `json:"name"`
 	Points int     `json:"points"`
 	Rev    int64   `json:"rev"`
+	Gen    int64   `json:"gen"`
 	MinX   float64 `json:"min_x"`
 	MinY   float64 `json:"min_y"`
 	MaxX   float64 `json:"max_x"`
@@ -93,6 +97,45 @@ func (r *Registry) Put(name string, ts []spatialjoin.Tuple) (int64, error) {
 	return r.nextRev, nil
 }
 
+// Apply mutates a dataset in place by tuple ID: upserts replace (or
+// append) points, deletes drop them. The stored tuple slice is treated as
+// immutable — Apply builds a replacement, recomputes the bounds, discards
+// cached samples, and bumps the dataset's generation so plan-cache keys
+// built against the old contents can never serve the new ones. It returns
+// the new generation. Deleting every point is rejected: datasets must stay
+// non-empty, matching Put.
+func (r *Registry) Apply(name string, upserts []spatialjoin.Tuple, deletes []int64) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.m[name]
+	if !ok {
+		return 0, fmt.Errorf("service: unknown dataset %q", name)
+	}
+	drop := make(map[int64]struct{}, len(deletes)+len(upserts))
+	for _, id := range deletes {
+		drop[id] = struct{}{}
+	}
+	for _, t := range upserts {
+		drop[t.ID] = struct{}{} // replaced below, not kept twice
+	}
+	ts := make([]spatialjoin.Tuple, 0, len(d.Tuples)+len(upserts))
+	for _, t := range d.Tuples {
+		if _, gone := drop[t.ID]; !gone {
+			ts = append(ts, t)
+		}
+	}
+	ts = append(ts, upserts...)
+	if len(ts) == 0 {
+		return 0, fmt.Errorf("service: mutation would empty dataset %q", name)
+	}
+	nd := &dataset{Name: d.Name, Rev: d.Rev, Gen: d.Gen + 1, Tuples: ts, Bounds: boundsOf(ts)}
+	r.m[name] = nd
+	if r.metrics != nil {
+		r.metrics.DatasetPoints.Add(int64(len(ts) - len(d.Tuples)))
+	}
+	return nd.Gen, nil
+}
+
 // Get returns a registered dataset.
 func (r *Registry) Get(name string) (*dataset, error) {
 	r.mu.RLock()
@@ -126,7 +169,7 @@ func (r *Registry) List() []DatasetInfo {
 	out := make([]DatasetInfo, 0, len(r.m))
 	for _, d := range r.m {
 		out = append(out, DatasetInfo{
-			Name: d.Name, Points: len(d.Tuples), Rev: d.Rev,
+			Name: d.Name, Points: len(d.Tuples), Rev: d.Rev, Gen: d.Gen,
 			MinX: d.Bounds.MinX, MinY: d.Bounds.MinY,
 			MaxX: d.Bounds.MaxX, MaxY: d.Bounds.MaxY,
 		})

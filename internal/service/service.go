@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +87,9 @@ type Service struct {
 	slots    chan struct{}
 	queued   atomic.Int64
 	draining atomic.Bool
+
+	streamMu sync.Mutex
+	streams  map[string]*streamState
 }
 
 // New builds a service.
@@ -98,6 +102,7 @@ func New(cfg Config) *Service {
 		Metrics:  m,
 		cache:    newPlanCache(cfg.PlanCacheSize, m),
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		streams:  map[string]*streamState{},
 	}
 }
 
@@ -249,6 +254,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 
 	key := PlanKey{
 		R: rd.Name, S: sd.Name, RRev: rd.Rev, SRev: sd.Rev,
+		RGen: rd.Gen, SGen: sd.Gen,
 		Eps: req.Eps, Algorithm: req.Algorithm,
 		Workers: req.Workers, Partitions: req.Partitions,
 		SampleFraction: req.SampleFraction, Seed: req.Seed,

@@ -1,0 +1,289 @@
+// Service-level streaming joins: named stream.Engine instances managed
+// next to the dataset registry, with metric accounting, optional TTL
+// expiry tickers, and optional mirroring of stream mutations into
+// registry datasets so batch joins observe the live points (and the
+// plan cache, keyed by dataset generation, never serves stale plans).
+
+package service
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/stream"
+	"spatialjoin/internal/tuple"
+)
+
+// StreamConfig creates one named stream.
+type StreamConfig struct {
+	Name string
+
+	Eps                    float64
+	MinX, MinY, MaxX, MaxY float64 // data-space MBR (required)
+	GridRes                float64 // 0 = engine default
+	Policy                 string  // "lpib" (default) or "diff"
+	TTLMillis              int64   // >0 enables sliding-window expiry
+	RebalanceEvery         int     // 0 = engine default, <0 disables
+
+	// RDataset / SDataset, when set, link the stream's input sets to
+	// registry datasets: the engine is seeded from their current points
+	// and every ingested mutation is mirrored back via Registry.Apply,
+	// bumping the dataset generation. Batch joins against the linked
+	// names then always reflect the live stream state.
+	RDataset, SDataset string
+}
+
+// StreamInfo describes a live stream to clients.
+type StreamInfo struct {
+	Name           string  `json:"name"`
+	Eps            float64 `json:"eps"`
+	Policy         string  `json:"policy"`
+	GridCells      int     `json:"grid_cells"`
+	LiveR          int64   `json:"live_r"`
+	LiveS          int64   `json:"live_s"`
+	Replicas       int64   `json:"replicas"`
+	Subscribers    int64   `json:"subscribers"`
+	DeltasAdded    int64   `json:"deltas_added"`
+	DeltasRemoved  int64   `json:"deltas_removed"`
+	AgreementFlips int64   `json:"agreement_flips"`
+	Migrations     int64   `json:"migrations"`
+	RDataset       string  `json:"r_dataset,omitempty"`
+	SDataset       string  `json:"s_dataset,omitempty"`
+}
+
+// streamState is one live stream and its serving-layer bookkeeping.
+type streamState struct {
+	name   string
+	policy string
+	eng    *stream.Engine
+	rset   [2]string // linked dataset name per tuple.Set ("" = none)
+	done   chan struct{}
+}
+
+func (st *streamState) info() StreamInfo {
+	c := st.eng.Counters()
+	return StreamInfo{
+		Name: st.name, Eps: st.eng.Eps(), Policy: st.policy,
+		GridCells: st.eng.Grid().NumCells(),
+		LiveR:     c.LiveR, LiveS: c.LiveS,
+		Replicas: c.Replicas, Subscribers: c.Subscribers,
+		DeltasAdded: c.DeltasAdded, DeltasRemoved: c.DeltasRemoved,
+		AgreementFlips: c.AgreementFlips, Migrations: c.Migrations,
+		RDataset: st.rset[tuple.R], SDataset: st.rset[tuple.S],
+	}
+}
+
+// CreateStream builds, registers, and (when datasets are linked) seeds a
+// new stream. Stream names share a namespace separate from datasets.
+func (s *Service) CreateStream(cfg StreamConfig) (StreamInfo, error) {
+	if cfg.Name == "" {
+		return StreamInfo{}, fmt.Errorf("service: stream name must not be empty")
+	}
+	var policy agreements.Policy
+	switch cfg.Policy {
+	case "", "lpib":
+		policy, cfg.Policy = agreements.LPiB, "lpib"
+	case "diff":
+		policy = agreements.DIFF
+	default:
+		return StreamInfo{}, fmt.Errorf("service: unknown stream policy %q (lpib, diff)", cfg.Policy)
+	}
+	eng, err := stream.New(stream.Config{
+		Eps:            cfg.Eps,
+		Bounds:         spatialjoin.Rect{MinX: cfg.MinX, MinY: cfg.MinY, MaxX: cfg.MaxX, MaxY: cfg.MaxY},
+		GridRes:        cfg.GridRes,
+		Policy:         policy,
+		TTL:            time.Duration(cfg.TTLMillis) * time.Millisecond,
+		RebalanceEvery: cfg.RebalanceEvery,
+	})
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	st := &streamState{
+		name: cfg.Name, policy: cfg.Policy, eng: eng,
+		rset: [2]string{tuple.R: cfg.RDataset, tuple.S: cfg.SDataset},
+		done: make(chan struct{}),
+	}
+	// Reserve the name before seeding so a lost name race cannot leak
+	// seed mutations into the metrics.
+	s.streamMu.Lock()
+	if _, exists := s.streams[cfg.Name]; exists {
+		s.streamMu.Unlock()
+		return StreamInfo{}, fmt.Errorf("service: stream %q already exists", cfg.Name)
+	}
+	s.streams[cfg.Name] = st
+	s.streamMu.Unlock()
+
+	// Seed linked sets from the datasets' current points.
+	for set := tuple.R; set <= tuple.S; set++ {
+		name := st.rset[set]
+		if name == "" {
+			continue
+		}
+		d, err := s.Registry.Get(name)
+		if err != nil {
+			s.DeleteStream(cfg.Name)
+			return StreamInfo{}, fmt.Errorf("service: stream %q links %w", cfg.Name, err)
+		}
+		batch := make([]stream.Mutation, len(d.Tuples))
+		for i, t := range d.Tuples {
+			batch[i] = stream.Mutation{Set: set, Tuple: t}
+		}
+		s.observeStream(eng.Apply(batch))
+	}
+	s.streamMu.Lock()
+	s.updateStreamGaugesLocked()
+	s.streamMu.Unlock()
+
+	if cfg.TTLMillis > 0 {
+		go s.ttlLoop(st, time.Duration(cfg.TTLMillis)*time.Millisecond)
+	}
+	return st.info(), nil
+}
+
+// ttlLoop drives sliding-window expiry for one stream so windows slide
+// even while no mutations arrive.
+func (s *Service) ttlLoop(st *streamState, ttl time.Duration) {
+	period := ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-st.done:
+			return
+		case now := <-tick.C:
+			s.observeStream(st.eng.ExpireBefore(now.Add(-ttl)))
+			s.streamMu.Lock()
+			s.updateStreamGaugesLocked()
+			s.streamMu.Unlock()
+		}
+	}
+}
+
+// GetStream returns one live stream.
+func (s *Service) GetStream(name string) (*streamState, error) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	st, ok := s.streams[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown stream %q", name)
+	}
+	return st, nil
+}
+
+// ListStreams describes all live streams, sorted by name.
+func (s *Service) ListStreams() []StreamInfo {
+	s.streamMu.Lock()
+	states := make([]*streamState, 0, len(s.streams))
+	for _, st := range s.streams {
+		states = append(states, st)
+	}
+	s.streamMu.Unlock()
+	out := make([]StreamInfo, len(states))
+	for i, st := range states {
+		out[i] = st.info()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeleteStream tears a stream down: its TTL ticker stops and every
+// subscriber's queue is closed. Linked datasets keep their last state.
+func (s *Service) DeleteStream(name string) bool {
+	s.streamMu.Lock()
+	st, ok := s.streams[name]
+	if ok {
+		delete(s.streams, name)
+		s.updateStreamGaugesLocked()
+	}
+	s.streamMu.Unlock()
+	if !ok {
+		return false
+	}
+	close(st.done)
+	st.eng.Close()
+	return true
+}
+
+// StreamIngest applies one mutation batch to a stream, folds the result
+// into the metrics, and mirrors the mutations into linked datasets. A
+// mirror failure (e.g. a mutation that would empty a dataset) does not
+// roll back the stream; it is reported so the client can reconcile.
+func (s *Service) StreamIngest(name string, batch []stream.Mutation) (stream.BatchResult, error) {
+	st, err := s.GetStream(name)
+	if err != nil {
+		return stream.BatchResult{}, err
+	}
+	br := st.eng.Apply(batch)
+	s.observeStream(br)
+	s.streamMu.Lock()
+	s.updateStreamGaugesLocked()
+	s.streamMu.Unlock()
+
+	var mirrorErr error
+	for set := tuple.R; set <= tuple.S; set++ {
+		ds := st.rset[set]
+		if ds == "" {
+			continue
+		}
+		var ups []spatialjoin.Tuple
+		var dels []int64
+		for _, m := range batch {
+			if m.Set != set {
+				continue
+			}
+			if m.Delete {
+				dels = append(dels, m.Tuple.ID)
+			} else {
+				ups = append(ups, m.Tuple)
+			}
+		}
+		if len(ups)+len(dels) == 0 {
+			continue
+		}
+		if _, err := s.Registry.Apply(ds, ups, dels); err != nil && mirrorErr == nil {
+			mirrorErr = err
+		}
+	}
+	return br, mirrorErr
+}
+
+// observeStream folds one engine operation's counter diff into the
+// service metrics.
+func (s *Service) observeStream(br stream.BatchResult) {
+	if n := br.Upserts + br.Deletes; n > 0 {
+		s.Metrics.StreamIngested.Add(n)
+	}
+	if br.DeltasAdded > 0 {
+		s.Metrics.StreamDeltaPairs.Add(br.DeltasAdded, "add")
+	}
+	if br.DeltasRemoved > 0 {
+		s.Metrics.StreamDeltaPairs.Add(br.DeltasRemoved, "remove")
+	}
+	s.Metrics.StreamCellRebuilds.Add(br.SlabRebuilds)
+	s.Metrics.StreamAgreementFlips.Add(br.AgreementFlips)
+	s.Metrics.StreamMigrations.Add(br.Migrations)
+	s.Metrics.StreamExpired.Add(br.Expired)
+}
+
+// updateStreamGaugesLocked recomputes the cross-stream gauges. Callers
+// hold s.streamMu.
+func (s *Service) updateStreamGaugesLocked() {
+	var points, replicas, subs int64
+	for _, st := range s.streams {
+		c := st.eng.Counters()
+		points += c.LiveR + c.LiveS
+		replicas += c.Replicas
+		subs += c.Subscribers
+	}
+	s.Metrics.Streams.Set(int64(len(s.streams)))
+	s.Metrics.StreamPoints.Set(points)
+	s.Metrics.StreamReplicas.Set(replicas)
+	s.Metrics.StreamSubscribers.Set(subs)
+}

@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"sort"
+
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+// rebalanceLocked is the agreement drift scan. It visits every cell whose
+// histogram changed since the last scan, re-evaluates the policy for each
+// of its adjacent cell pairs against the exact live statistics, and for
+// every pair whose decision flipped commits the new type: the subgraphs
+// containing the pair are rebuilt (types from the store, Algorithm 1's
+// marking/locking re-run with live weights) and only the replicas of the
+// rebuilt quartets' member cells are migrated. The grid, slabs of
+// unaffected cells, and all other subgraphs are untouched.
+//
+// Flips are decided before any is applied: committing a flip does not
+// change the statistics, so the desired types are independent of
+// application order and one scan converges in a single pass.
+func (e *Engine) rebalanceLocked() {
+	e.c.RebalanceRuns++
+	if len(e.dirty) == 0 {
+		return
+	}
+	type flipRec struct {
+		ci   int
+		dir  grid.Dir
+		want tuple.Set
+	}
+	var flips []flipRec
+	checked := map[int]struct{}{}
+	for ci := range e.dirty {
+		cx, cy := e.dg.g.CellCoords(ci)
+		for dir := grid.Dir(0); dir < grid.NumDirs; dir++ {
+			cj := e.dg.g.Neighbor(cx, cy, dir)
+			if cj == grid.NoCell {
+				continue
+			}
+			// Canonicalise (ci, dir) so each unordered pair is
+			// examined once even when both endpoints are dirty.
+			cc, cd := ci, dir
+			if canonSlot(cd) < 0 {
+				cc, cd = cj, dir.Opposite()
+			}
+			key := cc*4 + canonSlot(cd)
+			if _, done := checked[key]; done {
+				continue
+			}
+			checked[key] = struct{}{}
+			if want := e.dg.desiredType(cc, cd); want != e.dg.currentType(cc, cd) {
+				flips = append(flips, flipRec{ci: cc, dir: cd, want: want})
+			}
+		}
+	}
+	e.dirty = map[int]struct{}{}
+	// Apply in canonical pair order: the final graph is order-independent,
+	// but the count of replica copies moved through intermediate states is
+	// not — a deterministic order makes rebalance work reproducible.
+	sort.Slice(flips, func(a, b int) bool {
+		return flips[a].ci*4+canonSlot(flips[a].dir) < flips[b].ci*4+canonSlot(flips[b].dir)
+	})
+	for _, f := range flips {
+		e.flipLocked(f.ci, f.dir, f.want)
+	}
+}
+
+// flipLocked commits one pair flip: rebuild the subgraphs containing the
+// pair, then re-derive the assignment of every point native to a rebuilt
+// quartet's member cell — the only points whose replication consults the
+// rebuilt subgraphs — and move the changed replica copies between slabs.
+//
+// Migration is silent (no deltas): both the old and the new graph are
+// consistent, so the qualifying pair set is unchanged (Corollary 4.6);
+// only the cell in which each pair is co-located may move.
+func (e *Engine) flipLocked(ci int, dir grid.Dir, want tuple.Set) {
+	qs := e.dg.flip(ci, dir, want)
+	e.c.AgreementFlips++
+	affected := map[int]struct{}{}
+	for _, q := range qs {
+		for _, c := range e.dg.g.QuartetCells(q[0], q[1]) {
+			if c != grid.NoCell {
+				affected[c] = struct{}{}
+			}
+		}
+	}
+	for c := range affected {
+		for set := tuple.R; set <= tuple.S; set++ {
+			for id := range e.cells[c].natives[set] {
+				e.migrateLocked(set, e.live[set][id])
+			}
+		}
+	}
+}
+
+// migrateLocked recomputes one live point's assignment under the current
+// graph and applies the difference to the slabs without emitting deltas.
+// The native cell (Locate of the point) never changes; only dedicated
+// replica targets can.
+func (e *Engine) migrateLocked(set tuple.Set, en *entry) {
+	newCells := e.dg.assign(en.t.Pt, set, e.scratch[:0])
+	e.scratch = newCells
+	moved := 0
+	for _, oc := range en.cells {
+		if !containsInt(newCells, int(oc)) {
+			cs := &e.cells[oc]
+			cs.slabs[set].remove(en.t.ID)
+			if cs.slabs[set].needsCompaction() {
+				cs.slabs[set].compact()
+				e.c.SlabRebuilds++
+			}
+			moved++
+		}
+	}
+	for _, nc := range newCells {
+		if !containsInt32(en.cells, nc) {
+			e.cells[nc].slabs[set].insert(en.t)
+			if e.cells[nc].slabs[set].needsCompaction() {
+				e.cells[nc].slabs[set].compact()
+				e.c.SlabRebuilds++
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		return
+	}
+	e.c.Migrations += int64(moved)
+	e.c.Replicas += int64(len(newCells) - len(en.cells))
+	if cap(en.cells) >= len(newCells) {
+		en.cells = en.cells[:len(newCells)]
+	} else {
+		en.cells = make([]int32, len(newCells))
+	}
+	for i, c := range newCells {
+		en.cells[i] = int32(c)
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt32(xs []int32, x int) bool {
+	for _, v := range xs {
+		if int(v) == x {
+			return true
+		}
+	}
+	return false
+}

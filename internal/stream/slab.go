@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+// Slab compaction policy: a slab is rebuilt (tail merged, tombstones
+// dropped, re-sorted) once its dirty part — pending inserts plus
+// tombstones — exceeds dirtyFraction of the sorted base, but never before
+// minDirty mutations, so small cells absorb churn without re-sorting.
+const (
+	dirtyFraction = 0.25
+	minDirty      = 32
+)
+
+// slab is one cell's maintained sweep structure for one input set: a
+// sorted-by-x base (the lazily rebuilt part), an unsorted tail of recent
+// inserts, and tombstones for deletions that still sit in the base.
+// Probes run against the base in O(log n + ε-window) via the sweep
+// package's incremental entry point, plus a linear scan of the small
+// tail.
+type slab struct {
+	base  []tuple.Tuple      // sorted by ascending x
+	tail  []tuple.Tuple      // unsorted recent inserts
+	tombs map[int64]struct{} // ids deleted but still present in base
+}
+
+// insert adds t to the slab. A tombstoned re-insert of the same id first
+// resolves the tombstone by compacting, keeping ids unique per slab.
+func (s *slab) insert(t tuple.Tuple) {
+	if _, dead := s.tombs[t.ID]; dead {
+		s.compact()
+	}
+	s.tail = append(s.tail, t)
+}
+
+// remove deletes the tuple with the given id, preferring an in-place
+// tail removal and falling back to a tombstone against the base.
+func (s *slab) remove(id int64) {
+	for i := range s.tail {
+		if s.tail[i].ID == id {
+			s.tail[i] = s.tail[len(s.tail)-1]
+			s.tail = s.tail[:len(s.tail)-1]
+			return
+		}
+	}
+	if s.tombs == nil {
+		s.tombs = map[int64]struct{}{}
+	}
+	s.tombs[id] = struct{}{}
+}
+
+// probe reports every live tuple of the slab within eps of p.
+func (s *slab) probe(p geom.Point, eps float64, emit func(tuple.Tuple)) {
+	if len(s.tombs) == 0 {
+		sweep.ProbeSorted(s.base, p, eps, emit)
+	} else {
+		sweep.ProbeSorted(s.base, p, eps, func(t tuple.Tuple) {
+			if _, dead := s.tombs[t.ID]; !dead {
+				emit(t)
+			}
+		})
+	}
+	eps2 := eps * eps
+	for _, t := range s.tail {
+		if p.SqDist(t.Pt) <= eps2 {
+			emit(t)
+		}
+	}
+}
+
+// dirty returns the size of the unsorted/tombstoned part.
+func (s *slab) dirty() int { return len(s.tail) + len(s.tombs) }
+
+// len returns the number of live tuples.
+func (s *slab) len() int { return len(s.base) - len(s.tombs) + len(s.tail) }
+
+// needsCompaction reports whether the dirty part crossed the threshold.
+func (s *slab) needsCompaction() bool {
+	d := s.dirty()
+	if d < minDirty {
+		return false
+	}
+	return float64(d) > dirtyFraction*float64(len(s.base))
+}
+
+// compact merges the tail into the base, drops tombstoned entries, and
+// re-sorts — the lazy rebuild of the cell's sweep structure.
+func (s *slab) compact() {
+	merged := make([]tuple.Tuple, 0, s.len())
+	for _, t := range s.base {
+		if _, dead := s.tombs[t.ID]; !dead {
+			merged = append(merged, t)
+		}
+	}
+	merged = append(merged, s.tail...)
+	sweep.SortByX(merged)
+	s.base = merged
+	s.tail = nil
+	s.tombs = nil
+}
+
+// contents returns the live tuples of the slab sorted by x, compacting
+// as a side effect so repeated snapshots stay cheap.
+func (s *slab) contents() []tuple.Tuple {
+	if s.dirty() > 0 {
+		s.compact()
+	}
+	return s.base
+}

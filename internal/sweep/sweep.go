@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"spatialjoin/internal/geom"
 	"spatialjoin/internal/tuple"
 )
 
@@ -161,6 +162,30 @@ func sweepSorted(r, s []tuple.Tuple, eps float64, emit Emit) {
 			if r[i].Pt.SqDist(s[j].Pt) <= eps2 {
 				emit(r[i], s[j])
 			}
+		}
+	}
+}
+
+// ProbeSorted reports every tuple of sorted — which must be in ascending
+// x order — within eps of p. It is the incremental entry point of the
+// streaming join engine: one arriving point is probed against a cell's
+// maintained sorted slab in O(log n + window) without re-running a full
+// sweep. Matches at distance exactly eps are reported (closed predicate,
+// like every join in this package).
+func ProbeSorted(sorted []tuple.Tuple, p geom.Point, eps float64, emit func(tuple.Tuple)) {
+	if len(sorted) == 0 {
+		return
+	}
+	eps2 := eps * eps
+	lo := p.X - eps
+	start := sort.Search(len(sorted), func(i int) bool { return sorted[i].Pt.X >= lo })
+	for i := start; i < len(sorted) && sorted[i].Pt.X <= p.X+eps; i++ {
+		dy := p.Y - sorted[i].Pt.Y
+		if dy > eps || dy < -eps {
+			continue
+		}
+		if p.SqDist(sorted[i].Pt) <= eps2 {
+			emit(sorted[i])
 		}
 	}
 }
