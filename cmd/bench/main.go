@@ -1,0 +1,284 @@
+// Command bench is the machine-readable perf gate for the sweep kernels.
+// It runs the kernel benchmarks programmatically (testing.Benchmark, no
+// `go test` invocation needed), derives pairs/sec throughput for each
+// kernel on the same deterministic workload, and writes a JSON report.
+//
+// Usage:
+//
+//	bench [-out BENCH_sweep.json] [-cells 64] [-per-side 256] [-eps 0.5]
+//	      [-e2e-n 50000]
+//
+// Three kernels are measured on identical per-cell inputs:
+//
+//	sweep/seed-scalar  the pre-optimisation kernel, replicated here:
+//	                   reflection-based sort.Slice copies plus a per-pair
+//	                   closure emit — the seed baseline the perf gate
+//	                   compares against
+//	sweep/scalar       the current scalar kernel (sweep.PlaneSweep):
+//	                   slices.SortFunc, still one emit call per pair
+//	sweep/columnar     the columnar kernel (colsweep.JoinCell): SoA slabs,
+//	                   pooled buffers, batched emission
+//
+// plus core/columnar and core/scalar — the full adaptive join end to end
+// with the default (columnar) and oracle (scalar) kernels.
+//
+// The report records ns/op, B/op, allocs/op, pairs/op, and pairs/sec per
+// benchmark, and the headline speedup ratios. CI runs this binary and
+// uploads the JSON as an artifact; the checked-in BENCH_sweep.json is the
+// reference result for the acceptance gate (columnar ≥ 1.5× seed pairs/sec,
+// 0 allocs/op steady state).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"spatialjoin/internal/colsweep"
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	PairsPerOp  int64   `json:"pairs_per_op"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
+type report struct {
+	Go       string  `json:"go"`
+	GOOS     string  `json:"goos"`
+	GOARCH   string  `json:"goarch"`
+	CPUs     int     `json:"cpus"`
+	Workload string  `json:"workload"`
+	Entries  []entry `json:"entries"`
+
+	// Headline ratios of the perf gate: columnar pairs/sec over the seed
+	// replica and over the current scalar kernel.
+	SpeedupColumnarVsSeed   float64 `json:"speedup_columnar_vs_seed"`
+	SpeedupColumnarVsScalar float64 `json:"speedup_columnar_vs_scalar"`
+}
+
+func randomTuples(rng *rand.Rand, n int, extent float64, base int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{
+			ID: base + int64(i),
+			Pt: geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent},
+		}
+	}
+	return out
+}
+
+// seedPlaneSweep replicates the seed repo's kernel exactly: copy both
+// sides, sort with the reflection-based sort.Slice, sweep with one
+// dynamic emit call per result pair. Kept as the honest "before" in the
+// perf gate — the scalar kernel itself got faster in the same PR.
+func seedPlaneSweep(rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+	if len(rs) == 0 || len(ss) == 0 {
+		return
+	}
+	cp := func(ts []tuple.Tuple) []tuple.Tuple {
+		out := make([]tuple.Tuple, len(ts))
+		copy(out, ts)
+		sort.Slice(out, func(i, j int) bool { return out[i].Pt.X < out[j].Pt.X })
+		return out
+	}
+	r, s := cp(rs), cp(ss)
+	eps2 := eps * eps
+	start := 0
+	for i := range r {
+		rx := r[i].Pt.X
+		for start < len(s) && s[start].Pt.X < rx-eps {
+			start++
+		}
+		if start == len(s) {
+			return
+		}
+		for j := start; j < len(s) && s[j].Pt.X <= rx+eps; j++ {
+			dy := r[i].Pt.Y - s[j].Pt.Y
+			if dy > eps || dy < -eps {
+				continue
+			}
+			if r[i].Pt.SqDist(s[j].Pt) <= eps2 {
+				emit(r[i], s[j])
+			}
+		}
+	}
+}
+
+func measure(name string, pairsPerOp int64, bench func(b *testing.B)) entry {
+	res := testing.Benchmark(bench)
+	ns := float64(res.NsPerOp())
+	e := entry{
+		Name:        name,
+		NsPerOp:     ns,
+		BPerOp:      res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		PairsPerOp:  pairsPerOp,
+	}
+	if ns > 0 {
+		e.PairsPerSec = float64(pairsPerOp) / (ns / 1e9)
+	}
+	fmt.Printf("%-20s %12.0f ns/op %10d B/op %8d allocs/op %14.0f pairs/sec\n",
+		name, e.NsPerOp, e.BPerOp, e.AllocsPerOp, e.PairsPerSec)
+	return e
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sweep.json", "JSON report path (- for stdout)")
+		cells   = flag.Int("cells", 64, "partition cells per op")
+		perSide = flag.Int("per-side", 256, "points per side per cell")
+		eps     = flag.Float64("eps", 0.5, "join distance")
+		extent  = flag.Float64("extent", 8, "cell extent (points uniform in [0,extent)^2)")
+		e2eN    = flag.Int("e2e-n", 50000, "points per side for the end-to-end core benchmark")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(99))
+	var rss, sss [][]tuple.Tuple
+	for c := 0; c < *cells; c++ {
+		rss = append(rss, randomTuples(rng, *perSide, *extent, int64(c)<<20))
+		sss = append(sss, randomTuples(rng, *perSide, *extent, 1<<40|int64(c)<<20))
+	}
+
+	// One counted pass per kernel: pair counts and checksums must agree,
+	// otherwise the throughput comparison is comparing different joins.
+	var seedC, scalarC, colC sweep.Counter
+	for j := range rss {
+		seedPlaneSweep(rss[j], sss[j], *eps, seedC.Emit)
+		sweep.PlaneSweep(rss[j], sss[j], *eps, scalarC.Emit)
+	}
+	{
+		bufs := colsweep.Get()
+		bat := bufs.Batch(func(ps []tuple.Pair) {
+			for _, p := range ps {
+				colC.EmitPair(p)
+			}
+		}, false)
+		for j := range rss {
+			colsweep.JoinCell(bufs, rss[j], sss[j], *eps, bat)
+		}
+		bat.Flush()
+		colsweep.Put(bufs)
+	}
+	if seedC != scalarC || seedC != colC {
+		log.Fatalf("bench: kernel divergence: seed %d/%x scalar %d/%x columnar %d/%x",
+			seedC.N, seedC.Checksum, scalarC.N, scalarC.Checksum, colC.N, colC.Checksum)
+	}
+	pairs := seedC.N
+
+	rep := report{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Workload: fmt.Sprintf("%d cells x (%d R + %d S) uniform points in [0,%g)^2, eps=%g, %d pairs/op",
+			*cells, *perSide, *perSide, *extent, *eps, pairs),
+	}
+
+	var sink sweep.Counter
+	rep.Entries = append(rep.Entries, measure("sweep/seed-scalar", pairs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range rss {
+				seedPlaneSweep(rss[j], sss[j], *eps, sink.Emit)
+			}
+		}
+	}))
+	rep.Entries = append(rep.Entries, measure("sweep/scalar", pairs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range rss {
+				sweep.PlaneSweep(rss[j], sss[j], *eps, sink.Emit)
+			}
+		}
+	}))
+	rep.Entries = append(rep.Entries, measure("sweep/columnar", pairs, func(b *testing.B) {
+		b.ReportAllocs()
+		bufs := colsweep.Get()
+		defer colsweep.Put(bufs)
+		bat := bufs.Batch(func(ps []tuple.Pair) {
+			for _, p := range ps {
+				sink.EmitPair(p)
+			}
+		}, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range rss {
+				colsweep.JoinCell(bufs, rss[j], sss[j], *eps, bat)
+			}
+			bat.Flush()
+		}
+	}))
+
+	// End-to-end: the full adaptive join (sample, agreements, shuffle,
+	// partition joins) with the default columnar kernel vs the scalar
+	// oracle, same inputs.
+	e2eR := randomTuples(rng, *e2eN, 100, 0)
+	e2eS := randomTuples(rng, *e2eN, 100, 1<<40)
+	e2eCfg := core.Config{Eps: 0.4, Seed: 7}
+	res, err := core.Join(e2eR, e2eS, e2eCfg)
+	if err != nil {
+		log.Fatalf("bench: end-to-end join: %v", err)
+	}
+	e2ePairs := res.Results
+	rep.Entries = append(rep.Entries, measure("core/columnar", e2ePairs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Join(e2eR, e2eS, e2eCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	scalarCfg := e2eCfg
+	scalarCfg.Kernel = dpe.ScalarKernel
+	rep.Entries = append(rep.Entries, measure("core/scalar", e2ePairs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Join(e2eR, e2eS, scalarCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	byName := map[string]entry{}
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+	}
+	if s := byName["sweep/seed-scalar"].PairsPerSec; s > 0 {
+		rep.SpeedupColumnarVsSeed = byName["sweep/columnar"].PairsPerSec / s
+	}
+	if s := byName["sweep/scalar"].PairsPerSec; s > 0 {
+		rep.SpeedupColumnarVsScalar = byName["sweep/columnar"].PairsPerSec / s
+	}
+	fmt.Printf("columnar vs seed:   %.2fx pairs/sec\ncolumnar vs scalar: %.2fx pairs/sec\n",
+		rep.SpeedupColumnarVsSeed, rep.SpeedupColumnarVsScalar)
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	js = append(js, '\n')
+	if *out == "-" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

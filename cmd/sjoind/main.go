@@ -4,7 +4,7 @@
 // Usage:
 //
 //	sjoind [-addr :8080] [-max-concurrent N] [-max-queue N]
-//	       [-plan-cache N] [-timeout 30s]
+//	       [-plan-cache N] [-timeout 30s] [-pprof :6060]
 //	       [-cluster-listen :7077] [-cluster-workers N]
 //
 // With -cluster-listen the daemon also accepts sjoin-worker connections
@@ -30,6 +30,11 @@
 //	GET    /metrics                      Prometheus text format
 //	GET    /debug/vars                   JSON metrics mirror
 //
+// With -pprof ADDR a second listener serves net/http/pprof on ADDR
+// (/debug/pprof/...). It is a separate socket so profiling stays off the
+// service port and can be firewalled independently; it never delays
+// shutdown.
+//
 // On SIGTERM/SIGINT the daemon stops accepting work (healthz turns 503
 // so load balancers take it out of rotation), drains in-flight requests
 // for up to -drain-grace, then exits.
@@ -43,6 +48,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +66,7 @@ func main() {
 		planCache  = flag.Int("plan-cache", 32, "prepared plans kept in the LRU cache")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown drain deadline")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060; off when empty)")
 
 		clusterListen  = flag.String("cluster-listen", "", "accept sjoin-worker connections on this address and run joins on them")
 		clusterWorkers = flag.Int("cluster-workers", 0, "workers to wait for before serving (requires -cluster-listen)")
@@ -75,6 +82,26 @@ func main() {
 	}
 	if *clusterWorkers > 0 && *clusterListen == "" {
 		log.Fatal("sjoind: -cluster-workers requires -cluster-listen")
+	}
+	if *pprofAddr != "" {
+		// A dedicated mux (not http.DefaultServeMux) so the profiling
+		// listener exposes exactly the pprof routes and nothing else.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("sjoind: pprof listen: %v", err)
+		}
+		fmt.Printf("sjoind pprof listening on %s\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				log.Printf("sjoind: pprof server: %v", err)
+			}
+		}()
 	}
 	if *clusterListen != "" {
 		coord, err := cluster.Listen(*clusterListen, cluster.Config{Logf: log.Printf})

@@ -16,7 +16,7 @@ package agreements
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/grid"
@@ -374,18 +374,23 @@ func resolveOrdered(s *Subgraph, order Order) {
 			})
 		}
 	}
-	sort.SliceStable(edges, func(a, b int) bool {
-		ea, eb := edges[a], edges[b]
+	slices.SortStableFunc(edges, func(ea, eb quartetEdge) int {
 		if order == OrderPaper && ea.diagonal != eb.diagonal {
-			return ea.diagonal // touching-point edges first
+			if ea.diagonal { // touching-point edges first
+				return -1
+			}
+			return 1
 		}
 		if order != OrderIndex && ea.weight != eb.weight {
-			return ea.weight > eb.weight // descending weight
+			if ea.weight > eb.weight { // descending weight
+				return -1
+			}
+			return 1
 		}
-		if ea.i != eb.i {
-			return ea.i < eb.i // deterministic tie-break
+		if ea.i != eb.i { // deterministic tie-break
+			return int(ea.i) - int(eb.i)
 		}
-		return ea.j < eb.j
+		return int(ea.j) - int(eb.j)
 	})
 
 	for _, e := range edges {

@@ -2,11 +2,12 @@ package cluster
 
 import (
 	"bufio"
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"net"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -357,7 +358,7 @@ func (c *Coordinator) liveWorkers() []*remote {
 	for _, w := range c.workers {
 		out = append(out, w)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	slices.SortFunc(out, func(a, b *remote) int { return cmp.Compare(a.id, b.id) })
 	return out
 }
 
@@ -805,7 +806,7 @@ func (c *Coordinator) speculateLoop(r *run, stop <-chan struct{}) {
 		threshold := c.cfg.StragglerMin
 		if n := len(r.durs); n > 0 {
 			sorted := append([]time.Duration(nil), r.durs...)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			slices.Sort(sorted)
 			if scaled := time.Duration(c.cfg.StragglerFactor * float64(sorted[n/2])); scaled > threshold {
 				threshold = scaled
 			}

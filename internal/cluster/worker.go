@@ -228,7 +228,9 @@ func (w *workerState) handlePlan(payload []byte) error {
 	p := &workerPlan{eps: m.eps, selfFilter: m.selfFilter, collect: m.collect}
 	switch m.kernel.Kind {
 	case dpe.KernelSweep:
-		// nil kernel: JoinPartition defaults to the plane sweep.
+		// nil kernel: JoinPartition runs the columnar zero-allocation
+		// sweep, so remote workers execute the same fast path as the
+		// local engine.
 	case dpe.KernelRefPoint:
 		g := grid.New(m.kernel.Bounds, m.kernel.GridEps, m.kernel.GridRes)
 		p.kernel = pbsm.RefPointKernel(g)

@@ -1,0 +1,299 @@
+package colsweep
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+// counterSink adapts a sweep.Counter to an EmitBatch sink.
+func counterSink(c *sweep.Counter) EmitBatch {
+	return func(ps []tuple.Pair) {
+		for _, p := range ps {
+			c.EmitPair(p)
+		}
+	}
+}
+
+// joinColumnar runs one cell through the columnar kernel and returns the
+// counter.
+func joinColumnar(rs, ss []tuple.Tuple, eps float64, selfFilter bool) sweep.Counter {
+	var c sweep.Counter
+	b := Get()
+	defer Put(b)
+	bat := b.Batch(counterSink(&c), selfFilter)
+	JoinCell(b, rs, ss, eps, bat)
+	bat.Flush()
+	return c
+}
+
+func randomTuples(rng *rand.Rand, n int, extent float64, base int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{
+			ID: base + int64(i),
+			Pt: geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent},
+		}
+	}
+	return out
+}
+
+// latticeTuples places points on an exact (eps/2)-lattice so many pairs
+// sit at distance exactly eps — the closed-predicate border the scalar
+// and columnar kernels must agree on bit-for-bit.
+func latticeTuples(rng *rand.Rand, n int, eps float64, base int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	step := eps / 2
+	for i := range out {
+		out[i] = tuple.Tuple{
+			ID: base + int64(i),
+			Pt: geom.Point{X: float64(rng.Intn(12)) * step, Y: float64(rng.Intn(12)) * step},
+		}
+	}
+	return out
+}
+
+// borderTuples generates pairs separated by exactly eps along an axis.
+func borderTuples(rng *rand.Rand, n int, eps float64, base int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		x := rng.Float64() * 4
+		y := rng.Float64() * 4
+		if i%2 == 1 {
+			x += eps // exactly eps from the previous point's column
+		}
+		out[i] = tuple.Tuple{ID: base + int64(i), Pt: geom.Point{X: x, Y: y}}
+	}
+	return out
+}
+
+// checkDifferential asserts columnar == scalar == nested loop on one input.
+func checkDifferential(t *testing.T, rs, ss []tuple.Tuple, eps float64, label string) {
+	t.Helper()
+	var oracle, scalar sweep.Counter
+	sweep.NestedLoop(rs, ss, eps, oracle.Emit)
+	sweep.PlaneSweep(rs, ss, eps, scalar.Emit)
+	col := joinColumnar(rs, ss, eps, false)
+	if oracle != scalar {
+		t.Fatalf("%s: scalar %d/%x, oracle %d/%x", label, scalar.N, scalar.Checksum, oracle.N, oracle.Checksum)
+	}
+	if oracle != col {
+		t.Fatalf("%s: columnar %d/%x, oracle %d/%x", label, col.N, col.Checksum, oracle.N, oracle.Checksum)
+	}
+}
+
+func TestColumnarDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		nr, ns := rng.Intn(300), rng.Intn(300)
+		eps := 0.05 + rng.Float64()*2
+		rs := randomTuples(rng, nr, 20, 0)
+		ss := randomTuples(rng, ns, 20, 1_000_000)
+		checkDifferential(t, rs, ss, eps, "random")
+	}
+}
+
+func TestColumnarDifferentialLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		eps := []float64{0.25, 0.5, 1}[rng.Intn(3)]
+		rs := latticeTuples(rng, 20+rng.Intn(200), eps, 0)
+		ss := latticeTuples(rng, 20+rng.Intn(200), eps, 1_000_000)
+		checkDifferential(t, rs, ss, eps, "lattice")
+	}
+}
+
+func TestColumnarDifferentialExactEpsBorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		eps := 0.125 * float64(1+rng.Intn(8)) // powers keep x+eps exact
+		rs := borderTuples(rng, 20+rng.Intn(150), eps, 0)
+		ss := borderTuples(rng, 20+rng.Intn(150), eps, 1_000_000)
+		checkDifferential(t, rs, ss, eps, "border")
+	}
+}
+
+func TestColumnarSelfFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	ts := randomTuples(rng, 250, 8, 0)
+	eps := 0.5
+	// Scalar self-filter path: r.ID < s.ID.
+	var want sweep.Counter
+	sweep.PlaneSweep(ts, ts, eps, func(r, s tuple.Tuple) {
+		if r.ID < s.ID {
+			want.Emit(r, s)
+		}
+	})
+	got := joinColumnar(ts, ts, eps, true)
+	if want != got {
+		t.Fatalf("self-filter columnar %d/%x, scalar %d/%x", got.N, got.Checksum, want.N, want.Checksum)
+	}
+	if got.N == 0 {
+		t.Fatal("self-join produced no pairs; widen the workload")
+	}
+}
+
+func TestColumnarEmptyAndTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	ss := randomTuples(rng, 5, 1, 1000)
+	if c := joinColumnar(nil, ss, 1, false); c.N != 0 {
+		t.Fatalf("empty R side must join empty, got %d", c.N)
+	}
+	if c := joinColumnar(ss, nil, 1, false); c.N != 0 {
+		t.Fatalf("empty S side must join empty, got %d", c.N)
+	}
+	for trial := 0; trial < 20; trial++ {
+		rs := randomTuples(rng, 1+rng.Intn(8), 1, 0)
+		ts := randomTuples(rng, 1+rng.Intn(8), 1, 1000)
+		checkDifferential(t, rs, ts, 0.3, "tiny")
+	}
+}
+
+// TestColumnarBatchBoundary drives the join across the BatchSize flush
+// boundary: a dense cell producing far more than one batch of pairs.
+func TestColumnarBatchBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	rs := randomTuples(rng, 300, 1, 0) // dense: ~all pairs qualify
+	ss := randomTuples(rng, 300, 1, 1_000_000)
+	checkDifferential(t, rs, ss, 1.5, "dense")
+}
+
+func TestColumnarZeroAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	rs := randomTuples(rng, 2000, 50, 0)
+	ss := randomTuples(rng, 2000, 50, 1_000_000)
+	var c sweep.Counter
+	b := Get()
+	defer Put(b)
+	bat := b.Batch(counterSink(&c), false)
+	// Warm the pooled buffers to steady-state capacity once.
+	JoinCell(b, rs, ss, 0.5, bat)
+	bat.Flush()
+	allocs := testing.AllocsPerRun(10, func() {
+		JoinCell(b, rs, ss, 0.5, bat)
+		bat.Flush()
+	})
+	if allocs != 0 {
+		t.Fatalf("columnar JoinCell allocated %v times per join, want 0", allocs)
+	}
+	if c.N == 0 {
+		t.Fatal("workload produced no pairs; the alloc assertion is vacuous")
+	}
+}
+
+func TestProbeMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 30; trial++ {
+		ts := randomTuples(rng, 1+rng.Intn(400), 10, 0)
+		sweep.SortByX(ts)
+		var cols Cols
+		cols.Pack(ts)
+		eps := 0.1 + rng.Float64()
+		for probe := 0; probe < 20; probe++ {
+			p := geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			var want, got sweep.Counter
+			sweep.ProbeSorted(ts, p, eps, func(m tuple.Tuple) {
+				want.EmitPair(tuple.Pair{RID: m.ID, SID: m.ID})
+			})
+			Probe(&cols, p.X, p.Y, eps, func(i int) {
+				got.EmitPair(tuple.Pair{RID: cols.IDs[i], SID: cols.IDs[i]})
+			})
+			if want != got {
+				t.Fatalf("trial %d: probe %d/%x, scalar %d/%x", trial, got.N, got.Checksum, want.N, want.Checksum)
+			}
+		}
+	}
+}
+
+// FuzzColumnarDifferential decodes arbitrary bytes into two point sets
+// and asserts the columnar, scalar, and nested-loop kernels agree.
+func FuzzColumnarDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(10), uint8(10))
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255}, uint8(1), uint8(1))
+	f.Add([]byte{128, 64, 32, 16, 8, 4, 2, 1, 0, 255}, uint8(30), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, nr, ns uint8) {
+		if len(data) == 0 {
+			return
+		}
+		eps := 0.25 + float64(data[0]%8)/8
+		decode := func(n int, base int64, off int) []tuple.Tuple {
+			out := make([]tuple.Tuple, n)
+			for i := range out {
+				bx := data[(off+2*i)%len(data)]
+				by := data[(off+2*i+1)%len(data)]
+				// Quantise to the eps/2 grid so exact-ε borders occur.
+				out[i] = tuple.Tuple{
+					ID: base + int64(i),
+					Pt: geom.Point{X: float64(bx%16) * eps / 2, Y: float64(by%16) * eps / 2},
+				}
+			}
+			return out
+		}
+		rs := decode(int(nr%64), 0, 0)
+		ss := decode(int(ns%64), 1_000_000, 1)
+		var oracle, scalar sweep.Counter
+		sweep.NestedLoop(rs, ss, eps, oracle.Emit)
+		sweep.PlaneSweep(rs, ss, eps, scalar.Emit)
+		col := joinColumnar(rs, ss, eps, false)
+		if oracle != scalar || oracle != col {
+			t.Fatalf("kernel divergence: oracle %d/%x, scalar %d/%x, columnar %d/%x",
+				oracle.N, oracle.Checksum, scalar.N, scalar.Checksum, col.N, col.Checksum)
+		}
+	})
+}
+
+// benchCells builds a partition-shaped workload: many mid-size cells,
+// the regime the per-cell kernels live in.
+func benchCells(cells, perSide int, extent, _ float64) (rss, sss [][]tuple.Tuple) {
+	rng := rand.New(rand.NewSource(99))
+	for c := 0; c < cells; c++ {
+		rss = append(rss, randomTuples(rng, perSide, extent, int64(c)<<20))
+		sss = append(sss, randomTuples(rng, perSide, extent, 1<<40|int64(c)<<20))
+	}
+	return rss, sss
+}
+
+// BenchmarkJoinCellColumnar is the headline sweep microbenchmark: the
+// columnar kernel over 64 cells of 256+256 points. pairs/sec is the
+// throughput number BENCH_sweep.json tracks.
+func BenchmarkJoinCellColumnar(b *testing.B) {
+	rss, sss := benchCells(64, 256, 8, 0)
+	const eps = 0.5
+	bufs := Get()
+	defer Put(bufs)
+	var c sweep.Counter
+	bat := bufs.Batch(counterSink(&c), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rss {
+			JoinCell(bufs, rss[j], sss[j], eps, bat)
+		}
+		bat.Flush()
+	}
+	b.StopTimer()
+	if c.N > 0 {
+		b.ReportMetric(float64(c.N)/b.Elapsed().Seconds(), "pairs/sec")
+	}
+}
+
+// BenchmarkJoinCellScalar is the same workload through the scalar kernel
+// (copy + slices.SortFunc + per-pair emit) — the post-satellite scalar
+// baseline.
+func BenchmarkJoinCellScalar(b *testing.B) {
+	rss, sss := benchCells(64, 256, 8, 0)
+	const eps = 0.5
+	var c sweep.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rss {
+			sweep.PlaneSweep(rss[j], sss[j], eps, c.Emit)
+		}
+	}
+	b.StopTimer()
+	if c.N > 0 {
+		b.ReportMetric(float64(c.N)/b.Elapsed().Seconds(), "pairs/sec")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/dedup"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/sweep"
@@ -87,10 +88,12 @@ func (e ExplicitPartitioner) PartitionOf(cell int) int {
 func (e ExplicitPartitioner) NumPartitions() int { return e.N }
 
 // Kernel joins the R and S tuples of one cell, emitting every pair within
-// eps exactly once. The default is the plane sweep; the Sedona-style
-// baseline substitutes an R-tree build-and-probe kernel, and the
-// clone-join baseline a reference-point filter (which is why the kernel
-// receives the cell id it is joining).
+// eps exactly once. The default (nil) is the columnar zero-allocation
+// plane sweep of internal/colsweep; ScalarKernel restores the scalar
+// sweep as an explicit override (the differential-test oracle), the
+// Sedona-style baseline substitutes an R-tree build-and-probe kernel, and
+// the clone-join baseline a reference-point filter (which is why the
+// kernel receives the cell id it is joining).
 type Kernel func(cell int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit)
 
 // KernelKind enumerates the join kernels a remote worker can rebuild
@@ -124,7 +127,7 @@ type Spec struct {
 	AssignS Assign // assignment rule for S tuples (may differ, e.g. PBSM)
 	Part    Partitioner
 	Workers int    // simulated cluster nodes; defaults to GOMAXPROCS
-	Kernel  Kernel // local join kernel; plane sweep when nil
+	Kernel  Kernel // local join kernel; the columnar plane sweep when nil
 	Collect bool   // materialise result pairs (else count + checksum only)
 	Dedup   bool   // run a distinct() pass after the join (Table 6 variant)
 	// SelfFilter keeps only pairs with r.ID < s.ID — the self-join mode,
@@ -551,16 +554,21 @@ type PartitionResult struct {
 	Cost     int64 // Σ over the partition's cells of |R_c|·|S_c|
 }
 
+// ScalarKernel is the scalar array-of-structs plane-sweep kernel — the
+// engine's pre-columnar default, kept as the differential-test oracle the
+// columnar kernel is verified against and as an explicit Spec.Kernel /
+// core.Config.Kernel override.
+func ScalarKernel(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+	sweep.PlaneSweep(rs, ss, eps, emit)
+}
+
 // JoinPartition groups a reduce partition's records by cell and joins
-// each cell independently with the given kernel (the plane sweep when
-// nil). It is the partition-level join both the local engine and remote
-// cluster workers run.
+// each cell independently. A nil kernel selects the columnar zero-
+// allocation sweep (internal/colsweep) with batched emission; a non-nil
+// kernel runs the scalar per-pair path — the route for the R-tree,
+// reference-point, and oracle kernels. It is the partition-level join
+// both the local engine and remote cluster workers run.
 func JoinPartition(rs, ss []Keyed, eps float64, kernel Kernel, collect, selfFilter bool) PartitionResult {
-	if kernel == nil {
-		kernel = func(_ int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
-			sweep.PlaneSweep(rs, ss, eps, emit)
-		}
-	}
 	groupR := make(map[int][]tuple.Tuple)
 	for _, rec := range rs {
 		groupR[rec.Cell] = append(groupR[rec.Cell], rec.T)
@@ -568,6 +576,9 @@ func JoinPartition(rs, ss []Keyed, eps float64, kernel Kernel, collect, selfFilt
 	groupS := make(map[int][]tuple.Tuple)
 	for _, rec := range ss {
 		groupS[rec.Cell] = append(groupS[rec.Cell], rec.T)
+	}
+	if kernel == nil {
+		return joinPartitionColumnar(groupR, groupS, eps, collect, selfFilter)
 	}
 	var out PartitionResult
 	var counter sweep.Counter
@@ -598,5 +609,38 @@ func JoinPartition(rs, ss []Keyed, eps float64, kernel Kernel, collect, selfFilt
 	out.Results = counter.N
 	out.Checksum = counter.Checksum
 	out.Pairs = coll.Pairs
+	return out
+}
+
+// joinPartitionColumnar is the default partition join: every cell runs
+// through the columnar kernel with pooled buffers, results drain through
+// one batched sink shared across the partition's cells, and the counter
+// is fed per batch — zero allocations per cell in steady state (the
+// result materialisation, when requested, is the only growth).
+func joinPartitionColumnar(groupR, groupS map[int][]tuple.Tuple, eps float64, collect, selfFilter bool) PartitionResult {
+	var out PartitionResult
+	var counter sweep.Counter
+	bufs := colsweep.Get()
+	defer colsweep.Put(bufs)
+	sink := func(ps []tuple.Pair) {
+		for _, p := range ps {
+			counter.EmitPair(p)
+		}
+		if collect {
+			out.Pairs = append(out.Pairs, ps...)
+		}
+	}
+	bat := bufs.Batch(sink, selfFilter)
+	for cell, r := range groupR {
+		s := groupS[cell]
+		if len(s) == 0 {
+			continue
+		}
+		out.Cost += int64(len(r)) * int64(len(s))
+		colsweep.JoinCell(bufs, r, s, eps, bat)
+	}
+	bat.Flush()
+	out.Results = counter.N
+	out.Checksum = counter.Checksum
 	return out
 }

@@ -11,8 +11,9 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -204,7 +205,7 @@ func (sc Scale) run(rs, ss []tuple.Tuple, opt spatialjoin.Options) *spatialjoin.
 		}
 		reps[i] = rep
 	}
-	sort.Slice(reps, func(a, b int) bool { return reps[a].SimulatedTime < reps[b].SimulatedTime })
+	slices.SortFunc(reps, func(a, b *spatialjoin.Report) int { return cmp.Compare(a.SimulatedTime, b.SimulatedTime) })
 	return reps[len(reps)/2]
 }
 
@@ -252,6 +253,6 @@ func fmtSel(v float64) string { return fmt.Sprintf("%.2e", v) }
 
 // sortTablesByID keeps multi-table outputs stable.
 func sortTablesByID(ts []*Table) []*Table {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	slices.SortFunc(ts, func(a, b *Table) int { return cmp.Compare(a.ID, b.ID) })
 	return ts
 }

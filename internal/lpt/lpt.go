@@ -8,7 +8,7 @@ package lpt
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 )
 
 // Assign distributes len(costs) tasks over nbins bins and returns, per
@@ -23,8 +23,18 @@ func Assign(costs []int64, nbins int) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return costs[order[a]] > costs[order[b]]
+	// Stable so equal-cost cells keep index order (round-robin ties and
+	// test expectations depend on it); SortStableFunc avoids the
+	// reflection of sort.SliceStable.
+	slices.SortStableFunc(order, func(a, b int) int {
+		ca, cb := costs[a], costs[b]
+		if ca > cb {
+			return -1
+		}
+		if ca < cb {
+			return 1
+		}
+		return 0
 	})
 
 	loads := make(binHeap, nbins)

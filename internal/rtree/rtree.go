@@ -6,8 +6,9 @@
 package rtree
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/tuple"
@@ -77,7 +78,7 @@ func (t *Tree) Bounds() geom.Rect {
 // using the STR strategy: sort by x, cut into vertical slices of
 // ceil(sqrt(P)) leaves each, sort each slice by y, pack runs.
 func packLeaves(entries []tuple.Tuple, fanout int) []*node {
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Pt.X < entries[j].Pt.X })
+	slices.SortFunc(entries, func(a, b tuple.Tuple) int { return cmp.Compare(a.Pt.X, b.Pt.X) })
 	nLeaves := (len(entries) + fanout - 1) / fanout
 	sliceCount := int(math.Ceil(math.Sqrt(float64(nLeaves))))
 	sliceSize := sliceCount * fanout
@@ -89,7 +90,7 @@ func packLeaves(entries []tuple.Tuple, fanout int) []*node {
 			hi = len(entries)
 		}
 		slice := entries[lo:hi]
-		sort.Slice(slice, func(i, j int) bool { return slice[i].Pt.Y < slice[j].Pt.Y })
+		slices.SortFunc(slice, func(a, b tuple.Tuple) int { return cmp.Compare(a.Pt.Y, b.Pt.Y) })
 		for s := 0; s < len(slice); s += fanout {
 			e := s + fanout
 			if e > len(slice) {
@@ -115,7 +116,7 @@ func buildLevel(nodes []*node, fanout int) *node {
 	if len(nodes) == 1 {
 		return nodes[0]
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].rect.Center().X < nodes[j].rect.Center().X })
+	slices.SortFunc(nodes, func(a, b *node) int { return cmp.Compare(a.rect.Center().X, b.rect.Center().X) })
 	nParents := (len(nodes) + fanout - 1) / fanout
 	sliceCount := int(math.Ceil(math.Sqrt(float64(nParents))))
 	sliceSize := sliceCount * fanout
@@ -127,7 +128,7 @@ func buildLevel(nodes []*node, fanout int) *node {
 			hi = len(nodes)
 		}
 		slice := nodes[lo:hi]
-		sort.Slice(slice, func(i, j int) bool { return slice[i].rect.Center().Y < slice[j].rect.Center().Y })
+		slices.SortFunc(slice, func(a, b *node) int { return cmp.Compare(a.rect.Center().Y, b.rect.Center().Y) })
 		for s := 0; s < len(slice); s += fanout {
 			e := s + fanout
 			if e > len(slice) {
@@ -273,11 +274,11 @@ func (t *Tree) Nearest(center geom.Point, k int) []tuple.Tuple {
 			}
 		}
 	}
-	sort.Slice(best, func(i, j int) bool {
-		if best[i].dist != best[j].dist {
-			return best[i].dist < best[j].dist
+	slices.SortFunc(best, func(a, b cand) int {
+		if a.dist != b.dist {
+			return cmp.Compare(a.dist, b.dist)
 		}
-		return best[i].t.ID < best[j].t.ID
+		return cmp.Compare(a.t.ID, b.t.ID)
 	})
 	out := make([]tuple.Tuple, len(best))
 	for i, c := range best {

@@ -1,8 +1,9 @@
 package service
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"spatialjoin"
@@ -174,7 +175,7 @@ func (r *Registry) List() []DatasetInfo {
 			MaxX: d.Bounds.MaxX, MaxY: d.Bounds.MaxY,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b DatasetInfo) int { return cmp.Compare(a.Name, b.Name) })
 	return out
 }
 

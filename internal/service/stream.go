@@ -7,8 +7,9 @@
 package service
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"spatialjoin"
@@ -189,7 +190,7 @@ func (s *Service) ListStreams() []StreamInfo {
 	for i, st := range states {
 		out[i] = st.info()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b StreamInfo) int { return cmp.Compare(a.Name, b.Name) })
 	return out
 }
 

@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/grid"
-	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/tuple"
 )
 
@@ -325,17 +325,21 @@ func (e *Engine) CurrentPairs() []tuple.Pair {
 
 func (e *Engine) currentPairsLocked() []tuple.Pair {
 	var out []tuple.Pair
+	bufs := colsweep.Get()
+	defer colsweep.Put(bufs)
+	bat := bufs.Batch(func(ps []tuple.Pair) {
+		out = append(out, ps...)
+	}, false)
 	for i := range e.cells {
 		cs := &e.cells[i]
-		rs := cs.slabs[tuple.R].contents()
-		ss := cs.slabs[tuple.S].contents()
-		if len(rs) == 0 || len(ss) == 0 {
+		rs := cs.slabs[tuple.R].sorted()
+		ss := cs.slabs[tuple.S].sorted()
+		if rs.Len() == 0 || ss.Len() == 0 {
 			continue
 		}
-		sweep.PlaneSweepPreSorted(rs, ss, e.cfg.Eps, func(r, s tuple.Tuple) {
-			out = append(out, tuple.Pair{RID: r.ID, SID: s.ID})
-		})
+		colsweep.SweepSorted(rs, ss, e.cfg.Eps, bat)
 	}
+	bat.Flush()
 	return out
 }
 

@@ -1,7 +1,7 @@
 package stream
 
 import (
-	"sort"
+	"slices"
 
 	"spatialjoin/internal/grid"
 	"spatialjoin/internal/tuple"
@@ -58,8 +58,8 @@ func (e *Engine) rebalanceLocked() {
 	// Apply in canonical pair order: the final graph is order-independent,
 	// but the count of replica copies moved through intermediate states is
 	// not — a deterministic order makes rebalance work reproducible.
-	sort.Slice(flips, func(a, b int) bool {
-		return flips[a].ci*4+canonSlot(flips[a].dir) < flips[b].ci*4+canonSlot(flips[b].dir)
+	slices.SortFunc(flips, func(a, b flipRec) int {
+		return (a.ci*4 + canonSlot(a.dir)) - (b.ci*4 + canonSlot(b.dir))
 	})
 	for _, f := range flips {
 		e.flipLocked(f.ci, f.dir, f.want)

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/tuple"
@@ -16,13 +17,15 @@ const (
 )
 
 // slab is one cell's maintained sweep structure for one input set: a
-// sorted-by-x base (the lazily rebuilt part), an unsorted tail of recent
-// inserts, and tombstones for deletions that still sit in the base.
-// Probes run against the base in O(log n + ε-window) via the sweep
-// package's incremental entry point, plus a linear scan of the small
-// tail.
+// sorted-by-x columnar base (the lazily rebuilt part, held as parallel
+// x/y/id lanes so probes scan contiguous coordinates), a payload column
+// aligned with the base, an unsorted tail of recent inserts, and
+// tombstones for deletions that still sit in the base. Probes run against
+// the base in O(log n + ε-window) via the columnar kernel's incremental
+// entry point, plus a linear scan of the small tail.
 type slab struct {
-	base  []tuple.Tuple      // sorted by ascending x
+	base  colsweep.Cols      // sorted by ascending x
+	pay   [][]byte           // payload column, parallel to base
 	tail  []tuple.Tuple      // unsorted recent inserts
 	tombs map[int64]struct{} // ids deleted but still present in base
 }
@@ -52,14 +55,25 @@ func (s *slab) remove(id int64) {
 	s.tombs[id] = struct{}{}
 }
 
+// at materialises the base point at index i as a tuple.
+func (s *slab) at(i int) tuple.Tuple {
+	return tuple.Tuple{
+		ID:      s.base.IDs[i],
+		Pt:      geom.Point{X: s.base.Xs[i], Y: s.base.Ys[i]},
+		Payload: s.pay[i],
+	}
+}
+
 // probe reports every live tuple of the slab within eps of p.
 func (s *slab) probe(p geom.Point, eps float64, emit func(tuple.Tuple)) {
 	if len(s.tombs) == 0 {
-		sweep.ProbeSorted(s.base, p, eps, emit)
+		colsweep.Probe(&s.base, p.X, p.Y, eps, func(i int) {
+			emit(s.at(i))
+		})
 	} else {
-		sweep.ProbeSorted(s.base, p, eps, func(t tuple.Tuple) {
-			if _, dead := s.tombs[t.ID]; !dead {
-				emit(t)
+		colsweep.Probe(&s.base, p.X, p.Y, eps, func(i int) {
+			if _, dead := s.tombs[s.base.IDs[i]]; !dead {
+				emit(s.at(i))
 			}
 		})
 	}
@@ -75,7 +89,7 @@ func (s *slab) probe(p geom.Point, eps float64, emit func(tuple.Tuple)) {
 func (s *slab) dirty() int { return len(s.tail) + len(s.tombs) }
 
 // len returns the number of live tuples.
-func (s *slab) len() int { return len(s.base) - len(s.tombs) + len(s.tail) }
+func (s *slab) len() int { return s.base.Len() - len(s.tombs) + len(s.tail) }
 
 // needsCompaction reports whether the dirty part crossed the threshold.
 func (s *slab) needsCompaction() bool {
@@ -83,30 +97,48 @@ func (s *slab) needsCompaction() bool {
 	if d < minDirty {
 		return false
 	}
-	return float64(d) > dirtyFraction*float64(len(s.base))
+	return float64(d) > dirtyFraction*float64(s.base.Len())
 }
 
 // compact merges the tail into the base, drops tombstoned entries, and
-// re-sorts — the lazy rebuild of the cell's sweep structure.
+// re-sorts — the lazy rebuild of the cell's columnar sweep structure.
 func (s *slab) compact() {
 	merged := make([]tuple.Tuple, 0, s.len())
-	for _, t := range s.base {
-		if _, dead := s.tombs[t.ID]; !dead {
-			merged = append(merged, t)
+	for i := 0; i < s.base.Len(); i++ {
+		if _, dead := s.tombs[s.base.IDs[i]]; !dead {
+			merged = append(merged, s.at(i))
 		}
 	}
 	merged = append(merged, s.tail...)
 	sweep.SortByX(merged)
-	s.base = merged
+	s.base.Reset()
+	s.pay = s.pay[:0]
+	for _, t := range merged {
+		s.base.Append(t.Pt.X, t.Pt.Y, t.ID)
+		s.pay = append(s.pay, t.Payload)
+	}
 	s.tail = nil
 	s.tombs = nil
 }
 
-// contents returns the live tuples of the slab sorted by x, compacting
-// as a side effect so repeated snapshots stay cheap.
-func (s *slab) contents() []tuple.Tuple {
+// sorted returns the live contents of the slab as an x-sorted columnar
+// slab, compacting as a side effect so repeated snapshots stay cheap. The
+// returned Cols is the slab's own base: read-only, valid until the next
+// mutation.
+func (s *slab) sorted() *colsweep.Cols {
 	if s.dirty() > 0 {
 		s.compact()
 	}
-	return s.base
+	return &s.base
+}
+
+// contents returns the live tuples of the slab sorted by x (materialised;
+// prefer sorted for the columnar view).
+func (s *slab) contents() []tuple.Tuple {
+	s.sorted()
+	out := make([]tuple.Tuple, 0, s.base.Len())
+	for i := 0; i < s.base.Len(); i++ {
+		out = append(out, s.at(i))
+	}
+	return out
 }

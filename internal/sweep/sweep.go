@@ -9,7 +9,7 @@
 package sweep
 
 import (
-	"math"
+	"slices"
 	"sort"
 
 	"spatialjoin/internal/geom"
@@ -65,7 +65,15 @@ func PlaneSweepPreSorted(rs, ss []tuple.Tuple, eps float64, emit Emit) {
 // SortByX sorts ts in place by ascending x coordinate. It is exported so
 // partitions can be pre-sorted once and joined with PlaneSweepPreSorted.
 func SortByX(ts []tuple.Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Pt.X < ts[j].Pt.X })
+	slices.SortFunc(ts, func(a, b tuple.Tuple) int {
+		if a.Pt.X < b.Pt.X {
+			return -1
+		}
+		if a.Pt.X > b.Pt.X {
+			return 1
+		}
+		return 0
+	})
 }
 
 // PlaneSweepY is PlaneSweep sweeping along the y axis instead of x.
@@ -100,39 +108,57 @@ func PlaneSweepY(rs, ss []tuple.Tuple, eps float64, emit Emit) {
 // PlaneSweepBestAxis sweeps along whichever axis spreads the partition's
 // points more — the per-partition sweep-axis tuning of Tsitsigkos et al.
 // (SIGSPATIAL '19). A wider sweep axis means fewer points per ε-window
-// and therefore fewer candidate pairs to refine.
+// and therefore fewer candidate pairs to refine. Tiny inputs skip the
+// spread scan entirely and go straight to the nested loop, which is where
+// both sweeps would end up anyway.
 func PlaneSweepBestAxis(rs, ss []tuple.Tuple, eps float64, emit Emit) {
-	if spreadX(rs, ss) >= spreadY(rs, ss) {
+	if len(rs) == 0 || len(ss) == 0 {
+		return
+	}
+	if len(rs)*len(ss) <= nestedLoopThreshold*nestedLoopThreshold {
+		NestedLoop(rs, ss, eps, emit)
+		return
+	}
+	sx, sy := spreadXY(rs, ss)
+	if sx >= sy {
 		PlaneSweep(rs, ss, eps, emit)
 		return
 	}
 	PlaneSweepY(rs, ss, eps, emit)
 }
 
-func spreadX(rs, ss []tuple.Tuple) float64 {
-	min, max := math.Inf(1), math.Inf(-1)
-	for _, t := range rs {
-		min = math.Min(min, t.Pt.X)
-		max = math.Max(max, t.Pt.X)
+// spreadXY returns the x and y extents of the union of rs and ss,
+// computed with one min/max pass over each input instead of one pass per
+// axis per input.
+func spreadXY(rs, ss []tuple.Tuple) (sx, sy float64) {
+	var first tuple.Tuple
+	if len(rs) > 0 {
+		first = rs[0]
+	} else if len(ss) > 0 {
+		first = ss[0]
+	} else {
+		return 0, 0
 	}
-	for _, t := range ss {
-		min = math.Min(min, t.Pt.X)
-		max = math.Max(max, t.Pt.X)
+	minX, maxX := first.Pt.X, first.Pt.X
+	minY, maxY := first.Pt.Y, first.Pt.Y
+	scan := func(ts []tuple.Tuple) {
+		for i := range ts {
+			x, y := ts[i].Pt.X, ts[i].Pt.Y
+			if x < minX {
+				minX = x
+			} else if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			} else if y > maxY {
+				maxY = y
+			}
+		}
 	}
-	return max - min
-}
-
-func spreadY(rs, ss []tuple.Tuple) float64 {
-	min, max := math.Inf(1), math.Inf(-1)
-	for _, t := range rs {
-		min = math.Min(min, t.Pt.Y)
-		max = math.Max(max, t.Pt.Y)
-	}
-	for _, t := range ss {
-		min = math.Min(min, t.Pt.Y)
-		max = math.Max(max, t.Pt.Y)
-	}
-	return max - min
+	scan(rs)
+	scan(ss)
+	return maxX - minX, maxY - minY
 }
 
 func sortedByX(ts []tuple.Tuple) []tuple.Tuple {
@@ -202,6 +228,13 @@ type Counter struct {
 func (c *Counter) Emit(r, s tuple.Tuple) {
 	c.N++
 	c.Checksum += pairHash(r.ID, s.ID)
+}
+
+// EmitPair records one result pair given only its ids — the allocation-
+// free sink of the columnar kernel's batched emission.
+func (c *Counter) EmitPair(p tuple.Pair) {
+	c.N++
+	c.Checksum += pairHash(p.RID, p.SID)
 }
 
 // pairHash mixes a pair of ids into a 64-bit value. Summing hashes is

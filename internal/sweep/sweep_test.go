@@ -246,8 +246,65 @@ func TestPlaneSweepBestAxisMatchesOracle(t *testing.T) {
 	if want.N != got.N || want.Checksum != got.Checksum {
 		t.Fatalf("best-axis %d/%x, oracle %d/%x", got.N, got.Checksum, want.N, want.Checksum)
 	}
-	if spreadY(rs, ss) <= spreadX(rs, ss) {
+	if sx, sy := spreadXY(rs, ss); sy <= sx {
 		t.Fatal("test workload should be y-elongated")
+	}
+}
+
+func TestSpreadXYSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		rs := randomTuples(rng, rng.Intn(50), 30, 0)
+		ss := randomTuples(rng, 1+rng.Intn(50), 30, 1000)
+		sx, sy := spreadXY(rs, ss)
+		// Oracle: per-axis min/max over the concatenation.
+		all := append(append([]tuple.Tuple(nil), rs...), ss...)
+		minX, maxX := all[0].Pt.X, all[0].Pt.X
+		minY, maxY := all[0].Pt.Y, all[0].Pt.Y
+		for _, p := range all {
+			minX = min(minX, p.Pt.X)
+			maxX = max(maxX, p.Pt.X)
+			minY = min(minY, p.Pt.Y)
+			maxY = max(maxY, p.Pt.Y)
+		}
+		if sx != maxX-minX || sy != maxY-minY {
+			t.Fatalf("trial %d: spreadXY = (%v, %v), want (%v, %v)", trial, sx, sy, maxX-minX, maxY-minY)
+		}
+	}
+}
+
+func TestPlaneSweepBestAxisTinyInputs(t *testing.T) {
+	// Below the nested-loop threshold the spread scan is skipped entirely;
+	// results must still match the oracle, including the empty sides.
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 30; trial++ {
+		rs := randomTuples(rng, rng.Intn(9), 2, 0)
+		ss := randomTuples(rng, rng.Intn(9), 2, 1000)
+		var want, got Counter
+		NestedLoop(rs, ss, 0.8, want.Emit)
+		PlaneSweepBestAxis(rs, ss, 0.8, got.Emit)
+		if want.N != got.N || want.Checksum != got.Checksum {
+			t.Fatalf("trial %d: tiny best-axis %d/%x, oracle %d/%x", trial, got.N, got.Checksum, want.N, want.Checksum)
+		}
+	}
+}
+
+func TestPlaneSweepPreSortedZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	rs := randomTuples(rng, 2000, 50, 0)
+	ss := randomTuples(rng, 2000, 50, 1_000_000)
+	SortByX(rs)
+	SortByX(ss)
+	var c Counter
+	emit := c.Emit // bind the method value once, outside the measurement
+	allocs := testing.AllocsPerRun(10, func() {
+		PlaneSweepPreSorted(rs, ss, 0.5, emit)
+	})
+	if allocs != 0 {
+		t.Fatalf("PlaneSweepPreSorted allocated %v times per join, want 0", allocs)
+	}
+	if c.N == 0 {
+		t.Fatal("workload produced no pairs; the alloc assertion is vacuous")
 	}
 }
 
