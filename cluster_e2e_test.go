@@ -1,7 +1,11 @@
 package spatialjoin_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"log/slog"
+	"os"
 	"os/exec"
 	"sort"
 	"testing"
@@ -11,6 +15,18 @@ import (
 	"spatialjoin/internal/cluster"
 	"spatialjoin/internal/experiments"
 )
+
+// e2eLogger routes coordinator slog output into the test log.
+func e2eLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(e2eLogWriter{t}, nil))
+}
+
+type e2eLogWriter struct{ t *testing.T }
+
+func (w e2eLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // buildWorker compiles cmd/sjoin-worker into a temp dir.
 func buildWorker(t *testing.T) string {
@@ -63,6 +79,130 @@ func assertSamePairs(t *testing.T, label string, got, want []spatialjoin.Pair) {
 	}
 }
 
+// TestClusterTraceStitchE2E runs a traced join against two real worker
+// processes and checks the acceptance criteria of the tracing PR: the
+// coordinator holds one connected span tree whose task spans carry the
+// names of both remote processes, the skew report is populated
+// (including replication bytes by agreement), and the Chrome trace
+// export is valid trace-event JSON. When CLUSTER_TRACE_OUT is set the
+// exported trace is also written there (CI uploads it as an artifact).
+func TestClusterTraceStitchE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns worker processes")
+	}
+	bin := buildWorker(t)
+
+	coord, err := cluster.Listen("127.0.0.1:0", cluster.Config{Log: e2eLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorkerProc(t, bin, coord, "-name", "pw1")
+	startWorkerProc(t, bin, coord, "-name", "pw2")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.WaitForWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	rs := spatialjoin.GenerateUniform(4000, 1)
+	ss := spatialjoin.GenerateGaussian(4000, 2)
+	tr := spatialjoin.NewTracer()
+	opt := spatialjoin.Options{
+		Eps:       experiments.DefaultEps,
+		Algorithm: spatialjoin.AdaptiveSimpleDedup, // exercises supplementary join + dedup
+		UseLPT:    true,
+		Workers:   2,
+		Engine:    coord.Engine(),
+		Trace:     tr,
+	}
+	rep, err := spatialjoin.Join(rs, ss, opt)
+	if err != nil {
+		t.Fatalf("traced cluster join: %v", err)
+	}
+	if rep.Results == 0 {
+		t.Fatal("traced cluster join produced no results")
+	}
+
+	// One connected tree rooted at the join span, with spans stitched in
+	// from both remote worker processes.
+	roots := tr.Tree()
+	if len(roots) != 1 || roots[0].Name != "join" {
+		t.Fatalf("stitched trace is not a single join-rooted tree: %d roots", len(roots))
+	}
+	workers := map[string]int{}
+	for _, sp := range tr.Spans() {
+		if sp.Name == "task" {
+			if sp.Worker == "" {
+				t.Error("task span without worker attribution")
+			}
+			workers[sp.Worker]++
+		}
+	}
+	if workers["pw1"] == 0 || workers["pw2"] == 0 {
+		t.Fatalf("task spans did not come from both worker processes: %v", workers)
+	}
+
+	sk := tr.Skew()
+	if sk.Tasks == 0 || sk.MaxTaskMicros <= 0 || sk.MedianTaskMicros <= 0 {
+		t.Fatalf("skew report empty: %+v", sk)
+	}
+	if len(sk.TasksPerWorker) != 2 {
+		t.Fatalf("skew per-worker counts = %v, want both processes", sk.TasksPerWorker)
+	}
+	if len(sk.ReplicationBytes) == 0 {
+		t.Fatalf("skew lacks replication bytes by agreement: %+v", sk)
+	}
+
+	// The Chrome export must be valid trace-event JSON: metadata and
+	// complete events only, with both worker lanes named.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	var complete int
+	for _, ev := range chrome.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				lanes[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			complete++
+			if ev.Name == "" || ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("malformed complete event: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete == 0 || !lanes["pw1"] || !lanes["pw2"] {
+		t.Fatalf("chrome export missing worker lanes or events: %d events, lanes %v", complete, lanes)
+	}
+
+	if out := os.Getenv("CLUSTER_TRACE_OUT"); out != "" {
+		if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing CLUSTER_TRACE_OUT: %v", err)
+		}
+		t.Logf("wrote stitched trace to %s (%d events)", out, len(chrome.TraceEvents))
+	}
+}
+
 // TestClusterFaultInjectionE2E runs the acceptance scenario of the
 // cluster backend end to end with real worker processes: a 3-worker
 // cluster join over the seed generators at the experiments' default ε
@@ -94,7 +234,7 @@ func TestClusterFaultInjectionE2E(t *testing.T) {
 	assertSamePairs(t, "local vs brute force", want, brute)
 
 	t.Run("healthy", func(t *testing.T) {
-		coord, err := cluster.Listen("127.0.0.1:0", cluster.Config{Logf: t.Logf})
+		coord, err := cluster.Listen("127.0.0.1:0", cluster.Config{Log: e2eLogger(t)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +266,7 @@ func TestClusterFaultInjectionE2E(t *testing.T) {
 	t.Run("worker-killed-mid-join", func(t *testing.T) {
 		coord, err := cluster.Listen("127.0.0.1:0", cluster.Config{
 			HeartbeatInterval: 50 * time.Millisecond,
-			Logf:              t.Logf,
+			Log:               e2eLogger(t),
 		})
 		if err != nil {
 			t.Fatal(err)

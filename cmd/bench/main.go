@@ -44,6 +44,7 @@ import (
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/tuple"
 )
@@ -64,6 +65,13 @@ type report struct {
 	CPUs     int     `json:"cpus"`
 	Workload string  `json:"workload"`
 	Entries  []entry `json:"entries"`
+
+	// PhaseMillis is the per-phase wall time of one traced end-to-end
+	// run of the simple-replication variant (which exercises every
+	// phase, including the supplementary join and dedup that the
+	// agreement-based algorithms avoid), keyed by span name with the
+	// execute phase reported as "sweep".
+	PhaseMillis map[string]float64 `json:"phase_ms"`
 
 	// Headline ratios of the perf gate: columnar pairs/sec over the seed
 	// replica and over the current scalar kernel.
@@ -254,6 +262,32 @@ func main() {
 			}
 		}
 	}))
+
+	// Per-phase wall times from the tracer, one traced run.
+	trCfg := e2eCfg
+	trCfg.Simple = true
+	tr := obs.New()
+	root := tr.Start(0, obs.SpanJoin)
+	trCfg.Tracer = tr
+	trCfg.TraceParent = root.SpanID()
+	if _, err := core.Join(e2eR, e2eS, trCfg); err != nil {
+		log.Fatalf("bench: traced end-to-end join: %v", err)
+	}
+	root.End()
+	rep.PhaseMillis = map[string]float64{}
+	for _, sp := range tr.Spans() {
+		if sp.Name == obs.SpanJoin || sp.Name == obs.SpanTask || sp.Done == 0 {
+			continue
+		}
+		name := sp.Name
+		if name == obs.SpanExecute {
+			name = "sweep"
+		}
+		rep.PhaseMillis[name] += float64(sp.Done-sp.Start) / 1e6
+	}
+	fmt.Printf("phases: partition %.1fms replicate %.1fms sweep %.1fms supplementary %.1fms dedup %.1fms\n",
+		rep.PhaseMillis[obs.SpanPartition], rep.PhaseMillis[obs.SpanReplicate],
+		rep.PhaseMillis["sweep"], rep.PhaseMillis[obs.SpanSupplementary], rep.PhaseMillis[obs.SpanDedup])
 
 	byName := map[string]entry{}
 	for _, e := range rep.Entries {

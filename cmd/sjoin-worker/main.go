@@ -7,7 +7,7 @@
 // Usage:
 //
 //	sjoin-worker -connect host:7077 [-name w1] [-parallel N]
-//	             [-heartbeat 500ms] [-task-delay 0]
+//	             [-heartbeat 500ms] [-task-delay 0] [-log-level info]
 //
 // -task-delay stalls every task before it runs; it exists for fault
 // injection and straggler experiments, not production use.
@@ -16,7 +16,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,11 +32,20 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent task executors (default GOMAXPROCS)")
 		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "liveness beacon period")
 		taskDelay = flag.Duration("task-delay", 0, "stall every task by this long (fault-injection aid)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	var level slog.LevelVar
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("sjoin-worker: bad -log-level", "value", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &level}))
+
 	if *connect == "" {
-		log.Fatal("sjoin-worker: -connect is required")
+		logger.Error("sjoin-worker: -connect is required")
+		os.Exit(2)
 	}
 	if *name == "" {
 		if host, err := os.Hostname(); err == nil {
@@ -51,7 +60,7 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
 		sig := <-sigCh
-		log.Printf("sjoin-worker: %v received, disconnecting", sig)
+		logger.Info("signal received, disconnecting", "signal", sig.String(), "worker", *name)
 		cancel()
 	}()
 
@@ -60,9 +69,10 @@ func main() {
 		Parallel:          *parallel,
 		HeartbeatInterval: *heartbeat,
 		TaskDelay:         *taskDelay,
-		Logf:              log.Printf,
+		Log:               logger,
 	})
 	if err != nil {
-		log.Fatalf("sjoin-worker: %v", err)
+		logger.Error("worker exited", "worker", *name, "err", err)
+		os.Exit(1)
 	}
 }

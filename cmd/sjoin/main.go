@@ -3,7 +3,11 @@
 // Usage:
 //
 //	sjoin -r left.txt -s right.txt -eps 0.5 [-algo LPiB] [-workers 8]
-//	      [-lpt] [-out pairs.txt]
+//	      [-lpt] [-out pairs.txt] [-trace trace.json]
+//
+// With -trace the join runs under a tracer and its span tree is written
+// as Chrome trace-event JSON (load in chrome://tracing or Perfetto); a
+// one-line skew summary is printed alongside the metrics.
 //
 // Input files hold one point per line: "x y [attributes...]". The chosen
 // algorithm's replication, shuffle and timing metrics are printed to
@@ -43,7 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -73,18 +77,19 @@ var algorithms = map[string]spatialjoin.Algorithm{
 
 func main() {
 	var (
-		rPath    = flag.String("r", "", "path of the R point file (required)")
-		sPath    = flag.String("s", "", "path of the S point file (required)")
-		eps      = flag.Float64("eps", 0, "distance threshold (required, > 0)")
-		algoName = flag.String("algo", "lpib", "algorithm: lpib, diff, uni-r, uni-s, eps-grid, sedona, lpib-dedup, clone, auto")
-		selfJoin = flag.Bool("self", false, "self-join: -r joined with itself (-s ignored)")
-		workers  = flag.Int("workers", 0, "simulated cluster size (default GOMAXPROCS)")
-		parts    = flag.Int("partitions", 0, "reduce partitions (default 8 x workers)")
-		sample   = flag.Float64("sample", 0, "sampling fraction (default 0.03)")
-		seed     = flag.Int64("seed", 1, "sampling seed")
-		useLPT   = flag.Bool("lpt", false, "use LPT cell placement (adaptive algorithms)")
-		gridRes  = flag.Float64("grid-res", 0, "grid resolution multiplier (default per algorithm)")
-		outPath  = flag.String("out", "", "write result pairs to this file")
+		rPath     = flag.String("r", "", "path of the R point file (required)")
+		sPath     = flag.String("s", "", "path of the S point file (required)")
+		eps       = flag.Float64("eps", 0, "distance threshold (required, > 0)")
+		algoName  = flag.String("algo", "lpib", "algorithm: lpib, diff, uni-r, uni-s, eps-grid, sedona, lpib-dedup, clone, auto")
+		selfJoin  = flag.Bool("self", false, "self-join: -r joined with itself (-s ignored)")
+		workers   = flag.Int("workers", 0, "simulated cluster size (default GOMAXPROCS)")
+		parts     = flag.Int("partitions", 0, "reduce partitions (default 8 x workers)")
+		sample    = flag.Float64("sample", 0, "sampling fraction (default 0.03)")
+		seed      = flag.Int64("seed", 1, "sampling seed")
+		useLPT    = flag.Bool("lpt", false, "use LPT cell placement (adaptive algorithms)")
+		gridRes   = flag.Float64("grid-res", 0, "grid resolution multiplier (default per algorithm)")
+		outPath   = flag.String("out", "", "write result pairs to this file")
+		tracePath = flag.String("trace", "", "write the join's span tree as Chrome trace-event JSON to this file")
 
 		clusterListen  = flag.String("cluster-listen", "", "run the join on a worker cluster, accepting sjoin-worker connections on this address (e.g. :7077)")
 		clusterWorkers = flag.Int("cluster-workers", 0, "worker processes to wait for before joining (requires -cluster-listen)")
@@ -97,7 +102,7 @@ func main() {
 	flag.Parse()
 
 	if *followPath != "" {
-		followMain(*followPath, *followPoll, *boundsSpec, *eps, *algoName, *gridRes)
+		followMain(*followPath, *followPoll, *boundsSpec, *eps, *algoName, *gridRes, *tracePath)
 		return
 	}
 
@@ -135,6 +140,11 @@ func main() {
 		GridRes:        *gridRes,
 		Collect:        *outPath != "",
 	}
+	var tracer *spatialjoin.Tracer
+	if *tracePath != "" {
+		tracer = spatialjoin.NewTracer()
+		opts.Trace = tracer
+	}
 
 	if *clusterListen != "" || *clusterWorkers > 0 {
 		if *clusterListen == "" {
@@ -143,7 +153,8 @@ func main() {
 		if *clusterWorkers <= 0 {
 			fail("-cluster-listen requires -cluster-workers > 0")
 		}
-		coord, err := cluster.Listen(*clusterListen, cluster.Config{Logf: log.Printf})
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		coord, err := cluster.Listen(*clusterListen, cluster.Config{Log: logger})
 		if err != nil {
 			fail("cluster: %v", err)
 		}
@@ -190,6 +201,10 @@ func main() {
 			cm.Tasks, cm.Retries, cm.SpeculativeLaunched, cm.SpeculativeWins)
 	}
 
+	if tracer != nil {
+		writeTrace(tracer, *tracePath)
+	}
+
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -208,7 +223,7 @@ func main() {
 // followMain is the continuous-join entry point: it builds a streaming
 // engine, tails the mutation file, and prints result deltas as they are
 // emitted.
-func followMain(path string, poll time.Duration, boundsSpec string, eps float64, algoName string, gridRes float64) {
+func followMain(path string, poll time.Duration, boundsSpec string, eps float64, algoName string, gridRes float64, tracePath string) {
 	if eps <= 0 {
 		fail("-eps must be positive")
 	}
@@ -233,11 +248,16 @@ func followMain(path string, poll time.Duration, boundsSpec string, eps float64,
 		}
 		b[i] = v
 	}
+	var tracer *spatialjoin.Tracer
+	if tracePath != "" {
+		tracer = spatialjoin.NewTracer()
+	}
 	eng, err := stream.New(stream.Config{
 		Eps:     eps,
 		Bounds:  geom.Rect{MinX: b[0], MinY: b[1], MaxX: b[2], MaxY: b[3]},
 		GridRes: gridRes,
 		Policy:  policy,
+		Tracer:  tracer,
 	})
 	if err != nil {
 		fail("follow: %v", err)
@@ -298,6 +318,9 @@ tail:
 			fail("follow: reading %s: %v", path, err)
 		}
 	}
+	if tracer != nil {
+		writeTrace(tracer, tracePath)
+	}
 	c := eng.Counters()
 	fmt.Fprintf(out, "# upserts=%d deletes=%d rejected=%d deltas=+%d/-%d live=%d/%d replicas=%d flips=%d migrations=%d\n",
 		c.Upserts, c.Deletes, c.Rejected, c.DeltasAdded, c.DeltasRemoved,
@@ -347,6 +370,27 @@ func followLine(eng *stream.Engine, line string, lineNo int) {
 	default:
 		fail("follow line %d: unknown mutation %q", lineNo, line)
 	}
+}
+
+// writeTrace exports the tracer as Chrome trace-event JSON and prints a
+// one-line skew summary.
+func writeTrace(tr *spatialjoin.Tracer, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("creating trace: %v", err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		fail("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("writing trace: %v", err)
+	}
+	sk := tr.Skew()
+	fmt.Printf("trace written      %s (%d spans; %d tasks, max %v, median %v, straggler ratio %.2f)\n",
+		path, tr.Len(), sk.Tasks,
+		time.Duration(sk.MaxTaskMicros)*time.Microsecond,
+		time.Duration(sk.MedianTaskMicros)*time.Microsecond,
+		sk.StragglerRatio)
 }
 
 func fail(format string, args ...interface{}) {

@@ -5,7 +5,7 @@
 //
 //	sjoind [-addr :8080] [-max-concurrent N] [-max-queue N]
 //	       [-plan-cache N] [-timeout 30s] [-pprof :6060]
-//	       [-cluster-listen :7077] [-cluster-workers N]
+//	       [-cluster-listen :7077] [-cluster-workers N] [-log-level info]
 //
 // With -cluster-listen the daemon also accepts sjoin-worker connections
 // on that address and executes every join's partition-level work on the
@@ -45,7 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -71,8 +71,16 @@ func main() {
 		clusterListen  = flag.String("cluster-listen", "", "accept sjoin-worker connections on this address and run joins on them")
 		clusterWorkers = flag.Int("cluster-workers", 0, "workers to wait for before serving (requires -cluster-listen)")
 		clusterWait    = flag.Duration("cluster-wait", time.Minute, "how long to wait for -cluster-workers connections")
+		logLevel       = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	var level slog.LevelVar
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("sjoind: bad -log-level", "value", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &level}))
 
 	cfg := service.Config{
 		MaxConcurrent:  *maxConc,
@@ -81,7 +89,8 @@ func main() {
 		DefaultTimeout: *timeout,
 	}
 	if *clusterWorkers > 0 && *clusterListen == "" {
-		log.Fatal("sjoind: -cluster-workers requires -cluster-listen")
+		logger.Error("-cluster-workers requires -cluster-listen")
+		os.Exit(1)
 	}
 	if *pprofAddr != "" {
 		// A dedicated mux (not http.DefaultServeMux) so the profiling
@@ -94,19 +103,21 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		pln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
-			log.Fatalf("sjoind: pprof listen: %v", err)
+			logger.Error("pprof listen failed", "addr", *pprofAddr, "err", err)
+			os.Exit(1)
 		}
 		fmt.Printf("sjoind pprof listening on %s\n", pln.Addr())
 		go func() {
 			if err := http.Serve(pln, mux); err != nil {
-				log.Printf("sjoind: pprof server: %v", err)
+				logger.Warn("pprof server stopped", "err", err)
 			}
 		}()
 	}
 	if *clusterListen != "" {
-		coord, err := cluster.Listen(*clusterListen, cluster.Config{Logf: log.Printf})
+		coord, err := cluster.Listen(*clusterListen, cluster.Config{Log: logger})
 		if err != nil {
-			log.Fatalf("sjoind: %v", err)
+			logger.Error("cluster listen failed", "addr", *clusterListen, "err", err)
+			os.Exit(1)
 		}
 		defer coord.Close()
 		fmt.Printf("sjoind cluster listening on %s\n", coord.Addr())
@@ -115,9 +126,10 @@ func main() {
 			err := coord.WaitForWorkers(ctx, *clusterWorkers)
 			cancel()
 			if err != nil {
-				log.Fatalf("sjoind: %v", err)
+				logger.Error("waiting for cluster workers failed", "err", err)
+				os.Exit(1)
 			}
-			log.Printf("sjoind: %d cluster workers connected", coord.NumWorkers())
+			logger.Info("cluster workers connected", "workers", coord.NumWorkers())
 		}
 		cfg.Engine = coord.Engine()
 	}
@@ -126,7 +138,8 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("sjoind: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	// The chosen port is printed first so scripts (and the integration
 	// test) can bind ":0" and discover where the daemon landed.
@@ -139,18 +152,19 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigCh:
-		log.Printf("sjoind: %v received, draining (grace %v)", sig, *drainGrace)
+		logger.Info("signal received, draining", "signal", sig.String(), "grace", drainGrace.String())
 		svc.StartDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("sjoind: drain incomplete: %v", err)
+			logger.Error("drain incomplete", "err", err)
 			os.Exit(1)
 		}
-		log.Printf("sjoind: drained cleanly")
+		logger.Info("drained cleanly")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("sjoind: %v", err)
+			logger.Error("server failed", "err", err)
+			os.Exit(1)
 		}
 	}
 }

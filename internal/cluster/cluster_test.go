@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"log/slog"
 	"sort"
 	"testing"
 	"time"
@@ -25,10 +27,22 @@ type testHarness struct {
 	done  []chan error
 }
 
+// testLogWriter adapts t.Logf into an io.Writer for slog handlers.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
 func startHarness(t *testing.T, cfg Config, workers ...WorkerOptions) *testHarness {
 	t.Helper()
-	if cfg.Logf == nil {
-		cfg.Logf = t.Logf
+	if cfg.Log == nil {
+		cfg.Log = testLogger(t)
 	}
 	coord, err := Listen("127.0.0.1:0", cfg)
 	if err != nil {
@@ -342,7 +356,7 @@ func TestClusterErrors(t *testing.T) {
 	ss := datagen.Uniform(datagen.World(), 100, 12, 1<<20)
 
 	t.Run("no-workers", func(t *testing.T) {
-		coord, err := Listen("127.0.0.1:0", Config{Logf: t.Logf})
+		coord, err := Listen("127.0.0.1:0", Config{Log: testLogger(t)})
 		if err != nil {
 			t.Fatal(err)
 		}

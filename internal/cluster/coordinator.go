@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"slices"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/tuple"
 )
 
@@ -47,8 +49,9 @@ type Config struct {
 	StragglerFactor float64
 	// MaxFrame bounds one protocol frame; default 1 GiB.
 	MaxFrame int
-	// Logf receives progress and fault events; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured progress and fault events; nil discards
+	// them.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -67,8 +70,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = defaultMaxFrame
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Log == nil {
+		c.Log = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -247,7 +250,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	}
 	hello, err := decodeHello(payload)
 	if err != nil {
-		c.cfg.Logf("cluster: rejecting worker: %v", err)
+		c.cfg.Log.Warn("rejecting worker", "err", err)
 		conn.Close()
 		return
 	}
@@ -271,7 +274,8 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	c.memberCh = make(chan struct{})
 	c.mu.Unlock()
 	c.stWorkersJoined.Add(1)
-	c.cfg.Logf("cluster: worker %d (%s) joined from %s", w.id, w.name, conn.RemoteAddr())
+	c.cfg.Log.Info("worker joined",
+		"worker", w.id, "name", w.name, "addr", conn.RemoteAddr().String())
 
 	c.readLoop(w, br)
 }
@@ -292,6 +296,8 @@ func (c *Coordinator) readLoop(w *remote, br *bufio.Reader) {
 			c.handleResult(w, payload)
 		case msgTaskErr:
 			c.handleTaskErr(w, payload)
+		case msgSpans:
+			c.handleSpans(w, payload)
 		default:
 			c.dropWorker(w, fmt.Errorf("unexpected frame type %d", typ))
 			return
@@ -343,7 +349,7 @@ func (c *Coordinator) dropWorker(w *remote, cause error) {
 	c.mu.Unlock()
 	c.stWorkersLost.Add(1)
 	if !closed {
-		c.cfg.Logf("cluster: worker %d (%s) lost: %v", w.id, w.name, cause)
+		c.cfg.Log.Warn("worker lost", "worker", w.id, "name", w.name, "cause", cause)
 	}
 	for _, r := range runs {
 		c.requeueWorker(r, w.id)
@@ -367,6 +373,8 @@ type run struct {
 	id      uint64
 	collect bool
 	workers []*remote // plan recipients, in dispatch order (stable for src mapping)
+	tr      *obs.Tracer
+	traceID uint64 // for log fields; 0 when untraced
 
 	mu      sync.Mutex
 	tasks   map[uint32]*task
@@ -420,7 +428,12 @@ func (e engine) ExecutePrepared(ctx context.Context, pr *dpe.Prepared, opt dpe.E
 		tasks:   map[uint32]*task{},
 		done:    make(chan struct{}),
 		busy:    map[int64]time.Duration{},
+		tr:      opt.Tracer,
+		traceID: uint64(opt.Tracer.TraceID()),
 	}
+	execSp := r.tr.Start(opt.TraceParent, obs.SpanExecute)
+	execSp.SetStr("engine", "cluster")
+	defer execSp.End()
 
 	// ---- Plan broadcast (Algorithm 5 line 6, in real bytes): grid,
 	// agreements and placement travel to every worker before any tuple.
@@ -437,6 +450,22 @@ func (e engine) ExecutePrepared(ctx context.Context, pr *dpe.Prepared, opt dpe.E
 			c.dropWorker(w, err)
 			continue
 		}
+		if r.tr != nil {
+			// Hand the recipient the trace context right after the plan on
+			// the same ordered connection: trace id, the execute span its
+			// task spans parent under, and a worker-unique span-id base so
+			// remote spans stitch without collisions.
+			traceFrame := appendFrame(msgTrace, traceMsg{
+				plan:    r.id,
+				traceID: r.traceID,
+				parent:  uint64(execSp.SpanID()),
+				idBase:  uint64(w.id) << 40,
+			}.encode())
+			if err := w.send(traceFrame); err != nil {
+				c.dropWorker(w, err)
+				continue
+			}
+		}
 		r.workers = append(r.workers, w)
 		r.cm.BroadcastBytes += int64(len(planFrame))
 	}
@@ -444,6 +473,7 @@ func (e engine) ExecutePrepared(ctx context.Context, pr *dpe.Prepared, opt dpe.E
 		return nil, ErrNoWorkers
 	}
 	r.cm.Workers = len(r.workers)
+	execSp.SetInt("workers", int64(len(r.workers)))
 
 	c.mu.Lock()
 	c.runs[r.id] = r
@@ -472,6 +502,7 @@ func (e engine) ExecutePrepared(ctx context.Context, pr *dpe.Prepared, opt dpe.E
 	r.mu.Lock()
 	r.pending = len(tasks)
 	r.mu.Unlock()
+	execSp.SetInt("partitions", int64(len(tasks)))
 
 	if len(tasks) > 0 {
 		// ---- The shuffle: partition i is owned by worker i mod W, the
@@ -573,7 +604,8 @@ func (c *Coordinator) requeueWorker(r *run, workerID int64) {
 	}
 	r.mu.Unlock()
 	for _, rs := range resends {
-		c.cfg.Logf("cluster: re-queueing partition %d of plan %d on worker %d", rs.t.part, r.id, rs.w.id)
+		c.cfg.Log.Info("re-queueing partition",
+			"plan", r.id, "trace", r.traceID, "partition", rs.t.part, "worker", rs.w.id)
 		c.dispatch(r, rs.t, rs.w, false)
 	}
 }
@@ -735,7 +767,9 @@ func (c *Coordinator) handleTaskErr(w *remote, payload []byte) {
 	if r == nil {
 		return
 	}
-	c.cfg.Logf("cluster: worker %d failed partition %d of plan %d: %s", w.id, m.part, m.plan, m.msg)
+	c.cfg.Log.Warn("task failed on worker",
+		"plan", m.plan, "trace", r.traceID, "partition", m.part,
+		"attempt", m.attempt, "worker", w.id, "err", m.msg)
 
 	r.mu.Lock()
 	t := r.tasks[m.part]
@@ -827,7 +861,8 @@ func (c *Coordinator) speculateLoop(r *run, stop <-chan struct{}) {
 		}
 		r.mu.Unlock()
 		for _, s := range specs {
-			c.cfg.Logf("cluster: speculating partition %d of plan %d on worker %d", s.t.part, r.id, s.w.id)
+			c.cfg.Log.Info("speculating partition",
+				"plan", r.id, "trace", r.traceID, "partition", s.t.part, "worker", s.w.id)
 			c.dispatch(r, s.t, s.w, true)
 		}
 	}
@@ -842,6 +877,24 @@ func (c *Coordinator) broadcastPlanDone(r *run) {
 			go w.send(frame)
 		}
 	}
+}
+
+// handleSpans stitches a worker's finished task spans into the run's
+// trace. Workers send spans before the matching result on the same
+// connection, so the run is still registered when they arrive.
+func (c *Coordinator) handleSpans(w *remote, payload []byte) {
+	m, err := decodeSpans(payload)
+	if err != nil {
+		c.dropWorker(w, err)
+		return
+	}
+	c.mu.Lock()
+	r := c.runs[m.plan]
+	c.mu.Unlock()
+	if r == nil || r.tr == nil {
+		return // plan finished, or an untraced run
+	}
+	r.tr.AddSpans(m.spans)
 }
 
 // accumulate folds a finished run's counters into the lifetime stats.

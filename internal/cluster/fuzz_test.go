@@ -8,6 +8,7 @@ import (
 
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/tuple"
 )
 
@@ -58,6 +59,23 @@ func FuzzFrame(f *testing.F) {
 	f.Add(appendFrame(msgCancel, cancelMsg{plan: 7, part: 3}.encode()))
 	f.Add(appendFrame(msgPlanDone, encodePlanDone(7)))
 
+	// Trace-context and span frames of the v2 protocol.
+	traceFrame := traceMsg{plan: 7, traceID: 99, parent: 3, idBase: 1 << 40}.encode()
+	f.Add(appendFrame(msgTrace, traceFrame))
+	f.Add(appendFrame(msgTrace, traceFrame[:10])) // truncated mid-field
+	wrongVersion := append([]byte(nil), traceFrame...)
+	wrongVersion[0] = protoVersion + 1
+	f.Add(appendFrame(msgTrace, wrongVersion))
+	f.Add(appendFrame(msgSpans, spansMsg{plan: 7, spans: []obs.Span{
+		{ID: 1<<40 | 1, Parent: 3, Name: obs.SpanTask, Worker: "w1",
+			Start: 100, Done: 200,
+			Attrs: []obs.Attr{{Key: "partition", Int: 3}, {Key: "kind", Str: "sweep", IsStr: true}}},
+		{ID: 1<<40 | 1, Parent: 3, Name: obs.SpanTask, Worker: "w1", Start: 150, Done: 250}, // duplicate span id
+	}}.encode()))
+	lyingSpans := binary.LittleEndian.AppendUint64(nil, 7)
+	lyingSpans = binary.LittleEndian.AppendUint32(lyingSpans, 1<<30) // a billion spans, no bytes
+	f.Add(appendFrame(msgSpans, lyingSpans))
+
 	// Frames whose payloads lie about their contents.
 	lyingTask := appendTaskHeader(nil, taskHeader{plan: 1})
 	lyingTask = binary.LittleEndian.AppendUint32(lyingTask, 1<<30) // a billion records, no bytes
@@ -91,6 +109,10 @@ func FuzzFrame(f *testing.F) {
 				decodeCancel(payload)
 			case msgPlanDone:
 				decodePlanDone(payload)
+			case msgTrace:
+				decodeTrace(payload)
+			case msgSpans:
+				decodeSpans(payload)
 			}
 			// Any frame that framed must round-trip bit-identically.
 			reframed := appendFrame(typ, payload)

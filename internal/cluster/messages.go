@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/tuple"
 )
 
@@ -257,6 +258,112 @@ func decodeCancel(b []byte) (cancelMsg, error) {
 	r := newReader(b)
 	m := cancelMsg{plan: r.u64(), part: r.u32()}
 	return m, r.err("cancel")
+}
+
+// traceMsg hands a worker the trace context for one plan: the trace id,
+// the execute span its task spans should parent under, and a per-worker
+// span-id base so ids minted in different processes never collide when
+// stitched at the coordinator. The version byte is echoed so a frame
+// replayed across protocol revisions is rejected rather than misparsed.
+type traceMsg struct {
+	version byte
+	plan    uint64
+	traceID uint64
+	parent  uint64 // span id worker task spans hang under
+	idBase  uint64 // first span id (exclusive) this worker may mint
+}
+
+func (m traceMsg) encode() []byte {
+	b := append([]byte(nil), protoVersion)
+	b = binary.LittleEndian.AppendUint64(b, m.plan)
+	b = binary.LittleEndian.AppendUint64(b, m.traceID)
+	b = binary.LittleEndian.AppendUint64(b, m.parent)
+	return binary.LittleEndian.AppendUint64(b, m.idBase)
+}
+
+func decodeTrace(b []byte) (traceMsg, error) {
+	r := newReader(b)
+	m := traceMsg{version: r.u8()}
+	if r.ok && m.version != protoVersion {
+		return m, fmt.Errorf("cluster: trace frame speaks protocol v%d, want v%d", m.version, protoVersion)
+	}
+	m.plan = r.u64()
+	m.traceID = r.u64()
+	m.parent = r.u64()
+	m.idBase = r.u64()
+	return m, r.err("trace")
+}
+
+// spansMsg ships a batch of finished worker-side spans back to the
+// coordinator, which stitches them into the plan's trace. Sent on the
+// same connection before the task's result frame, so the run is still
+// live when the spans arrive.
+type spansMsg struct {
+	plan  uint64
+	spans []obs.Span
+}
+
+func (m spansMsg) encode() []byte {
+	b := binary.LittleEndian.AppendUint64(nil, m.plan)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.spans)))
+	for _, s := range m.spans {
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.ID))
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.Parent))
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.Start))
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.Done))
+		b = appendStr16(b, s.Name)
+		b = appendStr16(b, s.Worker)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			b = appendStr16(b, a.Key)
+			if a.IsStr {
+				b = append(b, 1)
+				b = appendStr16(b, a.Str)
+			} else {
+				b = append(b, 0)
+				b = binary.LittleEndian.AppendUint64(b, uint64(a.Int))
+			}
+		}
+	}
+	return b
+}
+
+func decodeSpans(b []byte) (spansMsg, error) {
+	r := newReader(b)
+	m := spansMsg{plan: r.u64()}
+	n := int(r.u32())
+	// Each span is at least 8+8+8+8 id/parent/start/done + 2+2 empty
+	// names + 2 attr count bytes on the wire.
+	if !r.ok || n < 0 || n*38 > len(r.b) {
+		return m, fmt.Errorf("cluster: spans frame declares %d spans beyond its size", n)
+	}
+	m.spans = make([]obs.Span, 0, n)
+	for i := 0; i < n; i++ {
+		s := obs.Span{
+			ID:     obs.SpanID(r.u64()),
+			Parent: obs.SpanID(r.u64()),
+			Start:  int64(r.u64()),
+			Done:   int64(r.u64()),
+			Name:   r.str16(),
+			Worker: r.str16(),
+		}
+		na := int(r.u16())
+		if !r.ok || na*11 > len(r.b) {
+			return m, fmt.Errorf("cluster: spans frame declares %d attrs beyond its size", na)
+		}
+		for j := 0; j < na; j++ {
+			a := obs.Attr{Key: r.str16()}
+			if r.u8() == 1 {
+				a.IsStr = true
+				a.Str = r.str16()
+			} else {
+				a.Int = int64(r.u64())
+			}
+			s.Attrs = append(s.Attrs, a)
+		}
+		m.spans = append(m.spans, s)
+	}
+	return m, r.err("spans")
 }
 
 func encodePlanDone(plan uint64) []byte {

@@ -33,21 +33,25 @@ import (
 )
 
 // protoVersion is bumped on any incompatible frame change.
-const protoVersion = 1
+// v2 added the trace-context (msgTrace) and span-shipping (msgSpans)
+// frames that stitch worker-process spans into the coordinator's trace.
+const protoVersion = 2
 
 // helloMagic opens the worker → coordinator handshake.
 const helloMagic = "SJWK"
 
 // Frame types.
 const (
-	msgHello     byte = 1 // worker → coordinator: magic, version, name
-	msgHeartbeat byte = 2 // worker → coordinator: liveness beacon
-	msgPlan      byte = 3 // coordinator → worker: per-execution plan broadcast
-	msgTask      byte = 4 // coordinator → worker: one reduce partition's records
-	msgResult    byte = 5 // worker → coordinator: one task's join outcome
-	msgTaskErr   byte = 6 // worker → coordinator: task execution failed
-	msgCancel    byte = 7 // coordinator → worker: drop a task (speculation lost)
-	msgPlanDone  byte = 8 // coordinator → worker: plan finished, free its state
+	msgHello     byte = 1  // worker → coordinator: magic, version, name
+	msgHeartbeat byte = 2  // worker → coordinator: liveness beacon
+	msgPlan      byte = 3  // coordinator → worker: per-execution plan broadcast
+	msgTask      byte = 4  // coordinator → worker: one reduce partition's records
+	msgResult    byte = 5  // worker → coordinator: one task's join outcome
+	msgTaskErr   byte = 6  // worker → coordinator: task execution failed
+	msgCancel    byte = 7  // coordinator → worker: drop a task (speculation lost)
+	msgPlanDone  byte = 8  // coordinator → worker: plan finished, free its state
+	msgTrace     byte = 9  // coordinator → worker: trace context for a plan
+	msgSpans     byte = 10 // worker → coordinator: finished spans of one task
 )
 
 // defaultMaxFrame bounds a single frame; a task carries a whole reduce
@@ -108,6 +112,14 @@ func (r *reader) u8() byte {
 		return 0
 	}
 	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
 }
 
 func (r *reader) u32() uint32 {

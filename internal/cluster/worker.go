@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/grid"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/pbsm"
 )
 
@@ -31,8 +33,8 @@ type WorkerOptions struct {
 	TaskDelay time.Duration
 	// MaxFrame bounds one protocol frame; default 1 GiB.
 	MaxFrame int
-	// Logf receives progress events; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured progress events; nil discards them.
+	Log *slog.Logger
 }
 
 func (o WorkerOptions) withDefaults() WorkerOptions {
@@ -48,8 +50,8 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = defaultMaxFrame
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Log == nil {
+		o.Log = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -60,6 +62,12 @@ type workerPlan struct {
 	selfFilter bool
 	collect    bool
 	kernel     dpe.Kernel
+
+	// Trace context, installed by a msgTrace frame following the plan.
+	// tr is nil when the coordinator's join is untraced, so task spans
+	// cost nothing.
+	tr     *obs.Tracer
+	parent obs.SpanID
 }
 
 // workerTask is one queued task attempt.
@@ -116,7 +124,7 @@ func RunWorker(ctx context.Context, addr string, opt WorkerOptions) error {
 	if err := w.send(appendFrame(msgHello, helloMsg{name: opt.Name}.encode())); err != nil {
 		return fmt.Errorf("cluster: hello: %w", err)
 	}
-	opt.Logf("cluster: worker %q connected to %s", opt.Name, addr)
+	opt.Log.Info("worker connected", "worker", opt.Name, "coordinator", addr)
 
 	// The context watcher unblocks the read loop by closing the socket.
 	stopped := make(chan struct{})
@@ -169,7 +177,7 @@ func RunWorker(ctx context.Context, addr string, opt WorkerOptions) error {
 			if errors.Is(err, io.EOF) {
 				// The coordinator closed the connection: a finished sjoin
 				// run or a stopping daemon. Normal end of service.
-				opt.Logf("cluster: coordinator closed the connection, exiting")
+				opt.Log.Info("coordinator closed the connection, exiting", "worker", opt.Name)
 				return nil
 			}
 			return fmt.Errorf("cluster: coordinator connection: %w", err)
@@ -177,6 +185,10 @@ func RunWorker(ctx context.Context, addr string, opt WorkerOptions) error {
 		switch typ {
 		case msgPlan:
 			if err := w.handlePlan(payload); err != nil {
+				return err
+			}
+		case msgTrace:
+			if err := w.handleTrace(payload); err != nil {
 				return err
 			}
 		case msgTask:
@@ -240,7 +252,27 @@ func (w *workerState) handlePlan(payload []byte) error {
 	w.mu.Lock()
 	w.plans[m.id] = p
 	w.mu.Unlock()
-	w.opt.Logf("cluster: plan %d installed (eps=%v, %d broadcast bytes)", m.id, m.eps, len(m.broadcast))
+	w.opt.Log.Info("plan installed",
+		"worker", w.opt.Name, "plan", m.id, "eps", m.eps, "broadcast_bytes", len(m.broadcast))
+	return nil
+}
+
+// handleTrace attaches trace context to an installed plan. The worker
+// mints its task spans from the coordinator-assigned id base, so the
+// stitched trace stays collision-free across processes.
+func (w *workerState) handleTrace(payload []byte) error {
+	m, err := decodeTrace(payload)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if p := w.plans[m.plan]; p != nil {
+		p.tr = obs.NewWithID(obs.TraceID(m.traceID), obs.SpanID(m.idBase))
+		p.parent = obs.SpanID(m.parent)
+	}
+	w.mu.Unlock()
+	w.opt.Log.Debug("trace context installed",
+		"worker", w.opt.Name, "plan", m.plan, "trace", m.traceID)
 	return nil
 }
 
@@ -274,7 +306,19 @@ func (w *workerState) runTask(t workerTask) {
 	}
 
 	start := time.Now()
-	out := dpe.JoinPartition(t.rs, t.ss, plan.eps, plan.kernel, plan.collect, plan.selfFilter)
+	sp := plan.tr.Start(plan.parent, obs.SpanTask)
+	sp.SetWorker(w.opt.Name).
+		SetInt("partition", int64(t.h.part)).
+		SetInt("attempt", int64(t.h.attempt))
+	out := dpe.JoinPartitionTraced(t.rs, t.ss, plan.eps, plan.kernel, plan.collect, plan.selfFilter, sp)
+	if plan.tr != nil {
+		// Ship the finished spans before the result on the same ordered
+		// connection, so the coordinator stitches them while the run is
+		// still live.
+		if spans := plan.tr.TakeSpans(); len(spans) > 0 {
+			w.send(appendFrame(msgSpans, spansMsg{plan: t.h.plan, spans: spans}.encode()))
+		}
+	}
 	m := resultMsg{
 		taskHeader: t.h,
 		dur:        time.Since(start),

@@ -30,6 +30,7 @@ import (
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/grid"
 	"spatialjoin/internal/lpt"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/replicate"
 	"spatialjoin/internal/sample"
 	"spatialjoin/internal/tuple"
@@ -67,6 +68,12 @@ type Config struct {
 	// the inputs (e.g. cached by a serving layer across ε re-plans); when
 	// nil, samples are drawn from the inputs with SampleFraction and Seed.
 	SampleR, SampleS []tuple.Tuple
+
+	// Tracer records phase spans (plan → sample/partition/replicate/
+	// shuffle, then per-partition tasks at execute time) under
+	// TraceParent; nil disables tracing at zero cost.
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
 }
 
 // Result is the outcome of an adaptive join.
@@ -117,7 +124,11 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 	bounds := DataBounds(cfg.Bounds, rs, ss)
 	g := grid.New(bounds, cfg.Eps, cfg.Res)
 
+	planSp := cfg.Tracer.Start(cfg.TraceParent, obs.SpanPlan)
+	planSp.SetInt("cells", int64(g.NumCells()))
+
 	// Phase 1: sampling (skipped when the caller supplies cached samples).
+	sampleSp := cfg.Tracer.Start(planSp.SpanID(), obs.SpanSample)
 	start := time.Now()
 	st := grid.NewStats(g)
 	sr, sSample := cfg.SampleR, cfg.SampleS
@@ -130,9 +141,12 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 	st.AddAll(tuple.R, sr)
 	st.AddAll(tuple.S, sSample)
 	sampleTime := time.Since(start)
+	sampleSp.SetInt("sample_r", int64(len(sr))).SetInt("sample_s", int64(len(sSample)))
+	sampleSp.End()
 
 	// Phase 2: graph of agreements + duplicate-free resolution, and the
 	// cell placement.
+	partSp := cfg.Tracer.Start(planSp.SpanID(), obs.SpanPartition)
 	start = time.Now()
 	gr := agreements.BuildOrdered(st, cfg.Policy, cfg.Order)
 	var part dpe.Partitioner = dpe.HashPartitioner{N: partitions}
@@ -141,6 +155,12 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 		part = dpe.ExplicitPartitioner{Table: lpt.Assign(costs, partitions), N: partitions}
 	}
 	buildTime := time.Since(start)
+	if partSp != nil {
+		marked, locked := edgeCounts(gr)
+		partSp.SetInt("partitions", int64(partitions))
+		partSp.SetInt("marked_edges", marked).SetInt("locked_edges", locked)
+	}
+	partSp.End()
 
 	// Phase 3: mapping and shuffling on the engine.
 	assign := func(p geom.Point, set tuple.Set, dst []int) []int {
@@ -164,10 +184,14 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 		NetBandwidth: cfg.NetBandwidth,
 		PoolSize:     cfg.PoolSize,
 		Engine:       cfg.Engine,
+
+		Tracer:      cfg.Tracer,
+		TraceParent: cfg.TraceParent,
 	}
 	if cfg.Engine != nil {
 		spec.Broadcast = broadcastBlob(gr, part)
 	}
+	planSp.End()
 	prep, err := dpe.Prepare(spec)
 	if err != nil {
 		return nil, err
@@ -196,6 +220,11 @@ type Exec struct {
 	Collect bool
 	// Ctx cancels an in-flight execution; nil means context.Background().
 	Ctx context.Context
+	// Tracer records this execution's spans (tasks, supplementary join,
+	// dedup) under TraceParent; nil falls back to the plan's build-time
+	// tracer, so one-shot joins get a single tree.
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
 }
 
 // Eps returns the distance threshold the plan was built for.
@@ -215,7 +244,10 @@ func (p *Plan) Execute(e Exec) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := p.prep.ExecuteContext(ctx, dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
+	res, err := p.prep.ExecuteContext(ctx, dpe.ExecOptions{
+		Eps: e.Eps, Collect: e.Collect,
+		Tracer: e.Tracer, TraceParent: e.TraceParent,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +304,24 @@ func Parallelism(workers, partitions int) (int, int) {
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// edgeCounts totals the marked and locked directed edges across the
+// graph's quartet subgraphs — the duplicate-free resolution state the
+// plan span reports.
+func edgeCounts(gr *agreements.Graph) (marked, locked int64) {
+	for q := range gr.Subs {
+		s := &gr.Subs[q]
+		marked += int64(s.MarkedEdges())
+		for i := grid.Pos(0); i < grid.NumPos; i++ {
+			for j := grid.Pos(0); j < grid.NumPos; j++ {
+				if i != j && s.Locked(i, j) {
+					locked++
+				}
+			}
+		}
+	}
+	return marked, locked
+}
 
 // DataBounds returns explicit bounds if given, else the MBR of both
 // inputs, else the unit square so empty joins still build a valid grid.

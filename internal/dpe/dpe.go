@@ -39,6 +39,7 @@ import (
 	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/dedup"
 	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/tuple"
 )
@@ -158,6 +159,11 @@ type Spec struct {
 	// Kernel with a zero descriptor is treated as KernelCustom: the plan
 	// is local-only and cluster engines reject it.
 	KernelDesc KernelDesc
+	// Tracer records phase and task spans for the join; nil (the
+	// default) disables tracing at zero cost. TraceParent, when set, is
+	// the span the pipeline's phase spans are parented under.
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
 }
 
 // Engine executes the reduce phase of a Prepared join. The eps in opt is
@@ -330,11 +336,14 @@ func Prepare(spec Spec) (*Prepared, error) {
 	nparts := spec.Part.NumPartitions()
 
 	// ---- Map phase: flatMapToPair on both inputs, one split per worker.
+	replSp := spec.Tracer.Start(spec.TraceParent, obs.SpanReplicate)
 	start := time.Now()
 	outR, replR, busyR := mapPhase(spec.R, tuple.R, spec.AssignR, spec.Part, workers, spec.PoolSize)
 	outS, replS, busyS := mapPhase(spec.S, tuple.S, spec.AssignS, spec.Part, workers, spec.PoolSize)
 	res.ReplicatedR, res.ReplicatedS = replR, replS
 	res.MapTime = time.Since(start)
+	replSp.SetInt("replicated_r", replR).SetInt("replicated_s", replS)
+	replSp.End()
 	res.MapBusy = make([]time.Duration, workers)
 	for w := 0; w < workers; w++ {
 		res.MapBusy[w] = busyR[w] + busyS[w]
@@ -343,22 +352,27 @@ func Prepare(spec Spec) (*Prepared, error) {
 	// ---- Shuffle: merge per-worker map outputs into reduce partitions,
 	// accounting bytes; a record is a remote read when the partition's
 	// owner differs from the worker that produced it.
+	shufSp := spec.Tracer.Start(spec.TraceParent, obs.SpanShuffle)
 	start = time.Now()
 	partR := make([][]Keyed, nparts)
 	partS := make([][]Keyed, nparts)
+	var bytesR, bytesS int64
+	var recsR, recsS int64
 	for w := 0; w < workers; w++ {
 		for p := 0; p < nparts; p++ {
 			owner := p % workers
 			for _, rec := range outR[w][p] {
 				sz := int64(rec.T.KeyedSize())
-				res.ShuffledBytes += sz
+				bytesR += sz
+				recsR++
 				if owner != w {
 					res.RemoteBytes += sz
 				}
 			}
 			for _, rec := range outS[w][p] {
 				sz := int64(rec.T.KeyedSize())
-				res.ShuffledBytes += sz
+				bytesS += sz
+				recsS++
 				if owner != w {
 					res.RemoteBytes += sz
 				}
@@ -367,7 +381,20 @@ func Prepare(spec Spec) (*Prepared, error) {
 			partS[p] = append(partS[p], outS[w][p]...)
 		}
 	}
+	res.ShuffledBytes = bytesR + bytesS
 	res.ShuffleTime = time.Since(start)
+	shufSp.SetInt("shuffled_bytes", res.ShuffledBytes).SetInt("remote_bytes", res.RemoteBytes)
+	shufSp.End()
+	// Replication bytes per set: the agreement type of a cell pair names
+	// the set it replicates across the boundary, so replica count times
+	// the set's mean keyed wire size is the replication volume each
+	// agreement type put on the shuffle.
+	if recsR > 0 {
+		replSp.SetInt("repl_bytes_r", replR*(bytesR/recsR))
+	}
+	if recsS > 0 {
+		replSp.SetInt("repl_bytes_s", replS*(bytesS/recsS))
+	}
 	if spec.NetBandwidth > 0 {
 		res.NetTime = time.Duration(float64(res.RemoteBytes) / float64(workers) / spec.NetBandwidth * float64(time.Second))
 	}
@@ -428,6 +455,12 @@ type ExecOptions struct {
 	Eps float64
 	// Collect materialises the result pairs.
 	Collect bool
+	// Tracer records execute-phase spans (per-partition tasks, the
+	// supplementary join and dedup passes) under TraceParent. Nil falls
+	// back to the spec's tracer; a prepared plan probed by many requests
+	// passes a per-request tracer here.
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
 }
 
 // Execute runs the reduce phase (and the distinct() pass, when the spec
@@ -450,13 +483,20 @@ func (pr *Prepared) ExecuteContext(ctx context.Context, opt ExecOptions) (*Resul
 	}
 	collectOut := opt.Collect
 
+	tr, parent := opt.Tracer, opt.TraceParent
+	if tr == nil {
+		tr, parent = pr.spec.Tracer, pr.spec.TraceParent
+	}
+
 	eng := pr.spec.Engine
 	if eng == nil {
 		eng = LocalEngine{}
 	}
 	res, err := eng.ExecutePrepared(ctx, pr, ExecOptions{
-		Eps:     eps,
-		Collect: collectOut || pr.spec.Dedup,
+		Eps:         eps,
+		Collect:     collectOut || pr.spec.Dedup,
+		Tracer:      tr,
+		TraceParent: parent,
 	})
 	if err != nil {
 		return nil, err
@@ -465,9 +505,13 @@ func (pr *Prepared) ExecuteContext(ctx context.Context, opt ExecOptions) (*Resul
 	// ---- Optional distinct() pass (the Table 6 non-duplicate-free
 	// variant pays this extra shuffle + dedup).
 	if pr.spec.Dedup {
+		supSp := tr.Start(parent, obs.SpanSupplementary)
 		start := time.Now()
 		uniq, dm := dedup.Distinct(res.Pairs, pr.workers, pr.NumPartitions())
 		res.DedupTime = time.Since(start)
+		supSp.SetInt("pairs_in", dm.Input).SetInt("pairs_out", dm.Output)
+		supSp.SetInt("shuffled_bytes", dm.ShuffledBytes).SetInt("remote_bytes", dm.RemoteBytes)
+		supSp.End()
 		res.Pairs = uniq
 		res.Results = dm.Output
 		res.DedupInput = dm.Input
@@ -477,11 +521,14 @@ func (pr *Prepared) ExecuteContext(ctx context.Context, opt ExecOptions) (*Resul
 			res.NetTime += time.Duration(float64(dm.RemoteBytes) / float64(pr.workers) / pr.spec.NetBandwidth * float64(time.Second))
 		}
 		// Recompute the checksum over the deduplicated set.
+		dedupSp := tr.Start(parent, obs.SpanDedup)
 		var c sweep.Counter
 		for _, p := range uniq {
 			c.Emit(tuple.Tuple{ID: p.RID}, tuple.Tuple{ID: p.SID})
 		}
 		res.Checksum = c.Checksum
+		dedupSp.SetInt("pairs", int64(len(uniq)))
+		dedupSp.End()
 		if !collectOut {
 			res.Pairs = nil
 		}
@@ -609,6 +656,21 @@ func JoinPartition(rs, ss []Keyed, eps float64, kernel Kernel, collect, selfFilt
 	out.Results = counter.N
 	out.Checksum = counter.Checksum
 	out.Pairs = coll.Pairs
+	return out
+}
+
+// JoinPartitionTraced is JoinPartition plus span instrumentation: the
+// partition's input sizes, pair count, and cost are attached to sp,
+// which is then ended. A nil sp (tracing disabled) adds zero work and
+// zero allocations — the guarantee the engines rely on to keep the
+// traced path on by default.
+func JoinPartitionTraced(rs, ss []Keyed, eps float64, kernel Kernel, collect, selfFilter bool, sp *obs.Span) PartitionResult {
+	out := JoinPartition(rs, ss, eps, kernel, collect, selfFilter)
+	sp.SetInt("tuples_r", int64(len(rs)))
+	sp.SetInt("tuples_s", int64(len(ss)))
+	sp.SetInt("pairs", out.Results)
+	sp.SetInt("cost", out.Cost)
+	sp.End()
 	return out
 }
 

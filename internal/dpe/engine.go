@@ -2,8 +2,11 @@ package dpe
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
+
+	"spatialjoin/internal/obs"
 )
 
 // LocalEngine is the default execution backend: the reduce phase runs on
@@ -24,6 +27,10 @@ func (LocalEngine) ExecutePrepared(ctx context.Context, pr *Prepared, opt ExecOp
 
 	res := &Result{Metrics: pr.build}
 
+	tr := opt.Tracer
+	execSp := tr.Start(opt.TraceParent, obs.SpanExecute)
+	execSp.SetInt("partitions", int64(nparts)).SetInt("workers", int64(workers))
+
 	// ---- Reduce phase: per-partition hash grouping by cell + plane
 	// sweep join with refinement.
 	start := time.Now()
@@ -41,17 +48,24 @@ func (LocalEngine) ExecutePrepared(ctx context.Context, pr *Prepared, opt ExecOp
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var wname string
+			if tr != nil {
+				wname = "local-" + strconv.Itoa(w)
+			}
 			t0 := time.Now()
 			for p := w; p < nparts; p += workers {
 				if ctx.Err() != nil {
 					return
 				}
-				outs[p] = JoinPartition(partR[p], partS[p], opt.Eps, spec.Kernel, opt.Collect, spec.SelfFilter)
+				ts := tr.Start(execSp.SpanID(), obs.SpanTask)
+				ts.SetWorker(wname).SetInt("partition", int64(p))
+				outs[p] = JoinPartitionTraced(partR[p], partS[p], opt.Eps, spec.Kernel, opt.Collect, spec.SelfFilter, ts)
 			}
 			busy[w] = time.Since(t0)
 		}(w)
 	}
 	wg.Wait()
+	execSp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package dpe
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count gates skip under it because its instrumentation
+// makes testing.AllocsPerRun nondeterministic.
+const raceEnabled = true

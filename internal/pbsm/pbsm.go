@@ -23,6 +23,7 @@ import (
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/grid"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/replicate"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/tuple"
@@ -79,6 +80,10 @@ type Config struct {
 	PoolSize int
 	// Engine selects the execution backend (nil: in-process local engine).
 	Engine dpe.Engine
+	// Tracer records phase and task spans under TraceParent; nil
+	// disables tracing at zero cost.
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
 }
 
 // Result is the outcome of a PBSM join.
@@ -129,6 +134,9 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 		SelfFilter:   cfg.SelfFilter,
 		PoolSize:     cfg.PoolSize,
 		Engine:       cfg.Engine,
+
+		Tracer:      cfg.Tracer,
+		TraceParent: cfg.TraceParent,
 	}
 	if cfg.Variant == Clone {
 		both := func(p geom.Point, set tuple.Set, dst []int) []int {
@@ -162,7 +170,10 @@ func (p *Plan) Execute(e core.Exec) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out, err := p.prep.ExecuteContext(ctx, dpe.ExecOptions{Eps: e.Eps, Collect: e.Collect})
+	out, err := p.prep.ExecuteContext(ctx, dpe.ExecOptions{
+		Eps: e.Eps, Collect: e.Collect,
+		Tracer: e.Tracer, TraceParent: e.TraceParent,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -58,6 +59,8 @@ type errorWire struct {
 //	DELETE /v1/datasets/{name}       drop a dataset (and its cached plans)
 //	POST   /v1/join                  execute a join (JSON body)
 //	POST   /v1/join/count            same, but never materialises pairs
+//	GET    /v1/joins/{id}/trace      span tree + skew of a recent join
+//	                                 (?format=chrome for trace-event JSON)
 //	POST   /v1/stream                create a streaming join (JSON body)
 //	GET    /v1/stream                list streams
 //	DELETE /v1/stream/{name}         tear a stream down
@@ -78,6 +81,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/join/count", s.instrument("join_count", func(w http.ResponseWriter, r *http.Request) (int, error) {
 		return s.handleJoin(w, r, false)
 	}))
+	mux.HandleFunc("GET /v1/joins/{id}/trace", s.instrument("join_trace", s.handleJoinTrace))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -194,6 +198,31 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request, allowCollec
 	resp, err := s.Join(r.Context(), req)
 	if err != nil {
 		return joinErrorCode(err), err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleJoinTrace(w http.ResponseWriter, r *http.Request) (int, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return http.StatusBadRequest, fmt.Errorf("service: bad join id %q", r.PathValue("id"))
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		var buf bytes.Buffer
+		ok, err := s.TraceChrome(id, &buf)
+		if !ok {
+			return http.StatusNotFound, fmt.Errorf("service: no retained trace for join %d", id)
+		}
+		if err != nil {
+			return http.StatusInternalServerError, err
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+		return http.StatusOK, nil
+	}
+	resp, ok := s.Trace(id)
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("service: no retained trace for join %d", id)
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }

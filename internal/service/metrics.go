@@ -80,7 +80,8 @@ func (c *counterVec) Value(labelValues ...string) int64 {
 	return 0
 }
 
-// histogram is a fixed-bucket cumulative histogram of seconds.
+// histogram is a fixed-bucket cumulative histogram (seconds for latency
+// metrics, bytes for size metrics).
 type histogram struct {
 	name, help string
 	bounds     []float64 // upper bounds, ascending; +Inf implicit
@@ -95,12 +96,12 @@ func newHistogram(name, help string, bounds ...float64) *histogram {
 	return &histogram{name: name, help: help, bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
 
-func (h *histogram) Observe(seconds float64) {
+func (h *histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, seconds)
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
-	h.sum += seconds
+	h.sum += v
 	h.n++
 }
 
@@ -115,6 +116,12 @@ func (h *histogram) Count() int64 {
 var defBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// byteBuckets are size buckets from 256 B to 1 GiB in powers of four.
+var byteBuckets = []float64{
+	1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18,
+	1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30,
 }
 
 // Metrics is the service's metric set.
@@ -134,6 +141,10 @@ type Metrics struct {
 
 	PlanBuild *histogram // prepared-plan construction latency
 	Probe     *histogram // plan execution (probe) latency
+
+	JoinLatency  *histogram // end-to-end join latency (build + probe)
+	TaskDuration *histogram // partition task durations, from trace task spans
+	ShuffleBytes *histogram // shuffled bytes per join
 
 	JoinResults      *counter // result pairs served
 	ReplicatedServed *counter // replicated objects served by executed plans
@@ -187,6 +198,10 @@ func NewMetrics() *Metrics {
 
 		PlanBuild: newHistogram("sjoind_plan_build_seconds", "Prepared-plan construction latency (sample, grid, agreements, map, shuffle).", defBuckets...),
 		Probe:     newHistogram("sjoind_probe_seconds", "Plan execution latency (partition-level joins).", defBuckets...),
+
+		JoinLatency:  newHistogram("sjoind_join_seconds", "End-to-end join latency (plan build on cache misses, plus probe).", defBuckets...),
+		TaskDuration: newHistogram("sjoind_task_seconds", "Partition task durations, extracted from each join's trace task spans.", defBuckets...),
+		ShuffleBytes: newHistogram("sjoind_shuffle_bytes", "Shuffled bytes per join (replication-driven network traffic).", byteBuckets...),
 
 		JoinResults:      &counter{name: "sjoind_join_results_total", help: "Result pairs counted across all joins."},
 		ReplicatedServed: &counter{name: "sjoind_replicated_objects_served_total", help: "Replicated objects served by executed plans."},
@@ -246,7 +261,7 @@ func (m *Metrics) Render(w io.Writer) {
 		m.ClusterTasks, m.ClusterRetries,
 		m.ClusterSpecLaunched, m.ClusterSpecWins,
 	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, escapeHelp(c.help), c.name, c.name, c.Value())
 	}
 	for _, g := range []*gauge{
 		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
@@ -254,18 +269,21 @@ func (m *Metrics) Render(w io.Writer) {
 		m.Streams, m.StreamPoints, m.StreamReplicas, m.StreamSubscribers,
 		m.ClusterWorkers,
 	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, escapeHelp(g.help), g.name, g.name, g.Value())
 	}
 	for _, v := range []*counterVec{m.Requests, m.Rejected, m.StreamDeltaPairs} {
 		renderVec(w, v)
 	}
-	for _, h := range []*histogram{m.QueueWait, m.PlanBuild, m.Probe} {
+	for _, h := range []*histogram{
+		m.QueueWait, m.PlanBuild, m.Probe,
+		m.JoinLatency, m.TaskDuration, m.ShuffleBytes,
+	} {
 		renderHistogram(w, h)
 	}
 }
 
 func renderVec(w io.Writer, v *counterVec) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, escapeHelp(v.help), v.name)
 	v.mu.Lock()
 	keys := make([]string, 0, len(v.vals))
 	for k := range v.vals {
@@ -281,7 +299,7 @@ func renderVec(w io.Writer, v *counterVec) {
 		vals := strings.Split(k, "\xff")
 		parts := make([]string, len(v.labels))
 		for i, name := range v.labels {
-			parts[i] = fmt.Sprintf("%s=%q", name, vals[i])
+			parts[i] = name + `="` + escapeLabel(vals[i]) + `"`
 		}
 		rows = append(rows, row{labels: strings.Join(parts, ","), n: v.vals[k].Load()})
 	}
@@ -296,11 +314,11 @@ func renderHistogram(w io.Writer, h *histogram) {
 	counts := append([]int64(nil), h.counts...)
 	sum, n := h.sum, h.n
 	h.mu.Unlock()
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, escapeHelp(h.help), h.name)
 	var cum int64
 	for i, ub := range h.bounds {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(ub), cum)
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, formatBound(ub), cum)
 	}
 	cum += counts[len(counts)-1]
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
@@ -314,6 +332,23 @@ func formatBound(b float64) string {
 	}
 	return fmt.Sprintf("%g", b)
 }
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and line feed.
+func escapeLabel(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+// escapeHelp escapes HELP text: backslash and line feed (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	return helpEscaper.Replace(v)
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
 
 // Snapshot returns the metric set as a flat JSON-friendly map — the
 // /debug/vars mirror of the Prometheus exposition.
@@ -348,9 +383,12 @@ func (m *Metrics) Snapshot() map[string]any {
 		v.mu.Unlock()
 		out[v.name] = sub
 	}
-	for _, h := range []*histogram{m.QueueWait, m.PlanBuild, m.Probe} {
+	for _, h := range []*histogram{
+		m.QueueWait, m.PlanBuild, m.Probe,
+		m.JoinLatency, m.TaskDuration, m.ShuffleBytes,
+	} {
 		h.mu.Lock()
-		out[h.name] = map[string]any{"count": h.n, "sum_seconds": h.sum}
+		out[h.name] = map[string]any{"count": h.n, "sum": h.sum}
 		h.mu.Unlock()
 	}
 	return out

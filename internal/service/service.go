@@ -17,12 +17,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spatialjoin"
+	"spatialjoin/internal/obs"
 )
 
 // Config tunes the service. Zero values select sensible defaults.
@@ -90,6 +92,22 @@ type Service struct {
 
 	streamMu sync.Mutex
 	streams  map[string]*streamState
+
+	traceMu    sync.Mutex
+	traces     map[int64]*joinTrace
+	traceOrder []int64
+	nextJoinID int64
+}
+
+// traceRingSize bounds how many completed join traces the service
+// retains for GET /v1/joins/{id}/trace; older ones are evicted FIFO.
+const traceRingSize = 64
+
+// joinTrace is one retained join trace.
+type joinTrace struct {
+	id        int64
+	algorithm string
+	tracer    *spatialjoin.Tracer
 }
 
 // New builds a service.
@@ -103,6 +121,7 @@ func New(cfg Config) *Service {
 		cache:    newPlanCache(cfg.PlanCacheSize, m),
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
 		streams:  map[string]*streamState{},
+		traces:   map[int64]*joinTrace{},
 	}
 }
 
@@ -186,6 +205,80 @@ type JoinResponse struct {
 
 	Pairs     [][2]int64 `json:"pairs,omitempty"` // when Collect, capped at Limit
 	Truncated bool       `json:"truncated,omitempty"`
+
+	// JoinID names this execution's retained trace: fetch the span tree
+	// and skew diagnostics at GET /v1/joins/{JoinID}/trace.
+	JoinID int64 `json:"join_id"`
+}
+
+// JoinTraceResponse is the payload of GET /v1/joins/{id}/trace: the
+// join's full span tree plus skew diagnostics derived from it.
+type JoinTraceResponse struct {
+	JoinID    int64                    `json:"join_id"`
+	Algorithm string                   `json:"algorithm"`
+	TraceID   string                   `json:"trace_id"` // hex
+	Spans     int                      `json:"spans"`
+	Dropped   int                      `json:"dropped,omitempty"` // spans lost to the tracer's cap
+	Skew      spatialjoin.SkewReport   `json:"skew"`
+	Tree      []*spatialjoin.TraceNode `json:"tree"`
+}
+
+// Trace returns the retained trace of a completed join, or false when
+// the id is unknown or was evicted from the ring.
+func (s *Service) Trace(id int64) (*JoinTraceResponse, bool) {
+	s.traceMu.Lock()
+	jt, ok := s.traces[id]
+	s.traceMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return &JoinTraceResponse{
+		JoinID:    jt.id,
+		Algorithm: jt.algorithm,
+		TraceID:   fmt.Sprintf("%016x", uint64(jt.tracer.TraceID())),
+		Spans:     jt.tracer.Len(),
+		Dropped:   jt.tracer.Dropped(),
+		Skew:      jt.tracer.Skew(),
+		Tree:      jt.tracer.Tree(),
+	}, true
+}
+
+// TraceChrome writes a retained trace in Chrome trace-event format; it
+// reports false when the id is unknown or evicted.
+func (s *Service) TraceChrome(id int64, w io.Writer) (bool, error) {
+	s.traceMu.Lock()
+	jt, ok := s.traces[id]
+	s.traceMu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	return true, jt.tracer.WriteChromeTrace(w)
+}
+
+// observeTrace feeds a finished join's trace into the latency, task and
+// shuffle histograms, retains it in the ring, and returns its join id.
+func (s *Service) observeTrace(algorithm string, tr *spatialjoin.Tracer, total time.Duration) int64 {
+	s.Metrics.JoinLatency.Observe(total.Seconds())
+	for _, sp := range tr.Spans() {
+		if sp.Name == obs.SpanTask && sp.Done > sp.Start {
+			s.Metrics.TaskDuration.Observe(float64(sp.Done-sp.Start) / 1e9)
+		}
+	}
+	if sk := tr.Skew(); sk.ShuffleBytes > 0 {
+		s.Metrics.ShuffleBytes.Observe(float64(sk.ShuffleBytes))
+	}
+
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.nextJoinID++
+	id := s.nextJoinID
+	s.traces[id] = &joinTrace{id: id, algorithm: algorithm, tracer: tr}
+	s.traceOrder = append(s.traceOrder, id)
+	if len(s.traceOrder) > traceRingSize {
+		delete(s.traces, s.traceOrder[0])
+		s.traceOrder = s.traceOrder[1:]
+	}
+	return id
 }
 
 // Join executes one join request end to end: admission, plan cache
@@ -237,19 +330,33 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		}
 	}()
 
+	// Every join is traced; the tracer is bounded (span cap) and cheap
+	// relative to the join itself, and it feeds the task/shuffle
+	// histograms and the /v1/joins/{id}/trace endpoint.
+	tr := spatialjoin.NewTracer()
+	root := tr.Start(0, obs.SpanJoin)
+	root.SetStr("algorithm", req.Algorithm.String()).
+		SetStr("r", rd.Name).SetStr("s", sd.Name)
+
 	// SedonaLike has no reusable plan: run it one-shot on the pool,
 	// bypassing the plan cache.
 	if req.Algorithm == spatialjoin.SedonaLike {
 		o := opt
 		o.Collect = req.Collect
+		o.Trace = tr
+		o.TraceParent = root.SpanID()
 		t0 := time.Now()
 		rep, err := spatialjoin.JoinContext(ctx, rd.Tuples, sd.Tuples, o)
 		if err != nil {
 			return nil, err
 		}
-		s.Metrics.Probe.Observe(time.Since(t0).Seconds())
+		total := time.Since(t0)
+		root.End()
+		s.Metrics.Probe.Observe(total.Seconds())
 		s.Metrics.JoinResults.Add(rep.Results)
-		return s.respond(req, rep, rd, sd, false, 0, time.Since(t0)), nil
+		resp := s.respond(req, rep, rd, sd, false, 0, total)
+		resp.JoinID = s.observeTrace(resp.Algorithm, tr, total)
+		return resp, nil
 	}
 
 	key := PlanKey{
@@ -264,6 +371,10 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 	var buildDur time.Duration
 	plan, hit, err := s.cache.GetOrBuild(key, func() (*spatialjoin.PreparedJoin, error) {
 		o := opt
+		// The building request's tracer captures the construction phases
+		// (plan, replicate, shuffle); cache hits skip them by design.
+		o.Trace = tr
+		o.TraceParent = root.SpanID()
 		// Reuse the datasets' cached Bernoulli samples across plans (e.g.
 		// ε re-sweeps): the facade draws R with Seed and S with Seed+1.
 		if isAdaptive(req.Algorithm) {
@@ -302,7 +413,11 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		// The request context rides into the engine, so a deadline that
 		// fires mid-join cancels the in-flight partition work instead of
 		// letting it run to completion unobserved.
-		rep, err := plan.ExecuteContext(ctx, spatialjoin.ExecOptions{Collect: req.Collect})
+		rep, err := plan.ExecuteContext(ctx, spatialjoin.ExecOptions{
+			Collect:     req.Collect,
+			Trace:       tr,
+			TraceParent: root.SpanID(),
+		})
 		probe := time.Since(t0)
 		if err == nil {
 			s.Metrics.Probe.Observe(probe.Seconds())
@@ -325,7 +440,10 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		return nil, ctx.Err()
 	}
 
-	return s.respond(req, rep, rd, sd, hit, buildDur, probe), nil
+	root.End()
+	resp := s.respond(req, rep, rd, sd, hit, buildDur, probe)
+	resp.JoinID = s.observeTrace(resp.Algorithm, tr, buildDur+probe)
+	return resp, nil
 }
 
 // respond converts a Report into the wire response.

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialjoin"
+)
+
+// TestServiceJoinTrace checks every join retains a trace reachable by
+// its join id, with a single join-rooted span tree, task spans, and a
+// populated skew report, and that the histograms were fed.
+func TestServiceJoinTrace(t *testing.T) {
+	s := testService(t, Config{})
+	resp, err := s.Join(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.JoinID == 0 {
+		t.Fatal("join response carries no join id")
+	}
+	tr, ok := s.Trace(resp.JoinID)
+	if !ok {
+		t.Fatalf("trace for join %d not retained", resp.JoinID)
+	}
+	if tr.TraceID == "" || tr.Spans == 0 {
+		t.Fatalf("empty trace: %+v", tr)
+	}
+	if len(tr.Tree) != 1 || tr.Tree[0].Name != "join" {
+		t.Fatalf("trace is not a single join-rooted tree: %d roots", len(tr.Tree))
+	}
+	if tr.Skew.Tasks == 0 || tr.Skew.MaxTaskMicros <= 0 {
+		t.Fatalf("skew report empty: %+v", tr.Skew)
+	}
+	if got := s.Metrics.JoinLatency.Count(); got != 1 {
+		t.Fatalf("join latency histogram count = %d, want 1", got)
+	}
+	if got := s.Metrics.TaskDuration.Count(); got < int64(tr.Skew.Tasks) {
+		t.Fatalf("task histogram count = %d, want >= %d", got, tr.Skew.Tasks)
+	}
+
+	if _, ok := s.Trace(resp.JoinID + 999); ok {
+		t.Fatal("unknown join id returned a trace")
+	}
+}
+
+// TestServiceTraceRingEviction checks the trace ring keeps only the
+// most recent traceRingSize joins.
+func TestServiceTraceRingEviction(t *testing.T) {
+	s := New(Config{})
+	var first, last int64
+	for i := 0; i < traceRingSize+5; i++ {
+		tr := spatialjoin.NewTracer()
+		sp := tr.Start(0, "join")
+		sp.End()
+		last = s.observeTrace("lpib", tr, time.Millisecond)
+		if i == 0 {
+			first = last
+		}
+	}
+	if _, ok := s.Trace(first); ok {
+		t.Fatal("oldest trace survived past the ring capacity")
+	}
+	if _, ok := s.Trace(last); !ok {
+		t.Fatal("newest trace missing")
+	}
+	s.traceMu.Lock()
+	n := len(s.traces)
+	s.traceMu.Unlock()
+	if n != traceRingSize {
+		t.Fatalf("ring holds %d traces, want %d", n, traceRingSize)
+	}
+}
+
+// TestHTTPJoinTraceEndpoint exercises GET /v1/joins/{id}/trace over
+// HTTP in both formats, plus its error paths.
+func TestHTTPJoinTraceEndpoint(t *testing.T) {
+	s := testService(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := strings.NewReader(`{"r": "r", "s": "s", "eps": 0.5}`)
+	res, err := http.Post(srv.URL+"/v1/join", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JoinResponse
+	if err := json.NewDecoder(res.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if jr.JoinID == 0 {
+		t.Fatal("HTTP join response carries no join_id")
+	}
+
+	res, err = http.Get(fmt.Sprintf("%s/v1/joins/%d/trace", srv.URL, jr.JoinID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint status %d", res.StatusCode)
+	}
+	var tw JoinTraceResponse
+	if err := json.NewDecoder(res.Body).Decode(&tw); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if tw.JoinID != jr.JoinID || len(tw.Tree) != 1 || tw.Skew.Tasks == 0 {
+		t.Fatalf("trace payload implausible: %+v", tw)
+	}
+
+	// Chrome trace-event export: a traceEvents array of metadata ("M")
+	// and complete ("X") events with non-negative microsecond stamps.
+	res, err = http.Get(fmt.Sprintf("%s/v1/joins/%d/trace?format=chrome", srv.URL, jr.JoinID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	res.Body.Close()
+	var complete int
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "M" && ev.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		if ev.Ph == "X" {
+			complete++
+			if ev.Name == "" || ev.Ts < 0 {
+				t.Fatalf("malformed complete event: %+v", ev)
+			}
+		}
+	}
+	if complete == 0 {
+		t.Fatal("chrome trace has no complete events")
+	}
+
+	for path, want := range map[string]int{
+		"/v1/joins/999999/trace": http.StatusNotFound,
+		"/v1/joins/xyz/trace":    http.StatusBadRequest,
+	} {
+		res, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != want {
+			t.Fatalf("GET %s status %d, want %d", path, res.StatusCode, want)
+		}
+	}
+}
+
+// Prometheus text-format grammar for one sample line.
+var sampleRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\\\|\\"|\\n|[^"\\])*")*\})? (-?[0-9.]+([eE][+-]?[0-9]+)?|\+Inf|NaN)$`)
+
+var commentRe = regexp.MustCompile(
+	`^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* [^\n]*|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))$`)
+
+// TestMetricsExpositionFormat scrapes /metrics after real traffic —
+// including a label value that needs every escape the format defines —
+// and validates the exposition line by line: each line is a well-formed
+// HELP/TYPE comment or sample, and every sample belongs to a metric
+// family declared by a preceding HELP + TYPE pair.
+func TestMetricsExpositionFormat(t *testing.T) {
+	s := testService(t, Config{})
+	if _, err := s.Join(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial label value: quote, backslash, newline.
+	s.Metrics.Requests.Inc("weird\"end\\point\nnewline", "200")
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	var sb strings.Builder
+	s.Metrics.Render(&sb)
+	out := sb.String()
+
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	samples := 0
+	for i, line := range strings.Split(out, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !commentRe.MatchString(line) {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			f := strings.Fields(line)
+			if f[1] == "HELP" {
+				helped[f[2]] = true
+			} else {
+				typed[f[2]] = true
+				if f[3] == "histogram" {
+					for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+						helped[f[2]+sfx] = true
+						typed[f[2]+sfx] = true
+					}
+				}
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		if !helped[m[1]] || !typed[m[1]] {
+			t.Fatalf("line %d: sample %q not preceded by HELP+TYPE", i+1, m[1])
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples rendered")
+	}
+
+	// The adversarial label value must come out escaped, on one line.
+	want := `endpoint="weird\"end\\point\nnewline"`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition lacks escaped label value %s", want)
+	}
+	// And the new histograms must be present after a traced join.
+	for _, name := range []string{"sjoind_join_seconds", "sjoind_task_seconds"} {
+		if !strings.Contains(out, "# TYPE "+name+" histogram") {
+			t.Fatalf("missing histogram %s", name)
+		}
+		if !strings.Contains(out, name+"_count") {
+			t.Fatalf("missing %s_count sample", name)
+		}
+	}
+}

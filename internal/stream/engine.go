@@ -10,6 +10,7 @@ import (
 	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/grid"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/tuple"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	RebalanceEvery int
 	// Now is the clock used for TTL bookkeeping; time.Now when nil.
 	Now func() time.Time
+	// Tracer, when non-nil, records a span per rebalance cycle and slab
+	// compaction. The tracer's span cap (obs.DefaultLimit unless raised
+	// with SetLimit) bounds memory on long-lived streams; nil costs
+	// nothing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -377,8 +383,7 @@ func (e *Engine) upsertLocked(set tuple.Set, t tuple.Tuple, now time.Time) {
 		})
 		cs.slabs[set].insert(t)
 		if cs.slabs[set].needsCompaction() {
-			cs.slabs[set].compact()
-			e.c.SlabRebuilds++
+			e.compactSlab(&cs.slabs[set], set, c)
 		}
 	}
 	native := cells[0]
@@ -417,8 +422,7 @@ func (e *Engine) removeEntryLocked(set tuple.Set, en *entry) {
 			e.emitLocked(Remove, set, id, m.ID)
 		})
 		if cs.slabs[set].needsCompaction() {
-			cs.slabs[set].compact()
-			e.c.SlabRebuilds++
+			e.compactSlab(&cs.slabs[set], set, int(c32))
 		}
 	}
 	native := int(en.cells[0])

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"spatialjoin/internal/grid"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/tuple"
 )
 
@@ -20,6 +21,9 @@ import (
 // change the statistics, so the desired types are independent of
 // application order and one scan converges in a single pass.
 func (e *Engine) rebalanceLocked() {
+	sp := e.cfg.Tracer.Start(0, obs.SpanRebalance)
+	sp.SetInt("dirty_cells", int64(len(e.dirty)))
+	defer sp.End()
 	e.c.RebalanceRuns++
 	if len(e.dirty) == 0 {
 		return
@@ -61,6 +65,7 @@ func (e *Engine) rebalanceLocked() {
 	slices.SortFunc(flips, func(a, b flipRec) int {
 		return (a.ci*4 + canonSlot(a.dir)) - (b.ci*4 + canonSlot(b.dir))
 	})
+	sp.SetInt("flips", int64(len(flips)))
 	for _, f := range flips {
 		e.flipLocked(f.ci, f.dir, f.want)
 	}
@@ -107,8 +112,7 @@ func (e *Engine) migrateLocked(set tuple.Set, en *entry) {
 			cs := &e.cells[oc]
 			cs.slabs[set].remove(en.t.ID)
 			if cs.slabs[set].needsCompaction() {
-				cs.slabs[set].compact()
-				e.c.SlabRebuilds++
+				e.compactSlab(&cs.slabs[set], set, int(oc))
 			}
 			moved++
 		}
@@ -117,8 +121,7 @@ func (e *Engine) migrateLocked(set tuple.Set, en *entry) {
 		if !containsInt32(en.cells, nc) {
 			e.cells[nc].slabs[set].insert(en.t)
 			if e.cells[nc].slabs[set].needsCompaction() {
-				e.cells[nc].slabs[set].compact()
-				e.c.SlabRebuilds++
+				e.compactSlab(&e.cells[nc].slabs[set], set, nc)
 			}
 			moved++
 		}
@@ -136,6 +139,16 @@ func (e *Engine) migrateLocked(set tuple.Set, en *entry) {
 	for i, c := range newCells {
 		en.cells[i] = int32(c)
 	}
+}
+
+// compactSlab recompacts one cell's slab under a compaction span, so
+// streams can attribute pause time to slab maintenance.
+func (e *Engine) compactSlab(s *slab, set tuple.Set, cell int) {
+	sp := e.cfg.Tracer.Start(0, obs.SpanCompact)
+	sp.SetInt("cell", int64(cell)).SetInt("set", int64(set))
+	s.compact()
+	e.c.SlabRebuilds++
+	sp.End()
 }
 
 func containsInt(xs []int, x int) bool {

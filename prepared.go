@@ -26,6 +26,12 @@ type ExecOptions struct {
 	Eps float64
 	// Collect materialises the result pairs in Report.Pairs.
 	Collect bool
+	// Trace records this execution's spans (tasks, supplementary join,
+	// dedup) under TraceParent. A prepared plan serving many probes gets
+	// a per-probe tracer here; nil falls back to the tracer the plan was
+	// built with, so one-shot joins yield a single tree.
+	Trace       *Tracer
+	TraceParent SpanID
 }
 
 // PreparedJoin is a reusable execution plan for an ε-distance join: the
@@ -80,6 +86,8 @@ func Prepare(rs, ss []Tuple, opt Options) (*PreparedJoin, error) {
 			Engine:         opt.Engine,
 			SampleR:        opt.PresampledR,
 			SampleS:        opt.PresampledS,
+			Tracer:         opt.Trace,
+			TraceParent:    opt.TraceParent,
 		})
 		if err != nil {
 			return nil, err
@@ -101,6 +109,8 @@ func Prepare(rs, ss []Tuple, opt Options) (*PreparedJoin, error) {
 			NetBandwidth: opt.NetBandwidth,
 			PoolSize:     opt.PoolSize,
 			Engine:       opt.Engine,
+			Tracer:       opt.Trace,
+			TraceParent:  opt.TraceParent,
 		})
 		if err != nil {
 			return nil, err
@@ -157,13 +167,19 @@ func (p *PreparedJoin) Execute(e ExecOptions) (*Report, error) {
 // a serving layer uses to make request deadlines cancel in-flight joins.
 func (p *PreparedJoin) ExecuteContext(ctx context.Context, e ExecOptions) (*Report, error) {
 	if p.adaptive != nil {
-		res, err := p.adaptive.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect, Ctx: ctx})
+		res, err := p.adaptive.Execute(core.Exec{
+			Eps: e.Eps, Collect: e.Collect, Ctx: ctx,
+			Tracer: e.Trace, TraceParent: e.TraceParent,
+		})
 		if err != nil {
 			return nil, err
 		}
 		return report(p.algorithm, res.Metrics, res.Pairs), nil
 	}
-	res, err := p.universal.Execute(core.Exec{Eps: e.Eps, Collect: e.Collect, Ctx: ctx})
+	res, err := p.universal.Execute(core.Exec{
+		Eps: e.Eps, Collect: e.Collect, Ctx: ctx,
+		Tracer: e.Trace, TraceParent: e.TraceParent,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -161,7 +161,7 @@ func TestSjoindRejectsBadFlags(t *testing.T) {
 	if err == nil {
 		t.Fatalf("bad -addr accepted: %s", out)
 	}
-	if !strings.Contains(string(out), "sjoind:") {
+	if !strings.Contains(string(out), "level=ERROR") || !strings.Contains(string(out), "listen failed") {
 		t.Fatalf("unexpected error output: %s", out)
 	}
 }

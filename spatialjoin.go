@@ -35,6 +35,7 @@ import (
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/knnjoin"
+	"spatialjoin/internal/obs"
 	"spatialjoin/internal/sample"
 	"spatialjoin/internal/sedonasim"
 	"spatialjoin/internal/textio"
@@ -62,6 +63,25 @@ type Engine = dpe.Engine
 // ClusterMetrics are the measured-on-the-wire counters of a distributed
 // engine run (all zero under the in-process engine).
 type ClusterMetrics = dpe.ClusterMetrics
+
+// Tracer records a span tree for a join — phase spans, per-partition
+// task spans with worker attribution, and typed attributes. Create one
+// with NewTracer, attach it via Options.Trace (or ExecOptions.Trace for
+// prepared-plan probes), then export with WriteChromeTrace, Tree, or
+// Skew. A nil tracer disables tracing at zero cost.
+type Tracer = obs.Tracer
+
+// SpanID identifies one span within a trace.
+type SpanID = obs.SpanID
+
+// SkewReport is the derived skew diagnostics of a traced join.
+type SkewReport = obs.SkewReport
+
+// TraceNode is one span of the exported JSON span tree.
+type TraceNode = obs.Node
+
+// NewTracer returns a tracer with a fresh trace id.
+func NewTracer() *Tracer { return obs.New() }
 
 // Algorithm selects the join strategy.
 type Algorithm uint8
@@ -167,6 +187,12 @@ type Options struct {
 	// nil runs them in-process. SedonaLike does not support remote
 	// engines (its R-tree kernel has no wire description).
 	Engine Engine
+	// Trace, when non-nil, records the join's span tree (phases, tasks,
+	// worker attribution) into the tracer. TraceParent optionally parents
+	// the spans under an existing span of the same tracer; Join/Prepare
+	// create their own root span when it is zero.
+	Trace       *Tracer
+	TraceParent SpanID
 }
 
 // Validate checks the options for values that would cause downstream
@@ -319,11 +345,24 @@ func JoinContext(ctx context.Context, rs, ss []Tuple, opt Options) (*Report, err
 		return report(opt.Algorithm, res.Metrics, res.Pairs), nil
 
 	default:
+		root := (*obs.Span)(nil)
+		if opt.Trace != nil && opt.TraceParent == 0 {
+			root = opt.Trace.Start(0, obs.SpanJoin)
+			root.SetStr("algorithm", opt.Algorithm.String())
+			opt.TraceParent = root.SpanID()
+		}
 		p, err := Prepare(rs, ss, opt)
 		if err != nil {
+			root.End()
 			return nil, err
 		}
-		return p.ExecuteContext(ctx, ExecOptions{Collect: opt.Collect})
+		rep, err := p.ExecuteContext(ctx, ExecOptions{
+			Collect:     opt.Collect,
+			Trace:       opt.Trace,
+			TraceParent: opt.TraceParent,
+		})
+		root.End()
+		return rep, err
 	}
 }
 
