@@ -20,7 +20,16 @@
 //	                   pooled buffers, batched emission
 //
 // plus core/columnar and core/scalar — the full adaptive join end to end
-// with the default (columnar) and oracle (scalar) kernels.
+// with the default (columnar) and oracle (scalar) kernels, and the
+// durable-store scan pair:
+//
+//	scan/disk  dstore.JoinFiles over two grid-partitioned colfiles, data
+//	           lanes mmap-streamed from disk one partition at a time
+//	scan/ram   the identical merge+sweep loop over the same partitions
+//	           preloaded into heap-resident slabs
+//
+// Both scans produce the same pairs (checked before measuring), so the
+// ratio isolates what the on-disk format costs over in-memory slabs.
 //
 // The report records ns/op, B/op, allocs/op, pairs/op, and pairs/sec per
 // benchmark, and the headline speedup ratios. CI runs this binary and
@@ -36,6 +45,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"testing"
@@ -43,6 +53,7 @@ import (
 	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/core"
 	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/dstore"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/obs"
 	"spatialjoin/internal/sweep"
@@ -77,6 +88,12 @@ type report struct {
 	// replica and over the current scalar kernel.
 	SpeedupColumnarVsSeed   float64 `json:"speedup_columnar_vs_seed"`
 	SpeedupColumnarVsScalar float64 `json:"speedup_columnar_vs_scalar"`
+
+	// ScanWorkload describes the disk-vs-RAM inputs; DiskVsRAMScan is
+	// scan/disk pairs/sec over scan/ram pairs/sec (1.0 = the mmap format
+	// is free once pages are resident).
+	ScanWorkload  string  `json:"scan_workload"`
+	DiskVsRAMScan float64 `json:"disk_vs_ram_scan"`
 }
 
 func randomTuples(rng *rand.Rand, n int, extent float64, base int64) []tuple.Tuple {
@@ -127,6 +144,91 @@ func seedPlaneSweep(rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
 	}
 }
 
+// ramPartitions is a partitioned colfile preloaded into heap slabs: the
+// RAM baseline for the scan comparison. Chunk order and x-sortedness are
+// preserved, so joinRAM can run the exact JoinFiles merge+sweep loop.
+type ramPartitions struct {
+	cells  []int64         // R-native iteration order
+	native []colsweep.Cols // parallel to cells
+	sNat   map[int64]colsweep.Cols
+	sHalo  map[int64]colsweep.Cols
+}
+
+func cloneCols(c colsweep.Cols) colsweep.Cols {
+	var out colsweep.Cols
+	for i := 0; i < c.Len(); i++ {
+		out.Append(c.Xs[i], c.Ys[i], c.IDs[i])
+	}
+	return out
+}
+
+func loadPartitions(r *dstore.ColReader) ramPartitions {
+	p := ramPartitions{
+		sNat:  make(map[int64]colsweep.Cols),
+		sHalo: make(map[int64]colsweep.Cols),
+	}
+	for i := 0; i < r.NumChunks(); i++ {
+		info := r.Info(i)
+		c := cloneCols(r.Chunk(i))
+		if info.Kind == dstore.ChunkKindNative {
+			p.cells = append(p.cells, info.Cell)
+			p.native = append(p.native, c)
+			p.sNat[info.Cell] = c
+		} else {
+			p.sHalo[info.Cell] = c
+		}
+	}
+	return p
+}
+
+// joinRAM mirrors dstore.JoinFiles partition for partition over
+// heap-resident slabs: per R-native cell, merge the S native and halo
+// chunks linearly, sweep with the columnar kernel.
+func joinRAM(r, s ramPartitions, eps float64) int64 {
+	var pairs int64
+	b := colsweep.Get()
+	defer colsweep.Put(b)
+	out := b.Batch(func(ps []tuple.Pair) { pairs += int64(len(ps)) }, false)
+	var merged colsweep.Cols
+	for i, rc := range r.native {
+		cell := r.cells[i]
+		sn, okN := s.sNat[cell]
+		sh, okH := s.sHalo[cell]
+		var sc colsweep.Cols
+		switch {
+		case okN && okH:
+			merged.Reset()
+			a, b2 := sn, sh
+			x, y := 0, 0
+			for x < a.Len() && y < b2.Len() {
+				if a.Xs[x] <= b2.Xs[y] {
+					merged.Append(a.Xs[x], a.Ys[x], a.IDs[x])
+					x++
+				} else {
+					merged.Append(b2.Xs[y], b2.Ys[y], b2.IDs[y])
+					y++
+				}
+			}
+			for ; x < a.Len(); x++ {
+				merged.Append(a.Xs[x], a.Ys[x], a.IDs[x])
+			}
+			for ; y < b2.Len(); y++ {
+				merged.Append(b2.Xs[y], b2.Ys[y], b2.IDs[y])
+			}
+			sc = merged
+		case okN:
+			sc = sn
+		case okH:
+			sc = sh
+		default:
+			continue
+		}
+		colsweep.SweepSorted(&rc, &sc, eps, out)
+	}
+	out.Flush()
+	return pairs
+}
+
 func measure(name string, pairsPerOp int64, bench func(b *testing.B)) entry {
 	res := testing.Benchmark(bench)
 	ns := float64(res.NsPerOp())
@@ -153,6 +255,7 @@ func main() {
 		eps     = flag.Float64("eps", 0.5, "join distance")
 		extent  = flag.Float64("extent", 8, "cell extent (points uniform in [0,extent)^2)")
 		e2eN    = flag.Int("e2e-n", 50000, "points per side for the end-to-end core benchmark")
+		scanN   = flag.Int("scan-n", 200_000, "points per side for the disk-vs-RAM partition scan")
 	)
 	flag.Parse()
 
@@ -263,6 +366,64 @@ func main() {
 		}
 	}))
 
+	// Disk vs RAM: the same grid-partitioned join, once streamed from
+	// mmap colfiles (dstore.JoinFiles) and once over the identical
+	// partitions preloaded into heap slabs.
+	scanDir, err := os.MkdirTemp("", "bench-scan")
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	defer os.RemoveAll(scanDir)
+	scanEps := 0.5
+	scanBounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	scanR := randomTuples(rng, *scanN, 100, 0)
+	scanS := randomTuples(rng, *scanN, 100, 1<<40)
+	rPath := filepath.Join(scanDir, "r.col")
+	sPath := filepath.Join(scanDir, "s.col")
+	if err := dstore.WritePartitioned(rPath, scanR, scanEps, 0, scanBounds); err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	if err := dstore.WritePartitioned(sPath, scanS, scanEps, 0, scanBounds); err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	rr, err := dstore.OpenColFile(rPath)
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	defer rr.Close()
+	sr, err := dstore.OpenColFile(sPath)
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	defer sr.Close()
+	ramR, ramS := loadPartitions(rr), loadPartitions(sr)
+
+	// Counted pass: both scan paths must agree before their throughput
+	// is worth comparing.
+	diskPairs, err := dstore.JoinFiles(rr, sr, scanEps, nil)
+	if err != nil {
+		log.Fatalf("bench: disk scan: %v", err)
+	}
+	if ramPairs := joinRAM(ramR, ramS, scanEps); ramPairs != diskPairs {
+		log.Fatalf("bench: scan divergence: disk %d pairs, ram %d pairs", diskPairs, ramPairs)
+	}
+	rep.ScanWorkload = fmt.Sprintf("%d R x %d S uniform points in [0,100)^2, eps=%g, %d pairs/op",
+		*scanN, *scanN, scanEps, diskPairs)
+	rep.Entries = append(rep.Entries, measure("scan/disk", diskPairs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dstore.JoinFiles(rr, sr, scanEps, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Entries = append(rep.Entries, measure("scan/ram", diskPairs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			joinRAM(ramR, ramS, scanEps)
+		}
+	}))
+
 	// Per-phase wall times from the tracer, one traced run.
 	trCfg := e2eCfg
 	trCfg.Simple = true
@@ -299,8 +460,11 @@ func main() {
 	if s := byName["sweep/scalar"].PairsPerSec; s > 0 {
 		rep.SpeedupColumnarVsScalar = byName["sweep/columnar"].PairsPerSec / s
 	}
-	fmt.Printf("columnar vs seed:   %.2fx pairs/sec\ncolumnar vs scalar: %.2fx pairs/sec\n",
-		rep.SpeedupColumnarVsSeed, rep.SpeedupColumnarVsScalar)
+	if s := byName["scan/ram"].PairsPerSec; s > 0 {
+		rep.DiskVsRAMScan = byName["scan/disk"].PairsPerSec / s
+	}
+	fmt.Printf("columnar vs seed:   %.2fx pairs/sec\ncolumnar vs scalar: %.2fx pairs/sec\ndisk vs ram scan:   %.2fx pairs/sec\n",
+		rep.SpeedupColumnarVsSeed, rep.SpeedupColumnarVsScalar, rep.DiskVsRAMScan)
 
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

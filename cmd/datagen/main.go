@@ -3,11 +3,19 @@
 // Usage:
 //
 //	datagen -kind gaussian -n 200000 -seed 101 -out s1.txt
+//	datagen -kind tiger -n 10000000 -seed 303 -stream-out r1.col
 //
 // Kinds: uniform, gaussian (the paper's 30-cluster synthetic), tiger
 // (TIGER-Hydrography-like skew), osm (OSM-Parks-like skew). The paper
 // codenames map to: S1 = gaussian seed 101, S2 = gaussian seed 202,
 // R1 = tiger seed 303, R2 = osm seed 404.
+//
+// With -stream-out the points are streamed straight into the durable
+// store's columnar format (a .col file loadable by sjoind's -data-dir
+// machinery and cmd/bench) without ever materializing the whole data
+// set in memory, so sets larger than RAM can be generated. The
+// streaming generators make exactly the same rng draws as the in-memory
+// ones: the same (kind, n, seed) yields identical points either way.
 package main
 
 import (
@@ -17,50 +25,87 @@ import (
 	"strings"
 
 	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/dstore"
+	"spatialjoin/internal/geom"
 	"spatialjoin/internal/textio"
 	"spatialjoin/internal/tuple"
 )
 
 func main() {
 	var (
-		kind    = flag.String("kind", "gaussian", "distribution: uniform, gaussian, tiger, osm")
-		n       = flag.Int("n", 200_000, "number of points")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		out     = flag.String("out", "", "output file (required)")
-		payload = flag.Int("payload", 0, "attach a payload of this many bytes per point")
+		kind      = flag.String("kind", "gaussian", "distribution: uniform, gaussian, tiger, osm")
+		n         = flag.Int("n", 200_000, "number of points")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "text output file")
+		streamOut = flag.String("stream-out", "", "columnar output file, written streaming (O(1) memory)")
+		payload   = flag.Int("payload", 0, "attach a payload of this many bytes per point")
 	)
 	flag.Parse()
-	if *out == "" {
-		fail("-out is required")
+	if (*out == "") == (*streamOut == "") {
+		fail("exactly one of -out and -stream-out is required")
 	}
 	if *n <= 0 {
 		fail("-n must be positive")
 	}
 
 	w := datagen.World()
-	var ts []tuple.Tuple
-	switch strings.ToLower(*kind) {
-	case "uniform":
-		ts = datagen.Uniform(w, *n, *seed, 0)
-	case "gaussian":
-		ts = datagen.GaussianClusters(w, *n, 30, 0.1, 0.8, *seed, 0)
-	case "tiger":
-		ts = datagen.TigerLike(w, *n, *seed, 0)
-	case "osm":
-		ts = datagen.OSMLike(w, *n, *seed, 0)
-	default:
-		fail("unknown kind %q", *kind)
+	gen, err := generator(strings.ToLower(*kind), w, *n, *seed)
+	if err != nil {
+		fail("%v", err)
 	}
+	var pad []byte
 	if *payload > 0 {
-		pad := strings.Repeat("x", *payload)
-		for i := range ts {
-			ts[i].Payload = []byte(pad)
-		}
+		pad = []byte(strings.Repeat("x", *payload))
 	}
+
+	if *streamOut != "" {
+		cw, err := dstore.NewTuplesWriter(*streamOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		var werr error
+		gen(func(t tuple.Tuple) {
+			if werr != nil {
+				return
+			}
+			t.Payload = pad
+			werr = cw.Append(t)
+		})
+		if werr == nil {
+			werr = cw.Close()
+		}
+		if werr != nil {
+			fail("%v", werr)
+		}
+		fmt.Printf("wrote %d %s points to %s (columnar)\n", cw.Count(), *kind, *streamOut)
+		return
+	}
+
+	var ts []tuple.Tuple
+	gen(func(t tuple.Tuple) {
+		t.Payload = pad
+		ts = append(ts, t)
+	})
 	if err := textio.WriteFile(*out, ts); err != nil {
 		fail("%v", err)
 	}
 	fmt.Printf("wrote %d %s points to %s\n", len(ts), *kind, *out)
+}
+
+// generator returns the streaming form of the requested distribution.
+func generator(kind string, w geom.Rect, n int, seed int64) (func(func(tuple.Tuple)), error) {
+	switch kind {
+	case "uniform":
+		return func(emit func(tuple.Tuple)) { datagen.UniformEach(w, n, seed, 0, emit) }, nil
+	case "gaussian":
+		return func(emit func(tuple.Tuple)) { datagen.GaussianClustersEach(w, n, 30, 0.1, 0.8, seed, 0, emit) }, nil
+	case "tiger":
+		return func(emit func(tuple.Tuple)) { datagen.TigerLikeEach(w, n, seed, 0, emit) }, nil
+	case "osm":
+		return func(emit func(tuple.Tuple)) { datagen.OSMLikeEach(w, n, seed, 0, emit) }, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
 }
 
 func fail(format string, args ...interface{}) {

@@ -5,7 +5,16 @@
 //
 //	sjoind [-addr :8080] [-max-concurrent N] [-max-queue N]
 //	       [-plan-cache N] [-timeout 30s] [-pprof :6060]
+//	       [-data-dir DIR] [-fsync] [-checkpoint-every 30s]
 //	       [-cluster-listen :7077] [-cluster-workers N] [-log-level info]
+//
+// With -data-dir the daemon is durable: datasets, streams, and skew
+// history are logged to an append-only record log (plus columnar
+// dataset files and periodic checkpoints) under DIR, and a restart —
+// clean or after a crash — recovers the full state from the newest
+// checkpoint plus a bounded log tail. -fsync makes each acknowledged
+// mutation survive host crashes too; -checkpoint-every bounds the
+// replay tail (POST /v1/admin/checkpoint triggers one on demand).
 //
 // With -cluster-listen the daemon also accepts sjoin-worker connections
 // on that address and executes every join's partition-level work on the
@@ -26,6 +35,8 @@
 //	DELETE /v1/stream/{name}             tear a stream down
 //	POST   /v1/stream/ingest?name=N      apply NDJSON point mutations
 //	GET    /v1/stream/subscribe?name=N   chunked NDJSON result deltas
+//	POST   /v1/admin/checkpoint          write a durable checkpoint now
+//	GET    /v1/planner/history           persisted per-(R,S,eps) skew reports
 //	GET    /healthz                      200 ok / 503 draining
 //	GET    /metrics                      Prometheus text format
 //	GET    /debug/vars                   JSON metrics mirror
@@ -68,6 +79,10 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown drain deadline")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060; off when empty)")
 
+		dataDir   = flag.String("data-dir", "", "durable store directory; empty runs fully in-memory")
+		fsync     = flag.Bool("fsync", false, "fsync the record log after every append (requires -data-dir)")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval; 0 checkpoints only on demand (requires -data-dir)")
+
 		clusterListen  = flag.String("cluster-listen", "", "accept sjoin-worker connections on this address and run joins on them")
 		clusterWorkers = flag.Int("cluster-workers", 0, "workers to wait for before serving (requires -cluster-listen)")
 		clusterWait    = flag.Duration("cluster-wait", time.Minute, "how long to wait for -cluster-workers connections")
@@ -83,10 +98,20 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &level}))
 
 	cfg := service.Config{
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		PlanCacheSize:  *planCache,
-		DefaultTimeout: *timeout,
+		MaxConcurrent:   *maxConc,
+		MaxQueue:        *maxQueue,
+		PlanCacheSize:   *planCache,
+		DefaultTimeout:  *timeout,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		CheckpointEvery: *ckptEvery,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+	}
+	if (*fsync || *ckptEvery > 0) && *dataDir == "" {
+		logger.Error("-fsync and -checkpoint-every require -data-dir")
+		os.Exit(1)
 	}
 	if *clusterWorkers > 0 && *clusterListen == "" {
 		logger.Error("-cluster-workers requires -cluster-listen")
@@ -133,7 +158,11 @@ func main() {
 		}
 		cfg.Engine = coord.Engine()
 	}
-	svc := service.New(cfg)
+	svc, err := service.Open(cfg)
+	if err != nil {
+		logger.Error("opening durable store failed", "dir", *dataDir, "err", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{Handler: svc.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -166,5 +195,10 @@ func main() {
 			logger.Error("server failed", "err", err)
 			os.Exit(1)
 		}
+	}
+	// Final checkpoint + store close, so the next start replays nothing.
+	if err := svc.Close(); err != nil {
+		logger.Error("closing durable store failed", "err", err)
+		os.Exit(1)
 	}
 }

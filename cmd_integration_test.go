@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spatialjoin/internal/datagen"
+	"spatialjoin/internal/dstore"
 )
 
 // buildCmds compiles the command-line tools once into a temp dir and
@@ -118,5 +121,48 @@ func TestCommandErrors(t *testing.T) {
 		if err := cmd.Run(); err == nil {
 			t.Errorf("%v should have failed", args)
 		}
+	}
+}
+
+// TestDatagenStreamOut checks the -stream-out path end to end: the
+// streamed columnar file must contain exactly the points the in-memory
+// generator produces for the same (kind, n, seed), payloads included.
+func TestDatagenStreamOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t)
+	dir := t.TempDir()
+	col := filepath.Join(dir, "r1.col")
+	out := runCmd(t, bins["datagen"], "-kind", "tiger", "-n", "20000", "-seed", "303", "-payload", "4", "-stream-out", col)
+	if !strings.Contains(out, "wrote 20000 tiger points") {
+		t.Fatalf("datagen output: %s", out)
+	}
+
+	r, err := dstore.OpenColFile(col)
+	if err != nil {
+		t.Fatalf("opening streamed colfile: %v", err)
+	}
+	defer r.Close()
+	got, err := r.Tuples()
+	if err != nil {
+		t.Fatalf("reading streamed colfile: %v", err)
+	}
+	want := datagen.TigerLike(datagen.World(), 20000, 303, 0)
+	if len(got) != len(want) {
+		t.Fatalf("streamed file has %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Pt != want[i].Pt {
+			t.Fatalf("point %d = %+v, want %+v (draw order diverged)", i, got[i], want[i])
+		}
+		if string(got[i].Payload) != "xxxx" {
+			t.Fatalf("point %d payload = %q", i, got[i].Payload)
+		}
+	}
+
+	// Flag validation: -out and -stream-out are mutually exclusive.
+	if _, err := exec.Command(bins["datagen"], "-out", "a", "-stream-out", "b").CombinedOutput(); err == nil {
+		t.Fatal("datagen accepted both -out and -stream-out")
 	}
 }

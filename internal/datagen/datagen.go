@@ -30,20 +30,33 @@ func World() geom.Rect {
 // MBR; cluster dispersions scale by bounds.Width()/paperWorldWidth.
 const paperWorldWidth = 59.0
 
+// collect adapts a streaming generator into a slice. Streaming (Each)
+// and slice forms share one code path, so they make identical rng draws
+// in identical order and produce identical points.
+func collect(n int, gen func(emit func(tuple.Tuple))) []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, n)
+	gen(func(t tuple.Tuple) { out = append(out, t) })
+	return out
+}
+
 // Uniform generates n independent uniform points in bounds.
 func Uniform(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
+	return collect(n, func(emit func(tuple.Tuple)) { UniformEach(bounds, n, seed, idBase, emit) })
+}
+
+// UniformEach streams the exact point sequence Uniform would return,
+// one tuple at a time, without materializing the data set.
+func UniformEach(bounds geom.Rect, n int, seed, idBase int64, emit func(tuple.Tuple)) {
 	rng := rand.New(rand.NewSource(seed))
-	out := make([]tuple.Tuple, n)
-	for i := range out {
-		out[i] = tuple.Tuple{
+	for i := 0; i < n; i++ {
+		emit(tuple.Tuple{
 			ID: idBase + int64(i),
 			Pt: geom.Point{
 				X: bounds.MinX + rng.Float64()*bounds.Width(),
 				Y: bounds.MinY + rng.Float64()*bounds.Height(),
 			},
-		}
+		})
 	}
-	return out
 }
 
 // GaussianClusters generates n points distributed over numClusters
@@ -51,6 +64,14 @@ func Uniform(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
 // from [minSigma, maxSigma] (after world scaling). Points are clamped
 // into bounds, mirroring how real data accumulates at coastlines.
 func GaussianClusters(bounds geom.Rect, n, numClusters int, minSigma, maxSigma float64, seed, idBase int64) []tuple.Tuple {
+	return collect(n, func(emit func(tuple.Tuple)) {
+		GaussianClustersEach(bounds, n, numClusters, minSigma, maxSigma, seed, idBase, emit)
+	})
+}
+
+// GaussianClustersEach streams the exact point sequence GaussianClusters
+// would return.
+func GaussianClustersEach(bounds geom.Rect, n, numClusters int, minSigma, maxSigma float64, seed, idBase int64, emit func(tuple.Tuple)) {
 	if numClusters < 1 {
 		numClusters = 1
 	}
@@ -70,18 +91,16 @@ func GaussianClusters(bounds geom.Rect, n, numClusters int, minSigma, maxSigma f
 			sigma: (minSigma + rng.Float64()*(maxSigma-minSigma)) * scale,
 		}
 	}
-	out := make([]tuple.Tuple, n)
-	for i := range out {
+	for i := 0; i < n; i++ {
 		cl := clusters[rng.Intn(numClusters)]
-		out[i] = tuple.Tuple{
+		emit(tuple.Tuple{
 			ID: idBase + int64(i),
 			Pt: clampPoint(geom.Point{
 				X: cl.c.X + rng.NormFloat64()*cl.sigma,
 				Y: cl.c.Y + rng.NormFloat64()*cl.sigma,
 			}, bounds),
-		}
+		})
 	}
-	return out
 }
 
 // TigerLike models the TIGER Area Hydrography distribution: water
@@ -89,13 +108,19 @@ func GaussianClusters(bounds geom.Rect, n, numClusters int, minSigma, maxSigma f
 // of many elongated micro-clusters (random-walk traces) with a thin
 // uniform background.
 func TigerLike(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
+	return collect(n, func(emit func(tuple.Tuple)) { TigerLikeEach(bounds, n, seed, idBase, emit) })
+}
+
+// TigerLikeEach streams the exact point sequence TigerLike would return.
+func TigerLikeEach(bounds geom.Rect, n int, seed, idBase int64, yield func(tuple.Tuple)) {
 	rng := rand.New(rand.NewSource(seed))
 	scale := bounds.Width() / paperWorldWidth
-	out := make([]tuple.Tuple, 0, n)
+	count := 0
 	id := idBase
 	emit := func(p geom.Point) {
-		out = append(out, tuple.Tuple{ID: id, Pt: clampPoint(p, bounds)})
+		yield(tuple.Tuple{ID: id, Pt: clampPoint(p, bounds)})
 		id++
+		count++
 	}
 	// Real hydrography has essentially no uniform scatter: nearly every
 	// point lies on a water feature. A 3% background keeps the grid's
@@ -111,14 +136,14 @@ func TigerLike(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
 	// River traces: long, tight random walks. Like the real collection,
 	// the features cover a minority of the space at high local density —
 	// the regime in which replication decisions matter.
-	for len(out) < n {
+	for count < n {
 		p := geom.Point{
 			X: bounds.MinX + rng.Float64()*bounds.Width(),
 			Y: bounds.MinY + rng.Float64()*bounds.Height(),
 		}
 		walkLen := 50 + int(rng.ExpFloat64()*800)
 		step := 0.04 * scale
-		for s := 0; s < walkLen && len(out) < n; s++ {
+		for s := 0; s < walkLen && count < n; s++ {
 			p.X += rng.NormFloat64() * step
 			p.Y += rng.NormFloat64() * step
 			emit(geom.Point{
@@ -127,13 +152,17 @@ func TigerLike(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
 			})
 		}
 	}
-	return out
 }
 
 // OSMLike models the OSM Parks distribution: parks concentrate around
 // population centres with sizes following a power law, over a modest
 // uniform background.
 func OSMLike(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
+	return collect(n, func(emit func(tuple.Tuple)) { OSMLikeEach(bounds, n, seed, idBase, emit) })
+}
+
+// OSMLikeEach streams the exact point sequence OSMLike would return.
+func OSMLikeEach(bounds geom.Rect, n int, seed, idBase int64, emit func(tuple.Tuple)) {
 	rng := rand.New(rand.NewSource(seed))
 	scale := bounds.Width() / paperWorldWidth
 	const numCities = 80
@@ -167,8 +196,7 @@ func OSMLike(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
 		}
 		return cities[numCities-1]
 	}
-	out := make([]tuple.Tuple, n)
-	for i := range out {
+	for i := 0; i < n; i++ {
 		var p geom.Point
 		if rng.Float64() < 0.05 {
 			p = geom.Point{
@@ -182,9 +210,8 @@ func OSMLike(bounds geom.Rect, n int, seed, idBase int64) []tuple.Tuple {
 				Y: c.c.Y + rng.NormFloat64()*c.sigma,
 			}
 		}
-		out[i] = tuple.Tuple{ID: idBase + int64(i), Pt: clampPoint(p, bounds)}
+		emit(tuple.Tuple{ID: idBase + int64(i), Pt: clampPoint(p, bounds)})
 	}
-	return out
 }
 
 // Paper codename constructors. Each carries a fixed seed and a distinct

@@ -167,3 +167,38 @@ func TestGaussianClustersClampsClusterCount(t *testing.T) {
 		t.Fatalf("len = %d", len(ts))
 	}
 }
+
+// TestStreamingGeneratorsMatchSlices pins the streaming contract: each
+// Each-form generator must make exactly the same rng draws as its slice
+// form, so -stream-out files equal in-memory generation point for point.
+func TestStreamingGeneratorsMatchSlices(t *testing.T) {
+	w := World()
+	const n = 5000
+	cases := []struct {
+		name   string
+		slice  func() []tuple.Tuple
+		stream func(emit func(tuple.Tuple))
+	}{
+		{"uniform", func() []tuple.Tuple { return Uniform(w, n, 7, 10) },
+			func(emit func(tuple.Tuple)) { UniformEach(w, n, 7, 10, emit) }},
+		{"gaussian", func() []tuple.Tuple { return GaussianClusters(w, n, 30, 0.1, 0.8, 7, 10) },
+			func(emit func(tuple.Tuple)) { GaussianClustersEach(w, n, 30, 0.1, 0.8, 7, 10, emit) }},
+		{"tiger", func() []tuple.Tuple { return TigerLike(w, n, 7, 10) },
+			func(emit func(tuple.Tuple)) { TigerLikeEach(w, n, 7, 10, emit) }},
+		{"osm", func() []tuple.Tuple { return OSMLike(w, n, 7, 10) },
+			func(emit func(tuple.Tuple)) { OSMLikeEach(w, n, 7, 10, emit) }},
+	}
+	for _, tc := range cases {
+		want := tc.slice()
+		var got []tuple.Tuple
+		tc.stream(func(tu tuple.Tuple) { got = append(got, tu) })
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamed %d points, slice has %d", tc.name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Pt != want[i].Pt {
+				t.Fatalf("%s: point %d = %+v, want %+v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}

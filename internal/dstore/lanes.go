@@ -1,0 +1,74 @@
+package dstore
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian, which is what the on-disk formats use. When it does
+// (every supported platform in practice), lane accessors reinterpret
+// mapped bytes in place; otherwise they decode copies.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64Lane views n little-endian float64s starting at b[0]. Zero-copy
+// when the host is little-endian and b is 8-byte aligned.
+func f64Lane(b []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// i64Lane views n little-endian int64s starting at b[0].
+func i64Lane(b []byte, n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// readFileAligned reads a whole file into an 8-byte-aligned buffer (the
+// buffer is backed by a []uint64 allocation), for platforms without
+// mmap or when mapping fails.
+func readFileAligned(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	words := make([]uint64, (size+7)/8)
+	var buf []byte
+	if len(words) > 0 {
+		buf = unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	}
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

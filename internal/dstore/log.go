@@ -1,0 +1,429 @@
+// Package dstore is the durable dataset subsystem: an append-only,
+// CRC-framed ingest log (segment files + fsync policy), periodic
+// checkpoints of registry and stream-engine state, and an mmap-backed
+// columnar on-disk dataset format reusing the colsweep SoA slab layout.
+// Recovery is checkpoint + tail-of-log: the newest valid checkpoint
+// restores the bulk of the state and only records appended after its
+// coverage cursors are replayed.
+//
+// Layout under a store directory:
+//
+//	wal/wal-<firstseq>.log    CRC-framed record segments
+//	datasets/<name>-r<rev>-g<gen>.col  columnar dataset files
+//	checkpoints/ckpt-<seq>.ck checkpoint manifests + stream snapshots
+//
+// Every multi-byte integer in every on-disk format is little-endian.
+package dstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Log segment format: a 16-byte header (magic, version, first sequence
+// number) followed by records framed as
+//
+//	u32 payloadLen | u32 crc | u64 seq | u8 type | payload
+//
+// where crc is CRC-32 (IEEE) over seq, type and payload. Sequence
+// numbers start at 1 and increase by exactly 1 across segment
+// boundaries; replay stops cleanly at the first truncated, corrupt,
+// or out-of-sequence record.
+const (
+	segMagic      = 0x4C574A53 // "SJWL" little-endian
+	segVersion    = 1
+	segHeaderLen  = 16
+	frameHeadLen  = 4 + 4 + 8 + 1
+	maxRecordLen  = 64 << 20
+	defaultSegMax = 64 << 20
+)
+
+// segInfo is one on-disk segment.
+type segInfo struct {
+	path     string
+	firstSeq uint64
+}
+
+// logOptions tunes a segment log.
+type logOptions struct {
+	fsync      bool  // fsync after every append
+	segBytes   int64 // rotation threshold
+	onAppend   func(recordBytes int64)
+	onFsync    func()
+	onSegments func(n int64)
+}
+
+// wlog is the append-only segmented record log.
+type wlog struct {
+	dir  string
+	opts logOptions
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	lastSeq uint64
+	segs    []segInfo // ordered by firstSeq; last is active
+	buf     []byte
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstSeq)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".log")
+	if !ok || len(rest) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// openLog opens (or creates) the segment log under dir, truncating any
+// torn tail so the log ends at its last valid record. Segments beyond a
+// corruption point are unreachable by replay and are deleted.
+func openLog(dir string, opts logOptions) (*wlog, error) {
+	if opts.segBytes <= 0 {
+		opts.segBytes = defaultSegMax
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &wlog{dir: dir, opts: opts}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegName(e.Name()); ok {
+			l.segs = append(l.segs, segInfo{path: filepath.Join(dir, e.Name()), firstSeq: first})
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].firstSeq < l.segs[j].firstSeq })
+
+	// Validate every segment in order; at the first invalid byte the log
+	// logically ends: truncate that segment to its valid prefix and drop
+	// any later segments (they are unreachable by sequence continuity).
+	lastSeq := uint64(0) // last valid seq seen so far
+	cut := -1            // index of first segment to drop, -1 = log clean
+	for i, s := range l.segs {
+		if i > 0 && s.firstSeq != lastSeq+1 {
+			cut = i // gap in the sequence space: later segments unreachable
+			break
+		}
+		valid, last, err := scanSegment(s.path, s.firstSeq, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		if valid < 0 {
+			cut = i // unreadable segment header
+			break
+		}
+		if i == 0 {
+			// The log may start past seq 1 after earlier truncation.
+			lastSeq = s.firstSeq - 1
+		}
+		if last > 0 {
+			lastSeq = last
+		}
+		fi, err := os.Stat(s.path)
+		if err != nil {
+			return nil, err
+		}
+		if valid < fi.Size() {
+			// Torn or corrupt tail inside this segment: keep the valid
+			// prefix, drop everything after.
+			if err := os.Truncate(s.path, valid); err != nil {
+				return nil, err
+			}
+			cut = i + 1
+			break
+		}
+	}
+	if cut >= 0 {
+		for _, s := range l.segs[cut:] {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+		l.segs = l.segs[:cut]
+	}
+	l.lastSeq = lastSeq
+
+	if len(l.segs) == 0 {
+		if err := l.newSegmentLocked(l.lastSeq + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		active := l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(active.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(0, 2); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f = f
+		l.size = fi.Size()
+	}
+	l.notifySegments()
+	return l, nil
+}
+
+// scanSegment reads one segment sequentially, verifying the header, the
+// per-record CRC framing and sequence continuity (the first record must
+// carry exactly firstSeq when from == 0, or continue from a prior
+// segment). It returns the byte length of the valid prefix (-1 for an
+// invalid header), the last valid sequence number (0 when the segment
+// holds no valid records), and calls fn for every valid record with
+// seq >= from. Corruption is not an error: the scan just stops.
+func scanSegment(path string, firstSeq, from uint64, fn func(seq uint64, typ byte, payload []byte) error) (int64, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) < segHeaderLen {
+		return -1, 0, nil
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != segMagic ||
+		binary.LittleEndian.Uint16(data[4:]) != segVersion {
+		return -1, 0, nil
+	}
+	if binary.LittleEndian.Uint64(data[8:]) != firstSeq {
+		return -1, 0, nil
+	}
+	off := int64(segHeaderLen)
+	expect := firstSeq
+	last := uint64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeadLen {
+			break
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:])
+		if plen > maxRecordLen || int64(len(rest)) < int64(frameHeadLen)+int64(plen) {
+			break
+		}
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		seq := binary.LittleEndian.Uint64(rest[8:])
+		if seq != expect {
+			break
+		}
+		body := rest[8 : frameHeadLen+int(plen)] // seq | type | payload
+		if crc32.ChecksumIEEE(body) != crc {
+			break
+		}
+		if fn != nil && seq >= from {
+			if err := fn(seq, rest[16], rest[frameHeadLen:frameHeadLen+int(plen)]); err != nil {
+				return off, last, err
+			}
+		}
+		off += int64(frameHeadLen) + int64(plen)
+		last = seq
+		expect = seq + 1
+	}
+	return off, last, nil
+}
+
+// newSegmentLocked rotates to a fresh segment whose first record will
+// carry firstSeq. Callers hold l.mu (or are in single-threaded setup).
+func (l *wlog) newSegmentLocked(firstSeq uint64) error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], segMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], segVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], firstSeq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = segHeaderLen
+	l.segs = append(l.segs, segInfo{path: path, firstSeq: firstSeq})
+	l.notifySegments()
+	return nil
+}
+
+// Append frames and writes one record, returning its sequence number.
+func (l *wlog) Append(typ byte, payload []byte) (uint64, error) {
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("dstore: record of %d bytes exceeds the %d byte limit", len(payload), maxRecordLen)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.lastSeq + 1
+	need := frameHeadLen + len(payload)
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	b := l.buf[:need]
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(b[8:], seq)
+	b[16] = typ
+	copy(b[frameHeadLen:], payload)
+	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[8:]))
+	if _, err := l.f.Write(b); err != nil {
+		return 0, err
+	}
+	l.size += int64(need)
+	l.lastSeq = seq
+	if l.opts.fsync {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		if l.opts.onFsync != nil {
+			l.opts.onFsync()
+		}
+	}
+	if l.opts.onAppend != nil {
+		l.opts.onAppend(int64(need))
+	}
+	if l.size >= l.opts.segBytes {
+		if err := l.newSegmentLocked(seq + 1); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// LastSeq returns the sequence number of the last appended record.
+func (l *wlog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Replay calls fn for every valid record with seq >= from, in order.
+func (l *wlog) Replay(from uint64, fn func(seq uint64, typ byte, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segInfo(nil), l.segs...)
+	if l.f != nil {
+		// Make buffered appends visible to the read-back.
+		if err := l.f.Sync(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	l.mu.Unlock()
+	for i, s := range segs {
+		if i+1 < len(segs) && segs[i+1].firstSeq <= from {
+			continue // entire segment below the replay point
+		}
+		if _, _, err := scanSegment(s.path, s.firstSeq, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateThrough removes every segment whose records all have
+// seq <= through. The active segment is never removed.
+func (l *wlog) TruncateThrough(through uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := 0
+	for keep < len(l.segs)-1 && l.segs[keep+1].firstSeq <= through+1 {
+		if err := os.Remove(l.segs[keep].path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		keep++
+	}
+	l.segs = l.segs[keep:]
+	l.notifySegments()
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *wlog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.opts.onFsync != nil {
+		l.opts.onFsync()
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment.
+func (l *wlog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+func (l *wlog) notifySegments() {
+	if l.opts.onSegments != nil {
+		l.opts.onSegments(int64(len(l.segs)))
+	}
+}
+
+// syncDir fsyncs a directory so entry creations/removals are durable.
+// Directory fsync is unsupported on some platforms/filesystems, so a
+// sync failure is best-effort rather than fatal.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

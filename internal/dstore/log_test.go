@@ -1,0 +1,216 @@
+package dstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type recSeen struct {
+	seq     uint64
+	typ     byte
+	payload []byte
+}
+
+func replayAll(t *testing.T, l *wlog, from uint64) []recSeen {
+	t.Helper()
+	var out []recSeen
+	if err := l.Replay(from, func(seq uint64, typ byte, payload []byte) error {
+		out = append(out, recSeen{seq: seq, typ: typ, payload: append([]byte(nil), payload...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestLogAppendReplayRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny rotation threshold so a handful of records spans segments.
+	l, err := openLog(dir, logOptions{segBytes: 64})
+	if err != nil {
+		t.Fatalf("openLog: %v", err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		payload := []byte(fmt.Sprintf("record-%02d", i))
+		seq, err := l.Append(byte(i%7+1), payload)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d, want %d", i, seq, i+1)
+		}
+	}
+	if got := l.LastSeq(); got != n {
+		t.Fatalf("LastSeq = %d, want %d", got, n)
+	}
+	got := replayAll(t, l, 0)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.seq != uint64(i+1) || r.typ != byte(i%7+1) || string(r.payload) != fmt.Sprintf("record-%02d", i) {
+			t.Fatalf("record %d mismatch: %+v", i, r)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen: everything must still be there and appends continue the
+	// sequence.
+	l2, err := openLog(dir, logOptions{segBytes: 64})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != n {
+		t.Fatalf("reopened LastSeq = %d, want %d", got, n)
+	}
+	if seq, err := l2.Append(9, []byte("tail")); err != nil || seq != n+1 {
+		t.Fatalf("append after reopen: seq %d err %v", seq, err)
+	}
+	if got := replayAll(t, l2, n); len(got) != 2 {
+		t.Fatalf("replay from %d saw %d records, want 2", n, len(got))
+	}
+}
+
+func TestLogTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, logOptions{})
+	if err != nil {
+		t.Fatalf("openLog: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(1, bytes.Repeat([]byte{byte(i)}, 10)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	l.Close()
+
+	// Tear the tail: chop half of the last record's bytes.
+	seg := filepath.Join(dir, segName(1))
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(seg, fi.Size()-12); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	l2, err := openLog(dir, logOptions{})
+	if err != nil {
+		t.Fatalf("reopen torn log: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 4 {
+		t.Fatalf("LastSeq after torn tail = %d, want 4", got)
+	}
+	// The torn record is gone; the next append must reuse its sequence
+	// number on a clean frame.
+	if seq, err := l2.Append(2, []byte("replacement")); err != nil || seq != 5 {
+		t.Fatalf("append after torn tail: seq %d err %v", seq, err)
+	}
+	got := replayAll(t, l2, 0)
+	if len(got) != 5 || got[4].typ != 2 {
+		t.Fatalf("replay after torn tail: %d records, last typ %d", len(got), got[len(got)-1].typ)
+	}
+}
+
+func TestLogCorruptRecordDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, logOptions{segBytes: 48})
+	if err != nil {
+		t.Fatalf("openLog: %v", err)
+	}
+	var offsets []int64
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(1, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		offsets = append(offsets, l.size)
+	}
+	nsegs := len(l.segs)
+	if nsegs < 3 {
+		t.Fatalf("want >= 3 segments for this test, got %d", nsegs)
+	}
+	second := l.segs[1]
+	l.Close()
+
+	// Flip a payload byte in the second segment: its suffix and every
+	// later segment become unreachable.
+	data, err := os.ReadFile(second.path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[segHeaderLen+frameHeadLen] ^= 0xFF
+	if err := os.WriteFile(second.path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	l2, err := openLog(dir, logOptions{segBytes: 48})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != second.firstSeq-1 {
+		t.Fatalf("LastSeq = %d, want %d (last record before the corruption)", got, second.firstSeq-1)
+	}
+	got := replayAll(t, l2, 0)
+	for i, r := range got {
+		if r.seq != uint64(i+1) {
+			t.Fatalf("replay record %d has seq %d", i, r.seq)
+		}
+	}
+	if uint64(len(got)) != second.firstSeq-1 {
+		t.Fatalf("replayed %d records, want %d", len(got), second.firstSeq-1)
+	}
+}
+
+func TestLogTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, logOptions{segBytes: 48})
+	if err != nil {
+		t.Fatalf("openLog: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(1, []byte(fmt.Sprintf("pay-%02d", i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if len(l.segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(l.segs))
+	}
+	activeFirst := l.segs[len(l.segs)-1].firstSeq
+
+	// Truncating through everything must still keep the active segment.
+	if err := l.TruncateThrough(l.LastSeq()); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if len(l.segs) != 1 || l.segs[0].firstSeq != activeFirst {
+		t.Fatalf("after truncate: %d segments, first %d (want active %d)", len(l.segs), l.segs[0].firstSeq, activeFirst)
+	}
+	// Whatever survives replays contiguously from the active segment's
+	// first sequence (the segment may be empty if the last append rotated).
+	got := replayAll(t, l, 0)
+	for i, r := range got {
+		if r.seq != activeFirst+uint64(i) {
+			t.Fatalf("replay record %d has seq %d, want %d", i, r.seq, activeFirst+uint64(i))
+		}
+	}
+	// Sequence numbering continues unbroken after truncation + reopen.
+	last := l.LastSeq()
+	l.Close()
+	l2, err := openLog(dir, logOptions{segBytes: 48})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if seq, err := l2.Append(1, []byte("x")); err != nil || seq != last+1 {
+		t.Fatalf("append after truncated reopen: seq %d err %v, want %d", seq, err, last+1)
+	}
+}

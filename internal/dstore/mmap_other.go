@@ -1,0 +1,10 @@
+//go:build !unix
+
+package dstore
+
+// mapFile reads path into an 8-byte-aligned buffer on platforms
+// without a usable mmap syscall.
+func mapFile(path string) ([]byte, func() error, error) {
+	b, err := readFileAligned(path)
+	return b, nil, err
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package dstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. Page alignment of the mapping gives the
+// 8-byte alignment the lane accessors need for zero-copy views. Falls
+// back to an aligned read if the mmap syscall fails.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		b, rerr := readFileAligned(path)
+		return b, nil, rerr
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,178 @@
+package dstore
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/colsweep"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+// WritePartitioned writes ts as a grid-partitioned colfile for distance
+// threshold eps and resolution res (cell side res·eps): one native
+// chunk per non-empty cell, plus one halo chunk holding the replicas
+// within eps of the cell (the universal MINDIST <= ε rule). Both chunk
+// kinds are written x-sorted, so JoinFiles can merge the S side of a
+// cell linearly and feed the sweep kernel without sorting at join time.
+//
+// Joining the file at any threshold <= eps stays correct: the halo of a
+// cell for a smaller threshold is a subset of the stored one.
+func WritePartitioned(path string, ts []tuple.Tuple, eps, res float64, bounds geom.Rect) error {
+	if res <= 0 {
+		res = 2 // smallest resolution that still supports agreement-based replication
+	}
+	if bounds.IsEmpty() {
+		bounds = geom.EmptyRect()
+		for _, t := range ts {
+			bounds = bounds.ExtendPoint(t.Pt)
+		}
+	}
+	if bounds.IsEmpty() {
+		return fmt.Errorf("dstore: cannot partition an empty dataset without bounds")
+	}
+	g := grid.New(bounds, eps, res)
+	native := make([][]int32, g.NumCells())
+	halo := make([][]int32, g.NumCells())
+	var targets []int
+	for i, t := range ts {
+		cx, cy := g.Locate(t.Pt)
+		cell := g.CellID(cx, cy)
+		native[cell] = append(native[cell], int32(i))
+		targets = g.ReplicationTargets(t.Pt, targets[:0])
+		for _, c := range targets {
+			halo[c] = append(halo[c], int32(i))
+		}
+	}
+
+	w, err := NewColWriter(path, ColOptions{Eps: eps, Res: res, Bounds: bounds, Partitioned: true})
+	if err != nil {
+		return err
+	}
+	b := colsweep.Get()
+	defer colsweep.Put(b)
+	var cols colsweep.Cols
+	appendGroup := func(cell int64, kind byte, idx []int32) error {
+		if len(idx) == 0 {
+			return nil
+		}
+		cols.Reset()
+		for _, i := range idx {
+			t := &ts[i]
+			cols.Append(t.Pt.X, t.Pt.Y, t.ID)
+		}
+		cols.SortByX(b)
+		return w.AppendChunk(cell, kind, &cols, nil)
+	}
+	for cell := range native {
+		if err := appendGroup(int64(cell), ChunkKindNative, native[cell]); err != nil {
+			w.Abort()
+			return err
+		}
+		if err := appendGroup(int64(cell), ChunkKindHalo, halo[cell]); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// cellChunks indexes a partitioned reader's directory by (cell, kind).
+type cellChunks struct {
+	native map[int64]int // cell -> chunk index
+	halo   map[int64]int
+}
+
+func indexChunks(r *ColReader) cellChunks {
+	cc := cellChunks{native: make(map[int64]int), halo: make(map[int64]int)}
+	for i := 0; i < r.NumChunks(); i++ {
+		info := r.Info(i)
+		if info.Kind == ChunkKindNative {
+			cc.native[info.Cell] = i
+		} else {
+			cc.halo[info.Cell] = i
+		}
+	}
+	return cc
+}
+
+// mergeSorted merges two x-sorted slabs into dst (reset first) in one
+// linear pass, preserving x order.
+func mergeSorted(a, b colsweep.Cols, dst *colsweep.Cols) {
+	dst.Reset()
+	i, j := 0, 0
+	for i < a.Len() && j < b.Len() {
+		if a.Xs[i] <= b.Xs[j] {
+			dst.Append(a.Xs[i], a.Ys[i], a.IDs[i])
+			i++
+		} else {
+			dst.Append(b.Xs[j], b.Ys[j], b.IDs[j])
+			j++
+		}
+	}
+	for ; i < a.Len(); i++ {
+		dst.Append(a.Xs[i], a.Ys[i], a.IDs[i])
+	}
+	for ; j < b.Len(); j++ {
+		dst.Append(b.Xs[j], b.Ys[j], b.IDs[j])
+	}
+}
+
+// JoinFiles computes the ε-join of two partitioned colfiles built over
+// the same grid, streaming one partition pair at a time: for every
+// R-native cell, the S side is that cell's native chunk merged linearly
+// with its halo chunk, then swept with the columnar kernel. Every
+// qualifying (r, s) pair is emitted exactly once — r is native in
+// exactly one cell, and every s within eps of it lies in that cell's
+// native ∪ halo set by the MINDIST rule. Memory use is O(largest
+// partition), not O(dataset): chunk lanes are mmap views.
+//
+// eps must be positive and at most the threshold the files were
+// partitioned for. It returns the number of pairs emitted.
+func JoinFiles(r, s *ColReader, eps float64, emit colsweep.EmitBatch) (int64, error) {
+	if !r.Partitioned() || !s.Partitioned() {
+		return 0, fmt.Errorf("dstore: JoinFiles needs partitioned colfiles")
+	}
+	if eps <= 0 || eps > r.Eps() || eps > s.Eps() {
+		return 0, fmt.Errorf("dstore: join eps %v outside (0, %v]", eps, min(r.Eps(), s.Eps()))
+	}
+	if r.Eps() != s.Eps() || r.Res() != s.Res() || r.Bounds() != s.Bounds() {
+		return 0, fmt.Errorf("dstore: colfiles partitioned over different grids")
+	}
+	sIdx := indexChunks(s)
+	var pairs int64
+	count := func(ps []tuple.Pair) {
+		pairs += int64(len(ps))
+		if emit != nil {
+			emit(ps)
+		}
+	}
+	b := colsweep.Get()
+	defer colsweep.Put(b)
+	out := b.Batch(count, false)
+	var merged colsweep.Cols
+	for i := 0; i < r.NumChunks(); i++ {
+		info := r.Info(i)
+		if info.Kind != ChunkKindNative {
+			continue
+		}
+		rCols := r.Chunk(i)
+		sn, okN := sIdx.native[info.Cell]
+		sh, okH := sIdx.halo[info.Cell]
+		var sCols colsweep.Cols
+		switch {
+		case okN && okH:
+			mergeSorted(s.Chunk(sn), s.Chunk(sh), &merged)
+			sCols = merged
+		case okN:
+			sCols = s.Chunk(sn)
+		case okH:
+			sCols = s.Chunk(sh)
+		default:
+			continue
+		}
+		colsweep.SweepSorted(&rCols, &sCols, eps, out)
+	}
+	out.Flush()
+	return pairs, nil
+}

@@ -1,0 +1,367 @@
+package dstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+// Log record types. The payload formats are versioned implicitly by the
+// segment header version: a format change bumps segVersion.
+const (
+	recDatasetPut    byte = 1 // dataset registered/replaced wholesale
+	recDatasetApply  byte = 2 // incremental upserts/deletes on a dataset
+	recDatasetDelete byte = 3 // dataset dropped
+	recStreamCreate  byte = 4 // stream engine created
+	recStreamDelete  byte = 5 // stream engine dropped
+	recStreamBatch   byte = 6 // one acked batch of stream mutations
+	recSkew          byte = 7 // an observed per-(R,S,eps) skew report
+)
+
+var errShortRecord = errors.New("dstore: truncated record payload")
+
+// cursor is a sticky-error reader over a record payload. Every get
+// method returns the zero value after the first failure, so decoders
+// can run straight-line and check err once at the end.
+type cursor struct {
+	b   []byte
+	err error
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = errShortRecord
+	}
+}
+
+func (c *cursor) u8() byte {
+	if c.err != nil || len(c.b) < 1 {
+		c.fail()
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.err != nil || len(c.b) < 2 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b)
+	c.b = c.b[2:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || len(c.b) < 4 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || len(c.b) < 8 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *cursor) i64() int64   { return int64(c.u64()) }
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// bytes returns the next n payload bytes without copying. The caller
+// must copy before the underlying buffer is reused.
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil || n < 0 || len(c.b) < n {
+		c.fail()
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *cursor) str16() string { return string(c.bytes(int(c.u16()))) }
+
+// count reads a u32 element count and validates it against the bytes
+// remaining, assuming each element needs at least minElem bytes. This
+// keeps a corrupt count from triggering a huge allocation.
+func (c *cursor) count(minElem int) int {
+	n := int(c.u32())
+	if c.err != nil {
+		return 0
+	}
+	if minElem > 0 && n > len(c.b)/minElem {
+		c.fail()
+		return 0
+	}
+	return n
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.b) != 0 {
+		return fmt.Errorf("dstore: %d trailing bytes after record", len(c.b))
+	}
+	return nil
+}
+
+func appendStr16(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// --- recDatasetPut ---
+
+// datasetPutRec records a wholesale dataset registration: the tuples
+// themselves live in the columnar file at File (relative to the store
+// root), written and fsynced before this record is appended.
+type datasetPutRec struct {
+	Name   string
+	Rev    int64
+	File   string
+	Points uint64
+}
+
+func (r datasetPutRec) encode(b []byte) []byte {
+	b = appendStr16(b, r.Name)
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Rev))
+	b = appendStr16(b, r.File)
+	return binary.LittleEndian.AppendUint64(b, r.Points)
+}
+
+func decodeDatasetPut(p []byte) (datasetPutRec, error) {
+	c := cursor{b: p}
+	r := datasetPutRec{Name: c.str16(), Rev: c.i64(), File: c.str16(), Points: c.u64()}
+	return r, c.done()
+}
+
+// --- recDatasetApply ---
+
+// datasetApplyRec records an incremental mutation batch against a
+// registered dataset, carrying the post-apply generation counter so a
+// restart restores exactly the generation the plan cache keyed on.
+type datasetApplyRec struct {
+	Name    string
+	Gen     int64
+	Upserts []tuple.Tuple
+	Deletes []int64
+}
+
+func (r datasetApplyRec) encode(b []byte) []byte {
+	b = appendStr16(b, r.Name)
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Gen))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Upserts)))
+	for _, t := range r.Upserts {
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.ID))
+		b = appendF64(b, t.Pt.X)
+		b = appendF64(b, t.Pt.Y)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(t.Payload)))
+		b = append(b, t.Payload...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Deletes)))
+	for _, id := range r.Deletes {
+		b = binary.LittleEndian.AppendUint64(b, uint64(id))
+	}
+	return b
+}
+
+func decodeDatasetApply(p []byte) (datasetApplyRec, error) {
+	c := cursor{b: p}
+	r := datasetApplyRec{Name: c.str16(), Gen: c.i64()}
+	nup := c.count(28) // id + x + y + payLen
+	if nup > 0 {
+		r.Upserts = make([]tuple.Tuple, 0, nup)
+	}
+	for i := 0; i < nup && c.err == nil; i++ {
+		t := tuple.Tuple{ID: c.i64(), Pt: geom.Point{X: c.f64(), Y: c.f64()}}
+		if n := int(c.u32()); n > 0 {
+			t.Payload = append([]byte(nil), c.bytes(n)...)
+		}
+		r.Upserts = append(r.Upserts, t)
+	}
+	ndel := c.count(8)
+	if ndel > 0 {
+		r.Deletes = make([]int64, 0, ndel)
+	}
+	for i := 0; i < ndel && c.err == nil; i++ {
+		r.Deletes = append(r.Deletes, c.i64())
+	}
+	return r, c.done()
+}
+
+// --- recDatasetDelete / recStreamDelete ---
+
+func encodeName(b []byte, name string) []byte { return appendStr16(b, name) }
+
+func decodeName(p []byte) (string, error) {
+	c := cursor{b: p}
+	name := c.str16()
+	return name, c.done()
+}
+
+// --- recStreamCreate ---
+
+// StreamSpec is the durable description of a stream engine; it mirrors
+// the service-level stream configuration and is stored as JSON so new
+// optional fields stay backward compatible.
+type StreamSpec struct {
+	Name           string  `json:"name"`
+	Eps            float64 `json:"eps"`
+	MinX           float64 `json:"min_x"`
+	MinY           float64 `json:"min_y"`
+	MaxX           float64 `json:"max_x"`
+	MaxY           float64 `json:"max_y"`
+	GridRes        float64 `json:"grid_res,omitempty"`
+	Policy         string  `json:"policy,omitempty"`
+	TTLMillis      int64   `json:"ttl_ms,omitempty"`
+	RebalanceEvery int     `json:"rebalance_every,omitempty"`
+	RDataset       string  `json:"r_dataset,omitempty"`
+	SDataset       string  `json:"s_dataset,omitempty"`
+}
+
+func encodeStreamCreate(b []byte, spec StreamSpec) ([]byte, error) {
+	j, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(j)))
+	return append(b, j...), nil
+}
+
+func decodeStreamCreate(p []byte) (StreamSpec, error) {
+	c := cursor{b: p}
+	j := c.bytes(int(c.u32()))
+	var spec StreamSpec
+	if c.err == nil {
+		if err := json.Unmarshal(j, &spec); err != nil {
+			return spec, fmt.Errorf("dstore: stream spec: %w", err)
+		}
+	}
+	return spec, c.done()
+}
+
+// --- recStreamBatch ---
+
+const (
+	mutDelete = 1 << 0 // mutation removes the id instead of upserting
+	mutSetS   = 1 << 1 // mutation targets set S (else R)
+)
+
+// StreamMutation is one durable stream mutation; Set is 0 for R, 1 for S.
+type StreamMutation struct {
+	Set    uint8
+	Delete bool
+	Tuple  tuple.Tuple
+}
+
+// streamBatchRec records one acked Apply batch with the wall-clock time
+// it was applied at, so TTL expiry replays deterministically.
+type streamBatchRec struct {
+	Name      string
+	AppliedAt int64 // UnixNano
+	Muts      []StreamMutation
+}
+
+func (r streamBatchRec) encode(b []byte) []byte {
+	b = appendStr16(b, r.Name)
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.AppliedAt))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Muts)))
+	for _, m := range r.Muts {
+		var flags byte
+		if m.Delete {
+			flags |= mutDelete
+		}
+		if m.Set != 0 {
+			flags |= mutSetS
+		}
+		b = append(b, flags)
+		b = binary.LittleEndian.AppendUint64(b, uint64(m.Tuple.ID))
+		b = appendF64(b, m.Tuple.Pt.X)
+		b = appendF64(b, m.Tuple.Pt.Y)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Tuple.Payload)))
+		b = append(b, m.Tuple.Payload...)
+	}
+	return b
+}
+
+func decodeStreamBatch(p []byte) (streamBatchRec, error) {
+	c := cursor{b: p}
+	r := streamBatchRec{Name: c.str16(), AppliedAt: c.i64()}
+	n := c.count(29) // flags + id + x + y + payLen
+	if n > 0 {
+		r.Muts = make([]StreamMutation, 0, n)
+	}
+	for i := 0; i < n && c.err == nil; i++ {
+		flags := c.u8()
+		m := StreamMutation{
+			Delete: flags&mutDelete != 0,
+			Tuple:  tuple.Tuple{ID: c.i64(), Pt: geom.Point{X: c.f64(), Y: c.f64()}},
+		}
+		if flags&mutSetS != 0 {
+			m.Set = 1
+		}
+		if pn := int(c.u32()); pn > 0 {
+			m.Tuple.Payload = append([]byte(nil), c.bytes(pn)...)
+		}
+		r.Muts = append(r.Muts, m)
+	}
+	return r, c.done()
+}
+
+// --- recSkew ---
+
+// SkewSample is one persisted skew observation for a (R, S, eps) join
+// key: the planner-history seed the feedback-driven planner will learn
+// from across restarts. Report is stored as raw JSON so dstore does not
+// depend on the obs package's struct layout.
+type SkewSample struct {
+	R      string          `json:"r"`
+	S      string          `json:"s"`
+	Eps    float64         `json:"eps"`
+	UnixMS int64           `json:"unix_ms"`
+	Report json.RawMessage `json:"report"`
+}
+
+func encodeSkew(b []byte, s SkewSample) ([]byte, error) {
+	j, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(j)))
+	return append(b, j...), nil
+}
+
+func decodeSkew(p []byte) (SkewSample, error) {
+	c := cursor{b: p}
+	j := c.bytes(int(c.u32()))
+	var s SkewSample
+	if c.err == nil {
+		if err := json.Unmarshal(j, &s); err != nil {
+			return s, fmt.Errorf("dstore: skew sample: %w", err)
+		}
+	}
+	return s, c.done()
+}

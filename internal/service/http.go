@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spatialjoin"
+	"spatialjoin/internal/dstore"
 	"spatialjoin/internal/textio"
 )
 
@@ -66,6 +67,8 @@ type errorWire struct {
 //	DELETE /v1/stream/{name}         tear a stream down
 //	POST   /v1/stream/ingest?name=N  apply NDJSON mutations
 //	GET    /v1/stream/subscribe?name=N  chunked NDJSON delta feed
+//	POST   /v1/admin/checkpoint      write a durable checkpoint now
+//	GET    /v1/planner/history       persisted per-(R,S,eps) skew reports
 //	GET    /healthz                  200 ok / 503 draining
 //	GET    /metrics                  Prometheus text format
 //	GET    /debug/vars               JSON mirror of /metrics
@@ -82,6 +85,8 @@ func (s *Service) Handler() http.Handler {
 		return s.handleJoin(w, r, false)
 	}))
 	mux.HandleFunc("GET /v1/joins/{id}/trace", s.instrument("join_trace", s.handleJoinTrace))
+	mux.HandleFunc("POST /v1/admin/checkpoint", s.instrument("admin_checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("GET /v1/planner/history", s.instrument("planner_history", s.handlePlannerHistory))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -225,6 +230,32 @@ func (s *Service) handleJoinTrace(w http.ResponseWriter, r *http.Request) (int, 
 		return http.StatusNotFound, fmt.Errorf("service: no retained trace for join %d", id)
 	}
 	return writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint triggers a durable checkpoint on demand: POST
+// /v1/admin/checkpoint. 400 on an in-memory daemon (no -data-dir).
+func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) (int, error) {
+	seq, err := s.Checkpoint()
+	if err != nil {
+		if errors.Is(err, ErrNotDurable) {
+			return http.StatusBadRequest, err
+		}
+		return http.StatusInternalServerError, err
+	}
+	return writeJSON(w, http.StatusOK, map[string]uint64{"checkpoint_seq": seq})
+}
+
+// handlePlannerHistory serves the persisted skew observations: GET
+// /v1/planner/history. 400 on an in-memory daemon.
+func (s *Service) handlePlannerHistory(w http.ResponseWriter, r *http.Request) (int, error) {
+	hist, err := s.SkewHistory()
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	if hist == nil {
+		hist = []dstore.SkewSample{}
+	}
+	return writeJSON(w, http.StatusOK, hist)
 }
 
 // joinErrorCode maps service errors to HTTP status codes.

@@ -165,6 +165,18 @@ type Metrics struct {
 	StreamReplicas       *gauge      // dedicated replica copies across streams
 	StreamSubscribers    *gauge      // attached delta subscribers
 
+	// Durable-store (dstore) accounting. All stay zero while the daemon
+	// runs in-memory (no -data-dir).
+	DstoreLogRecords        *counter // records appended to the ingest log
+	DstoreLogBytes          *counter // payload bytes appended to the ingest log
+	DstoreFsyncs            *counter // log fsyncs issued
+	DstoreCheckpoints       *counter // checkpoints written
+	DstoreLogSegments       *gauge   // live log segment files
+	DstoreCheckpointSeq     *gauge   // log position of the newest checkpoint
+	DstoreRecoveredDatasets *gauge   // datasets reconstructed at startup
+	DstoreRecoveredStreams  *gauge   // streams reconstructed at startup
+	DstoreReplayedRecords   *gauge   // log records replayed at startup
+
 	// Measured wire counters of distributed (cluster-engine) runs,
 	// accumulated from each probe's ClusterMetrics. All stay zero while
 	// the daemon runs on the in-process engine.
@@ -220,6 +232,16 @@ func NewMetrics() *Metrics {
 		StreamReplicas:       &gauge{name: "sjoind_stream_replicas", help: "Dedicated replica copies across all streams."},
 		StreamSubscribers:    &gauge{name: "sjoind_stream_subscribers", help: "Delta subscribers currently attached."},
 
+		DstoreLogRecords:        &counter{name: "sjoind_dstore_log_records_total", help: "Records appended to the durable ingest log."},
+		DstoreLogBytes:          &counter{name: "sjoind_dstore_log_bytes_total", help: "Framed record bytes appended to the durable ingest log."},
+		DstoreFsyncs:            &counter{name: "sjoind_dstore_fsyncs_total", help: "fsync calls issued by the durable ingest log."},
+		DstoreCheckpoints:       &counter{name: "sjoind_dstore_checkpoints_total", help: "Checkpoints written by the durable store."},
+		DstoreLogSegments:       &gauge{name: "sjoind_dstore_log_segments", help: "Live segment files in the durable ingest log."},
+		DstoreCheckpointSeq:     &gauge{name: "sjoind_dstore_checkpoint_seq", help: "Log sequence number the newest checkpoint covers through."},
+		DstoreRecoveredDatasets: &gauge{name: "sjoind_dstore_recovered_datasets", help: "Datasets reconstructed from the durable store at startup."},
+		DstoreRecoveredStreams:  &gauge{name: "sjoind_dstore_recovered_streams", help: "Streams reconstructed from the durable store at startup."},
+		DstoreReplayedRecords:   &gauge{name: "sjoind_dstore_replayed_records", help: "Log records replayed past the checkpoint at startup."},
+
 		ClusterWorkers:         &gauge{name: "sjoind_cluster_workers", help: "Worker processes that served the most recent distributed join."},
 		ClusterTaskBytesLocal:  &counter{name: "sjoind_cluster_task_bytes_local_total", help: "Measured task bytes streamed to the worker co-located with the producing map split."},
 		ClusterTaskBytesRemote: &counter{name: "sjoind_cluster_task_bytes_remote_total", help: "Measured task bytes streamed across worker boundaries (real shuffle remote reads)."},
@@ -256,6 +278,8 @@ func (m *Metrics) Render(w io.Writer) {
 		m.JoinResults, m.ReplicatedServed,
 		m.StreamIngested, m.StreamCellRebuilds, m.StreamAgreementFlips,
 		m.StreamMigrations, m.StreamExpired,
+		m.DstoreLogRecords, m.DstoreLogBytes,
+		m.DstoreFsyncs, m.DstoreCheckpoints,
 		m.ClusterTaskBytesLocal, m.ClusterTaskBytesRemote,
 		m.ClusterBroadcastBytes, m.ClusterResultBytes,
 		m.ClusterTasks, m.ClusterRetries,
@@ -267,6 +291,9 @@ func (m *Metrics) Render(w io.Writer) {
 		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
 		m.Datasets, m.DatasetPoints,
 		m.Streams, m.StreamPoints, m.StreamReplicas, m.StreamSubscribers,
+		m.DstoreLogSegments, m.DstoreCheckpointSeq,
+		m.DstoreRecoveredDatasets, m.DstoreRecoveredStreams,
+		m.DstoreReplayedRecords,
 		m.ClusterWorkers,
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, escapeHelp(g.help), g.name, g.name, g.Value())
@@ -359,6 +386,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		m.JoinResults, m.ReplicatedServed,
 		m.StreamIngested, m.StreamCellRebuilds, m.StreamAgreementFlips,
 		m.StreamMigrations, m.StreamExpired,
+		m.DstoreLogRecords, m.DstoreLogBytes,
+		m.DstoreFsyncs, m.DstoreCheckpoints,
 		m.ClusterTaskBytesLocal, m.ClusterTaskBytesRemote,
 		m.ClusterBroadcastBytes, m.ClusterResultBytes,
 		m.ClusterTasks, m.ClusterRetries,
@@ -370,6 +399,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		m.InFlight, m.QueueDepth, m.PlanCacheEntries, m.PlanCacheBytes,
 		m.Datasets, m.DatasetPoints,
 		m.Streams, m.StreamPoints, m.StreamReplicas, m.StreamSubscribers,
+		m.DstoreLogSegments, m.DstoreCheckpointSeq,
+		m.DstoreRecoveredDatasets, m.DstoreRecoveredStreams,
+		m.DstoreReplayedRecords,
 		m.ClusterWorkers,
 	} {
 		out[g.name] = g.Value()

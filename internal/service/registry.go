@@ -61,12 +61,26 @@ type DatasetInfo struct {
 	MaxY   float64 `json:"max_y"`
 }
 
+// registryPersist makes every registry mutation durable before it
+// commits. Each hook appends one log record and returns its sequence
+// number; a hook error aborts the mutation. Hooks run under the
+// registry write lock, so log order always matches commit order and
+// the recorded sequence of the last committed mutation (seq) pairs
+// consistently with the in-memory state.
+type registryPersist struct {
+	put    func(name string, rev int64, ts []spatialjoin.Tuple) (uint64, error)
+	apply  func(name string, gen int64, ups []spatialjoin.Tuple, dels []int64) (uint64, error)
+	delete func(name string) (uint64, error)
+}
+
 // Registry is the in-memory dataset store of the service.
 type Registry struct {
 	mu      sync.RWMutex
 	m       map[string]*dataset
 	nextRev int64
 	metrics *Metrics
+	persist *registryPersist
+	seq     uint64 // log position of the last committed mutation
 }
 
 // NewRegistry builds an empty registry reporting into m (may be nil).
@@ -85,17 +99,25 @@ func (r *Registry) Put(name string, ts []spatialjoin.Tuple) (int64, error) {
 	b := boundsOf(ts)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.nextRev++
+	rev := r.nextRev + 1
+	if r.persist != nil {
+		seq, err := r.persist.put(name, rev, ts)
+		if err != nil {
+			return 0, fmt.Errorf("service: persisting dataset %q: %w", name, err)
+		}
+		r.seq = seq
+	}
+	r.nextRev = rev
 	var delta int
 	if old, ok := r.m[name]; ok {
 		delta = -len(old.Tuples)
 	}
-	r.m[name] = &dataset{Name: name, Rev: r.nextRev, Tuples: ts, Bounds: b}
+	r.m[name] = &dataset{Name: name, Rev: rev, Tuples: ts, Bounds: b}
 	if r.metrics != nil {
 		r.metrics.Datasets.Set(int64(len(r.m)))
 		r.metrics.DatasetPoints.Add(int64(len(ts) + delta))
 	}
-	return r.nextRev, nil
+	return rev, nil
 }
 
 // Apply mutates a dataset in place by tuple ID: upserts replace (or
@@ -129,6 +151,13 @@ func (r *Registry) Apply(name string, upserts []spatialjoin.Tuple, deletes []int
 	if len(ts) == 0 {
 		return 0, fmt.Errorf("service: mutation would empty dataset %q", name)
 	}
+	if r.persist != nil {
+		seq, err := r.persist.apply(name, d.Gen+1, upserts, deletes)
+		if err != nil {
+			return 0, fmt.Errorf("service: persisting mutation of %q: %w", name, err)
+		}
+		r.seq = seq
+	}
 	nd := &dataset{Name: d.Name, Rev: d.Rev, Gen: d.Gen + 1, Tuples: ts, Bounds: boundsOf(ts)}
 	r.m[name] = nd
 	if r.metrics != nil {
@@ -148,19 +177,65 @@ func (r *Registry) Get(name string) (*dataset, error) {
 	return d, nil
 }
 
-// Delete removes a dataset; it reports whether one was present.
+// Delete removes a dataset; it reports whether one was present. When a
+// persist hook is installed and fails, the dataset is kept — memory and
+// log must never diverge — and Delete reports false.
 func (r *Registry) Delete(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	d, ok := r.m[name]
-	if ok {
-		delete(r.m, name)
-		if r.metrics != nil {
-			r.metrics.Datasets.Set(int64(len(r.m)))
-			r.metrics.DatasetPoints.Add(-int64(len(d.Tuples)))
+	if !ok {
+		return false
+	}
+	if r.persist != nil {
+		seq, err := r.persist.delete(name)
+		if err != nil {
+			return false
 		}
+		r.seq = seq
+	}
+	delete(r.m, name)
+	if r.metrics != nil {
+		r.metrics.Datasets.Set(int64(len(r.m)))
+		r.metrics.DatasetPoints.Add(-int64(len(d.Tuples)))
 	}
 	return ok
+}
+
+// restore installs one recovered dataset directly, bypassing the
+// persist hooks: the backing log records already exist.
+func (r *Registry) restore(name string, rev, gen int64, ts []spatialjoin.Tuple) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[name] = &dataset{Name: name, Rev: rev, Gen: gen, Tuples: ts, Bounds: boundsOf(ts)}
+	if rev > r.nextRev {
+		r.nextRev = rev
+	}
+	if r.metrics != nil {
+		r.metrics.Datasets.Set(int64(len(r.m)))
+		r.metrics.DatasetPoints.Add(int64(len(ts)))
+	}
+}
+
+// snapshot captures a consistent registry state for checkpointing: the
+// next revision the registry will assign, the log position of the last
+// committed mutation, and every dataset's (rev, gen, tuples). Tuple
+// slices are immutable by construction, so sharing them is safe.
+func (r *Registry) snapshot() (nextRev int64, seq uint64, out []datasetSnapshot) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out = make([]datasetSnapshot, 0, len(r.m))
+	for _, d := range r.m {
+		out = append(out, datasetSnapshot{Name: d.Name, Rev: d.Rev, Gen: d.Gen, Tuples: d.Tuples})
+	}
+	return r.nextRev + 1, r.seq, out
+}
+
+// datasetSnapshot is one dataset captured by Registry.snapshot.
+type datasetSnapshot struct {
+	Name     string
+	Rev, Gen int64
+	Tuples   []spatialjoin.Tuple
 }
 
 // List describes all datasets, sorted by name.

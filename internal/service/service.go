@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"spatialjoin"
+	"spatialjoin/internal/dstore"
 	"spatialjoin/internal/obs"
 )
 
@@ -49,6 +50,24 @@ type Config struct {
 	// partition joins to remote worker processes. Measured wire counters
 	// of distributed runs surface as the sjoind_cluster_* metrics.
 	Engine spatialjoin.Engine
+
+	// DataDir, when set, makes the service durable: dataset and stream
+	// mutations are logged to an append-only record log under this
+	// directory before they commit, datasets are materialised as
+	// columnar files, and Open recovers the full state from checkpoint
+	// plus log tail. Empty keeps the service purely in-memory.
+	DataDir string
+	// Fsync syncs the log after every append (crash-durable acks).
+	// Without it, acknowledged records survive process crashes but not
+	// host crashes between checkpoints.
+	Fsync bool
+	// CheckpointEvery triggers periodic checkpoints; 0 disables the
+	// loop (checkpoints then happen only via Checkpoint or the admin
+	// endpoint). Ignored without DataDir.
+	CheckpointEvery time.Duration
+	// Logf receives durability-layer notes (recovery, skipped corrupt
+	// checkpoints); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -90,13 +109,19 @@ type Service struct {
 	queued   atomic.Int64
 	draining atomic.Bool
 
-	streamMu sync.Mutex
-	streams  map[string]*streamState
+	streamMu   sync.Mutex
+	streams    map[string]*streamState
+	streamsSeq uint64 // log position of the last stream create/delete
 
 	traceMu    sync.Mutex
 	traces     map[int64]*joinTrace
 	traceOrder []int64
 	nextJoinID int64
+
+	// store is the durable backing store (nil without Config.DataDir).
+	store    *dstore.Store
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // traceRingSize bounds how many completed join traces the service
@@ -356,6 +381,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		s.Metrics.JoinResults.Add(rep.Results)
 		resp := s.respond(req, rep, rd, sd, false, 0, total)
 		resp.JoinID = s.observeTrace(resp.Algorithm, tr, total)
+		s.persistSkew(req, tr)
 		return resp, nil
 	}
 
@@ -443,7 +469,20 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 	root.End()
 	resp := s.respond(req, rep, rd, sd, hit, buildDur, probe)
 	resp.JoinID = s.observeTrace(resp.Algorithm, tr, buildDur+probe)
+	s.persistSkew(req, tr)
 	return resp, nil
+}
+
+// persistSkew records the finished join's skew report in the durable
+// store as planner history for the (R, S, eps) key. Best-effort: a
+// failed append never fails the join that produced the report.
+func (s *Service) persistSkew(req JoinRequest, tr *spatialjoin.Tracer) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.AppendSkew(req.R, req.S, req.Eps, tr.Skew()); err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("service: persisting skew report: %v", err)
+	}
 }
 
 // respond converts a Report into the wire response.

@@ -10,10 +10,12 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"spatialjoin"
 	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/dstore"
 	"spatialjoin/internal/stream"
 	"spatialjoin/internal/tuple"
 )
@@ -62,6 +64,28 @@ type streamState struct {
 	eng    *stream.Engine
 	rset   [2]string // linked dataset name per tuple.Set ("" = none)
 	done   chan struct{}
+
+	// Durable-mode state (zero on in-memory services). pmu serializes
+	// log appends with engine applies so the log order is the apply
+	// order; covered is the log position of the last batch reflected in
+	// the engine; clock pins the engine's "now" to logged batch times.
+	spec    dstore.StreamSpec
+	pmu     sync.Mutex
+	covered uint64
+	clock   *replayClock
+}
+
+// parsePolicy maps a wire policy name to the agreements policy and its
+// canonical name ("" defaults to lpib).
+func parsePolicy(name string) (agreements.Policy, string, error) {
+	switch name {
+	case "", "lpib":
+		return agreements.LPiB, "lpib", nil
+	case "diff":
+		return agreements.DIFF, "diff", nil
+	default:
+		return 0, "", fmt.Errorf("service: unknown stream policy %q (lpib, diff)", name)
+	}
 }
 
 func (st *streamState) info() StreamInfo {
@@ -83,42 +107,66 @@ func (s *Service) CreateStream(cfg StreamConfig) (StreamInfo, error) {
 	if cfg.Name == "" {
 		return StreamInfo{}, fmt.Errorf("service: stream name must not be empty")
 	}
-	var policy agreements.Policy
-	switch cfg.Policy {
-	case "", "lpib":
-		policy, cfg.Policy = agreements.LPiB, "lpib"
-	case "diff":
-		policy = agreements.DIFF
-	default:
-		return StreamInfo{}, fmt.Errorf("service: unknown stream policy %q (lpib, diff)", cfg.Policy)
+	policy, policyName, err := parsePolicy(cfg.Policy)
+	if err != nil {
+		return StreamInfo{}, err
 	}
-	eng, err := stream.New(stream.Config{
+	cfg.Policy = policyName
+	engCfg := stream.Config{
 		Eps:            cfg.Eps,
 		Bounds:         spatialjoin.Rect{MinX: cfg.MinX, MinY: cfg.MinY, MaxX: cfg.MaxX, MaxY: cfg.MaxY},
 		GridRes:        cfg.GridRes,
 		Policy:         policy,
 		TTL:            time.Duration(cfg.TTLMillis) * time.Millisecond,
 		RebalanceEvery: cfg.RebalanceEvery,
-	})
+	}
+	var clock *replayClock
+	if s.store != nil {
+		clock = &replayClock{}
+		clock.Set(time.Now())
+		engCfg.Now = clock.Now
+	}
+	eng, err := stream.New(engCfg)
 	if err != nil {
 		return StreamInfo{}, err
 	}
 	st := &streamState{
 		name: cfg.Name, policy: cfg.Policy, eng: eng,
-		rset: [2]string{tuple.R: cfg.RDataset, tuple.S: cfg.SDataset},
-		done: make(chan struct{}),
+		rset:  [2]string{tuple.R: cfg.RDataset, tuple.S: cfg.SDataset},
+		done:  make(chan struct{}),
+		clock: clock,
+		spec: dstore.StreamSpec{
+			Name: cfg.Name, Eps: cfg.Eps,
+			MinX: cfg.MinX, MinY: cfg.MinY, MaxX: cfg.MaxX, MaxY: cfg.MaxY,
+			GridRes: cfg.GridRes, Policy: cfg.Policy,
+			TTLMillis: cfg.TTLMillis, RebalanceEvery: cfg.RebalanceEvery,
+			RDataset: cfg.RDataset, SDataset: cfg.SDataset,
+		},
 	}
 	// Reserve the name before seeding so a lost name race cannot leak
-	// seed mutations into the metrics.
+	// seed mutations into the metrics. The creation record is logged
+	// under the same lock, so the log sees creates and deletes of one
+	// name in their commit order.
 	s.streamMu.Lock()
 	if _, exists := s.streams[cfg.Name]; exists {
 		s.streamMu.Unlock()
 		return StreamInfo{}, fmt.Errorf("service: stream %q already exists", cfg.Name)
 	}
+	if s.store != nil {
+		seq, err := s.store.LogStreamCreate(st.spec)
+		if err != nil {
+			s.streamMu.Unlock()
+			eng.Close()
+			return StreamInfo{}, fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+		s.streamsSeq = seq
+	}
 	s.streams[cfg.Name] = st
 	s.streamMu.Unlock()
 
-	// Seed linked sets from the datasets' current points.
+	// Seed linked sets from the datasets' current points. Durable
+	// services log the seed as ordinary batches, so recovery replays
+	// creation exactly without consulting the (possibly newer) datasets.
 	for set := tuple.R; set <= tuple.S; set++ {
 		name := st.rset[set]
 		if name == "" {
@@ -133,7 +181,12 @@ func (s *Service) CreateStream(cfg StreamConfig) (StreamInfo, error) {
 		for i, t := range d.Tuples {
 			batch[i] = stream.Mutation{Set: set, Tuple: t}
 		}
-		s.observeStream(eng.Apply(batch))
+		br, err := s.applyStreamBatch(st, batch)
+		if err != nil {
+			s.DeleteStream(cfg.Name)
+			return StreamInfo{}, err
+		}
+		s.observeStream(br)
 	}
 	s.streamMu.Lock()
 	s.updateStreamGaugesLocked()
@@ -196,9 +249,19 @@ func (s *Service) ListStreams() []StreamInfo {
 
 // DeleteStream tears a stream down: its TTL ticker stops and every
 // subscriber's queue is closed. Linked datasets keep their last state.
+// On a durable service the drop is logged first; a log failure keeps
+// the stream (memory and log never diverge) and reports false.
 func (s *Service) DeleteStream(name string) bool {
 	s.streamMu.Lock()
 	st, ok := s.streams[name]
+	if ok && s.store != nil {
+		seq, err := s.store.LogStreamDelete(name)
+		if err != nil {
+			s.streamMu.Unlock()
+			return false
+		}
+		s.streamsSeq = seq
+	}
 	if ok {
 		delete(s.streams, name)
 		s.updateStreamGaugesLocked()
@@ -221,7 +284,10 @@ func (s *Service) StreamIngest(name string, batch []stream.Mutation) (stream.Bat
 	if err != nil {
 		return stream.BatchResult{}, err
 	}
-	br := st.eng.Apply(batch)
+	br, err := s.applyStreamBatch(st, batch)
+	if err != nil {
+		return stream.BatchResult{}, err
+	}
 	s.observeStream(br)
 	s.streamMu.Lock()
 	s.updateStreamGaugesLocked()

@@ -18,6 +18,7 @@ package service
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -130,6 +131,10 @@ func (s *Service) handleStreamIngest(w http.ResponseWriter, r *http.Request) (in
 	br, err := s.StreamIngest(name, batch)
 	if err != nil && strings.Contains(err.Error(), "unknown stream") {
 		return http.StatusNotFound, err
+	}
+	if errors.Is(err, ErrPersist) {
+		// The batch was not applied: nothing to summarise, retry later.
+		return http.StatusInternalServerError, err
 	}
 	resp := streamIngestResponse{
 		Accepted:    br.Upserts + br.Deletes,

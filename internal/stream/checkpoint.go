@@ -1,0 +1,286 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/tuple"
+)
+
+// Engine checkpoint format (little-endian throughout):
+//
+//	magic u32 "SJSE" | ver u16 | pad u16
+//	eps f64 | bounds 4×f64 | gridRes f64 | policy u8 | pad 7×u8
+//	ttl i64 (ns) | rebalanceEvery i64
+//	10 cumulative counters i64
+//	u32 nTypes | agreement type per canonical pair, 1 byte each
+//	per set (R then S): u32 count, then entries sorted by (ts, id):
+//	    id i64 | x f64 | y f64 | ts i64 (UnixNano) | u32 payLen | payload
+//	crc u32 over everything before
+//
+// The snapshot stores live points and the agreement store — the
+// authoritative driver-side state. Slabs, histograms, and the graph are
+// deterministic functions of those and are rebuilt on Restore by
+// re-inserting the points under the restored agreements.
+const (
+	ckMagic   = 0x45534A53 // "SJSE" little-endian
+	ckVersion = 1
+)
+
+var errCkShort = errors.New("stream: truncated checkpoint")
+
+// WriteCheckpoint serialises the engine's state. The snapshot is taken
+// atomically with respect to Apply, so pairing it with the log position
+// of the last applied batch gives exact at-most-once replay.
+func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	e.mu.Lock()
+	b := make([]byte, 0, 1024)
+	b = binary.LittleEndian.AppendUint32(b, ckMagic)
+	b = binary.LittleEndian.AppendUint16(b, ckVersion)
+	b = binary.LittleEndian.AppendUint16(b, 0)
+	b = appendF64(b, e.cfg.Eps)
+	b = appendF64(b, e.cfg.Bounds.MinX)
+	b = appendF64(b, e.cfg.Bounds.MinY)
+	b = appendF64(b, e.cfg.Bounds.MaxX)
+	b = appendF64(b, e.cfg.Bounds.MaxY)
+	b = appendF64(b, e.cfg.GridRes)
+	b = append(b, byte(e.cfg.Policy), 0, 0, 0, 0, 0, 0, 0)
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.cfg.TTL))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.cfg.RebalanceEvery))
+	for _, v := range []int64{
+		e.c.Upserts, e.c.Deletes, e.c.Expired, e.c.Rejected,
+		e.c.DeltasAdded, e.c.DeltasRemoved, e.c.SlabRebuilds,
+		e.c.RebalanceRuns, e.c.AgreementFlips, e.c.Migrations,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.dg.types)))
+	for _, t := range e.dg.types {
+		b = append(b, byte(t))
+	}
+	for set := tuple.R; set <= tuple.S; set++ {
+		entries := make([]*entry, 0, len(e.live[set]))
+		for _, en := range e.live[set] {
+			entries = append(entries, en)
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if !entries[i].ts.Equal(entries[j].ts) {
+				return entries[i].ts.Before(entries[j].ts)
+			}
+			return entries[i].t.ID < entries[j].t.ID
+		})
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(entries)))
+		for _, en := range entries {
+			b = binary.LittleEndian.AppendUint64(b, uint64(en.t.ID))
+			b = appendF64(b, en.t.Pt.X)
+			b = appendF64(b, en.t.Pt.Y)
+			b = binary.LittleEndian.AppendUint64(b, uint64(en.ts.UnixNano()))
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(en.t.Payload)))
+			b = append(b, en.t.Payload...)
+		}
+	}
+	e.mu.Unlock()
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	_, err := w.Write(b)
+	return err
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// ckReader is a sticky-error cursor over a checkpoint blob.
+type ckReader struct {
+	b   []byte
+	err error
+}
+
+func (c *ckReader) fail() {
+	if c.err == nil {
+		c.err = errCkShort
+	}
+}
+
+func (c *ckReader) u8() byte {
+	if c.err != nil || len(c.b) < 1 {
+		c.fail()
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *ckReader) u16() uint16 {
+	if c.err != nil || len(c.b) < 2 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b)
+	c.b = c.b[2:]
+	return v
+}
+
+func (c *ckReader) u32() uint32 {
+	if c.err != nil || len(c.b) < 4 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *ckReader) u64() uint64 {
+	if c.err != nil || len(c.b) < 8 {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *ckReader) i64() int64   { return int64(c.u64()) }
+func (c *ckReader) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *ckReader) bytes(n int) []byte {
+	if c.err != nil || n < 0 || len(c.b) < n {
+		c.fail()
+		return nil
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v
+}
+
+// Restore rebuilds an engine from a checkpoint blob written by
+// WriteCheckpoint. cfg must describe the same stream the snapshot was
+// taken from (both sides derive it from the stream's durable spec); a
+// mismatch is an error, not a silent re-partitioning. The restored
+// engine reproduces the original's live points, agreement store,
+// cumulative counters, and TTL ordering exactly.
+func Restore(cfg Config, blob []byte) (*Engine, error) {
+	if len(blob) < 8 {
+		return nil, errCkShort
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if binary.LittleEndian.Uint32(tail) != crc32.ChecksumIEEE(body) {
+		return nil, errors.New("stream: checkpoint checksum mismatch")
+	}
+	c := &ckReader{b: body}
+	if c.u32() != ckMagic {
+		return nil, errors.New("stream: not an engine checkpoint")
+	}
+	if v := c.u16(); v != ckVersion {
+		return nil, fmt.Errorf("stream: checkpoint version %d unsupported (want %d)", v, ckVersion)
+	}
+	c.u16() // pad
+
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eps := c.f64()
+	bounds := geom.Rect{MinX: c.f64(), MinY: c.f64(), MaxX: c.f64(), MaxY: c.f64()}
+	gridRes := c.f64()
+	policy := agreements.Policy(c.u8())
+	c.bytes(7) // pad
+	ttl := time.Duration(c.i64())
+	rebEvery := c.i64()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if eps != e.cfg.Eps || bounds != e.cfg.Bounds || gridRes != e.cfg.GridRes ||
+		policy != e.cfg.Policy || ttl != e.cfg.TTL || rebEvery != int64(e.cfg.RebalanceEvery) {
+		return nil, fmt.Errorf("stream: checkpoint was taken for a different stream configuration")
+	}
+
+	var counters [10]int64
+	for i := range counters {
+		counters[i] = c.i64()
+	}
+	nTypes := int(c.u32())
+	if c.err != nil {
+		return nil, c.err
+	}
+	if nTypes != len(e.dg.types) {
+		return nil, fmt.Errorf("stream: checkpoint has %d agreement slots, grid needs %d", nTypes, len(e.dg.types))
+	}
+	typeBytes := c.bytes(nTypes)
+	if c.err != nil {
+		return nil, c.err
+	}
+	for i, tb := range typeBytes {
+		if tb > byte(tuple.S) {
+			return nil, fmt.Errorf("stream: invalid agreement type %d at slot %d", tb, i)
+		}
+		e.dg.types[i] = tuple.Set(tb)
+	}
+	// Rebuild the graph from the restored agreement store before any
+	// insert, so every point is assigned exactly as the original engine
+	// would assign it under those agreements.
+	e.dg.graph = agreements.BuildFromTypeFunc(e.dg.g, e.dg.typeBetween)
+
+	for set := tuple.R; set <= tuple.S; set++ {
+		n := int(c.u32())
+		if c.err != nil {
+			return nil, c.err
+		}
+		if n > len(c.b)/28 { // id + x + y + ts + payLen lower bound
+			return nil, errCkShort
+		}
+		var prev time.Time
+		for i := 0; i < n; i++ {
+			id := c.i64()
+			pt := geom.Point{X: c.f64(), Y: c.f64()}
+			ts := time.Unix(0, c.i64())
+			pay := c.bytes(int(c.u32()))
+			if c.err != nil {
+				return nil, c.err
+			}
+			if i > 0 && ts.Before(prev) {
+				return nil, errors.New("stream: checkpoint entries out of TTL order")
+			}
+			prev = ts
+			if badPoint(pt) {
+				return nil, fmt.Errorf("stream: checkpoint point %d is not finite", id)
+			}
+			t := tuple.Tuple{ID: id, Pt: pt}
+			if len(pay) > 0 {
+				t.Payload = append([]byte(nil), pay...)
+			}
+			e.upsertLocked(set, t, ts)
+		}
+	}
+	if len(c.b) != 0 {
+		return nil, fmt.Errorf("stream: %d trailing bytes after checkpoint", len(c.b))
+	}
+
+	// Re-inserting emitted cross-set deltas and bumped counters; there
+	// are no subscribers yet, so drop the deltas and overwrite the
+	// cumulative counters with the snapshot's (Replicas and the live
+	// gauges were recomputed by the inserts themselves).
+	e.pending = e.pending[:0]
+	e.dirty = map[int]struct{}{}
+	e.sinceReb = 0
+	e.c.Upserts = counters[0]
+	e.c.Deletes = counters[1]
+	e.c.Expired = counters[2]
+	e.c.Rejected = counters[3]
+	e.c.DeltasAdded = counters[4]
+	e.c.DeltasRemoved = counters[5]
+	e.c.SlabRebuilds = counters[6]
+	e.c.RebalanceRuns = counters[7]
+	e.c.AgreementFlips = counters[8]
+	e.c.Migrations = counters[9]
+	return e, nil
+}

@@ -25,15 +25,24 @@ func startSjoind(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	line, err := bufio.NewReader(stdout).ReadString('\n')
-	if err != nil {
-		cmd.Process.Kill()
-		t.Fatalf("reading sjoind banner: %v (got %q)", err, line)
-	}
+	// Log lines (e.g. the durable-store recovery summary) may precede
+	// the banner; skip until it shows up.
+	rd := bufio.NewReader(stdout)
 	const prefix = "sjoind listening on "
-	if !strings.HasPrefix(line, prefix) {
-		cmd.Process.Kill()
-		t.Fatalf("unexpected banner: %q", line)
+	var line string
+	for i := 0; ; i++ {
+		line, err = rd.ReadString('\n')
+		if err != nil {
+			cmd.Process.Kill()
+			t.Fatalf("reading sjoind banner: %v (got %q)", err, line)
+		}
+		if strings.HasPrefix(line, prefix) {
+			break
+		}
+		if i > 50 {
+			cmd.Process.Kill()
+			t.Fatalf("no banner after %d lines; last: %q", i, line)
+		}
 	}
 	addr := strings.TrimSpace(strings.TrimPrefix(line, prefix))
 	// Drain the rest of stdout so the daemon never blocks on a full pipe.
