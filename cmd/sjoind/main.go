@@ -62,10 +62,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"spatialjoin/internal/cluster"
+	"spatialjoin/internal/fleet"
 	"spatialjoin/internal/service"
 )
 
@@ -88,6 +90,28 @@ func main() {
 		clusterWait    = flag.Duration("cluster-wait", time.Minute, "how long to wait for -cluster-workers connections")
 		logLevel       = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
+	var tenantQuota fleet.Quota
+	flag.Func("tenant-quota", "default per-tenant join budget as RATE:BURST (e.g. 5:10); empty disables tenant admission", func(s string) error {
+		q, err := fleet.ParseQuota(s)
+		if err != nil {
+			return err
+		}
+		tenantQuota = q
+		return nil
+	})
+	tenantOverrides := map[string]fleet.Quota{}
+	flag.Func("tenant-override", "per-tenant budget as TENANT=RATE:BURST; may repeat", func(s string) error {
+		tenant, spec, ok := strings.Cut(s, "=")
+		if !ok || tenant == "" {
+			return fmt.Errorf("want TENANT=RATE:BURST, got %q", s)
+		}
+		q, err := fleet.ParseQuota(spec)
+		if err != nil {
+			return err
+		}
+		tenantOverrides[tenant] = q
+		return nil
+	})
 	flag.Parse()
 
 	var level slog.LevelVar
@@ -105,6 +129,8 @@ func main() {
 		DataDir:         *dataDir,
 		Fsync:           *fsync,
 		CheckpointEvery: *ckptEvery,
+		TenantQuota:     tenantQuota,
+		TenantOverrides: tenantOverrides,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},

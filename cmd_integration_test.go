@@ -17,7 +17,7 @@ func buildCmds(t *testing.T) map[string]string {
 	t.Helper()
 	dir := t.TempDir()
 	out := map[string]string{}
-	for _, name := range []string{"sjoin", "datagen", "experiments", "sjoind"} {
+	for _, name := range []string{"sjoin", "datagen", "experiments", "sjoind", "sjoin-router"} {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 		cmd.Env = os.Environ()

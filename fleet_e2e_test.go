@@ -1,0 +1,327 @@
+package spatialjoin_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fleetLogDir is where shard and router process logs land: the
+// FLEET_LOG_DIR env var when set (CI uploads it as an artifact on
+// failure), a per-test temp dir otherwise.
+func fleetLogDir(t *testing.T) string {
+	if dir := os.Getenv("FLEET_LOG_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatalf("creating FLEET_LOG_DIR: %v", err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+// startProc launches a daemon binary, waits for its "<name> listening
+// on ADDR" banner, and tees all process output into logPath so a CI
+// failure leaves per-process logs behind.
+func startProc(t *testing.T, bin, banner, logPath string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rd := bufio.NewReader(stdout)
+	var line string
+	for i := 0; ; i++ {
+		line, err = rd.ReadString('\n')
+		if line != "" {
+			logf.WriteString(line)
+		}
+		if err != nil {
+			cmd.Process.Kill()
+			t.Fatalf("reading %s banner: %v (got %q)", filepath.Base(bin), err, line)
+		}
+		if strings.HasPrefix(line, banner) {
+			break
+		}
+		if i > 50 {
+			cmd.Process.Kill()
+			t.Fatalf("no banner after %d lines; last: %q", i, line)
+		}
+	}
+	go func() {
+		io.Copy(logf, rd)
+		logf.Close()
+	}()
+	addr := strings.TrimSpace(strings.TrimPrefix(line, banner))
+	return "http://" + addr, cmd
+}
+
+func fleetPost(t *testing.T, url, tenant, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	json.NewDecoder(resp.Body).Decode(&m)
+	return resp.StatusCode, m, resp.Header
+}
+
+// TestFleetEndToEnd runs the whole fleet as real processes: three
+// sjoind shards behind one sjoin-router. It checks that the router
+// serves the single-daemon API with byte-identical results, that
+// per-tenant admission 429s only the noisy tenant, that a graceful
+// shard leave migrates data under live traffic, and that a shard
+// killed mid-fleet is survived via replicas.
+func TestFleetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns a process fleet")
+	}
+	bins := buildCmds(t)
+	logDir := fleetLogDir(t)
+
+	// A standalone daemon computes the reference answer.
+	oracleURL, oracleCmd := startSjoind(t, bins["sjoind"])
+	defer oracleCmd.Process.Kill()
+
+	// Three shards.
+	shardURLs := map[string]string{}
+	shardCmds := map[string]*exec.Cmd{}
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("s%d", i)
+		u, cmd := startProc(t, bins["sjoind"], "sjoind listening on ",
+			filepath.Join(logDir, id+".log"), "-addr", "127.0.0.1:0")
+		shardURLs[id] = u
+		shardCmds[id] = cmd
+		defer cmd.Process.Kill()
+	}
+	var shardList []string
+	for id, u := range shardURLs {
+		shardList = append(shardList, id+"="+u)
+	}
+
+	routerURL, routerCmd := startProc(t, bins["sjoin-router"], "sjoin-router listening on ",
+		filepath.Join(logDir, "router.log"),
+		"-addr", "127.0.0.1:0",
+		"-shards", strings.Join(shardList, ","),
+		"-replicas", "2",
+		"-heartbeat", "100ms",
+		"-heartbeat-misses", "3",
+		"-tenant-override", "noisy=1:2",
+	)
+	defer routerCmd.Process.Kill()
+
+	// Upload through router and oracle alike: server-side generation is
+	// deterministic, so both hold identical data.
+	for _, q := range []string{
+		"name=r&generate=gaussian&n=20000&seed=1",
+		"name=s&generate=uniform&n=20000&seed=2",
+	} {
+		if code, m, _ := fleetPost(t, routerURL+"/v1/datasets?"+q, "", ""); code != http.StatusCreated {
+			t.Fatalf("router upload %s: status %d, %v", q, code, m)
+		}
+		if code, m, _ := fleetPost(t, oracleURL+"/v1/datasets?"+q, "", ""); code != http.StatusCreated {
+			t.Fatalf("oracle upload %s: status %d, %v", q, code, m)
+		}
+	}
+
+	join := `{"r":"r","s":"s","eps":0.4,"algorithm":"lpib"}`
+	_, want, _ := fleetPost(t, oracleURL+"/v1/join", "", join)
+	code, got, _ := fleetPost(t, routerURL+"/v1/join", "", join)
+	if code != http.StatusOK {
+		t.Fatalf("fleet join: status %d, %v", code, got)
+	}
+	if got["checksum"] != want["checksum"] || got["results"] != want["results"] {
+		t.Fatalf("fleet join = (%v, %v), single daemon = (%v, %v)",
+			got["checksum"], got["results"], want["checksum"], want["results"])
+	}
+
+	// Per-tenant admission: the noisy tenant exhausts its burst of 2 and
+	// 429s with Retry-After; the anonymous tenant is unaffected.
+	t.Run("TenantQuota", func(t *testing.T) {
+		sawReject := false
+		for i := 0; i < 4; i++ {
+			code, _, hdr := fleetPost(t, routerURL+"/v1/join", "noisy", join)
+			if code == http.StatusTooManyRequests {
+				sawReject = true
+				if hdr.Get("Retry-After") == "" {
+					t.Error("429 lacks Retry-After")
+				}
+			}
+		}
+		if !sawReject {
+			t.Fatal("noisy tenant was never throttled")
+		}
+		if code, m, _ := fleetPost(t, routerURL+"/v1/join", "", join); code != http.StatusOK {
+			t.Fatalf("anonymous join during noisy throttle: status %d, %v", code, m)
+		}
+	})
+
+	// Graceful leave under traffic: requests keep succeeding with the
+	// same checksum while s1's datasets migrate away.
+	t.Run("ShardLeaveUnderTraffic", func(t *testing.T) {
+		stop := make(chan struct{})
+		errs := make(chan string, 16)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, m, _ := fleetPost(t, routerURL+"/v1/join", "", join)
+				if code != http.StatusOK {
+					errs <- fmt.Sprintf("status %d: %v", code, m)
+					return
+				}
+				if m["checksum"] != want["checksum"] {
+					errs <- fmt.Sprintf("checksum drifted: %v", m["checksum"])
+					return
+				}
+			}
+		}()
+
+		req, _ := http.NewRequest(http.MethodDelete, routerURL+"/v1/fleet/shards/s1", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard leave: status %d: %s", resp.StatusCode, body)
+		}
+		close(stop)
+		wg.Wait()
+		select {
+		case e := <-errs:
+			t.Fatalf("request failed during shard leave: %s", e)
+		default:
+		}
+		shardCmds["s1"].Process.Kill()
+	})
+
+	// Kill a live shard outright: replicas (factor 2) and the retry path
+	// keep the fleet answering with the same bytes.
+	t.Run("ShardDeath", func(t *testing.T) {
+		shardCmds["s2"].Process.Kill()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			code, m, _ := fleetPost(t, routerURL+"/v1/join", "", join)
+			if code == http.StatusOK {
+				if m["checksum"] != want["checksum"] {
+					t.Fatalf("post-death checksum %v, want %v", m["checksum"], want["checksum"])
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet never recovered from shard death: status %d, %v", code, m)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	})
+
+	// The fleet still reports healthy with one shard standing.
+	resp, err := http.Get(routerURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router healthz after losses: status %d", resp.StatusCode)
+	}
+}
+
+// TestFleetShardJoinMigration exercises runtime shard join: a fresh
+// shard process joins the fleet through the router API and datasets
+// migrate onto it without changing any answer.
+func TestFleetShardJoinMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns a process fleet")
+	}
+	bins := buildCmds(t)
+	logDir := fleetLogDir(t)
+
+	u1, c1 := startProc(t, bins["sjoind"], "sjoind listening on ",
+		filepath.Join(logDir, "join-s1.log"), "-addr", "127.0.0.1:0")
+	defer c1.Process.Kill()
+	routerURL, routerCmd := startProc(t, bins["sjoin-router"], "sjoin-router listening on ",
+		filepath.Join(logDir, "join-router.log"),
+		"-addr", "127.0.0.1:0", "-shards", "s1="+u1, "-replicas", "2")
+	defer routerCmd.Process.Kill()
+
+	for _, q := range []string{
+		"name=r&generate=gaussian&n=10000&seed=5",
+		"name=s&generate=uniform&n=10000&seed=6",
+	} {
+		if code, m, _ := fleetPost(t, routerURL+"/v1/datasets?"+q, "", ""); code != http.StatusCreated {
+			t.Fatalf("upload %s: status %d, %v", q, code, m)
+		}
+	}
+	join := `{"r":"r","s":"s","eps":0.4,"algorithm":"lpib"}`
+	code, before, _ := fleetPost(t, routerURL+"/v1/join", "", join)
+	if code != http.StatusOK {
+		t.Fatalf("pre-join join: status %d, %v", code, before)
+	}
+
+	u2, c2 := startProc(t, bins["sjoind"], "sjoind listening on ",
+		filepath.Join(logDir, "join-s2.log"), "-addr", "127.0.0.1:0")
+	defer c2.Process.Kill()
+	code, m, _ := fleetPost(t, routerURL+"/v1/fleet/shards", "", fmt.Sprintf(`{"id":"s2","url":%q}`, u2))
+	if code != http.StatusOK {
+		t.Fatalf("shard join: status %d, %v", code, m)
+	}
+
+	// Placement now spans both shards (replicas=2 over 2 shards places
+	// everything on both) and the answer is unchanged.
+	var info struct {
+		Datasets []struct {
+			Name    string   `json:"name"`
+			Holders []string `json:"holders"`
+		} `json:"datasets"`
+	}
+	resp, err := http.Get(routerURL + "/v1/fleet/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	for _, d := range info.Datasets {
+		if len(d.Holders) < 2 {
+			t.Errorf("dataset %s replicated to %v after shard join, want both shards", d.Name, d.Holders)
+		}
+	}
+	code, after, _ := fleetPost(t, routerURL+"/v1/join", "", join)
+	if code != http.StatusOK || after["checksum"] != before["checksum"] {
+		t.Fatalf("post-join join: status %d, checksum %v (want %v)", code, after["checksum"], before["checksum"])
+	}
+}

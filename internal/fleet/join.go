@@ -1,0 +1,465 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"spatialjoin/internal/obs"
+)
+
+// joinWire mirrors the sjoind join request body — the router accepts
+// exactly the single-shard API and rewrites dataset names on the way
+// through.
+type joinWire struct {
+	R              string  `json:"r"`
+	S              string  `json:"s"`
+	Eps            float64 `json:"eps"`
+	Algorithm      string  `json:"algorithm,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	Partitions     int     `json:"partitions,omitempty"`
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	UseLPT         bool    `json:"use_lpt,omitempty"`
+	GridRes        float64 `json:"grid_res,omitempty"`
+	Collect        bool    `json:"collect,omitempty"`
+	Limit          int     `json:"limit,omitempty"`
+	TimeoutMillis  int64   `json:"timeout_ms,omitempty"`
+}
+
+// joinResp mirrors the sjoind join response body.
+type joinResp struct {
+	Algorithm   string     `json:"algorithm"`
+	Results     int64      `json:"results"`
+	Checksum    string     `json:"checksum"`
+	Selectivity float64    `json:"selectivity"`
+	PlanCache   string     `json:"plan_cache"`
+	ReplicatedR int64      `json:"replicated_r"`
+	ReplicatedS int64      `json:"replicated_s"`
+	BuildMillis float64    `json:"build_ms"`
+	ProbeMillis float64    `json:"probe_ms"`
+	Pairs       [][2]int64 `json:"pairs,omitempty"`
+	Truncated   bool       `json:"truncated,omitempty"`
+	JoinID      int64      `json:"join_id"`
+}
+
+// joinLeg records one shard execution of (part of) a routed join, for
+// trace stitching.
+type joinLeg struct {
+	shardID string
+	url     string
+	joinID  int64
+	span    uint64 // the SpanFleetProxy span the shard's tree grafts under
+}
+
+// shardError carries a shard's application-level rejection back to the
+// client with its original status code.
+type shardError struct {
+	code int
+	msg  string
+}
+
+func (e *shardError) Error() string { return e.msg }
+
+// handleJoin is the router's POST /v1/join(+/count): per-tenant
+// admission, then route-and-merge with whole-attempt retry across
+// shard deaths.
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request, allowCollect bool) (int, error) {
+	tenant := tenantOf(r)
+	if !ValidTenant(tenant) {
+		return http.StatusBadRequest, fmt.Errorf("fleet: invalid tenant id")
+	}
+	if ok, retryAfter := rt.quotas.Allow(tenant); !ok {
+		rt.Metrics.Inc("sjoin_router_tenant_rejected_total", tenant)
+		secs := int(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		return http.StatusTooManyRequests, fmt.Errorf("fleet: tenant %q over quota, retry in %v", tenant, retryAfter.Round(time.Millisecond))
+	}
+	var wire joinWire
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("fleet: bad join request: %w", err)
+	}
+	if !allowCollect {
+		wire.Collect = false
+	}
+
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+
+	keyR, keyS := Key(tenant, wire.R), Key(tenant, wire.S)
+	rt.catMu.Lock()
+	entR, entS := rt.catalog[keyR], rt.catalog[keyS]
+	rt.catMu.Unlock()
+	if entR == nil {
+		return http.StatusNotFound, fmt.Errorf("fleet: unknown dataset %q", wire.R)
+	}
+	if entS == nil {
+		return http.StatusNotFound, fmt.Errorf("fleet: unknown dataset %q", wire.S)
+	}
+	rt.rememberJoin(keyR, keyS, tenant, wire)
+
+	tr := obs.New()
+	root := tr.Start(0, obs.SpanFleetJoin)
+	root.SetStr("tenant", tenant).SetStr("r", wire.R).SetStr("s", wire.S)
+
+	var (
+		resp    *joinResp
+		mode    string
+		legs    []joinLeg
+		lastErr error
+	)
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, mode, legs, err = rt.routeJoin(r.Context(), tr, root, tenant, wire, entR, entS)
+		if err == nil {
+			break
+		}
+		var te *transportError
+		if !isTransport(err, &te) {
+			if se, ok := err.(*shardError); ok {
+				return se.code, se
+			}
+			return http.StatusBadGateway, err
+		}
+		rt.markDead(te.sh, te.err)
+		lastErr = err
+		if attempt >= rt.cfg.MaxRetries {
+			return http.StatusBadGateway, fmt.Errorf("fleet: join failed after %d attempts: %w", attempt+1, lastErr)
+		}
+		rt.Metrics.Inc("sjoin_router_retries_total", te.sh.id)
+		rt.log.Warn("fleet: retrying join after shard failure", "shard", te.sh.id, "attempt", attempt+1)
+	}
+	root.SetStr("mode", mode)
+	root.End()
+	rt.Metrics.Inc("sjoin_router_joins_total", mode)
+	resp.JoinID = rt.recordTrace(mode, tr, legs)
+	return writeJSON(w, http.StatusOK, resp), nil
+}
+
+// rememberJoin keeps the join shape (count-only form) in the per-dataset
+// warm history replayed after migrations.
+func (rt *Router) rememberJoin(keyR, keyS, tenant string, wire joinWire) {
+	warm := wire
+	warm.Collect = false
+	warm.Limit = 0
+	rt.catMu.Lock()
+	defer rt.catMu.Unlock()
+	for _, key := range []string{keyR, keyS} {
+		hist := rt.recent[key]
+		dup := false
+		for _, h := range hist {
+			if h.tenant == tenant && h.wire == warm {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		hist = append(hist, warmJoin{tenant: tenant, wire: warm})
+		if len(hist) > rt.cfg.WarmJoins {
+			hist = hist[len(hist)-rt.cfg.WarmJoins:]
+		}
+		rt.recent[key] = hist
+	}
+}
+
+// routeJoin makes one routing attempt against the current live shard
+// view. A *transportError return means a shard died under it and the
+// caller may retry; placement re-resolves to the replicas.
+func (rt *Router) routeJoin(ctx context.Context, tr *obs.Tracer, root *obs.Span, tenant string, wire joinWire, entR, entS *catEntry) (*joinResp, string, []joinLeg, error) {
+	keyR, keyS := Key(tenant, wire.R), Key(tenant, wire.S)
+	targetR, targetS := rt.serveTarget(keyR), rt.serveTarget(keyS)
+	if targetR == nil || targetS == nil {
+		return nil, "", nil, fmt.Errorf("fleet: no live shard holds the datasets")
+	}
+	snameR := shardDatasetName(tenant, wire.R)
+	snameS := shardDatasetName(tenant, wire.S)
+
+	// Same shard: plain proxy.
+	if targetR == targetS {
+		sw := wire
+		sw.R, sw.S = snameR, snameS
+		resp, leg, err := rt.proxyJoin(ctx, tr, root, targetR, sw)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return resp, "local", []joinLeg{leg}, nil
+	}
+
+	// Cross-shard, both sides large: split into vertical strips and fan
+	// out to both owners, merging partial results.
+	if rt.cfg.FanoutMinPoints > 0 && entR.Points >= rt.cfg.FanoutMinPoints && entS.Points >= rt.cfg.FanoutMinPoints {
+		resp, legs, err := rt.fanoutJoin(ctx, tr, root, tenant, wire, entR, entS, targetR, targetS)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return resp, "fanout", legs, nil
+	}
+
+	// Cross-shard: stream the smaller dataset to the larger's shard as a
+	// hidden mirror and join there.
+	big, small := targetR, targetS
+	smallKey, smallEnt, smallName := keyS, entS, snameS
+	if entR.Points < entS.Points {
+		big, small = targetS, targetR
+		smallKey, smallEnt, smallName = keyR, entR, snameR
+	}
+	mirror, err := rt.ensureMirror(ctx, tr, root, small, big, smallKey, smallEnt, smallName, nil)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	sw := wire
+	if big == targetR {
+		sw.R, sw.S = snameR, mirror
+	} else {
+		sw.R, sw.S = mirror, snameS
+	}
+	resp, leg, err := rt.proxyJoin(ctx, tr, root, big, sw)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return resp, "streamed", []joinLeg{leg}, nil
+}
+
+// proxyJoin runs one join on one shard under a SpanFleetProxy span.
+func (rt *Router) proxyJoin(ctx context.Context, tr *obs.Tracer, root *obs.Span, sh *shard, wire joinWire) (*joinResp, joinLeg, error) {
+	span := tr.Start(root.SpanID(), obs.SpanFleetProxy)
+	span.SetWorker(sh.id).SetStr("shard", sh.id).SetStr("r", wire.R).SetStr("s", wire.S)
+	defer span.End()
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, joinLeg{}, err
+	}
+	code, out, err := rt.shardPost(ctx, sh, "/v1/join", "application/json", body)
+	if err != nil {
+		return nil, joinLeg{}, err
+	}
+	rt.Metrics.Inc("sjoin_router_proxied_total", sh.id)
+	if code != http.StatusOK {
+		var ew errorWire
+		json.Unmarshal(out, &ew)
+		if ew.Error == "" {
+			ew.Error = fmt.Sprintf("shard %s: status %d", sh.id, code)
+		}
+		return nil, joinLeg{}, &shardError{code: code, msg: ew.Error}
+	}
+	var resp joinResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, joinLeg{}, fmt.Errorf("fleet: bad join response from %s: %w", sh.id, err)
+	}
+	span.SetInt("results", resp.Results).SetInt("shard_join_id", resp.JoinID)
+	return &resp, joinLeg{shardID: sh.id, url: sh.url, joinID: resp.JoinID, span: uint64(span.SpanID())}, nil
+}
+
+// regionFilter restricts a handoff export to an x-range; nil exports the
+// whole dataset. Lo is always inclusive; IncHi makes Hi inclusive too
+// (half-open otherwise).
+type regionFilter struct {
+	Lo, Hi float64
+	IncHi  bool
+}
+
+func (f *regionFilter) query() url.Values {
+	q := url.Values{}
+	if f == nil {
+		return q
+	}
+	q.Set("xlo", strconv.FormatFloat(f.Lo, 'g', -1, 64))
+	q.Set("xhi", strconv.FormatFloat(f.Hi, 'g', -1, 64))
+	if f.IncHi {
+		q.Set("inchi", "1")
+	}
+	return q
+}
+
+func (f *regionFilter) tag() string {
+	if f == nil {
+		return "full"
+	}
+	inc := "o"
+	if f.IncHi {
+		inc = "c"
+	}
+	return fmt.Sprintf("%x-%x-%s", math.Float64bits(f.Lo), math.Float64bits(f.Hi), inc)
+}
+
+// ensureMirror ships (a region of) a dataset from shard src to shard
+// dst under a hidden name, reusing a previous ship when the dataset
+// version has not changed. Mirrors are invalidated when the dataset is
+// re-uploaded and garbage-collected when it is deleted.
+func (rt *Router) ensureMirror(ctx context.Context, tr *obs.Tracer, root *obs.Span, src, dst *shard, key string, ent *catEntry, sname string, filter *regionFilter) (string, error) {
+	tag := filter.tag()
+	mk := dst.id + "\xff" + key + "\xff" + tag
+	mirror := fmt.Sprintf("~m~%d~%s~%s", ent.Ver, tag, sname)
+	rt.catMu.Lock()
+	cached := rt.mirrors[mk] == mirror && dst.alive.Load()
+	rt.catMu.Unlock()
+	if cached {
+		return mirror, nil
+	}
+
+	span := tr.Start(root.SpanID(), obs.SpanFleetMirror)
+	span.SetStr("dataset", ent.Name).SetStr("from", src.id).SetStr("to", dst.id)
+	defer span.End()
+
+	q := filter.query()
+	blob, _, err := rt.shardGet(ctx, src, "/v1/admin/handoff/"+sname+"?"+q.Encode())
+	if err != nil {
+		return "", err
+	}
+	if len(blob) == 0 {
+		// Empty region: nothing to join against on this leg.
+		span.SetInt("bytes", 0)
+		return "", nil
+	}
+	code, out, err := rt.shardPost(ctx, dst, "/v1/admin/handoff?name="+url.QueryEscape(mirror), "application/octet-stream", blob)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusCreated {
+		var ew errorWire
+		json.Unmarshal(out, &ew)
+		return "", fmt.Errorf("fleet: shard %s rejected mirror: %s", dst.id, ew.Error)
+	}
+	span.SetInt("bytes", int64(len(blob)))
+	rt.Metrics.Inc("sjoin_router_migrations_total", "mirror")
+	rt.Metrics.Add("sjoin_router_handoff_bytes_total", int64(len(blob)), "mirror")
+	rt.catMu.Lock()
+	rt.mirrors[mk] = mirror
+	rt.catMu.Unlock()
+	return mirror, nil
+}
+
+// fanoutJoin splits a cross-shard join into two vertical strips, one
+// per owner shard, and merges the partial results. Correctness: the
+// strips partition R's points exactly (half-open cut at the x midpoint),
+// and each strip's S side is expanded by eps on both ends, so every
+// result pair is produced by exactly one strip — counts add up and the
+// order-independent checksum (a sum of per-pair hashes) merges by
+// addition, reproducing the single-process result bit for bit.
+func (rt *Router) fanoutJoin(ctx context.Context, tr *obs.Tracer, root *obs.Span, tenant string, wire joinWire, entR, entS *catEntry, targetR, targetS *shard) (*joinResp, []joinLeg, error) {
+	keyR, keyS := Key(tenant, wire.R), Key(tenant, wire.S)
+	snameR := shardDatasetName(tenant, wire.R)
+	snameS := shardDatasetName(tenant, wire.S)
+
+	rlo, rhi := boundsX(entR)
+	slo, shi := boundsX(entS)
+	lo, hi := math.Min(rlo, slo), math.Max(rhi, shi)
+	mid := lo + (hi-lo)/2
+
+	type strip struct {
+		target *shard
+		rf, sf regionFilter
+	}
+	strips := []strip{
+		{target: targetR,
+			rf: regionFilter{Lo: lo, Hi: mid, IncHi: false},
+			sf: regionFilter{Lo: lo - wire.Eps, Hi: mid + wire.Eps, IncHi: true}},
+		{target: targetS,
+			rf: regionFilter{Lo: mid, Hi: hi, IncHi: true},
+			sf: regionFilter{Lo: mid - wire.Eps, Hi: hi + wire.Eps, IncHi: true}},
+	}
+
+	type legOut struct {
+		resp *joinResp
+		leg  joinLeg
+		err  error
+	}
+	outs := make([]legOut, len(strips))
+	done := make(chan int, len(strips))
+	for i := range strips {
+		go func(i int) {
+			defer func() { done <- i }()
+			st := strips[i]
+			rName, err := rt.ensureMirror(ctx, tr, root, targetR, st.target, keyR, entR, snameR, &st.rf)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			sName, err := rt.ensureMirror(ctx, tr, root, targetS, st.target, keyS, entS, snameS, &st.sf)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			if rName == "" || sName == "" {
+				// An empty strip side joins to nothing: zero partial.
+				outs[i].resp = &joinResp{Checksum: "0000000000000000", PlanCache: "hit"}
+				return
+			}
+			sw := wire
+			sw.R, sw.S = rName, sName
+			outs[i].resp, outs[i].leg, outs[i].err = rt.proxyJoin(ctx, tr, root, st.target, sw)
+		}(i)
+	}
+	for range strips {
+		<-done
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, nil, outs[i].err
+		}
+	}
+
+	mspan := tr.Start(root.SpanID(), obs.SpanFleetMerge)
+	defer mspan.End()
+	merged := &joinResp{PlanCache: "hit"}
+	var checksum uint64
+	var legs []joinLeg
+	limit := wire.Limit
+	for i := range outs {
+		p := outs[i].resp
+		merged.Results += p.Results
+		merged.ReplicatedR += p.ReplicatedR
+		merged.ReplicatedS += p.ReplicatedS
+		if p.Algorithm != "" {
+			merged.Algorithm = p.Algorithm
+		}
+		if p.PlanCache != "hit" {
+			merged.PlanCache = "miss"
+		}
+		if p.BuildMillis > merged.BuildMillis {
+			merged.BuildMillis = p.BuildMillis
+		}
+		if p.ProbeMillis > merged.ProbeMillis {
+			merged.ProbeMillis = p.ProbeMillis
+		}
+		if c, err := strconv.ParseUint(p.Checksum, 16, 64); err == nil {
+			checksum += c
+		}
+		if wire.Collect {
+			merged.Pairs = append(merged.Pairs, p.Pairs...)
+			merged.Truncated = merged.Truncated || p.Truncated
+		}
+		if outs[i].leg.shardID != "" {
+			legs = append(legs, outs[i].leg)
+		}
+	}
+	if wire.Collect && limit > 0 && len(merged.Pairs) > limit {
+		merged.Pairs = merged.Pairs[:limit]
+		merged.Truncated = true
+	}
+	merged.Checksum = fmt.Sprintf("%016x", checksum)
+	if pr, ps := entR.Points, entS.Points; pr > 0 && ps > 0 {
+		merged.Selectivity = float64(merged.Results) / (float64(pr) * float64(ps))
+	}
+	mspan.SetInt("results", merged.Results).SetInt("legs", int64(len(legs)))
+	return merged, legs, nil
+}
+
+// boundsX pulls a dataset's x extent from its catalog info.
+func boundsX(ent *catEntry) (lo, hi float64) {
+	lo, _ = ent.Info["min_x"].(float64)
+	hi, _ = ent.Info["max_x"].(float64)
+	return lo, hi
+}

@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsHostileLabels(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("sjoin_router_tenant_rejected_total", `quote"ten\ant`+"\n")
+	m.Add("sjoin_router_tenant_rejected_total", 2, "plain")
+	// Separator bytes in values must not alias series.
+	m.Inc("sjoin_router_requests_total", "a\xffb", "c")
+	m.Add("sjoin_router_requests_total", 5, "a", "b\xffc")
+	if got := m.Value("sjoin_router_requests_total", "a\xffb", "c"); got != 1 {
+		t.Errorf("aliased series: got %d, want 1", got)
+	}
+	m.Inc("sjoin_router_warm_joins_total")
+
+	var sb strings.Builder
+	m.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `tenant="quote\"ten\\ant\n"`) {
+		t.Errorf("hostile tenant not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `tenant="plain"`) || !strings.Contains(out, "sjoin_router_warm_joins_total 1") {
+		t.Errorf("expected series missing:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "\x00") {
+			t.Errorf("raw control bytes in exposition line %q", line)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown metric name did not panic")
+		}
+	}()
+	m.Inc("sjoin_router_no_such_metric")
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is one tenant's admission budget: a token bucket refilled at
+// Rate joins per second with capacity Burst. The zero Quota means "no
+// quota configured".
+type Quota struct {
+	Rate  float64 // tokens per second
+	Burst int     // bucket capacity
+}
+
+// IsZero reports whether the quota is unset.
+func (q Quota) IsZero() bool { return q.Rate == 0 && q.Burst == 0 }
+
+func (q Quota) withDefaults() Quota {
+	if q.Burst <= 0 {
+		q.Burst = 1
+	}
+	return q
+}
+
+// ParseQuota parses the "rate:burst" flag syntax (e.g. "5:10" is five
+// joins per second with bursts of ten).
+func ParseQuota(s string) (Quota, error) {
+	var q Quota
+	if _, err := fmt.Sscanf(s, "%g:%d", &q.Rate, &q.Burst); err != nil {
+		return Quota{}, fmt.Errorf("fleet: quota %q is not rate:burst", s)
+	}
+	if q.Rate <= 0 || q.Burst <= 0 {
+		return Quota{}, fmt.Errorf("fleet: quota %q needs positive rate and burst", s)
+	}
+	return q, nil
+}
+
+// Quotas is a set of per-tenant token buckets: every tenant gets the
+// default quota unless an override names it. A zero default with no
+// override admits the tenant unconditionally.
+type Quotas struct {
+	def       Quota
+	overrides map[string]Quota
+	now       func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas builds a quota set. def applies to every tenant without an
+// override; a zero def means unlisted tenants are not rate limited.
+func NewQuotas(def Quota, overrides map[string]Quota) *Quotas {
+	q := &Quotas{def: def, now: time.Now, buckets: map[string]*bucket{}}
+	if len(overrides) > 0 {
+		q.overrides = make(map[string]Quota, len(overrides))
+		for t, o := range overrides {
+			q.overrides[t] = o
+		}
+	}
+	return q
+}
+
+// SetNow injects a clock for tests.
+func (q *Quotas) SetNow(now func() time.Time) { q.now = now }
+
+// quotaFor resolves the quota applying to tenant.
+func (q *Quotas) quotaFor(tenant string) Quota {
+	if o, ok := q.overrides[tenant]; ok {
+		return o.withDefaults()
+	}
+	return q.def.withDefaults()
+}
+
+// Allow consumes one token from tenant's bucket. When the bucket is
+// empty it reports false and how long until the next token arrives —
+// the Retry-After a 429 should carry.
+func (q *Quotas) Allow(tenant string) (bool, time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	quota := q.quotaFor(tenant)
+	if quota.IsZero() || quota.Rate <= 0 {
+		return true, 0
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: float64(quota.Burst), last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(float64(quota.Burst), b.tokens+dt*quota.Rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / quota.Rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Tenants returns how many tenants currently hold a bucket.
+func (q *Quotas) Tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseQuota(t *testing.T) {
+	q, err := ParseQuota("5:10")
+	if err != nil || q.Rate != 5 || q.Burst != 10 {
+		t.Fatalf("ParseQuota(5:10) = %+v, %v", q, err)
+	}
+	if q, err := ParseQuota("0.5:1"); err != nil || q.Rate != 0.5 {
+		t.Fatalf("ParseQuota(0.5:1) = %+v, %v", q, err)
+	}
+	for _, bad := range []string{"", "5", "5:", ":10", "x:y", "-1:5", "5:-1", "0:0"} {
+		if _, err := ParseQuota(bad); err == nil {
+			t.Errorf("ParseQuota(%q) accepted", bad)
+		}
+	}
+}
+
+func TestQuotaBurstAndRefill(t *testing.T) {
+	qs := NewQuotas(Quota{Rate: 2, Burst: 3}, nil)
+	now := time.Unix(1000, 0)
+	qs.SetNow(func() time.Time { return now })
+
+	// The full burst is available up front.
+	for i := 0; i < 3; i++ {
+		if ok, _ := qs.Allow("t1"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := qs.Allow("t1")
+	if ok {
+		t.Fatal("request over burst admitted")
+	}
+	// At 2 tokens/s an empty bucket refills one token in 500ms.
+	if retry <= 0 || retry > 600*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~500ms", retry)
+	}
+
+	// Advance past the refill point: exactly one more token.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := qs.Allow("t1"); !ok {
+		t.Fatal("request after refill denied")
+	}
+	if ok, _ := qs.Allow("t1"); ok {
+		t.Fatal("second request after a one-token refill admitted")
+	}
+
+	// Refill caps at Burst even after a long idle stretch.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := qs.Allow("t1"); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("after long idle %d admitted, want burst cap 3", admitted)
+	}
+}
+
+func TestQuotaTenantsIndependent(t *testing.T) {
+	qs := NewQuotas(Quota{Rate: 1, Burst: 1}, nil)
+	now := time.Unix(0, 0)
+	qs.SetNow(func() time.Time { return now })
+
+	if ok, _ := qs.Allow("noisy"); !ok {
+		t.Fatal("first noisy request denied")
+	}
+	if ok, _ := qs.Allow("noisy"); ok {
+		t.Fatal("second noisy request admitted")
+	}
+	// The noisy tenant being throttled must not affect anyone else.
+	if ok, _ := qs.Allow("quiet"); !ok {
+		t.Fatal("quiet tenant denied because of the noisy one")
+	}
+	if qs.Tenants() != 2 {
+		t.Fatalf("Tenants() = %d, want 2", qs.Tenants())
+	}
+}
+
+func TestQuotaOverrides(t *testing.T) {
+	qs := NewQuotas(Quota{}, map[string]Quota{"limited": {Rate: 1, Burst: 1}})
+	now := time.Unix(0, 0)
+	qs.SetNow(func() time.Time { return now })
+
+	// Zero default: unlisted tenants are never limited.
+	for i := 0; i < 100; i++ {
+		if ok, _ := qs.Allow("free"); !ok {
+			t.Fatal("zero-default tenant denied")
+		}
+	}
+	if ok, _ := qs.Allow("limited"); !ok {
+		t.Fatal("override tenant's first request denied")
+	}
+	if ok, _ := qs.Allow("limited"); ok {
+		t.Fatal("override tenant admitted over its budget")
+	}
+}
+
+func TestQuotaNilAdmits(t *testing.T) {
+	var qs *Quotas
+	if ok, retry := qs.Allow("anyone"); !ok || retry != 0 {
+		t.Fatal("nil Quotas must admit unconditionally")
+	}
+}

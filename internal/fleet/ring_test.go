@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(64).With("s1").With("s2").With("s3")
+	// Insertion order must not matter: every router instance has to
+	// agree on placement regardless of how it learned the members.
+	b := NewRing(64).With("s3").With("s1").With("s2")
+	for i := 0; i < 1000; i++ {
+		k := Key("tenant", fmt.Sprintf("ds-%d", i))
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("key %q: owner %q vs %q for different insertion orders", k, ao, bo)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(64)
+	shards := []string{"s1", "s2", "s3", "s4"}
+	for _, s := range shards {
+		r = r.With(s)
+	}
+	const n = 8000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[r.Owner(Key("", fmt.Sprintf("ds-%d", i)))]++
+	}
+	// With 64 vnodes per shard the split should be roughly even; accept
+	// a generous band so the test is not sensitive to the hash details.
+	for _, s := range shards {
+		got := counts[s]
+		if got < n/len(shards)/2 || got > n*2/len(shards) {
+			t.Errorf("shard %s owns %d of %d keys, expected near %d", s, got, n, n/len(shards))
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(16).With("s1").With("s2").With("s3")
+	for i := 0; i < 200; i++ {
+		owners := r.Owners(Key("t", fmt.Sprintf("d%d", i)), 2)
+		if len(owners) != 2 {
+			t.Fatalf("want 2 owners, got %v", owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("owners must be distinct shards, got %v", owners)
+		}
+	}
+	// Asking for more replicas than members yields all members.
+	if got := len(r.Owners("k", 10)); got != 3 {
+		t.Fatalf("Owners(k, 10) on a 3-ring returned %d shards", got)
+	}
+}
+
+func TestRingBoundedMovement(t *testing.T) {
+	base := NewRing(64).With("s1").With("s2").With("s3")
+	grown := base.With("s4")
+	const n = 4000
+	moved := 0
+	for i := 0; i < n; i++ {
+		k := Key("", fmt.Sprintf("ds-%d", i))
+		before, after := base.Owner(k), grown.Owner(k)
+		if before != after {
+			moved++
+			// Consistent hashing moves keys only TO the new member.
+			if after != "s4" {
+				t.Fatalf("key %q moved %s -> %s, not to the joining shard", k, before, after)
+			}
+		}
+	}
+	// Expect ~1/4 of keys to move; far more means the ring reshuffles.
+	if moved > n/2 {
+		t.Errorf("adding one shard to three moved %d/%d keys", moved, n)
+	}
+	if moved == 0 {
+		t.Error("adding a shard moved no keys at all")
+	}
+
+	// Removing the shard again restores the original placement exactly.
+	shrunk := grown.Without("s4")
+	for i := 0; i < n; i++ {
+		k := Key("", fmt.Sprintf("ds-%d", i))
+		if base.Owner(k) != shrunk.Owner(k) {
+			t.Fatalf("key %q: remove did not restore placement", k)
+		}
+	}
+}
+
+func TestRingImmutability(t *testing.T) {
+	r := NewRing(8).With("s1")
+	_ = r.With("s2")
+	if r.Len() != 1 || r.Has("s2") {
+		t.Fatal("With mutated the receiver")
+	}
+	if r.With("s1") != r {
+		t.Error("adding an existing member should return the receiver")
+	}
+	if r.Without("nope") != r {
+		t.Error("removing a non-member should return the receiver")
+	}
+}
+
+func TestRingTenantAwareKeys(t *testing.T) {
+	// The same dataset name under different tenants must hash
+	// independently — tenants sharing names should not all pile onto
+	// one shard.
+	r := NewRing(64).With("s1").With("s2").With("s3").With("s4")
+	owners := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		owners[r.Owner(Key(fmt.Sprintf("tenant-%d", i), "points"))] = true
+	}
+	if len(owners) < 2 {
+		t.Errorf("64 tenants' same-named datasets all landed on one shard")
+	}
+}

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"spatialjoin/internal/obs"
+)
+
+// routerTraceRing bounds how many routed-join traces the router retains
+// for GET /v1/joins/{id}/trace.
+const routerTraceRing = 64
+
+// routerTrace is one retained routed join: the router's own fleet spans
+// plus pointers to the shard-local executions, fetched and grafted in
+// lazily when the trace is requested.
+type routerTrace struct {
+	id     int64
+	mode   string
+	tracer *obs.Tracer
+	legs   []joinLeg
+}
+
+// recordTrace retains a finished routed join's trace and returns its
+// router-scoped join id.
+func (rt *Router) recordTrace(mode string, tr *obs.Tracer, legs []joinLeg) int64 {
+	rt.traceMu.Lock()
+	defer rt.traceMu.Unlock()
+	rt.nextJoinID++
+	id := rt.nextJoinID
+	rt.traces[id] = &routerTrace{id: id, mode: mode, tracer: tr, legs: legs}
+	rt.traceOrder = append(rt.traceOrder, id)
+	if len(rt.traceOrder) > routerTraceRing {
+		delete(rt.traces, rt.traceOrder[0])
+		rt.traceOrder = rt.traceOrder[1:]
+	}
+	return id
+}
+
+// TraceResponse is the payload of the router's GET /v1/joins/{id}/trace:
+// the fleet-level span tree with each shard's join tree grafted under
+// the proxy span that dispatched it.
+type TraceResponse struct {
+	JoinID int64       `json:"join_id"`
+	Mode   string      `json:"mode"`
+	Shards []string    `json:"shards"`
+	Spans  int         `json:"spans"`
+	Tree   []*obs.Node `json:"tree"`
+}
+
+// shardTraceWire is the slice of the shard trace response the router
+// needs for stitching.
+type shardTraceWire struct {
+	Tree []*obs.Node `json:"tree"`
+}
+
+func (rt *Router) handleJoinTrace(w http.ResponseWriter, r *http.Request) (int, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return http.StatusBadRequest, fmt.Errorf("fleet: bad join id %q", r.PathValue("id"))
+	}
+	rt.traceMu.Lock()
+	jt, ok := rt.traces[id]
+	rt.traceMu.Unlock()
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("fleet: no retained trace for join %d", id)
+	}
+	tree := jt.tracer.Tree()
+	resp := &TraceResponse{JoinID: jt.id, Mode: jt.mode, Tree: tree}
+	for i, leg := range jt.legs {
+		resp.Shards = append(resp.Shards, leg.shardID)
+		sh := rt.shardByID(leg.shardID)
+		if sh == nil || !sh.alive.Load() {
+			continue
+		}
+		body, _, err := rt.shardGet(r.Context(), sh, "/v1/joins/"+strconv.FormatInt(leg.joinID, 10)+"/trace")
+		if err != nil {
+			continue // evicted or unreachable: serve the fleet spans alone
+		}
+		var wire shardTraceWire
+		if json.Unmarshal(body, &wire) != nil {
+			continue
+		}
+		// Shard span ids were minted in a different process; rebase them
+		// into a per-leg id range so grafted trees cannot collide with the
+		// router's own spans (or each other's).
+		rebase(wire.Tree, uint64(i+1)<<32, leg.shardID)
+		obs.Graft(resp.Tree, leg.span, wire.Tree)
+	}
+	resp.Spans = countNodes(resp.Tree)
+	return writeJSON(w, http.StatusOK, resp), nil
+}
+
+// rebase shifts every span id in the forest by base and prefixes worker
+// lanes with the shard id, keeping stitched trees unambiguous.
+func rebase(nodes []*obs.Node, base uint64, shardID string) {
+	for _, n := range nodes {
+		n.ID += base
+		if n.Parent != 0 {
+			n.Parent += base
+		}
+		if n.Worker == "" {
+			n.Worker = shardID
+		} else {
+			n.Worker = shardID + "/" + n.Worker
+		}
+		rebase(n.Children, base, shardID)
+	}
+}
+
+func countNodes(nodes []*obs.Node) int {
+	n := len(nodes)
+	for _, c := range nodes {
+		n += countNodes(c.Children)
+	}
+	return n
+}

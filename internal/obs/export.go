@@ -82,6 +82,26 @@ func (t *Tracer) Tree() []*Node {
 	return roots
 }
 
+// Graft attaches children under the node with the given span id,
+// searching the forest recursively. It reports whether the parent was
+// found. The fleet router uses it to stitch shard-local join trees
+// (fetched over HTTP as Node forests) under its own proxy spans.
+func Graft(roots []*Node, parent uint64, children []*Node) bool {
+	if len(children) == 0 {
+		return false
+	}
+	for _, n := range roots {
+		if n.ID == parent {
+			n.Children = append(n.Children, children...)
+			return true
+		}
+		if Graft(n.Children, parent, children) {
+			return true
+		}
+	}
+	return false
+}
+
 // chromeEvent is one entry in the Chrome trace-event format
 // (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
 type chromeEvent struct {

@@ -1,0 +1,269 @@
+// The disk-join engine: joins served from grid-partitioned columnar
+// files via dstore.JoinFiles instead of in-memory prepared plans —
+// requested with algorithm "disk". Memory use is O(largest partition)
+// rather than O(dataset), so it is the engine of choice for datasets
+// that dwarf the plan cache, at the cost of no reusable in-memory
+// plan. Partitioned files are built on first use per (dataset revision,
+// ε ceiling, grid) and reused across requests through a small reader
+// LRU; a threshold re-sweep at any eps at or below the file's ceiling
+// hits the same file.
+
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/dstore"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+// diskReaderCacheSize bounds the open partitioned-file readers.
+const diskReaderCacheSize = 8
+
+// diskCache is an LRU of open ColReaders over partitioned files the
+// disk engine built. Evicted entries close their mmap and delete the
+// backing file (it is a derived artifact, rebuilt on demand).
+type diskCache struct {
+	mu    sync.Mutex
+	cap   int
+	elems map[string]*dstore.ColReader
+	order []string // LRU order, oldest first
+}
+
+func (c *diskCache) get(path string) *dstore.ColReader {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.elems[path]
+	if !ok {
+		return nil
+	}
+	c.touch(path)
+	return r
+}
+
+func (c *diskCache) touch(path string) {
+	for i, p := range c.order {
+		if p == path {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), path)
+			return
+		}
+	}
+	c.order = append(c.order, path)
+}
+
+func (c *diskCache) put(path string, r *dstore.ColReader) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.elems == nil {
+		c.elems = map[string]*dstore.ColReader{}
+	}
+	if old, ok := c.elems[path]; ok {
+		old.Close()
+	}
+	c.elems[path] = r
+	c.touch(path)
+	for len(c.order) > c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if v, ok := c.elems[victim]; ok {
+			v.Close()
+			delete(c.elems, victim)
+			os.Remove(victim)
+		}
+	}
+}
+
+// epsCeil rounds eps up to a power of two, so nearby thresholds share
+// one partitioned file (JoinFiles stays correct for any eps at or
+// below the file's partitioning threshold).
+func epsCeil(eps float64) float64 {
+	return math.Pow(2, math.Ceil(math.Log2(eps)))
+}
+
+// diskDir is where the engine materialises partitioned files: under
+// the data dir when the daemon is durable, the system temp dir when
+// not.
+func (s *Service) diskDir() string {
+	if s.cfg.DataDir != "" {
+		return filepath.Join(s.cfg.DataDir, "diskjoin")
+	}
+	return filepath.Join(os.TempDir(), "sjoin-diskjoin")
+}
+
+// diskPath names one dataset's partitioned file for a join grid. The
+// grid is shared by both sides of a join: eps ceiling, resolution, and
+// the union bounds (bounds are part of the grid geometry, so the key
+// hashes them too). Revision and generation version the content.
+func (s *Service) diskPath(d *dataset, epsC, res float64, bounds spatialjoin.Rect) string {
+	name := fmt.Sprintf("%s-r%d-g%d-e%x-s%x-%x-%x-%x-%x.col",
+		sanitize(d.Name), d.Rev, d.Gen,
+		math.Float64bits(epsC), math.Float64bits(res),
+		math.Float64bits(bounds.MinX), math.Float64bits(bounds.MinY),
+		math.Float64bits(bounds.MaxX), math.Float64bits(bounds.MaxY))
+	return filepath.Join(s.diskDir(), name)
+}
+
+// sanitize keeps dataset names filesystem-safe.
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, fmt.Sprintf("%%%02x", c)...)
+		}
+	}
+	return string(out)
+}
+
+// openPartitioned returns a reader over d's partitioned file for the
+// join grid, building the file on first use. The second return reports
+// whether the reader came from the cache (the disk engine's notion of
+// a plan-cache hit).
+func (s *Service) openPartitioned(d *dataset, epsC, res float64, bounds spatialjoin.Rect) (*dstore.ColReader, bool, time.Duration, error) {
+	path := s.diskPath(d, epsC, res, bounds)
+	if r := s.diskReaders.get(path); r != nil {
+		return r, true, 0, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, false, 0, err
+	}
+	t0 := time.Now()
+	if err := dstore.WritePartitioned(path, d.Tuples, epsC, res, bounds); err != nil {
+		return nil, false, 0, err
+	}
+	r, err := dstore.OpenColFile(path)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	build := time.Since(t0)
+	s.diskReaders.put(path, r)
+	return r, false, build, nil
+}
+
+// DiskJoin executes one join from partitioned columnar files. It obeys
+// the same admission control (global pool and per-tenant buckets) as
+// in-memory joins.
+func (s *Service) DiskJoin(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	if req.Eps <= 0 {
+		return nil, fmt.Errorf("service: disk join requires eps > 0")
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	rd, err := s.Registry.Get(req.R)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := s.Registry.Get(req.S)
+	if err != nil {
+		return nil, err
+	}
+
+	release, err := s.acquire(ctx, req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	tr := spatialjoin.NewTracer()
+	root := tr.Start(0, obs.SpanJoin)
+	root.SetStr("algorithm", "disk").SetStr("r", rd.Name).SetStr("s", sd.Name)
+
+	epsC := epsCeil(req.Eps)
+	res := req.GridRes
+	bounds := rd.Bounds.Union(sd.Bounds)
+
+	pspan := tr.Start(root.SpanID(), obs.SpanPartition)
+	rr, rHit, rBuild, err := s.openPartitioned(rd, epsC, res, bounds)
+	if err != nil {
+		pspan.End()
+		return nil, fmt.Errorf("service: partitioning %q: %w", rd.Name, err)
+	}
+	sr, sHit, sBuild, err := s.openPartitioned(sd, epsC, res, bounds)
+	pspan.SetInt("r_points", int64(len(rd.Tuples))).SetInt("s_points", int64(len(sd.Tuples)))
+	pspan.End()
+	if err != nil {
+		return nil, fmt.Errorf("service: partitioning %q: %w", sd.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxCollect {
+		limit = s.cfg.MaxCollect
+	}
+	var (
+		counter   sweep.Counter
+		pairs     [][2]int64
+		truncated bool
+	)
+	emit := func(ps []tuple.Pair) {
+		for _, p := range ps {
+			counter.EmitPair(p)
+		}
+		if req.Collect {
+			for _, p := range ps {
+				if len(pairs) >= limit {
+					truncated = true
+					break
+				}
+				pairs = append(pairs, [2]int64{p.RID, p.SID})
+			}
+		}
+	}
+	espan := tr.Start(root.SpanID(), obs.SpanExecute)
+	t0 := time.Now()
+	results, err := dstore.JoinFiles(rr, sr, req.Eps, emit)
+	probe := time.Since(t0)
+	espan.SetInt("results", results)
+	espan.End()
+	if err != nil {
+		return nil, err
+	}
+	root.End()
+
+	s.Metrics.Probe.Observe(probe.Seconds())
+	s.Metrics.JoinResults.Add(results, req.Tenant)
+	build := rBuild + sBuild
+	if !rHit || !sHit {
+		s.Metrics.PlanCacheMisses.Inc()
+		s.Metrics.PlanBuild.Observe(build.Seconds())
+	} else {
+		s.Metrics.PlanCacheHits.Inc()
+	}
+
+	resp := &JoinResponse{
+		Algorithm:   "disk",
+		Results:     results,
+		Checksum:    fmt.Sprintf("%016x", counter.Checksum),
+		Selectivity: float64(results) / (float64(len(rd.Tuples)) * float64(len(sd.Tuples))),
+		PlanCache:   "miss",
+		BuildMillis: float64(build) / float64(time.Millisecond),
+		ProbeMillis: float64(probe) / float64(time.Millisecond),
+		Pairs:       pairs,
+		Truncated:   truncated,
+	}
+	if rHit && sHit {
+		resp.PlanCache = "hit"
+	}
+	resp.JoinID = s.observeTrace("disk", tr, build+probe)
+	s.persistSkew(req, tr)
+	return resp, nil
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spatialjoin"
+)
+
+// TestDiskJoinMatchesInMemory is the disk engine's correctness anchor:
+// joining from partitioned columnar files must produce the same count
+// and checksum as the in-memory engine over the same datasets.
+func TestDiskJoinMatchesInMemory(t *testing.T) {
+	s := New(Config{PlanCacheSize: 8})
+	if _, err := s.Registry.Put("r", spatialjoin.GenerateGaussian(1500, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry.Put("s", spatialjoin.GenerateUniform(1500, 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := s.Join(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := s.DiskJoin(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.Algorithm != "disk" {
+		t.Fatalf("algorithm = %q", disk.Algorithm)
+	}
+	if disk.Results != mem.Results || disk.Checksum != mem.Checksum {
+		t.Fatalf("disk join = (%d, %s), in-memory = (%d, %s)",
+			disk.Results, disk.Checksum, mem.Results, mem.Checksum)
+	}
+	if disk.PlanCache != "miss" {
+		t.Fatalf("first disk join plan_cache = %q, want miss", disk.PlanCache)
+	}
+
+	// The second run reuses both partitioned files through the reader
+	// cache — the disk engine's plan-cache hit.
+	disk2, err := s.DiskJoin(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk2.PlanCache != "hit" {
+		t.Fatalf("second disk join plan_cache = %q, want hit", disk2.PlanCache)
+	}
+	if disk2.Checksum != disk.Checksum {
+		t.Fatal("cached disk join changed the checksum")
+	}
+
+	// A smaller eps with the same power-of-two ceiling (0.26 and 0.3
+	// both round up to 0.5) shares the partitioned file and still
+	// agrees with the in-memory engine.
+	mem3, err := s.Join(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk3, err := s.DiskJoin(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk3.Results != mem3.Results || disk3.Checksum != mem3.Checksum {
+		t.Fatalf("re-swept disk join = (%d, %s), in-memory = (%d, %s)",
+			disk3.Results, disk3.Checksum, mem3.Results, mem3.Checksum)
+	}
+	if disk3.PlanCache != "hit" {
+		t.Fatalf("eps under the file ceiling rebuilt the file: plan_cache = %q", disk3.PlanCache)
+	}
+}
+
+func TestDiskJoinCollectAndErrors(t *testing.T) {
+	s := New(Config{PlanCacheSize: 8})
+	if _, err := s.Registry.Put("r", spatialjoin.GenerateUniform(500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry.Put("s", spatialjoin.GenerateUniform(500, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := s.Join(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.2, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := s.DiskJoin(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0.2, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disk.Pairs) != len(mem.Pairs) {
+		t.Fatalf("disk collected %d pairs, in-memory %d", len(disk.Pairs), len(mem.Pairs))
+	}
+
+	if _, err := s.DiskJoin(context.Background(), JoinRequest{R: "r", S: "s", Eps: 0}); err == nil {
+		t.Error("eps=0 disk join accepted")
+	}
+	if _, err := s.DiskJoin(context.Background(), JoinRequest{R: "nope", S: "s", Eps: 0.2}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestDiskJoinHTTP exercises the "disk" algorithm through the HTTP
+// surface: same wire format, same checksum as the in-memory engines.
+func TestDiskJoinHTTP(t *testing.T) {
+	s := New(Config{PlanCacheSize: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, d := range []string{"name=r&generate=gaussian&n=800&seed=5", "name=s&generate=uniform&n=800&seed=6"} {
+		resp, err := http.Post(ts.URL+"/v1/datasets?"+d, "", nil)
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload: %v / %v", err, resp.Status)
+		}
+		resp.Body.Close()
+	}
+
+	join := func(body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/join", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("join status %d: %v", resp.StatusCode, m)
+		}
+		return m
+	}
+	mem := join(`{"r":"r","s":"s","eps":0.25,"algorithm":"lpib"}`)
+	disk := join(`{"r":"r","s":"s","eps":0.25,"algorithm":"disk"}`)
+	if disk["algorithm"] != "disk" {
+		t.Fatalf("algorithm = %v", disk["algorithm"])
+	}
+	if disk["checksum"] != mem["checksum"] || disk["results"] != mem["results"] {
+		t.Fatalf("disk = (%v, %v), lpib = (%v, %v)",
+			disk["checksum"], disk["results"], mem["checksum"], mem["results"])
+	}
+}

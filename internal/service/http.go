@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -62,6 +63,10 @@ type errorWire struct {
 //	POST   /v1/join/count            same, but never materialises pairs
 //	GET    /v1/joins/{id}/trace      span tree + skew of a recent join
 //	                                 (?format=chrome for trace-event JSON)
+//	GET    /v1/admin/handoff/{name}  export a dataset as a columnar blob
+//	                                 (?xlo=&xhi=&inchi= x-range filter)
+//	POST   /v1/admin/handoff?name=N  import a columnar blob as a dataset
+//	POST   /v1/admin/skew            import planner skew observations
 //	POST   /v1/stream                create a streaming join (JSON body)
 //	GET    /v1/stream                list streams
 //	DELETE /v1/stream/{name}         tear a stream down
@@ -85,6 +90,9 @@ func (s *Service) Handler() http.Handler {
 		return s.handleJoin(w, r, false)
 	}))
 	mux.HandleFunc("GET /v1/joins/{id}/trace", s.instrument("join_trace", s.handleJoinTrace))
+	mux.HandleFunc("GET /v1/admin/handoff/{name}", s.instrument("handoff_export", s.handleHandoffExport))
+	mux.HandleFunc("POST /v1/admin/handoff", s.instrument("handoff_import", s.handleHandoffImport))
+	mux.HandleFunc("POST /v1/admin/skew", s.instrument("skew_import", s.handleSkewImport))
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.instrument("admin_checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("GET /v1/planner/history", s.instrument("planner_history", s.handlePlannerHistory))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -106,7 +114,14 @@ func (s *Service) instrument(endpoint string, h func(http.ResponseWriter, *http.
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		after := "1"
+		var tqe *TenantQuotaError
+		if errors.As(err, &tqe) {
+			if secs := int(math.Ceil(tqe.RetryAfter.Seconds())); secs > 1 {
+				after = strconv.Itoa(secs)
+			}
+		}
+		w.Header().Set("Retry-After", after)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -188,18 +203,29 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request, allowCollec
 	if err := dec.Decode(&wire); err != nil {
 		return http.StatusBadRequest, fmt.Errorf("service: bad join request: %w", err)
 	}
-	algo, ok := algorithmNames[strings.ToLower(wire.Algorithm)]
-	if !ok {
-		return http.StatusBadRequest, fmt.Errorf("service: unknown algorithm %q", wire.Algorithm)
-	}
 	req := JoinRequest{
-		R: wire.R, S: wire.S, Eps: wire.Eps, Algorithm: algo,
+		R: wire.R, S: wire.S, Eps: wire.Eps,
+		Tenant:  r.Header.Get("X-Tenant"),
 		Workers: wire.Workers, Partitions: wire.Partitions,
 		SampleFraction: wire.SampleFraction, Seed: wire.Seed,
 		UseLPT: wire.UseLPT, GridRes: wire.GridRes,
 		Collect: wire.Collect && allowCollect, Limit: wire.Limit,
 		Timeout: time.Duration(wire.TimeoutMillis) * time.Millisecond,
 	}
+	// "disk" is not a planner algorithm: it streams the join from the
+	// grid-partitioned columnar files instead of in-memory plans.
+	if strings.EqualFold(wire.Algorithm, "disk") {
+		resp, err := s.DiskJoin(r.Context(), req)
+		if err != nil {
+			return joinErrorCode(err), err
+		}
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	algo, ok := algorithmNames[strings.ToLower(wire.Algorithm)]
+	if !ok {
+		return http.StatusBadRequest, fmt.Errorf("service: unknown algorithm %q", wire.Algorithm)
+	}
+	req.Algorithm = algo
 	resp, err := s.Join(r.Context(), req)
 	if err != nil {
 		return joinErrorCode(err), err
@@ -260,8 +286,9 @@ func (s *Service) handlePlannerHistory(w http.ResponseWriter, r *http.Request) (
 
 // joinErrorCode maps service errors to HTTP status codes.
 func joinErrorCode(err error) int {
+	var tqe *TenantQuotaError
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.As(err, &tqe):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable

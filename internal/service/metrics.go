@@ -46,7 +46,29 @@ type counterVec struct {
 	labels     []string // label names, in render order
 
 	mu   sync.Mutex
-	vals map[string]*atomic.Int64 // key: label values joined by '\xff'
+	vals map[string]*vecSeries // key: vecKey of the label values
+}
+
+// vecKey builds the series map key. Values are length-prefixed rather
+// than joined with a separator byte: label values arrive from request
+// headers, so no byte can be assumed absent, and a plain join would
+// alias ("a\xffb", "c") with ("a", "b\xffc").
+func vecKey(labelValues []string) string {
+	var b strings.Builder
+	for _, v := range labelValues {
+		fmt.Fprintf(&b, "%d:%s", len(v), v)
+	}
+	return b.String()
+}
+
+// vecSeries is one label combination's series. The label values are
+// stored verbatim and never re-derived by splitting the map key: a
+// value containing the join byte (possible since tenant ids ride in
+// from a request header) can therefore neither collide two series nor
+// corrupt the rendered exposition.
+type vecSeries struct {
+	values []string
+	v      atomic.Int64
 }
 
 func (c *counterVec) Inc(labelValues ...string) { c.Add(1, labelValues...) }
@@ -55,27 +77,27 @@ func (c *counterVec) Add(n int64, labelValues ...string) {
 	if len(labelValues) != len(c.labels) {
 		panic(fmt.Sprintf("metric %s: %d label values for %d labels", c.name, len(labelValues), len(c.labels)))
 	}
-	key := strings.Join(labelValues, "\xff")
+	key := vecKey(labelValues)
 	c.mu.Lock()
 	v, ok := c.vals[key]
 	if !ok {
 		if c.vals == nil {
-			c.vals = map[string]*atomic.Int64{}
+			c.vals = map[string]*vecSeries{}
 		}
-		v = &atomic.Int64{}
+		v = &vecSeries{values: append([]string(nil), labelValues...)}
 		c.vals[key] = v
 	}
 	c.mu.Unlock()
-	v.Add(n)
+	v.v.Add(n)
 }
 
 // Value returns the count for one label combination (0 if never seen).
 func (c *counterVec) Value(labelValues ...string) int64 {
-	key := strings.Join(labelValues, "\xff")
+	key := vecKey(labelValues)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if v, ok := c.vals[key]; ok {
-		return v.Load()
+		return v.v.Load()
 	}
 	return 0
 }
@@ -127,7 +149,7 @@ var byteBuckets = []float64{
 // Metrics is the service's metric set.
 type Metrics struct {
 	Requests *counterVec // by endpoint, code
-	Rejected *counterVec // by reason (queue_full, draining, timeout)
+	Rejected *counterVec // by reason (queue_full, draining, timeout, tenant_quota) and tenant
 
 	InFlight   *gauge
 	QueueDepth *gauge
@@ -146,8 +168,8 @@ type Metrics struct {
 	TaskDuration *histogram // partition task durations, from trace task spans
 	ShuffleBytes *histogram // shuffled bytes per join
 
-	JoinResults      *counter // result pairs served
-	ReplicatedServed *counter // replicated objects served by executed plans
+	JoinResults      *counterVec // result pairs served, by tenant
+	ReplicatedServed *counter    // replicated objects served by executed plans
 	Datasets         *gauge
 	DatasetPoints    *gauge
 
@@ -196,8 +218,8 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		Requests: &counterVec{name: "sjoind_requests_total", help: "HTTP requests by endpoint and status code.",
 			labels: []string{"endpoint", "code"}},
-		Rejected: &counterVec{name: "sjoind_rejected_total", help: "Requests rejected by admission control, by reason.",
-			labels: []string{"reason"}},
+		Rejected: &counterVec{name: "sjoind_rejected_total", help: "Requests rejected by admission control, by reason and tenant.",
+			labels: []string{"reason", "tenant"}},
 		InFlight:   &gauge{name: "sjoind_requests_in_flight", help: "Join requests currently executing."},
 		QueueDepth: &gauge{name: "sjoind_queue_depth", help: "Join requests waiting for an execution slot."},
 		QueueWait:  newHistogram("sjoind_queue_wait_seconds", "Time spent waiting for an execution slot.", defBuckets...),
@@ -215,7 +237,8 @@ func NewMetrics() *Metrics {
 		TaskDuration: newHistogram("sjoind_task_seconds", "Partition task durations, extracted from each join's trace task spans.", defBuckets...),
 		ShuffleBytes: newHistogram("sjoind_shuffle_bytes", "Shuffled bytes per join (replication-driven network traffic).", byteBuckets...),
 
-		JoinResults:      &counter{name: "sjoind_join_results_total", help: "Result pairs counted across all joins."},
+		JoinResults: &counterVec{name: "sjoind_join_results_total", help: "Result pairs counted across all joins, by tenant.",
+			labels: []string{"tenant"}},
 		ReplicatedServed: &counter{name: "sjoind_replicated_objects_served_total", help: "Replicated objects served by executed plans."},
 		Datasets:         &gauge{name: "sjoind_datasets", help: "Datasets currently registered."},
 		DatasetPoints:    &gauge{name: "sjoind_dataset_points", help: "Total points across registered datasets."},
@@ -275,7 +298,7 @@ func (m *Metrics) ObserveCluster(cm spatialjoin.ClusterMetrics) {
 func (m *Metrics) Render(w io.Writer) {
 	for _, c := range []*counter{
 		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
-		m.JoinResults, m.ReplicatedServed,
+		m.ReplicatedServed,
 		m.StreamIngested, m.StreamCellRebuilds, m.StreamAgreementFlips,
 		m.StreamMigrations, m.StreamExpired,
 		m.DstoreLogRecords, m.DstoreLogBytes,
@@ -298,7 +321,7 @@ func (m *Metrics) Render(w io.Writer) {
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, escapeHelp(g.help), g.name, g.name, g.Value())
 	}
-	for _, v := range []*counterVec{m.Requests, m.Rejected, m.StreamDeltaPairs} {
+	for _, v := range []*counterVec{m.Requests, m.Rejected, m.JoinResults, m.StreamDeltaPairs} {
 		renderVec(w, v)
 	}
 	for _, h := range []*histogram{
@@ -323,12 +346,12 @@ func renderVec(w io.Writer, v *counterVec) {
 	}
 	rows := make([]row, 0, len(keys))
 	for _, k := range keys {
-		vals := strings.Split(k, "\xff")
+		s := v.vals[k]
 		parts := make([]string, len(v.labels))
 		for i, name := range v.labels {
-			parts[i] = name + `="` + escapeLabel(vals[i]) + `"`
+			parts[i] = name + `="` + escapeLabel(s.values[i]) + `"`
 		}
-		rows = append(rows, row{labels: strings.Join(parts, ","), n: v.vals[k].Load()})
+		rows = append(rows, row{labels: strings.Join(parts, ","), n: s.v.Load()})
 	}
 	v.mu.Unlock()
 	for _, r := range rows {
@@ -383,7 +406,7 @@ func (m *Metrics) Snapshot() map[string]any {
 	out := map[string]any{}
 	for _, c := range []*counter{
 		m.PlanCacheHits, m.PlanCacheMisses, m.PlanCacheEvictions,
-		m.JoinResults, m.ReplicatedServed,
+		m.ReplicatedServed,
 		m.StreamIngested, m.StreamCellRebuilds, m.StreamAgreementFlips,
 		m.StreamMigrations, m.StreamExpired,
 		m.DstoreLogRecords, m.DstoreLogBytes,
@@ -406,11 +429,11 @@ func (m *Metrics) Snapshot() map[string]any {
 	} {
 		out[g.name] = g.Value()
 	}
-	for _, v := range []*counterVec{m.Requests, m.Rejected, m.StreamDeltaPairs} {
+	for _, v := range []*counterVec{m.Requests, m.Rejected, m.JoinResults, m.StreamDeltaPairs} {
 		sub := map[string]int64{}
 		v.mu.Lock()
-		for k, n := range v.vals {
-			sub[strings.ReplaceAll(k, "\xff", ",")] = n.Load()
+		for _, n := range v.vals {
+			sub[strings.Join(n.values, ",")] = n.v.Load()
 		}
 		v.mu.Unlock()
 		out[v.name] = sub

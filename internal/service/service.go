@@ -25,6 +25,7 @@ import (
 
 	"spatialjoin"
 	"spatialjoin/internal/dstore"
+	"spatialjoin/internal/fleet"
 	"spatialjoin/internal/obs"
 )
 
@@ -45,6 +46,14 @@ type Config struct {
 	// MaxCollect caps the pairs a single response may materialise;
 	// default 10000.
 	MaxCollect int
+	// TenantQuota layers per-tenant admission on top of the global
+	// pool: each tenant (the X-Tenant request header; empty is the
+	// anonymous tenant) gets a token bucket of Rate joins per second
+	// with Burst capacity. The zero value disables per-tenant admission
+	// for tenants without an override.
+	TenantQuota fleet.Quota
+	// TenantOverrides names per-tenant budgets that replace TenantQuota.
+	TenantOverrides map[string]fleet.Quota
 	// Engine selects the execution backend every join runs on: nil is
 	// the in-process engine; a cluster coordinator's Engine ships
 	// partition joins to remote worker processes. Measured wire counters
@@ -98,6 +107,18 @@ var ErrOverloaded = errors.New("service: queue full, try again later")
 // ErrDraining is returned once Drain has started.
 var ErrDraining = errors.New("service: draining, not accepting new work")
 
+// TenantQuotaError reports a join rejected by per-tenant admission; the
+// HTTP layer maps it to 429 with a Retry-After of RetryAfter rounded up
+// to whole seconds.
+type TenantQuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *TenantQuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q over quota, retry in %v", e.Tenant, e.RetryAfter.Round(time.Millisecond))
+}
+
 // Service is the long-running join service.
 type Service struct {
 	cfg      Config
@@ -108,6 +129,11 @@ type Service struct {
 	slots    chan struct{}
 	queued   atomic.Int64
 	draining atomic.Bool
+	quotas   *fleet.Quotas // nil when per-tenant admission is off
+
+	// diskReaders caches open readers over the disk-join engine's
+	// partitioned files.
+	diskReaders diskCache
 
 	streamMu   sync.Mutex
 	streams    map[string]*streamState
@@ -139,7 +165,7 @@ type joinTrace struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		Registry: NewRegistry(m),
 		Metrics:  m,
@@ -148,6 +174,11 @@ func New(cfg Config) *Service {
 		streams:  map[string]*streamState{},
 		traces:   map[int64]*joinTrace{},
 	}
+	s.diskReaders.cap = diskReaderCacheSize
+	if !cfg.TenantQuota.IsZero() || len(cfg.TenantOverrides) > 0 {
+		s.quotas = fleet.NewQuotas(cfg.TenantQuota, cfg.TenantOverrides)
+	}
+	return s
 }
 
 // StartDrain flips the service into draining mode: /healthz turns 503
@@ -164,15 +195,22 @@ func (s *Service) PlanCacheLen() int { return s.cache.Len() }
 func (s *Service) InFlight() int64 { return s.Metrics.InFlight.Value() }
 
 // acquire admits one join into the bounded pool, waiting for a slot
-// until ctx expires. It returns a release func on success.
-func (s *Service) acquire(ctx context.Context) (func(), error) {
+// until ctx expires. Per-tenant admission runs first: a noisy tenant
+// burns its own token bucket and is 429ed while other tenants keep
+// their access to the global queue. It returns a release func on
+// success.
+func (s *Service) acquire(ctx context.Context, tenant string) (func(), error) {
 	if s.draining.Load() {
-		s.Metrics.Rejected.Inc("draining")
+		s.Metrics.Rejected.Inc("draining", tenant)
 		return nil, ErrDraining
+	}
+	if ok, retry := s.quotas.Allow(tenant); !ok {
+		s.Metrics.Rejected.Inc("tenant_quota", tenant)
+		return nil, &TenantQuotaError{Tenant: tenant, RetryAfter: retry}
 	}
 	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
-		s.Metrics.Rejected.Inc("queue_full")
+		s.Metrics.Rejected.Inc("queue_full", tenant)
 		return nil, ErrOverloaded
 	}
 	s.Metrics.QueueDepth.Set(s.queued.Load())
@@ -190,7 +228,7 @@ func (s *Service) acquire(ctx context.Context) (func(), error) {
 			<-s.slots
 		}, nil
 	case <-ctx.Done():
-		s.Metrics.Rejected.Inc("timeout")
+		s.Metrics.Rejected.Inc("timeout", tenant)
 		return nil, ctx.Err()
 	}
 }
@@ -198,6 +236,7 @@ func (s *Service) acquire(ctx context.Context) (func(), error) {
 // JoinRequest is one join query against registered datasets.
 type JoinRequest struct {
 	R, S      string  // dataset names (both required)
+	Tenant    string  // requesting tenant ("" is the anonymous tenant)
 	Eps       float64 // distance threshold (required)
 	Algorithm spatialjoin.Algorithm
 
@@ -344,7 +383,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		return nil, err
 	}
 
-	release, err := s.acquire(ctx)
+	release, err := s.acquire(ctx, req.Tenant)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +417,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		total := time.Since(t0)
 		root.End()
 		s.Metrics.Probe.Observe(total.Seconds())
-		s.Metrics.JoinResults.Add(rep.Results)
+		s.Metrics.JoinResults.Add(rep.Results, req.Tenant)
 		resp := s.respond(req, rep, rd, sd, false, 0, total)
 		resp.JoinID = s.observeTrace(resp.Algorithm, tr, total)
 		s.persistSkew(req, tr)
@@ -447,7 +486,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		probe := time.Since(t0)
 		if err == nil {
 			s.Metrics.Probe.Observe(probe.Seconds())
-			s.Metrics.JoinResults.Add(rep.Results)
+			s.Metrics.JoinResults.Add(rep.Results, req.Tenant)
 			s.Metrics.ReplicatedServed.Add(plan.Replicated())
 			s.Metrics.ObserveCluster(rep.Cluster)
 		}
@@ -462,7 +501,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		}
 		rep, probe = r.rep, r.probe
 	case <-ctx.Done():
-		s.Metrics.Rejected.Inc("timeout")
+		s.Metrics.Rejected.Inc("timeout", req.Tenant)
 		return nil, ctx.Err()
 	}
 

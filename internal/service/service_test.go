@@ -173,14 +173,14 @@ func TestAdmissionControl(t *testing.T) {
 	s := testService(t, Config{MaxConcurrent: 1, MaxQueue: 1})
 	ctx := context.Background()
 
-	release1, err := s.acquire(ctx)
+	release1, err := s.acquire(ctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// One waiter fits in the queue.
 	waited := make(chan error, 1)
 	go func() {
-		release2, err := s.acquire(ctx)
+		release2, err := s.acquire(ctx, "")
 		if err == nil {
 			release2()
 		}
@@ -194,10 +194,10 @@ func TestAdmissionControl(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// The queue is now full: the next acquire is rejected immediately.
-	if _, err := s.acquire(ctx); err != ErrOverloaded {
+	if _, err := s.acquire(ctx, ""); err != ErrOverloaded {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
-	if s.Metrics.Rejected.Value("queue_full") != 1 {
+	if s.Metrics.Rejected.Value("queue_full", "") != 1 {
 		t.Fatal("queue_full rejection not counted")
 	}
 	release1()
@@ -209,20 +209,20 @@ func TestAdmissionControl(t *testing.T) {
 	}
 
 	// A waiter whose context expires is released with the ctx error.
-	release3, err := s.acquire(ctx)
+	release3, err := s.acquire(ctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer release3()
 	short, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
 	defer cancel()
-	if _, err := s.acquire(short); err != context.DeadlineExceeded {
+	if _, err := s.acquire(short, ""); err != context.DeadlineExceeded {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 
 	// Draining rejects instantly.
 	s.StartDrain()
-	if _, err := s.acquire(ctx); err != ErrDraining {
+	if _, err := s.acquire(ctx, ""); err != ErrDraining {
 		t.Fatalf("err = %v, want ErrDraining", err)
 	}
 }
