@@ -52,12 +52,15 @@ import (
 
 	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/core"
+	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/dstore"
+	"spatialjoin/internal/extgeom"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/obs"
 	"spatialjoin/internal/sweep"
 	"spatialjoin/internal/tuple"
+	"spatialjoin/internal/twolayer"
 )
 
 type entry struct {
@@ -94,6 +97,9 @@ type report struct {
 	// is free once pages are resident).
 	ScanWorkload  string  `json:"scan_workload"`
 	DiskVsRAMScan float64 `json:"disk_vs_ram_scan"`
+
+	// GeomWorkload describes the non-point (two-layer) join inputs.
+	GeomWorkload string `json:"geom_workload,omitempty"`
 }
 
 func randomTuples(rng *rand.Rand, n int, extent float64, base int64) []tuple.Tuple {
@@ -256,6 +262,7 @@ func main() {
 		extent  = flag.Float64("extent", 8, "cell extent (points uniform in [0,extent)^2)")
 		e2eN    = flag.Int("e2e-n", 50000, "points per side for the end-to-end core benchmark")
 		scanN   = flag.Int("scan-n", 200_000, "points per side for the disk-vs-RAM partition scan")
+		geomN   = flag.Int("geom-n", 20_000, "objects per side for the non-point (two-layer) benchmarks")
 	)
 	flag.Parse()
 
@@ -423,6 +430,50 @@ func main() {
 			joinRAM(ramR, ramS, scanEps)
 		}
 	}))
+
+	// Non-point joins: the two-layer engine (MBR replication with tile
+	// classes, per-tile class-pair sweeps, exact refinement) over
+	// synthetic polygon and polyline sets. Each op includes Prepare —
+	// assignment and shuffle are part of the cost being measured.
+	world := datagen.World()
+	geoR, err := datagen.GeomObjects(
+		datagen.GeomSpec{Kind: "polygon", MinExtent: 0.2, MaxExtent: 1, Verts: 6, ShapeSeed: 21},
+		func(emit func(tuple.Tuple)) { datagen.UniformEach(world, *geomN, 20, 0, emit) })
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	geoS, err := datagen.GeomObjects(
+		datagen.GeomSpec{Kind: "polyline", MinExtent: 0.2, MaxExtent: 1, Verts: 4, ShapeSeed: 22},
+		func(emit func(tuple.Tuple)) { datagen.UniformEach(world, *geomN, 23, 1<<40, emit) })
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+	for _, tl := range []struct {
+		name string
+		cfg  twolayer.Config
+	}{
+		{"twolayer/intersects", twolayer.Config{R: geoR, S: geoS, Pred: extgeom.Intersects}},
+		{"twolayer/within", twolayer.Config{R: geoR, S: geoS, Pred: extgeom.WithinDistance, Eps: 0.5}},
+	} {
+		res, err := twolayer.Join(tl.cfg)
+		if err != nil {
+			log.Fatalf("bench: %s: %v", tl.name, err)
+		}
+		tlPairs := res.Results
+		if rep.GeomWorkload == "" {
+			rep.GeomWorkload = fmt.Sprintf("%d polygons x %d polylines, extents [0.2,1] in [0,100)^2",
+				*geomN, *geomN)
+		}
+		cfg := tl.cfg
+		rep.Entries = append(rep.Entries, measure(tl.name, tlPairs, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := twolayer.Join(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
 
 	// Per-phase wall times from the tracer, one traced run.
 	trCfg := e2eCfg

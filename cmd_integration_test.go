@@ -9,6 +9,9 @@ import (
 
 	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/dstore"
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/textio"
+	"spatialjoin/internal/tuple"
 )
 
 // buildCmds compiles the command-line tools once into a temp dir and
@@ -164,5 +167,87 @@ func TestDatagenStreamOut(t *testing.T) {
 	// Flag validation: -out and -stream-out are mutually exclusive.
 	if _, err := exec.Command(bins["datagen"], "-out", "a", "-stream-out", "b").CombinedOutput(); err == nil {
 		t.Fatal("datagen accepted both -out and -stream-out")
+	}
+}
+
+// TestDatagenGeomOut checks the -geom path end to end: the text output
+// must parse back as the exact objects the in-memory generator draws,
+// and the streamed columnar file must carry the same objects in the
+// same order as geometry wire payloads.
+func TestDatagenGeomOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCmds(t)
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "geo.txt")
+	col := filepath.Join(dir, "geo.col")
+	args := []string{"-kind", "uniform", "-geom", "polygon", "-n", "2000",
+		"-seed", "5", "-min-size", "0.5", "-max-size", "2", "-verts", "5"}
+	out := runCmd(t, bins["datagen"], append(args, "-out", txt)...)
+	if !strings.Contains(out, "wrote 2000 uniform polygon objects") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	runCmd(t, bins["datagen"], append(args, "-stream-out", col)...)
+
+	w := datagen.World()
+	want, err := datagen.GeomObjects(
+		datagen.GeomSpec{Kind: "polygon", MinExtent: 0.5, MaxExtent: 2, Verts: 5, ShapeSeed: 6},
+		func(emit func(tuple.Tuple)) { datagen.UniformEach(w, 2000, 5, 0, emit) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := textio.ReadGeomsFile(txt, 0)
+	if err != nil {
+		t.Fatalf("reading text output: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("text file has %d objects, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Kind != want[i].Kind || len(got[i].Verts) != len(want[i].Verts) {
+			t.Fatalf("text object %d = %+v, want %+v (draw order diverged)", i, got[i], want[i])
+		}
+		for j := range want[i].Verts {
+			if got[i].Verts[j] != want[i].Verts[j] {
+				t.Fatalf("text object %d vertex %d diverged", i, j)
+			}
+		}
+	}
+
+	r, err := dstore.OpenColFile(col)
+	if err != nil {
+		t.Fatalf("opening streamed colfile: %v", err)
+	}
+	defer r.Close()
+	ts, err := r.Tuples()
+	if err != nil {
+		t.Fatalf("reading streamed colfile: %v", err)
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("streamed file has %d tuples, want %d", len(ts), len(want))
+	}
+	for i := range want {
+		o, err := extgeom.DecodeObject(ts[i].ID, ts[i].Payload)
+		if err != nil {
+			t.Fatalf("tuple %d payload does not decode: %v", i, err)
+		}
+		if o.ID != want[i].ID || o.Kind != want[i].Kind || len(o.Verts) != len(want[i].Verts) {
+			t.Fatalf("streamed object %d diverged from in-memory draw", i)
+		}
+		for j := range want[i].Verts {
+			if o.Verts[j] != want[i].Verts[j] {
+				t.Fatalf("streamed object %d vertex %d diverged", i, j)
+			}
+		}
+		if ts[i].Pt != o.Bounds().Center() {
+			t.Fatalf("tuple %d point %v is not the MBR center", i, ts[i].Pt)
+		}
+	}
+
+	// -payload and -geom are mutually exclusive.
+	if _, err := exec.Command(bins["datagen"], append(args, "-payload", "4", "-out", txt)...).CombinedOutput(); err == nil {
+		t.Fatal("datagen accepted -payload with -geom")
 	}
 }

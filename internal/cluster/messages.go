@@ -73,6 +73,18 @@ func (m planMsg) encode() []byte {
 			b = appendF64(b, f)
 		}
 	}
+	if m.kernel.Kind == dpe.KernelTwoLayer {
+		for _, f := range []float64{
+			m.kernel.Bounds.MinX, m.kernel.Bounds.MinY,
+			m.kernel.Bounds.MaxX, m.kernel.Bounds.MaxY,
+			m.kernel.RefineEps,
+		} {
+			b = appendF64(b, f)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.kernel.TileNX))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.kernel.TileNY))
+		b = append(b, m.kernel.Predicate)
+	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.broadcast)))
 	return append(b, m.broadcast...)
 }
@@ -93,6 +105,16 @@ func decodePlan(b []byte) (planMsg, error) {
 		m.kernel.Bounds.MaxY = r.f64()
 		m.kernel.GridEps = r.f64()
 		m.kernel.GridRes = r.f64()
+	}
+	if m.kernel.Kind == dpe.KernelTwoLayer {
+		m.kernel.Bounds.MinX = r.f64()
+		m.kernel.Bounds.MinY = r.f64()
+		m.kernel.Bounds.MaxX = r.f64()
+		m.kernel.Bounds.MaxY = r.f64()
+		m.kernel.RefineEps = r.f64()
+		m.kernel.TileNX = int(r.u32())
+		m.kernel.TileNY = int(r.u32())
+		m.kernel.Predicate = r.u8()
 	}
 	n := int(r.u32())
 	m.broadcast = append([]byte(nil), r.take(n)...)

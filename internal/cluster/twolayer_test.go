@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/twolayer"
+)
+
+func clusterRandObjects(rng *rand.Rand, n int, idBase int64, maxExtent float64) []extgeom.Object {
+	out := make([]extgeom.Object, n)
+	for i := range out {
+		cx, cy := rng.Float64()*100, rng.Float64()*100
+		r := maxExtent * (0.1 + 0.9*rng.Float64())
+		id := idBase + int64(i)
+		if rng.Intn(2) == 0 {
+			out[i] = extgeom.NewPolyline(id, []geom.Point{
+				{X: cx - r, Y: cy - r*rng.Float64()},
+				{X: cx + r, Y: cy + r*rng.Float64()},
+			})
+		} else {
+			nv := 3 + rng.Intn(4)
+			angles := make([]float64, nv)
+			for j := range angles {
+				angles[j] = rng.Float64() * 2 * math.Pi
+			}
+			slices.Sort(angles)
+			verts := make([]geom.Point, nv)
+			for j, a := range angles {
+				verts[j] = geom.Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+			}
+			out[i] = extgeom.NewPolygon(id, verts)
+		}
+	}
+	return out
+}
+
+// TestTwoLayerClusterMatchesLocal runs the same non-point join on the
+// in-process local engine and on a real coordinator + workers over TCP:
+// the KernelTwoLayer description must rebuild an identical kernel in
+// the worker processes, and the sorted result sets must be identical.
+func TestTwoLayerClusterMatchesLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rs := clusterRandObjects(rng, 400, 0, 5)
+	ss := clusterRandObjects(rng, 400, 10_000, 5)
+
+	h := startHarness(t, Config{},
+		WorkerOptions{Name: "w0", Log: testLogger(t)},
+		WorkerOptions{Name: "w1", Log: testLogger(t)},
+	)
+
+	for _, pred := range []extgeom.Predicate{extgeom.Intersects, extgeom.Contains, extgeom.WithinDistance} {
+		cfg := twolayer.Config{
+			R: rs, S: ss, Pred: pred, Eps: 2, Tiles: 6, Workers: 3, Collect: true,
+		}
+		local, err := twolayer.Join(cfg)
+		if err != nil {
+			t.Fatalf("local %v: %v", pred, err)
+		}
+		cfg.Engine = h.coord.Engine()
+		remote, err := twolayer.Join(cfg)
+		if err != nil {
+			t.Fatalf("cluster %v: %v", pred, err)
+		}
+		sortPairs(local.Pairs)
+		sortPairs(remote.Pairs)
+		if len(local.Pairs) == 0 {
+			t.Fatalf("%v produced no pairs; test data too sparse", pred)
+		}
+		if !slices.Equal(local.Pairs, remote.Pairs) {
+			t.Fatalf("%v: cluster result (%d pairs) differs from local (%d pairs)",
+				pred, len(remote.Pairs), len(local.Pairs))
+		}
+	}
+}

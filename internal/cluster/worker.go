@@ -16,6 +16,7 @@ import (
 	"spatialjoin/internal/grid"
 	"spatialjoin/internal/obs"
 	"spatialjoin/internal/pbsm"
+	"spatialjoin/internal/twolayer"
 )
 
 // WorkerOptions tunes one worker process.
@@ -246,6 +247,12 @@ func (w *workerState) handlePlan(payload []byte) error {
 	case dpe.KernelRefPoint:
 		g := grid.New(m.kernel.Bounds, m.kernel.GridEps, m.kernel.GridRes)
 		p.kernel = pbsm.RefPointKernel(g)
+	case dpe.KernelTwoLayer:
+		k, err := twolayer.KernelFromDesc(m.kernel)
+		if err != nil {
+			return fmt.Errorf("cluster: plan %d: %w", m.id, err)
+		}
+		p.kernel = k.Join
 	default:
 		return fmt.Errorf("cluster: plan %d carries unknown kernel kind %d", m.id, m.kernel.Kind)
 	}

@@ -48,6 +48,14 @@ import (
 // is assigned to; the first id must be the native cell.
 type Assign func(p geom.Point, set tuple.Set, dst []int) []int
 
+// TupleAssign is the whole-tuple variant of Assign, for join families
+// whose assignment needs more than the point — the two-layer non-point
+// join decodes the object MBR from the tuple payload. When set on a
+// Spec it takes precedence over the point Assign for that side. The
+// contract is the same: append the cell ids of every replica to dst and
+// return it, with the native cell (the one that owns the tuple) first.
+type TupleAssign func(t tuple.Tuple, set tuple.Set, dst []int) []int
+
 // Partitioner routes cell ids to reduce partitions.
 type Partitioner interface {
 	// PartitionOf returns the reduce partition of a cell id.
@@ -110,6 +118,10 @@ const (
 	// KernelCustom marks a kernel that cannot be described on the wire
 	// (e.g. the Sedona R-tree kernel); such plans execute locally only.
 	KernelCustom
+	// KernelTwoLayer is the class-based non-point mini-join kernel of
+	// the two-layer partitioning; it needs the tile grid geometry, the
+	// predicate, and the refinement ε to rebuild remotely.
+	KernelTwoLayer
 )
 
 // KernelDesc is the wire-reconstructible description of a join kernel.
@@ -118,6 +130,11 @@ type KernelDesc struct {
 	// Grid geometry, used by KernelRefPoint.
 	Bounds           geom.Rect
 	GridEps, GridRes float64
+	// Tile grid geometry and refinement parameters, used by
+	// KernelTwoLayer (Bounds doubles as the tile grid's frame).
+	TileNX, TileNY int
+	Predicate      uint8
+	RefineEps      float64
 }
 
 // Spec describes one join execution.
@@ -126,11 +143,15 @@ type Spec struct {
 	Eps     float64
 	AssignR Assign // assignment rule for R tuples
 	AssignS Assign // assignment rule for S tuples (may differ, e.g. PBSM)
-	Part    Partitioner
-	Workers int    // simulated cluster nodes; defaults to GOMAXPROCS
-	Kernel  Kernel // local join kernel; the columnar plane sweep when nil
-	Collect bool   // materialise result pairs (else count + checksum only)
-	Dedup   bool   // run a distinct() pass after the join (Table 6 variant)
+	// TupleAssignR/TupleAssignS, when non-nil, replace AssignR/AssignS
+	// with whole-tuple assignment (payload-aware joins).
+	TupleAssignR TupleAssign
+	TupleAssignS TupleAssign
+	Part         Partitioner
+	Workers      int    // simulated cluster nodes; defaults to GOMAXPROCS
+	Kernel       Kernel // local join kernel; the columnar plane sweep when nil
+	Collect      bool   // materialise result pairs (else count + checksum only)
+	Dedup        bool   // run a distinct() pass after the join (Table 6 variant)
 	// SelfFilter keeps only pairs with r.ID < s.ID — the self-join mode,
 	// where both inputs are the same set: it drops identity pairs and
 	// one of the two orientations of every match.
@@ -317,7 +338,8 @@ func Prepare(spec Spec) (*Prepared, error) {
 	if spec.Eps <= 0 {
 		return nil, fmt.Errorf("dpe: eps must be positive, got %v", spec.Eps)
 	}
-	if spec.AssignR == nil || spec.AssignS == nil {
+	if (spec.AssignR == nil && spec.TupleAssignR == nil) ||
+		(spec.AssignS == nil && spec.TupleAssignS == nil) {
 		return nil, fmt.Errorf("dpe: both assignment functions are required")
 	}
 	if spec.Part == nil || spec.Part.NumPartitions() <= 0 {
@@ -338,8 +360,8 @@ func Prepare(spec Spec) (*Prepared, error) {
 	// ---- Map phase: flatMapToPair on both inputs, one split per worker.
 	replSp := spec.Tracer.Start(spec.TraceParent, obs.SpanReplicate)
 	start := time.Now()
-	outR, replR, busyR := mapPhase(spec.R, tuple.R, spec.AssignR, spec.Part, workers, spec.PoolSize)
-	outS, replS, busyS := mapPhase(spec.S, tuple.S, spec.AssignS, spec.Part, workers, spec.PoolSize)
+	outR, replR, busyR := mapPhase(spec.R, tuple.R, tupleAssign(spec.AssignR, spec.TupleAssignR), spec.Part, workers, spec.PoolSize)
+	outS, replS, busyS := mapPhase(spec.S, tuple.S, tupleAssign(spec.AssignS, spec.TupleAssignS), spec.Part, workers, spec.PoolSize)
 	res.ReplicatedR, res.ReplicatedS = replR, replS
 	res.MapTime = time.Since(start)
 	replSp.SetInt("replicated_r", replR).SetInt("replicated_s", replS)
@@ -549,7 +571,18 @@ func Run(spec Spec) (*Result, error) {
 // mapPhase runs the keyed assignment of one input over the worker pool.
 // It returns per-worker, per-partition record buffers and the replication
 // count (assignments beyond the native cell).
-func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, workers, pool int) ([][][]Keyed, int64, []time.Duration) {
+// tupleAssign lifts a point Assign to a TupleAssign unless the caller
+// already supplied a whole-tuple assignment, which wins.
+func tupleAssign(pt Assign, whole TupleAssign) TupleAssign {
+	if whole != nil {
+		return whole
+	}
+	return func(t tuple.Tuple, set tuple.Set, dst []int) []int {
+		return pt(t.Pt, set, dst)
+	}
+}
+
+func mapPhase(in []tuple.Tuple, set tuple.Set, assign TupleAssign, part Partitioner, workers, pool int) ([][][]Keyed, int64, []time.Duration) {
 	nparts := part.NumPartitions()
 	out := make([][][]Keyed, workers)
 	repl := make([]int64, workers)
@@ -575,7 +608,7 @@ func mapPhase(in []tuple.Tuple, set tuple.Set, assign Assign, part Partitioner, 
 			t0 := time.Now()
 			var cells []int
 			for _, t := range split {
-				cells = assign(t.Pt, set, cells[:0])
+				cells = assign(t, set, cells[:0])
 				repl[w] += int64(len(cells) - 1)
 				for _, c := range cells {
 					p := part.PartitionOf(c)

@@ -1,0 +1,153 @@
+package extgeom
+
+import (
+	"fmt"
+
+	"spatialjoin/internal/geom"
+)
+
+// Predicate names the spatial relations the non-point join engines
+// evaluate. The filter step of a join works on MBRs (widened by ε for
+// WithinDistance); the refinement step evaluates the exact predicate
+// through Eval.
+type Predicate uint8
+
+const (
+	// Intersects holds when the two objects share at least one point
+	// (boundary contact and containment both count).
+	Intersects Predicate = iota
+	// Contains holds when the left object fully contains the right one
+	// (boundary contact allowed). Only polygons have an interior, so a
+	// non-polygon left side contains nothing but an identical point.
+	Contains
+	// WithinDistance holds when the minimum distance between the two
+	// objects is at most ε.
+	WithinDistance
+)
+
+// String names the predicate in the form the HTTP API accepts.
+func (p Predicate) String() string {
+	switch p {
+	case Intersects:
+		return "intersects"
+	case Contains:
+		return "contains"
+	case WithinDistance:
+		return "within"
+	}
+	return fmt.Sprintf("predicate(%d)", uint8(p))
+}
+
+// ParsePredicate is the inverse of String, accepting a few aliases.
+func ParsePredicate(s string) (Predicate, error) {
+	switch s {
+	case "intersects", "intersect":
+		return Intersects, nil
+	case "contains":
+		return Contains, nil
+	case "within", "within-distance", "withindistance":
+		return WithinDistance, nil
+	}
+	return 0, fmt.Errorf("extgeom: unknown predicate %q (want intersects, contains or within)", s)
+}
+
+// Eval evaluates the predicate on a concrete object pair. eps is only
+// consulted by WithinDistance.
+func Eval(p Predicate, a, b *Object, eps float64) bool {
+	switch p {
+	case Intersects:
+		return IntersectsObjects(a, b)
+	case Contains:
+		return ContainsObject(a, b)
+	case WithinDistance:
+		return WithinDist(a, b, eps)
+	}
+	return false
+}
+
+// IntersectsObjects reports whether the two objects share at least one
+// point: their boundaries cross or touch, or one lies inside the other's
+// interior.
+func IntersectsObjects(a, b *Object) bool {
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return false
+	}
+	return SqDist(a, b) == 0
+}
+
+// ContainsObject reports whether a fully contains b, boundary contact
+// allowed. Only a polygon has an interior; for non-polygon a the relation
+// degenerates to point equality (a point "contains" an identical point).
+//
+// For polygon a the test is: every vertex of b lies in the closed region
+// of a, and no segment of b properly crosses a's boundary. Segments that
+// graze a's boundary through one of a's vertices are additionally probed
+// at interior sample points, which resolves the vertex-on-edge cases the
+// proper-crossing test alone cannot see.
+func ContainsObject(a, b *Object) bool {
+	if a.Kind != KindPolygon {
+		return a.Kind == KindPoint && b.Kind == KindPoint && a.Verts[0] == b.Verts[0]
+	}
+	if !a.Bounds().ContainsRect(b.Bounds()) {
+		return false
+	}
+	for _, v := range b.Verts {
+		if !a.ContainsPoint(v) {
+			return false
+		}
+	}
+	if b.Kind == KindPoint {
+		return true
+	}
+	contained := true
+	b.segments(func(sb Segment) {
+		if !contained {
+			return
+		}
+		grazes := false
+		a.segments(func(sa Segment) {
+			if !contained || !SegmentsIntersect(sa, sb) {
+				return
+			}
+			if properCross(sa, sb) {
+				contained = false
+				return
+			}
+			grazes = true
+		})
+		if !contained || !grazes {
+			return
+		}
+		// The segment touches a's boundary without a proper crossing
+		// (endpoint contact, collinear overlap, or a pass through one of
+		// a's vertices). Probe interior points of the segment: any sample
+		// outside a proves an excursion.
+		for _, t := range [...]float64{0.25, 0.5, 0.75} {
+			p := interp(sb, t)
+			if !a.ContainsPoint(p) {
+				contained = false
+				return
+			}
+		}
+	})
+	return contained
+}
+
+// properCross reports whether the two segments cross at a single interior
+// point of both (strict orientation sign changes on both sides) — the
+// unambiguous "goes through the boundary" case.
+func properCross(a, b Segment) bool {
+	d1 := orient(b.A, b.B, a.A)
+	d2 := orient(b.A, b.B, a.B)
+	d3 := orient(a.A, a.B, b.A)
+	d4 := orient(a.A, a.B, b.B)
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}
+
+func interp(s Segment, t float64) geom.Point {
+	return geom.Point{
+		X: s.A.X + t*(s.B.X-s.A.X),
+		Y: s.A.Y + t*(s.B.Y-s.A.Y),
+	}
+}

@@ -1,0 +1,93 @@
+package extgeom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spatialjoin/internal/geom"
+)
+
+// Wire encoding of one object's geometry, used as the tuple payload the
+// non-point join ships through the shuffle (and the durable store's
+// colfiles persist):
+//
+//	kind u8 | nverts u32 | nverts × (x f64 | y f64)
+//
+// Little-endian, self-delimiting. The MBR is not stored: it is derivable
+// in one pass, and DecodeObjectBounds performs exactly that pass without
+// materialising the vertex slice (the map phase's assignment only needs
+// the MBR).
+
+// wireHeader is the fixed prefix size of an encoded object.
+const wireHeader = 1 + 4
+
+// maxWireVerts caps the vertex count a decoder will accept — far above
+// any real geometry, low enough that a hostile header cannot force a
+// huge allocation.
+const maxWireVerts = 1 << 24
+
+// ObjectWireSize returns the number of bytes AppendObject writes for o.
+func ObjectWireSize(o *Object) int { return wireHeader + 16*len(o.Verts) }
+
+// AppendObject appends the wire encoding of o's geometry to dst. The
+// object id travels separately (it is the tuple id).
+func AppendObject(dst []byte, o *Object) []byte {
+	dst = append(dst, byte(o.Kind))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(o.Verts)))
+	for _, v := range o.Verts {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.X))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Y))
+	}
+	return dst
+}
+
+// DecodeObject decodes a geometry payload into an object with the given
+// id.
+func DecodeObject(id int64, b []byte) (Object, error) {
+	kind, n, err := decodeHeader(b)
+	if err != nil {
+		return Object{}, err
+	}
+	o := Object{ID: id, Kind: kind, Verts: make([]geom.Point, n)}
+	for i := 0; i < n; i++ {
+		o.Verts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(b[wireHeader+16*i:]))
+		o.Verts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(b[wireHeader+16*i+8:]))
+	}
+	return o, o.Validate()
+}
+
+// DecodeObjectBounds computes the MBR of an encoded geometry without
+// building the vertex slice.
+func DecodeObjectBounds(b []byte) (geom.Rect, error) {
+	_, n, err := decodeHeader(b)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	r := geom.EmptyRect()
+	for i := 0; i < n; i++ {
+		r = r.ExtendPoint(geom.Point{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(b[wireHeader+16*i:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(b[wireHeader+16*i+8:])),
+		})
+	}
+	return r, nil
+}
+
+func decodeHeader(b []byte) (Kind, int, error) {
+	if len(b) < wireHeader {
+		return 0, 0, fmt.Errorf("extgeom: decode: %d bytes, need at least %d", len(b), wireHeader)
+	}
+	kind := Kind(b[0])
+	if kind > KindPolygon {
+		return 0, 0, fmt.Errorf("extgeom: decode: unknown kind %d", b[0])
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:]))
+	if n > maxWireVerts {
+		return 0, 0, fmt.Errorf("extgeom: decode: %d vertices exceeds cap %d", n, maxWireVerts)
+	}
+	if len(b) < wireHeader+16*n {
+		return 0, 0, fmt.Errorf("extgeom: decode: %d vertices need %d bytes, have %d", n, wireHeader+16*n, len(b))
+	}
+	return kind, n, nil
+}

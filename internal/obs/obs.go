@@ -46,6 +46,13 @@ const (
 	SpanRebalance     = "rebalance"
 	SpanCompact       = "compact"
 
+	// Two-layer non-point join phase names: MBR tile assignment with
+	// class tagging, the per-tile class-pair interval sweeps, and the
+	// exact-geometry refinement of surviving candidates.
+	SpanAssign = "assign"
+	SpanSweep  = "sweep"
+	SpanRefine = "refine"
+
 	// Fleet-router span names: the routing decision, one span per
 	// proxied shard request, dataset mirroring/strip shipping, and the
 	// cross-shard result merge. Shard-local join trees are grafted under

@@ -24,6 +24,11 @@ type SkewReport struct {
 	SupplementaryPairs int64            `json:"supplementary_pairs"`
 	ShuffleBytes       int64            `json:"shuffle_bytes"`
 	RemoteBytes        int64            `json:"remote_bytes"`
+	// ReplicationBytesByClass breaks the two-layer non-point join's
+	// replica volume down by tile class (A/B/C/D): A bytes are the
+	// native copies, B/C/D bytes are what MBR extent replication cost on
+	// top. Empty for point joins.
+	ReplicationBytesByClass map[string]int64 `json:"replication_bytes_by_class,omitempty"`
 }
 
 // Skew reduces the recorded spans to a SkewReport.
@@ -49,6 +54,15 @@ func (t *Tracer) Skew() SkewReport {
 						rep.ReplicationBytes = map[string]int64{}
 					}
 					rep.ReplicationBytes[strings.ToUpper(set)] += a.Int
+				}
+			}
+		case SpanAssign:
+			for _, a := range s.Attrs {
+				if class, ok := strings.CutPrefix(a.Key, "repl_class_bytes_"); ok && !a.IsStr {
+					if rep.ReplicationBytesByClass == nil {
+						rep.ReplicationBytesByClass = map[string]int64{}
+					}
+					rep.ReplicationBytesByClass[strings.ToUpper(class)] += a.Int
 				}
 			}
 		case SpanShuffle:

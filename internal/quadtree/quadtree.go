@@ -125,6 +125,28 @@ func (p *Partitioner) CircleLeaves(center geom.Point, eps float64, dst []int) []
 	return dst
 }
 
+// RectLeaves appends to dst the ids of every leaf whose region
+// intersects r (borders inclusive), and returns the extended slice.
+// Non-point joins use it to replicate an object's (expanded) MBR across
+// the partitions it may produce results in.
+func (p *Partitioner) RectLeaves(r geom.Rect, dst []int) []int {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.rect.Intersects(r) {
+			return
+		}
+		if n.children == nil {
+			dst = append(dst, n.leafID)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(p.root)
+	return dst
+}
+
 func clamp(pt geom.Point, r geom.Rect) geom.Point {
 	if pt.X < r.MinX {
 		pt.X = r.MinX

@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialjoin/internal/geom"
+)
+
+func randBoxes(rng *rand.Rand, n int) []BoxEntry {
+	out := make([]BoxEntry, n)
+	for i := range out {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		w, h := rng.Float64()*20, rng.Float64()*20
+		out[i] = BoxEntry{
+			Rect: geom.Rect{MinX: cx - w/2, MinY: cy - h/2, MaxX: cx + w/2, MaxY: cy + h/2},
+			Ref:  int32(i),
+		}
+	}
+	return out
+}
+
+func TestBoxTreeSearchIntersects(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 15, 16, 17, 500, 3000} {
+		es := randBoxes(rng, n)
+		tree := BuildBoxes(es, DefaultFanout)
+		if tree.Size() != n {
+			t.Fatalf("n=%d: Size=%d", n, tree.Size())
+		}
+		for q := 0; q < 50; q++ {
+			cx, cy := rng.Float64()*1000, rng.Float64()*1000
+			w, h := rng.Float64()*100, rng.Float64()*100
+			query := geom.Rect{MinX: cx, MinY: cy, MaxX: cx + w, MaxY: cy + h}
+			want := map[int32]bool{}
+			for _, e := range es {
+				if e.Rect.Intersects(query) {
+					want[e.Ref] = true
+				}
+			}
+			got := map[int32]bool{}
+			tree.SearchIntersects(query, func(e BoxEntry) {
+				if got[e.Ref] {
+					t.Fatalf("n=%d: ref %d visited twice", n, e.Ref)
+				}
+				got[e.Ref] = true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("n=%d query %v: got %d refs, want %d", n, query, len(got), len(want))
+			}
+			for ref := range want {
+				if !got[ref] {
+					t.Fatalf("n=%d: missing ref %d", n, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestBoxTreePacking checks the STR bulk load actually packs: leaf count
+// near the ceil(n/fanout) optimum (full leaves, not degenerate splits)
+// and height at the log_fanout bound.
+func TestBoxTreePacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{16, 100, 1000, 10000} {
+		for _, fanout := range []int{4, 16, 32} {
+			tree := BuildBoxes(randBoxes(rng, n), fanout)
+			minLeaves := (n + fanout - 1) / fanout
+			leaves := tree.NumLeaves()
+			// STR slicing can leave one partially-filled leaf per vertical
+			// slice; allow that slack but nothing looser.
+			slack := int(math.Ceil(math.Sqrt(float64(minLeaves)))) + 1
+			if leaves > minLeaves+slack {
+				t.Errorf("n=%d fanout=%d: %d leaves, packed optimum %d (+%d slack)", n, fanout, leaves, minLeaves, slack)
+			}
+			wantHeight := 1
+			for c := leaves; c > 1; c = (c + fanout - 1) / fanout {
+				wantHeight++
+			}
+			if h := tree.Height(); h > wantHeight {
+				t.Errorf("n=%d fanout=%d: height %d, want ≤ %d", n, fanout, h, wantHeight)
+			}
+		}
+	}
+}
+
+func TestBoxTreeEmptyAndBounds(t *testing.T) {
+	empty := BuildBoxes(nil, 0)
+	if empty.Size() != 0 || empty.Height() != 0 || empty.NumLeaves() != 0 {
+		t.Fatalf("empty tree: size=%d height=%d leaves=%d", empty.Size(), empty.Height(), empty.NumLeaves())
+	}
+	empty.SearchIntersects(geom.Rect{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}, func(BoxEntry) {
+		t.Fatal("empty tree visited an entry")
+	})
+	es := []BoxEntry{
+		{Rect: geom.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}, Ref: 0},
+		{Rect: geom.Rect{MinX: 5, MinY: 5, MaxX: 9, MaxY: 7}, Ref: 1},
+	}
+	tree := BuildBoxes(es, 4)
+	want := geom.Rect{MinX: 0, MinY: 0, MaxX: 9, MaxY: 7}
+	if tree.Bounds() != want {
+		t.Fatalf("Bounds=%v, want %v", tree.Bounds(), want)
+	}
+}
+
+func BenchmarkBuildBoxesTiny(b *testing.B) {
+	// The two-layer fallback's real workload: thousands of tiny trees.
+	rng := rand.New(rand.NewSource(1))
+	es := randBoxes(rng, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildBoxes(es, DefaultFanout)
+	}
+}

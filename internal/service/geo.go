@@ -1,0 +1,333 @@
+package service
+
+import (
+	"cmp"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"sync"
+	"time"
+
+	"spatialjoin"
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/textio"
+	"spatialjoin/internal/twolayer"
+)
+
+// The geo layer serves non-point joins: geometry datasets (rectangles,
+// polylines, simple polygons) uploaded in the WKT-flavoured text format
+// and joined with the two-layer engine under the service's existing
+// admission pool, tracing and metrics. Geo datasets live in memory
+// only — they are not mirrored into the durable store — and geo joins
+// run one-shot (Prepare + Execute per request): the two-layer map phase
+// is cheap relative to the refinement work, so a plan cache buys little
+// until ε re-sweep workloads appear.
+
+// geoDataset is one registered geometry set.
+type geoDataset struct {
+	Name    string
+	Rev     int64
+	Objects []extgeom.Object
+	Bounds  geom.Rect
+}
+
+// GeoDatasetInfo describes a registered geometry dataset to clients.
+type GeoDatasetInfo struct {
+	Name    string  `json:"name"`
+	Objects int     `json:"objects"`
+	Rev     int64   `json:"rev"`
+	MinX    float64 `json:"min_x"`
+	MinY    float64 `json:"min_y"`
+	MaxX    float64 `json:"max_x"`
+	MaxY    float64 `json:"max_y"`
+}
+
+// geoRegistry is the in-memory geometry dataset store.
+type geoRegistry struct {
+	mu      sync.RWMutex
+	m       map[string]*geoDataset
+	nextRev int64
+}
+
+func (r *geoRegistry) put(name string, objs []extgeom.Object) (int64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("service: dataset name must not be empty")
+	}
+	if len(objs) == 0 {
+		return 0, fmt.Errorf("service: geo dataset %q has no objects", name)
+	}
+	b := geom.EmptyRect()
+	for i := range objs {
+		b = b.Union(objs[i].Bounds())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextRev++
+	r.m[name] = &geoDataset{Name: name, Rev: r.nextRev, Objects: objs, Bounds: b}
+	return r.nextRev, nil
+}
+
+func (r *geoRegistry) get(name string) (*geoDataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+func (r *geoRegistry) delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[name]
+	delete(r.m, name)
+	return ok
+}
+
+func (r *geoRegistry) list() []GeoDatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GeoDatasetInfo, 0, len(r.m))
+	for _, d := range r.m {
+		out = append(out, GeoDatasetInfo{
+			Name: d.Name, Objects: len(d.Objects), Rev: d.Rev,
+			MinX: d.Bounds.MinX, MinY: d.Bounds.MinY,
+			MaxX: d.Bounds.MaxX, MaxY: d.Bounds.MaxY,
+		})
+	}
+	slices.SortFunc(out, func(a, b GeoDatasetInfo) int { return cmp.Compare(a.Name, b.Name) })
+	return out
+}
+
+// GeoJoinRequest is one non-point join against registered geo datasets.
+type GeoJoinRequest struct {
+	R, S      string // geo dataset names (both required)
+	Tenant    string
+	Predicate string  // "intersects", "contains", "within"
+	Eps       float64 // WithinDistance threshold
+
+	Tiles      int // force a Tiles×Tiles grid; 0 lets the cost model pick
+	Workers    int
+	Partitions int
+
+	Collect bool
+	Limit   int
+
+	Timeout time.Duration
+}
+
+// GeoJoinResponse reports one non-point join execution.
+type GeoJoinResponse struct {
+	Predicate string `json:"predicate"`
+	Results   int64  `json:"results"`
+
+	TilesX int `json:"tiles_x"`
+	TilesY int `json:"tiles_y"`
+
+	// Candidates / Emitted / FallbackTiles come from the kernel's filter
+	// and refine counters; they stay zero on cluster engines, where the
+	// kernels run inside the worker processes.
+	Candidates    int64 `json:"candidates"`
+	Emitted       int64 `json:"emitted"`
+	FallbackTiles int64 `json:"fallback_tiles"`
+
+	ReplicatedR int64 `json:"replicated_r"`
+	ReplicatedS int64 `json:"replicated_s"`
+	// ReplicationBytesByClass breaks the shipped replica payload bytes
+	// down by tile class: "a" is the native copies, "b"/"c"/"d" the
+	// extent-replication overhead of the two-layer scheme.
+	ReplicationBytesByClass map[string]int64 `json:"replication_bytes_by_class"`
+
+	BuildMillis float64 `json:"build_ms"`
+	ProbeMillis float64 `json:"probe_ms"`
+
+	Pairs     [][2]int64 `json:"pairs,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+
+	JoinID int64 `json:"join_id"`
+}
+
+// GeoJoin executes one non-point join end to end: admission, two-layer
+// prepare + execute on the configured engine, metric accounting, trace
+// retention.
+func (s *Service) GeoJoin(ctx context.Context, req GeoJoinRequest) (*GeoJoinResponse, error) {
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	pred, err := extgeom.ParsePredicate(req.Predicate)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	rd, err := s.geo.get(req.R)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := s.geo.get(req.S)
+	if err != nil {
+		return nil, err
+	}
+
+	release, err := s.acquire(ctx, req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	tr := spatialjoin.NewTracer()
+	root := tr.Start(0, obs.SpanJoin)
+	root.SetStr("algorithm", "twolayer").SetStr("predicate", pred.String()).
+		SetStr("r", rd.Name).SetStr("s", sd.Name)
+
+	cfg := twolayer.Config{
+		R: rd.Objects, S: sd.Objects,
+		Pred: pred, Eps: req.Eps,
+		Tiles: req.Tiles, Workers: req.Workers, Partitions: req.Partitions,
+		Collect:     req.Collect,
+		Engine:      s.cfg.Engine,
+		Tracer:      tr,
+		TraceParent: root.SpanID(),
+	}
+	t0 := time.Now()
+	plan, err := twolayer.Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	build := time.Since(t0)
+	s.Metrics.PlanBuild.Observe(build.Seconds())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	res, err := plan.Execute(ctx, twolayer.ExecOptions{Collect: req.Collect})
+	if err != nil {
+		return nil, err
+	}
+	probe := time.Since(t0)
+	root.End()
+	s.Metrics.Probe.Observe(probe.Seconds())
+	s.Metrics.JoinResults.Add(res.Results, req.Tenant)
+
+	limit := req.Limit
+	if limit <= 0 || limit > s.cfg.MaxCollect {
+		limit = s.cfg.MaxCollect
+	}
+	st := &plan.Kernel().Stats
+	resp := &GeoJoinResponse{
+		Predicate:               pred.String(),
+		Results:                 res.Results,
+		TilesX:                  plan.Grid.NX,
+		TilesY:                  plan.Grid.NY,
+		Candidates:              st.Candidates.Load(),
+		Emitted:                 st.Emitted.Load(),
+		FallbackTiles:           st.FallbackTiles.Load(),
+		ReplicatedR:             res.ReplicatedR,
+		ReplicatedS:             res.ReplicatedS,
+		ReplicationBytesByClass: plan.ClassBytes(),
+		BuildMillis:             float64(build) / float64(time.Millisecond),
+		ProbeMillis:             float64(probe) / float64(time.Millisecond),
+	}
+	if req.Collect {
+		n := len(res.Pairs)
+		if n > limit {
+			n = limit
+			resp.Truncated = true
+		}
+		resp.Pairs = make([][2]int64, n)
+		for i := 0; i < n; i++ {
+			resp.Pairs[i] = [2]int64{res.Pairs[i].RID, res.Pairs[i].SID}
+		}
+	}
+	resp.JoinID = s.observeTrace("twolayer-"+pred.String(), tr, build+probe)
+	return resp, nil
+}
+
+// geoJoinRequestWire is the JSON body of POST /v1/geojoin.
+type geoJoinRequestWire struct {
+	R             string  `json:"r"`
+	S             string  `json:"s"`
+	Predicate     string  `json:"predicate"`
+	Eps           float64 `json:"eps,omitempty"`
+	Tiles         int     `json:"tiles,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	Partitions    int     `json:"partitions,omitempty"`
+	Collect       bool    `json:"collect,omitempty"`
+	Limit         int     `json:"limit,omitempty"`
+	TimeoutMillis int64   `json:"timeout_ms,omitempty"`
+}
+
+func (s *Service) handlePutGeoDataset(w http.ResponseWriter, r *http.Request) (int, error) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		return http.StatusBadRequest, fmt.Errorf("service: query parameter 'name' is required")
+	}
+	objs, err := textio.ReadGeoms(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes), 0)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	rev, err := s.geo.put(name, objs)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	d, _ := s.geo.get(name)
+	return writeJSON(w, http.StatusCreated, GeoDatasetInfo{
+		Name: name, Objects: len(objs), Rev: rev,
+		MinX: d.Bounds.MinX, MinY: d.Bounds.MinY,
+		MaxX: d.Bounds.MaxX, MaxY: d.Bounds.MaxY,
+	})
+}
+
+func (s *Service) handleListGeoDatasets(w http.ResponseWriter, r *http.Request) (int, error) {
+	return writeJSON(w, http.StatusOK, s.geo.list())
+}
+
+func (s *Service) handleDeleteGeoDataset(w http.ResponseWriter, r *http.Request) (int, error) {
+	name := r.PathValue("name")
+	if !s.geo.delete(name) {
+		return http.StatusNotFound, fmt.Errorf("service: unknown dataset %q", name)
+	}
+	return writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Service) handleGeoJoin(w http.ResponseWriter, r *http.Request, allowCollect bool) (int, error) {
+	var wire geoJoinRequestWire
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("service: bad geojoin request: %w", err)
+	}
+	req := GeoJoinRequest{
+		R: wire.R, S: wire.S,
+		Tenant:    r.Header.Get("X-Tenant"),
+		Predicate: wire.Predicate, Eps: wire.Eps,
+		Tiles: wire.Tiles, Workers: wire.Workers, Partitions: wire.Partitions,
+		Collect: wire.Collect && allowCollect, Limit: wire.Limit,
+		Timeout: time.Duration(wire.TimeoutMillis) * time.Millisecond,
+	}
+	resp, err := s.GeoJoin(r.Context(), req)
+	if err != nil {
+		return joinErrorCode(err), err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// registerGeoRoutes adds the geo layer's endpoints to the service mux.
+func (s *Service) registerGeoRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/geodatasets", s.instrument("geodatasets_put", s.handlePutGeoDataset))
+	mux.HandleFunc("GET /v1/geodatasets", s.instrument("geodatasets_list", s.handleListGeoDatasets))
+	mux.HandleFunc("DELETE /v1/geodatasets/{name}", s.instrument("geodatasets_delete", s.handleDeleteGeoDataset))
+	mux.HandleFunc("POST /v1/geojoin", s.instrument("geojoin", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		return s.handleGeoJoin(w, r, true)
+	}))
+	mux.HandleFunc("POST /v1/geojoin/count", s.instrument("geojoin_count", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		return s.handleGeoJoin(w, r, false)
+	}))
+}

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/textio"
+)
+
+// geoTestObjects builds a mixed rect/polyline/polygon set serialisable
+// through the WKT-ish text format.
+func geoTestObjects(seed int64, n int, idBase int64) []extgeom.Object {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]extgeom.Object, n)
+	for i := range out {
+		cx, cy := rng.Float64()*100, rng.Float64()*100
+		r := 0.5 + 2*rng.Float64()
+		id := idBase + int64(i)
+		switch rng.Intn(3) {
+		case 0:
+			out[i] = extgeom.NewPolygon(id, []geom.Point{
+				{X: cx - r, Y: cy - r}, {X: cx + r, Y: cy - r},
+				{X: cx + r, Y: cy + r}, {X: cx - r, Y: cy + r},
+			})
+		case 1:
+			out[i] = extgeom.NewPolyline(id, []geom.Point{
+				{X: cx - r, Y: cy}, {X: cx, Y: cy + r}, {X: cx + r, Y: cy - r},
+			})
+		default:
+			nv := 3 + rng.Intn(4)
+			angles := make([]float64, nv)
+			for j := range angles {
+				angles[j] = rng.Float64() * 2 * math.Pi
+			}
+			slices.Sort(angles)
+			verts := make([]geom.Point, nv)
+			for j, a := range angles {
+				verts[j] = geom.Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+			}
+			out[i] = extgeom.NewPolygon(id, verts)
+		}
+	}
+	return out
+}
+
+func geoBruteCount(rs, ss []extgeom.Object, pred extgeom.Predicate, eps float64) int64 {
+	var n int64
+	for i := range rs {
+		for j := range ss {
+			if extgeom.Eval(pred, &rs[i], &ss[j], eps) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func uploadGeo(t *testing.T, srv *httptest.Server, name string, objs []extgeom.Object) {
+	t.Helper()
+	var body strings.Builder
+	if err := textio.WriteGeoms(&body, objs); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/geodatasets?name="+name, "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload %s: status %d", name, resp.StatusCode)
+	}
+	var info GeoDatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Objects != len(objs) {
+		t.Fatalf("upload %s: %d objects registered, want %d", name, info.Objects, len(objs))
+	}
+}
+
+func postGeoJoin(t *testing.T, srv *httptest.Server, path string, body string) (*GeoJoinResponse, int) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out GeoJoinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+// TestHTTPGeoJoin drives the full geo path over HTTP: WKT-ish upload,
+// joins under every predicate checked against a brute-force count,
+// pair collection, the count endpoint, trace retention, and the
+// delete / error paths.
+func TestHTTPGeoJoin(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	rs := geoTestObjects(1, 250, 0)
+	ss := geoTestObjects(2, 250, 100_000)
+	uploadGeo(t, srv, "geor", rs)
+	uploadGeo(t, srv, "geos", ss)
+
+	for _, tc := range []struct {
+		pred extgeom.Predicate
+		body string
+	}{
+		{extgeom.Intersects, `{"r":"geor","s":"geos","predicate":"intersects","collect":true}`},
+		{extgeom.Contains, `{"r":"geor","s":"geos","predicate":"contains","collect":true}`},
+		{extgeom.WithinDistance, `{"r":"geor","s":"geos","predicate":"within","eps":1.5,"collect":true}`},
+	} {
+		want := geoBruteCount(rs, ss, tc.pred, 1.5)
+		out, code := postGeoJoin(t, srv, "/v1/geojoin", tc.body)
+		if code != http.StatusOK {
+			t.Fatalf("%v: status %d", tc.pred, code)
+		}
+		if out.Results != want {
+			t.Errorf("%v: %d results, brute force says %d", tc.pred, out.Results, want)
+		}
+		if !out.Truncated && int64(len(out.Pairs)) != want {
+			t.Errorf("%v: %d pairs collected, want %d", tc.pred, len(out.Pairs), want)
+		}
+		if out.TilesX < 1 || out.TilesY < 1 {
+			t.Errorf("%v: degenerate grid %dx%d", tc.pred, out.TilesX, out.TilesY)
+		}
+		if out.ReplicationBytesByClass["a"] <= 0 {
+			t.Errorf("%v: no class-A replica bytes reported: %v", tc.pred, out.ReplicationBytesByClass)
+		}
+		if out.Emitted != want {
+			t.Errorf("%v: kernel emitted %d, want %d", tc.pred, out.Emitted, want)
+		}
+		// The join's trace must be retained and carry spans.
+		tr, err := http.Get(srv.URL + fmt.Sprintf("/v1/joins/%d/trace", out.JoinID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace JoinTraceResponse
+		if err := json.NewDecoder(tr.Body).Decode(&trace); err != nil {
+			t.Fatal(err)
+		}
+		tr.Body.Close()
+		if trace.Spans == 0 {
+			t.Errorf("%v: retained trace has no spans", tc.pred)
+		}
+	}
+
+	// The count endpoint never materialises pairs even when asked to.
+	out, code := postGeoJoin(t, srv, "/v1/geojoin/count",
+		`{"r":"geor","s":"geos","predicate":"intersects","collect":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("count: status %d", code)
+	}
+	if len(out.Pairs) != 0 {
+		t.Fatalf("count endpoint returned %d pairs", len(out.Pairs))
+	}
+	if out.Results == 0 {
+		t.Fatal("count endpoint returned zero results")
+	}
+
+	// Listing shows both datasets sorted by name.
+	lr, err := http.Get(srv.URL + "/v1/geodatasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []GeoDatasetInfo
+	if err := json.NewDecoder(lr.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if len(infos) != 2 || infos[0].Name != "geor" || infos[1].Name != "geos" {
+		t.Fatalf("list = %+v", infos)
+	}
+
+	// Error paths.
+	if _, code := postGeoJoin(t, srv, "/v1/geojoin", `{"r":"geor","s":"nope","predicate":"intersects"}`); code != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d", code)
+	}
+	if _, code := postGeoJoin(t, srv, "/v1/geojoin", `{"r":"geor","s":"geos","predicate":"overlaps"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad predicate: status %d", code)
+	}
+	if _, code := postGeoJoin(t, srv, "/v1/geojoin", `{"r":"geor","s":"geos","predicate":"within"}`); code != http.StatusBadRequest {
+		t.Fatalf("within without eps: status %d", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/geodatasets/geor", nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dr.StatusCode)
+	}
+	if _, code := postGeoJoin(t, srv, "/v1/geojoin", `{"r":"geor","s":"geos","predicate":"intersects"}`); code != http.StatusNotFound {
+		t.Fatalf("join after delete: status %d", code)
+	}
+}
+
+// TestGeoJoinLimit verifies pair truncation against MaxCollect and the
+// per-request limit.
+func TestGeoJoinLimit(t *testing.T) {
+	s := New(Config{MaxCollect: 10})
+	if _, err := s.geo.put("r", geoTestObjects(3, 150, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.geo.put("s", geoTestObjects(4, 150, 50_000)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.GeoJoin(t.Context(), GeoJoinRequest{
+		R: "r", S: "s", Predicate: "intersects", Collect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results <= 10 {
+		t.Fatalf("test data too sparse: %d results", out.Results)
+	}
+	if len(out.Pairs) != 10 || !out.Truncated {
+		t.Fatalf("pairs=%d truncated=%v, want capped at 10", len(out.Pairs), out.Truncated)
+	}
+	out, err = s.GeoJoin(t.Context(), GeoJoinRequest{
+		R: "r", S: "s", Predicate: "intersects", Collect: true, Limit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Pairs) != 3 || !out.Truncated {
+		t.Fatalf("pairs=%d truncated=%v, want capped at 3", len(out.Pairs), out.Truncated)
+	}
+}

@@ -61,6 +61,11 @@ type errorWire struct {
 //	DELETE /v1/datasets/{name}       drop a dataset (and its cached plans)
 //	POST   /v1/join                  execute a join (JSON body)
 //	POST   /v1/join/count            same, but never materialises pairs
+//	POST   /v1/geodatasets?name=N    upload a geometry dataset (WKT-ish lines)
+//	GET    /v1/geodatasets           list geometry datasets
+//	DELETE /v1/geodatasets/{name}    drop a geometry dataset
+//	POST   /v1/geojoin               execute a non-point join (JSON body)
+//	POST   /v1/geojoin/count         same, but never materialises pairs
 //	GET    /v1/joins/{id}/trace      span tree + skew of a recent join
 //	                                 (?format=chrome for trace-event JSON)
 //	GET    /v1/admin/handoff/{name}  export a dataset as a columnar blob
@@ -80,6 +85,7 @@ type errorWire struct {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.registerStreamRoutes(mux)
+	s.registerGeoRoutes(mux)
 	mux.HandleFunc("POST /v1/datasets", s.instrument("datasets_put", s.handlePutDataset))
 	mux.HandleFunc("GET /v1/datasets", s.instrument("datasets_list", s.handleListDatasets))
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("datasets_delete", s.handleDeleteDataset))

@@ -125,6 +125,9 @@ type Service struct {
 	Registry *Registry
 	Metrics  *Metrics
 
+	// geo is the geometry (non-point) dataset store; see geo.go.
+	geo geoRegistry
+
 	cache    *planCache
 	slots    chan struct{}
 	queued   atomic.Int64
@@ -174,6 +177,7 @@ func New(cfg Config) *Service {
 		streams:  map[string]*streamState{},
 		traces:   map[int64]*joinTrace{},
 	}
+	s.geo.m = map[string]*geoDataset{}
 	s.diskReaders.cap = diskReaderCacheSize
 	if !cfg.TenantQuota.IsZero() || len(cfg.TenantOverrides) > 0 {
 		s.quotas = fleet.NewQuotas(cfg.TenantQuota, cfg.TenantOverrides)

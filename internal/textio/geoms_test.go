@@ -1,0 +1,166 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/geom"
+)
+
+func TestReadGeoms(t *testing.T) {
+	input := `
+# a comment
+POINT (1 2)
+BOX (0 0, 4 3)
+LINESTRING (0 0, 1 1, 2 0.5)
+POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))
+`
+	objs, err := ReadGeoms(strings.NewReader(input), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 {
+		t.Fatalf("got %d objects", len(objs))
+	}
+	wantKinds := []extgeom.Kind{extgeom.KindPoint, extgeom.KindPolygon, extgeom.KindPolyline, extgeom.KindPolygon}
+	for i, o := range objs {
+		if o.ID != 100+int64(i) {
+			t.Errorf("object %d id = %d", i, o.ID)
+		}
+		if o.Kind != wantKinds[i] {
+			t.Errorf("object %d kind = %v, want %v", i, o.Kind, wantKinds[i])
+		}
+	}
+	if b := objs[1].Bounds(); b != (geom.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 3}) {
+		t.Errorf("BOX bounds = %v", b)
+	}
+	if len(objs[3].Verts) != 4 {
+		t.Errorf("polygon stored %d verts, want 4 (ring unclosed in memory)", len(objs[3].Verts))
+	}
+}
+
+func TestReadGeomsRejects(t *testing.T) {
+	bad := []string{
+		"POINT (1)",
+		"POINT (1 2 3)",
+		"POINT (nan 2)",
+		"POINT (1 inf)",
+		"POINT (1 -Inf)",
+		"BOX (0 0, 0 5)", // zero-width
+		"LINESTRING (1 1)",
+		"POLYGON ((0 0, 1 0, 1 1))",        // unclosed ring
+		"POLYGON ((0 0, 1 0, 0 0))",        // closed but only 2 distinct
+		"POLYGON ((0 0, 1 0, 1 1, 0 0)",    // truncated paren
+		"POLYGON (0 0, 1 0, 1 1, 0 0)",     // missing ring parens
+		"POLYGON (((0 0, 1 0, 1 1, 0 0)))", // too many parens
+		"CIRCLE (0 0, 5)",                  // unknown tag
+		"LINESTRING (0 0, 1 1) trailing",   // junk after the list
+		"LINESTRING (0 0, 1,1)",            // comma coordinate
+		"LINESTRING (0 0, 1 1e)",           // truncated exponent
+		"POINT 1 2",                        // no parens at all
+		"POLYGON ((0 0, 1 0, 1 1, (0 0)))", // nested paren inside list
+		"POLYGON ((1 1, 1 1, 1 1, 1 1))",   // fully degenerate ring
+	}
+	for _, line := range bad {
+		if _, err := ReadGeoms(strings.NewReader(line+"\n"), 0); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestWriteGeomsRoundTrip(t *testing.T) {
+	objs := []extgeom.Object{
+		extgeom.NewPoint(0, geom.Point{X: 1.5, Y: -2.25}),
+		extgeom.NewPolyline(1, []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 1}, {X: 5, Y: -1}}),
+		extgeom.NewPolygon(2, []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}}),
+	}
+	var sb strings.Builder
+	if err := WriteGeoms(&sb, objs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGeoms(strings.NewReader(sb.String()), 0)
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, sb.String())
+	}
+	if len(back) != len(objs) {
+		t.Fatalf("round trip length %d != %d", len(back), len(objs))
+	}
+	for i := range objs {
+		if back[i].Kind != objs[i].Kind || len(back[i].Verts) != len(objs[i].Verts) {
+			t.Fatalf("object %d changed: %+v -> %+v", i, objs[i], back[i])
+		}
+		for j := range objs[i].Verts {
+			if back[i].Verts[j] != objs[i].Verts[j] {
+				t.Fatalf("object %d vertex %d changed", i, j)
+			}
+		}
+	}
+}
+
+// FuzzReadGeoms must never panic; accepted input must survive a
+// serialise → re-read fixed point. The seed corpus covers the parser's
+// sore spots: truncated coordinate lists, NaN/Inf, unclosed rings,
+// unbalanced parens, binary junk.
+func FuzzReadGeoms(f *testing.F) {
+	f.Add("POINT (1 2)\n")
+	f.Add("BOX (0 0, 4 3)\n")
+	f.Add("LINESTRING (0 0, 1 1, 2 0.5)\n")
+	f.Add("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))\n")
+	f.Add("# comment\n\nPOINT (3 4)\n")
+	// Truncations of a valid polygon at every structural boundary.
+	f.Add("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0)\n")
+	f.Add("POLYGON ((0 0, 4 0, 4 4, 0 4,\n")
+	f.Add("POLYGON ((0 0, 4\n")
+	f.Add("POLYGON ((\n")
+	f.Add("POLYGON\n")
+	// Non-finite and malformed coordinates.
+	f.Add("POINT (nan nan)\n")
+	f.Add("POINT (inf -inf)\n")
+	f.Add("POINT (1e309 0)\n")
+	f.Add("LINESTRING (0 0, 1 2e)\n")
+	f.Add("LINESTRING (0 0, 0x10 1)\n")
+	f.Add("POINT (∞ 2)\n")
+	// Unclosed / degenerate rings.
+	f.Add("POLYGON ((0 0, 1 0, 1 1))\n")
+	f.Add("POLYGON ((1 1, 1 1, 1 1, 1 1))\n")
+	// Paren abuse.
+	f.Add("POLYGON (((0 0, 1 0, 1 1, 0 0)))\n")
+	f.Add("POINT ((1 2))\n")
+	f.Add("POINT )1 2(\n")
+	// Case, whitespace, CRLF, NULs.
+	f.Add("point (1 2)\r\nbox (0 0, 1 1)\r\n")
+	f.Add("  POINT   (  1   2  )  \n")
+	f.Add("POINT (1 2\x00)\n")
+	f.Add("LINESTRING (" + strings.Repeat("1 1, ", 2048) + "1 1)\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		objs, err := ReadGeoms(strings.NewReader(input), 3)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for i := range objs {
+			if objs[i].ID != 3+int64(i) {
+				t.Fatalf("object %d has id %d, want sequential from 3", i, objs[i].ID)
+			}
+			if err := objs[i].Validate(); err != nil {
+				t.Fatalf("accepted object %d fails validation: %v", i, err)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteGeoms(&sb, objs); err != nil {
+			t.Fatalf("write after successful read failed: %v", err)
+		}
+		back, err := ReadGeoms(strings.NewReader(sb.String()), 3)
+		if err != nil {
+			t.Fatalf("round trip re-read failed: %v\nserialised: %q", err, sb.String())
+		}
+		if len(back) != len(objs) {
+			t.Fatalf("round trip length %d != %d", len(back), len(objs))
+		}
+		for i := range objs {
+			if back[i].Kind != objs[i].Kind || len(back[i].Verts) != len(objs[i].Verts) {
+				t.Fatalf("object %d changed shape across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package twolayer implements the two-layer space-oriented partitioning
+// join for non-point objects (rectangles, polylines, simple polygons):
+// each object's MBR — ε-widened on the R side for WithinDistance — is
+// replicated into every tile it overlaps and tagged with a tile class,
+// and per-tile class-pair mini-joins emit every result pair exactly
+// once with no dedup pass and no reference-point hash set.
+//
+// Classes, per tile T (grid coordinates of the MBR's begin corner —
+// its bottom-left, after clamping to the data bounds — vs T's):
+//
+//	A — the begin corner lies in T
+//	B — the MBR crosses T's left edge (begins in an earlier column,
+//	    same row)
+//	C — the MBR crosses T's bottom edge (begins in an earlier row,
+//	    same column)
+//	D — the MBR overlaps T's interior only (begins in an earlier
+//	    column AND an earlier row)
+//
+// For a candidate pair the reference tile — the unique tile containing
+// (max of the two begin xs, max of the two begin ys) — is covered by
+// both MBRs, and only there does the pair's class combination land in
+// the allowed table. Emitting exactly the allowed combinations per tile
+// therefore emits each pair exactly once.
+package twolayer
+
+import (
+	"spatialjoin/internal/geom"
+)
+
+// Class tags one replica of an object within one tile.
+type Class uint8
+
+const (
+	ClassA Class = iota
+	ClassB
+	ClassC
+	ClassD
+	numClasses
+)
+
+// String names the class for span attributes and skew reports.
+func (c Class) String() string {
+	switch c {
+	case ClassA:
+		return "a"
+	case ClassB:
+		return "b"
+	case ClassC:
+		return "c"
+	case ClassD:
+		return "d"
+	}
+	return "?"
+}
+
+// comboTable marks the class combinations a tile joins. Each allowed
+// combination pins the tile to the pair's reference tile:
+//
+//	        s∈A   s∈B   s∈C   s∈D
+//	r∈A      ✓     ✓     ✓     ✓
+//	r∈B      ✓     ·     ✓     ·
+//	r∈C      ✓     ✓     ·     ·
+//	r∈D      ✓     ·     ·     ·
+//
+// (The B×C and C×B entries are required: with r beginning in an earlier
+// column and s in an earlier row, the reference tile sees exactly that
+// combination and no other tile does.)
+var comboTable = [numClasses][numClasses]bool{
+	ClassA: {ClassA: true, ClassB: true, ClassC: true, ClassD: true},
+	ClassB: {ClassA: true, ClassC: true},
+	ClassC: {ClassA: true, ClassB: true},
+	ClassD: {ClassA: true},
+}
+
+// comboAllowed reports whether a tile emits pairs of an r-replica of
+// class cr against an s-replica of class cs.
+func comboAllowed(cr, cs Class) bool { return comboTable[cr][cs] }
+
+// TileGrid is the uniform tile decomposition both layers share: the
+// first layer is the tile → partition routing (dpe's partitioner), the
+// second the per-tile class separation.
+type TileGrid struct {
+	Bounds geom.Rect
+	NX, NY int
+
+	tw, th float64
+}
+
+// NewTileGrid builds an nx×ny tile grid over bounds (both clamped to at
+// least 1).
+func NewTileGrid(bounds geom.Rect, nx, ny int) TileGrid {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	g := TileGrid{Bounds: bounds, NX: nx, NY: ny}
+	g.tw = bounds.Width() / float64(nx)
+	g.th = bounds.Height() / float64(ny)
+	return g
+}
+
+// NumTiles returns the tile count; tile ids lie in [0, NumTiles()).
+func (g TileGrid) NumTiles() int { return g.NX * g.NY }
+
+// ColOf returns the clamped column of an x coordinate. Every consumer —
+// assignment, classification, kernel — must go through this so the
+// begin-corner grid coordinates are computed identically everywhere;
+// comparing float tile edges instead would let replication and
+// classification disagree on objects flush with an edge.
+func (g TileGrid) ColOf(x float64) int {
+	if g.tw <= 0 {
+		return 0
+	}
+	c := int((x - g.Bounds.MinX) / g.tw)
+	if c < 0 {
+		return 0
+	}
+	if c >= g.NX {
+		return g.NX - 1
+	}
+	return c
+}
+
+// RowOf returns the clamped row of a y coordinate.
+func (g TileGrid) RowOf(y float64) int {
+	if g.th <= 0 {
+		return 0
+	}
+	r := int((y - g.Bounds.MinY) / g.th)
+	if r < 0 {
+		return 0
+	}
+	if r >= g.NY {
+		return g.NY - 1
+	}
+	return r
+}
+
+// TileID returns the id of tile (col, row).
+func (g TileGrid) TileID(col, row int) int { return row*g.NX + col }
+
+// TileCoords inverts TileID.
+func (g TileGrid) TileCoords(id int) (col, row int) { return id % g.NX, id / g.NX }
+
+// Cover appends the ids of every tile the MBR overlaps to dst and
+// returns it, the reference tile (the one holding the clamped begin
+// corner — the class-A replica) first, then the rest in row-major
+// order. The first-id-is-native contract matches dpe's map phase.
+func (g TileGrid) Cover(mbr geom.Rect, dst []int) []int {
+	c0, c1 := g.ColOf(mbr.MinX), g.ColOf(mbr.MaxX)
+	r0, r1 := g.RowOf(mbr.MinY), g.RowOf(mbr.MaxY)
+	dst = append(dst, g.TileID(c0, r0))
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			if col == c0 && row == r0 {
+				continue
+			}
+			dst = append(dst, g.TileID(col, row))
+		}
+	}
+	return dst
+}
+
+// Covers reports whether tile (col, row) is one of Cover(mbr)'s. The
+// kernel uses it to drop stale replicas on ε re-sweeps: a plan widened
+// at ε leaves replicas in tiles the ε'-widened MBR no longer reaches,
+// and classifying those would fabricate classes.
+func (g TileGrid) Covers(mbr geom.Rect, col, row int) bool {
+	return g.ColOf(mbr.MinX) <= col && col <= g.ColOf(mbr.MaxX) &&
+		g.RowOf(mbr.MinY) <= row && row <= g.RowOf(mbr.MaxY)
+}
+
+// Classify returns the class of the MBR's replica in tile (col, row).
+// The tile must be one of Cover(mbr)'s.
+func (g TileGrid) Classify(mbr geom.Rect, col, row int) Class {
+	beginCol, beginRow := g.ColOf(mbr.MinX), g.RowOf(mbr.MinY)
+	switch {
+	case col == beginCol && row == beginRow:
+		return ClassA
+	case row == beginRow:
+		return ClassB
+	case col == beginCol:
+		return ClassC
+	default:
+		return ClassD
+	}
+}

@@ -1,0 +1,291 @@
+package twolayer
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sync/atomic"
+
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/rtree"
+	"spatialjoin/internal/sweep"
+	"spatialjoin/internal/tuple"
+)
+
+// Defaults for the degenerate-tile fallback heuristic.
+const (
+	// DefaultFallbackMinEntries is the minimum tile population before
+	// the kernel considers switching to the R-tree path — below it the
+	// sweep wins regardless of shape.
+	DefaultFallbackMinEntries = 48
+	// DefaultFallbackExtentFrac is the mean x-extent (as a fraction of
+	// the tile width) beyond which x-interval sweeping degenerates:
+	// when most intervals span most of the tile, every pair survives
+	// the x test and the sweep is a disguised nested loop.
+	DefaultFallbackExtentFrac = 0.5
+)
+
+// KernelStats counts the kernel's filter/refine work across all tiles.
+// The counters are atomics: partition tasks run concurrently. They stay
+// zero for cluster runs, where the kernel instances live in the worker
+// processes.
+type KernelStats struct {
+	Tiles         atomic.Int64 // tiles with both sides non-empty
+	Candidates    atomic.Int64 // MBR-overlap pairs handed to refinement
+	Emitted       atomic.Int64 // pairs that passed the exact predicate
+	FallbackTiles atomic.Int64 // tiles joined via the R-tree path
+	DecodeErrors  atomic.Int64 // replicas dropped on payload corruption
+}
+
+// Kernel is the per-tile class-pair mini-join. It implements the
+// dpe.Kernel contract: tuples arrive grouped by tile with the geometry
+// in the payload, classes are recomputed tile-locally from the MBR (no
+// class tags travel on the wire), and the allowed class combinations
+// are joined with a forward-scan interval sweep — or a bulk-loaded
+// R-tree when the tile is degenerate.
+type Kernel struct {
+	Grid TileGrid
+	Pred extgeom.Predicate
+
+	// ForceFallback routes every tile through the R-tree path; the
+	// differential tests use it to prove both paths emit identical
+	// result sets.
+	ForceFallback bool
+	// FallbackMinEntries and FallbackExtentFrac tune the degeneracy
+	// heuristic (zero selects the defaults).
+	FallbackMinEntries int
+	FallbackExtentFrac float64
+
+	Stats KernelStats
+}
+
+// KernelFromDesc rebuilds a kernel from its wire description — the
+// cluster worker's path.
+func KernelFromDesc(desc dpe.KernelDesc) (*Kernel, error) {
+	if desc.Kind != dpe.KernelTwoLayer {
+		return nil, fmt.Errorf("twolayer: kernel desc kind %d is not KernelTwoLayer", desc.Kind)
+	}
+	if desc.TileNX < 1 || desc.TileNY < 1 {
+		return nil, fmt.Errorf("twolayer: kernel desc tile grid %dx%d invalid", desc.TileNX, desc.TileNY)
+	}
+	if desc.Predicate > uint8(extgeom.WithinDistance) {
+		return nil, fmt.Errorf("twolayer: kernel desc predicate %d unknown", desc.Predicate)
+	}
+	return &Kernel{
+		Grid: NewTileGrid(desc.Bounds, desc.TileNX, desc.TileNY),
+		Pred: extgeom.Predicate(desc.Predicate),
+	}, nil
+}
+
+// Desc returns the wire description a remote worker rebuilds the kernel
+// from. refineEps travels so plan validation can bound re-sweeps; the
+// kernel itself always refines with the eps of the execution at hand.
+func (k *Kernel) Desc(refineEps float64) dpe.KernelDesc {
+	return dpe.KernelDesc{
+		Kind:      dpe.KernelTwoLayer,
+		Bounds:    k.Grid.Bounds,
+		TileNX:    k.Grid.NX,
+		TileNY:    k.Grid.NY,
+		Predicate: uint8(k.Pred),
+		RefineEps: refineEps,
+	}
+}
+
+// entry is one replica materialised inside a tile: the (widened) MBR
+// drives the filter, the object is decoded lazily on first refinement.
+type entry struct {
+	mbr geom.Rect
+	t   tuple.Tuple
+	obj *extgeom.Object
+}
+
+func (k *Kernel) object(e *entry) *extgeom.Object {
+	if e.obj == nil {
+		o, err := extgeom.DecodeObject(e.t.ID, e.t.Payload)
+		if err != nil {
+			k.Stats.DecodeErrors.Add(1)
+			return nil
+		}
+		e.obj = &o
+	}
+	return e.obj
+}
+
+// widenR is the R-side MBR widening: WithinDistance assigns and
+// classifies R objects by their ε-expanded MBR so that every pair
+// within ε shares a tile. Intersects and Contains use the raw MBR.
+func (k *Kernel) widenR(eps float64) float64 {
+	if k.Pred == extgeom.WithinDistance {
+		return eps
+	}
+	return 0
+}
+
+// Join joins one tile. eps is the execution threshold: a re-sweep with
+// ε' ≤ plan ε re-classifies with the narrower widening, which both
+// replica sets still cover, so exactly-once emission is preserved.
+func (k *Kernel) Join(cell int, rs, ss []tuple.Tuple, eps float64, emit sweep.Emit) {
+	col, row := k.Grid.TileCoords(cell)
+	widen := k.widenR(eps)
+
+	// Materialise replicas, classify tile-locally, and bucket by class.
+	var byClassR, byClassS [numClasses][]entry
+	for _, t := range rs {
+		mbr, err := extgeom.DecodeObjectBounds(t.Payload)
+		if err != nil {
+			k.Stats.DecodeErrors.Add(1)
+			continue
+		}
+		if widen > 0 {
+			mbr = mbr.Expand(widen)
+		}
+		if !k.Grid.Covers(mbr, col, row) {
+			// A re-sweep at ε' < plan ε: the ε-widened assignment put a
+			// replica here, but the ε'-widened MBR no longer reaches
+			// this tile. Its reference tile is covered by both sides'
+			// narrower replicas, so dropping the stale copy is safe —
+			// and classifying it would double-emit.
+			continue
+		}
+		c := k.Grid.Classify(mbr, col, row)
+		byClassR[c] = append(byClassR[c], entry{mbr: mbr, t: t})
+	}
+	for _, t := range ss {
+		mbr, err := extgeom.DecodeObjectBounds(t.Payload)
+		if err != nil {
+			k.Stats.DecodeErrors.Add(1)
+			continue
+		}
+		if !k.Grid.Covers(mbr, col, row) {
+			continue
+		}
+		c := k.Grid.Classify(mbr, col, row)
+		byClassS[c] = append(byClassS[c], entry{mbr: mbr, t: t})
+	}
+	k.Stats.Tiles.Add(1)
+
+	if k.ForceFallback || k.degenerate(byClassR, byClassS) {
+		k.Stats.FallbackTiles.Add(1)
+		k.joinRtree(byClassR[:], byClassS[:], eps, emit)
+		return
+	}
+
+	for cr := ClassA; cr < numClasses; cr++ {
+		for cs := ClassA; cs < numClasses; cs++ {
+			if !comboAllowed(cr, cs) {
+				continue
+			}
+			k.sweepCombo(byClassR[cr], byClassS[cs], eps, emit)
+		}
+	}
+}
+
+// degenerate applies the fallback heuristic: a populated tile whose
+// entries' x-extents mostly span the tile makes the x-interval sweep
+// quadratic, so the R-tree (which also partitions on y) wins.
+func (k *Kernel) degenerate(byClassR, byClassS [numClasses][]entry) bool {
+	minEntries := k.FallbackMinEntries
+	if minEntries <= 0 {
+		minEntries = DefaultFallbackMinEntries
+	}
+	frac := k.FallbackExtentFrac
+	if frac <= 0 {
+		frac = DefaultFallbackExtentFrac
+	}
+	tw := k.Grid.tw
+	if tw <= 0 {
+		return false
+	}
+	n := 0
+	var extent float64
+	for c := ClassA; c < numClasses; c++ {
+		for i := range byClassR[c] {
+			extent += byClassR[c][i].mbr.Width()
+		}
+		for i := range byClassS[c] {
+			extent += byClassS[c][i].mbr.Width()
+		}
+		n += len(byClassR[c]) + len(byClassS[c])
+	}
+	return n >= minEntries && extent/float64(n) >= frac*tw
+}
+
+// sweepCombo forward-scan sweeps one allowed class pair: both lists
+// sorted by MBR x-start, the earlier-starting entry scanned forward in
+// the other list while x-intervals overlap, then a y-overlap check,
+// then exact refinement.
+func (k *Kernel) sweepCombo(res, ses []entry, eps float64, emit sweep.Emit) {
+	if len(res) == 0 || len(ses) == 0 {
+		return
+	}
+	slices.SortFunc(res, func(a, b entry) int { return cmp.Compare(a.mbr.MinX, b.mbr.MinX) })
+	slices.SortFunc(ses, func(a, b entry) int { return cmp.Compare(a.mbr.MinX, b.mbr.MinX) })
+	i, j := 0, 0
+	for i < len(res) && j < len(ses) {
+		if res[i].mbr.MinX <= ses[j].mbr.MinX {
+			r := &res[i]
+			for jj := j; jj < len(ses) && ses[jj].mbr.MinX <= r.mbr.MaxX; jj++ {
+				k.tryPair(r, &ses[jj], eps, emit)
+			}
+			i++
+		} else {
+			s := &ses[j]
+			for ii := i; ii < len(res) && res[ii].mbr.MinX <= s.mbr.MaxX; ii++ {
+				k.tryPair(&res[ii], s, eps, emit)
+			}
+			j++
+		}
+	}
+}
+
+// tryPair finishes the filter (y overlap; x overlap is the sweep's
+// invariant) and refines with the exact predicate.
+func (k *Kernel) tryPair(r, s *entry, eps float64, emit sweep.Emit) {
+	if r.mbr.MinY > s.mbr.MaxY || s.mbr.MinY > r.mbr.MaxY {
+		return
+	}
+	k.Stats.Candidates.Add(1)
+	ro, so := k.object(r), k.object(s)
+	if ro == nil || so == nil {
+		return
+	}
+	if extgeom.Eval(k.Pred, ro, so, eps) {
+		k.Stats.Emitted.Add(1)
+		emit(r.t, s.t)
+	}
+}
+
+// joinRtree is the degenerate-tile path: STR bulk-load the S replicas
+// into a BoxTree, probe with each R MBR, and gate emissions on the same
+// class table. The candidate set (MBR x AND y overlap) is identical to
+// the sweeps', so both paths emit identical result sets.
+func (k *Kernel) joinRtree(byClassR, byClassS [][]entry, eps float64, emit sweep.Emit) {
+	var boxes []rtree.BoxEntry
+	var flatS []*entry
+	var classS []Class
+	for c := ClassA; c < numClasses; c++ {
+		for i := range byClassS[c] {
+			e := &byClassS[c][i]
+			boxes = append(boxes, rtree.BoxEntry{Rect: e.mbr, Ref: int32(len(flatS))})
+			flatS = append(flatS, e)
+			classS = append(classS, c)
+		}
+	}
+	if len(boxes) == 0 {
+		return
+	}
+	tree := rtree.BuildBoxes(boxes, rtree.DefaultFanout)
+	for cr := ClassA; cr < numClasses; cr++ {
+		for i := range byClassR[cr] {
+			r := &byClassR[cr][i]
+			tree.SearchIntersects(r.mbr, func(be rtree.BoxEntry) {
+				if !comboAllowed(cr, classS[be.Ref]) {
+					return
+				}
+				k.tryPair(r, flatS[be.Ref], eps, emit)
+			})
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package twolayer
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"spatialjoin/internal/core"
+	"spatialjoin/internal/costmodel"
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/tuple"
+)
+
+// maxSample caps the MBRs fed to the costmodel's resolution selection.
+const maxSample = 1024
+
+// Config describes one non-point join.
+type Config struct {
+	R, S []extgeom.Object
+	Pred extgeom.Predicate
+	// Eps is the WithinDistance threshold; ignored (and allowed zero)
+	// for Intersects and Contains.
+	Eps float64
+
+	// Tiles forces a Tiles×Tiles grid; zero selects the resolution via
+	// the cost model from sampled MBRs.
+	Tiles int
+
+	Workers    int
+	Partitions int
+	PoolSize   int
+	Collect    bool
+
+	// Bounds overrides the data bounds (otherwise the union of both
+	// inputs' MBRs). MBRs outside are clamped, consistently between
+	// assignment and the kernel.
+	Bounds *geom.Rect
+
+	// Engine executes the reduce phase; nil is the in-process local
+	// engine, a cluster engine ships the tiles to worker processes.
+	Engine dpe.Engine
+
+	// ForceFallback routes every tile through the R-tree path (test
+	// hook; see Kernel.ForceFallback).
+	ForceFallback bool
+
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
+}
+
+// Plan is a prepared two-layer join: encoded, replicated, tile-bucketed
+// inputs plus the kernel, reusable across Executes.
+type Plan struct {
+	Grid       TileGrid
+	Prediction costmodel.TwoLayerPrediction
+
+	kernel *Kernel
+	prep   *dpe.Prepared
+	cfg    Config
+	// classBytes accumulates replica payload bytes per class during the
+	// map phase (atomics: map splits run concurrently).
+	classBytes [numClasses]atomic.Int64
+}
+
+// Kernel exposes the plan's kernel (its Stats in particular).
+func (p *Plan) Kernel() *Kernel { return p.kernel }
+
+// ClassBytes returns the replica payload bytes the map phase produced
+// per class, keyed by class name — class A is the native copies, B/C/D
+// the extent-replication overhead.
+func (p *Plan) ClassBytes() map[string]int64 {
+	out := make(map[string]int64, int(numClasses))
+	for c := ClassA; c < numClasses; c++ {
+		out[c.String()] = p.classBytes[c].Load()
+	}
+	return out
+}
+
+// Metrics returns the plan's build-phase metrics.
+func (p *Plan) Metrics() dpe.Metrics { return p.prep.BuildMetrics() }
+
+// Eps returns the plan's replication threshold (the upper bound for
+// re-sweeps); zero for Intersects/Contains plans.
+func (p *Plan) Eps() float64 {
+	if p.cfg.Pred == extgeom.WithinDistance {
+		return p.cfg.Eps
+	}
+	return 0
+}
+
+// FootprintBytes returns the wire size of the tile-bucketed replicas.
+func (p *Plan) FootprintBytes() int64 { return p.prep.FootprintBytes() }
+
+// Encode turns objects into join tuples: the object id, the MBR center
+// as the point (cluster shuffle framing needs one), and the geometry
+// wire encoding as the payload.
+func Encode(objs []extgeom.Object) ([]tuple.Tuple, error) {
+	out := make([]tuple.Tuple, len(objs))
+	for i := range objs {
+		o := &objs[i]
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("twolayer: object %d: %w", o.ID, err)
+		}
+		out[i] = tuple.Tuple{ID: o.ID, Pt: o.Bounds().Center(), Payload: extgeom.AppendObject(nil, o)}
+	}
+	return out, nil
+}
+
+// Prepare samples, picks the grid, encodes both inputs, and runs the
+// replication map + shuffle through dpe.
+func Prepare(cfg Config) (*Plan, error) {
+	if cfg.Pred > extgeom.WithinDistance {
+		return nil, fmt.Errorf("twolayer: unknown predicate %d", cfg.Pred)
+	}
+	if cfg.Pred == extgeom.WithinDistance && cfg.Eps <= 0 {
+		return nil, fmt.Errorf("twolayer: WithinDistance needs a positive eps, got %v", cfg.Eps)
+	}
+	widen := 0.0
+	if cfg.Pred == extgeom.WithinDistance {
+		widen = cfg.Eps
+	}
+
+	rs, err := Encode(cfg.R)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := Encode(cfg.S)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Partitioning decision: bounds, sampled MBRs, resolution.
+	partSp := cfg.Tracer.Start(cfg.TraceParent, obs.SpanPartition)
+	bounds := dataBounds(cfg.Bounds, cfg.R, cfg.S)
+	workers, partitions := core.Parallelism(cfg.Workers, cfg.Partitions)
+	var pred costmodel.TwoLayerPrediction
+	if cfg.Tiles > 0 {
+		pred = costmodel.TwoLayerPrediction{NX: cfg.Tiles, NY: cfg.Tiles}
+	} else {
+		sampleR := sampleMBRs(cfg.R, widen)
+		sampleS := sampleMBRs(cfg.S, 0)
+		pred = costmodel.TwoLayerResolution(bounds, sampleR, sampleS, len(cfg.R), len(cfg.S), workers)
+	}
+	grid := NewTileGrid(bounds, pred.NX, pred.NY)
+	partSp.SetInt("tiles_x", int64(grid.NX)).SetInt("tiles_y", int64(grid.NY))
+	partSp.SetInt("predicted_candidates", int64(pred.CandidatePairs))
+	partSp.SetInt("predicted_replicas", int64(pred.Replicated))
+	partSp.End()
+
+	p := &Plan{Grid: grid, Prediction: pred, cfg: cfg}
+	p.kernel = &Kernel{Grid: grid, Pred: cfg.Pred, ForceFallback: cfg.ForceFallback}
+
+	// dpe needs a positive plan ε even for the ε-less predicates; the
+	// kernel never interprets it as a distance for those.
+	planEps := cfg.Eps
+	if cfg.Pred != extgeom.WithinDistance {
+		planEps = 1
+	}
+
+	spec := dpe.Spec{
+		R:            rs,
+		S:            ss,
+		Eps:          planEps,
+		TupleAssignR: p.assign(widen),
+		TupleAssignS: p.assign(0),
+		Part:         dpe.HashPartitioner{N: partitions},
+		Workers:      cfg.Workers,
+		PoolSize:     cfg.PoolSize,
+		Collect:      cfg.Collect,
+		Kernel:       p.kernel.Join,
+		KernelDesc:   p.kernel.Desc(planEps),
+		Engine:       cfg.Engine,
+		Tracer:       cfg.Tracer,
+		TraceParent:  cfg.TraceParent,
+	}
+
+	// ---- Assignment: the map + shuffle phases, with per-class replica
+	// bytes accumulated by the assignment closures.
+	assignSp := cfg.Tracer.Start(cfg.TraceParent, obs.SpanAssign)
+	prep, err := dpe.Prepare(spec)
+	if err != nil {
+		assignSp.End()
+		return nil, err
+	}
+	for c := ClassA; c < numClasses; c++ {
+		assignSp.SetInt("repl_class_bytes_"+c.String(), p.classBytes[c].Load())
+	}
+	assignSp.End()
+	p.prep = prep
+	return p, nil
+}
+
+// assign builds the tuple-assignment closure for one side: decode the
+// MBR from the payload, widen, cover tiles (reference tile first), and
+// account replica bytes per class.
+func (p *Plan) assign(widen float64) dpe.TupleAssign {
+	g := p.Grid
+	return func(t tuple.Tuple, _ tuple.Set, dst []int) []int {
+		mbr, err := extgeom.DecodeObjectBounds(t.Payload)
+		if err != nil {
+			// Undecodable payloads still need a home; the kernel drops
+			// them again and counts the corruption.
+			return append(dst, 0)
+		}
+		if widen > 0 {
+			mbr = mbr.Expand(widen)
+		}
+		dst = g.Cover(mbr, dst)
+		sz := int64(len(t.Payload))
+		for _, cell := range dst {
+			col, row := g.TileCoords(cell)
+			p.classBytes[g.Classify(mbr, col, row)].Add(sz)
+		}
+		return dst
+	}
+}
+
+// ExecOptions are the per-execution knobs.
+type ExecOptions struct {
+	// Eps re-sweeps a WithinDistance plan at ε' ≤ the plan's ε: both
+	// replica sets cover the narrower widening's reference tiles, so
+	// correctness and exactly-once emission hold. Zero means the plan ε.
+	Eps     float64
+	Collect bool
+
+	Tracer      *obs.Tracer
+	TraceParent obs.SpanID
+}
+
+// Execute runs the per-tile mini-joins over the prepared tiles.
+func (p *Plan) Execute(ctx context.Context, opt ExecOptions) (*dpe.Result, error) {
+	if opt.Eps != 0 && p.cfg.Pred != extgeom.WithinDistance {
+		return nil, fmt.Errorf("twolayer: eps re-sweep only applies to WithinDistance plans")
+	}
+	tr, parent := opt.Tracer, opt.TraceParent
+	if tr == nil {
+		tr, parent = p.cfg.Tracer, p.cfg.TraceParent
+	}
+	cand0, emit0 := p.kernel.Stats.Candidates.Load(), p.kernel.Stats.Emitted.Load()
+	sweepSp := tr.Start(parent, obs.SpanSweep)
+	res, err := p.prep.ExecuteContext(ctx, dpe.ExecOptions{
+		Eps:         opt.Eps,
+		Collect:     opt.Collect,
+		Tracer:      opt.Tracer,
+		TraceParent: opt.TraceParent,
+	})
+	if err != nil {
+		sweepSp.End()
+		return nil, err
+	}
+	// The sweep and refine phases interleave inside the partition
+	// tasks; the spans carry the kernel's counter deltas (zero on
+	// cluster runs, where the kernels live in the worker processes).
+	cand := p.kernel.Stats.Candidates.Load() - cand0
+	sweepSp.SetInt("tiles", p.kernel.Stats.Tiles.Load())
+	sweepSp.SetInt("candidates", cand)
+	sweepSp.SetInt("fallback_tiles", p.kernel.Stats.FallbackTiles.Load())
+	sweepSp.End()
+	refineSp := tr.Start(parent, obs.SpanRefine)
+	refineSp.SetInt("candidates", cand)
+	refineSp.SetInt("emitted", p.kernel.Stats.Emitted.Load()-emit0)
+	refineSp.SetInt("decode_errors", p.kernel.Stats.DecodeErrors.Load())
+	refineSp.End()
+	return res, nil
+}
+
+// Join is the one-shot convenience: Prepare + Execute.
+func Join(cfg Config) (*dpe.Result, error) {
+	p, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(context.Background(), ExecOptions{Collect: cfg.Collect})
+}
+
+// dataBounds resolves the tile grid frame.
+func dataBounds(explicit *geom.Rect, rs, ss []extgeom.Object) geom.Rect {
+	if explicit != nil {
+		return *explicit
+	}
+	b := geom.EmptyRect()
+	for i := range rs {
+		b = b.Union(rs[i].Bounds())
+	}
+	for i := range ss {
+		b = b.Union(ss[i].Bounds())
+	}
+	if b.IsEmpty() {
+		b = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	return b
+}
+
+// sampleMBRs takes an evenly-strided sample of up to maxSample MBRs,
+// widened for the ε predicate — deterministic, so plans are stable.
+func sampleMBRs(objs []extgeom.Object, widen float64) []geom.Rect {
+	if len(objs) == 0 {
+		return nil
+	}
+	stride := (len(objs) + maxSample - 1) / maxSample
+	out := make([]geom.Rect, 0, (len(objs)+stride-1)/stride)
+	for i := 0; i < len(objs); i += stride {
+		m := objs[i].Bounds()
+		if widen > 0 {
+			m = m.Expand(widen)
+		}
+		out = append(out, m)
+	}
+	return out
+}

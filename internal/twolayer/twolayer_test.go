@@ -1,0 +1,435 @@
+package twolayer
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"spatialjoin/internal/dpe"
+	"spatialjoin/internal/extgeom"
+	"spatialjoin/internal/extjoin"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/obs"
+	"spatialjoin/internal/sedonasim"
+	"spatialjoin/internal/tuple"
+)
+
+// ---- Test data -------------------------------------------------------
+
+func randObjects(rng *rand.Rand, n int, idBase int64, world geom.Rect, maxExtent float64) []extgeom.Object {
+	out := make([]extgeom.Object, n)
+	for i := range out {
+		cx := world.MinX + rng.Float64()*world.Width()
+		cy := world.MinY + rng.Float64()*world.Height()
+		r := maxExtent * (0.05 + 0.95*rng.Float64())
+		id := idBase + int64(i)
+		switch rng.Intn(3) {
+		case 0: // axis-aligned rectangle as a 4-vertex polygon
+			w, h := r*(0.2+rng.Float64()), r*(0.2+rng.Float64())
+			out[i] = extgeom.NewPolygon(id, []geom.Point{
+				{X: cx - w, Y: cy - h}, {X: cx + w, Y: cy - h},
+				{X: cx + w, Y: cy + h}, {X: cx - w, Y: cy + h},
+			})
+		case 1: // polyline
+			nv := 2 + rng.Intn(4)
+			verts := make([]geom.Point, nv)
+			for j := range verts {
+				verts[j] = geom.Point{X: cx + (rng.Float64()*2-1)*r, Y: cy + (rng.Float64()*2-1)*r}
+			}
+			out[i] = extgeom.NewPolyline(id, verts)
+		default: // star-shaped simple polygon
+			nv := 3 + rng.Intn(5)
+			angles := make([]float64, nv)
+			for j := range angles {
+				angles[j] = rng.Float64() * 2 * math.Pi
+			}
+			slices.Sort(angles)
+			verts := make([]geom.Point, nv)
+			for j, a := range angles {
+				rad := r * (0.3 + 0.7*rng.Float64())
+				verts[j] = geom.Point{X: cx + rad*math.Cos(a), Y: cy + rad*math.Sin(a)}
+			}
+			out[i] = extgeom.NewPolygon(id, verts)
+		}
+	}
+	return out
+}
+
+func bruteForce(rs, ss []extgeom.Object, pred extgeom.Predicate, eps float64) []tuple.Pair {
+	var out []tuple.Pair
+	for i := range rs {
+		for j := range ss {
+			if extgeom.Eval(pred, &rs[i], &ss[j], eps) {
+				out = append(out, tuple.Pair{RID: rs[i].ID, SID: ss[j].ID})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []tuple.Pair) {
+	slices.SortFunc(ps, func(a, b tuple.Pair) int {
+		if a.RID != b.RID {
+			return cmp.Compare(a.RID, b.RID)
+		}
+		return cmp.Compare(a.SID, b.SID)
+	})
+}
+
+func pairsEqual(t *testing.T, label string, got, want []tuple.Pair) {
+	t.Helper()
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d is %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+var allPredicates = []extgeom.Predicate{extgeom.Intersects, extgeom.Contains, extgeom.WithinDistance}
+
+// ---- Grid unit tests -------------------------------------------------
+
+func TestTwoLayerGridCoverAndClassify(t *testing.T) {
+	g := NewTileGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 5, 5)
+	// An MBR spanning tiles (1..2, 1..2): reference tile first.
+	mbr := geom.Rect{MinX: 2.5, MinY: 2.5, MaxX: 5.5, MaxY: 5.5}
+	cover := g.Cover(mbr, nil)
+	if len(cover) != 4 {
+		t.Fatalf("cover = %v, want 4 tiles", cover)
+	}
+	if cover[0] != g.TileID(1, 1) {
+		t.Fatalf("reference tile %d not first in %v", g.TileID(1, 1), cover)
+	}
+	wantClass := map[int]Class{
+		g.TileID(1, 1): ClassA,
+		g.TileID(2, 1): ClassB,
+		g.TileID(1, 2): ClassC,
+		g.TileID(2, 2): ClassD,
+	}
+	for _, tile := range cover {
+		col, row := g.TileCoords(tile)
+		if got := g.Classify(mbr, col, row); got != wantClass[tile] {
+			t.Errorf("tile (%d,%d): class %v, want %v", col, row, got, wantClass[tile])
+		}
+	}
+	// Out-of-bounds MBRs clamp onto border tiles.
+	out := g.Cover(geom.Rect{MinX: -5, MinY: -5, MaxX: -1, MaxY: -1}, nil)
+	if len(out) != 1 || out[0] != g.TileID(0, 0) {
+		t.Fatalf("out-of-bounds cover = %v, want [0]", out)
+	}
+	// An MBR flush with a tile edge: Cover and Classify agree on the
+	// begin tile (both go through ColOf/RowOf).
+	edge := geom.Rect{MinX: 4, MinY: 4, MaxX: 4, MaxY: 4} // exactly on the (2,2) corner
+	cov := g.Cover(edge, nil)
+	if len(cov) != 1 {
+		t.Fatalf("edge cover = %v", cov)
+	}
+	col, row := g.TileCoords(cov[0])
+	if got := g.Classify(edge, col, row); got != ClassA {
+		t.Fatalf("edge replica class %v, want A", got)
+	}
+}
+
+func TestTwoLayerComboTable(t *testing.T) {
+	want := map[[2]Class]bool{
+		{ClassA, ClassA}: true, {ClassA, ClassB}: true, {ClassB, ClassA}: true,
+		{ClassA, ClassC}: true, {ClassC, ClassA}: true, {ClassB, ClassC}: true,
+		{ClassC, ClassB}: true, {ClassA, ClassD}: true, {ClassD, ClassA}: true,
+	}
+	n := 0
+	for cr := ClassA; cr < numClasses; cr++ {
+		for cs := ClassA; cs < numClasses; cs++ {
+			if comboAllowed(cr, cs) {
+				n++
+				if !want[[2]Class{cr, cs}] {
+					t.Errorf("combo %v×%v allowed but should not be", cr, cs)
+				}
+			}
+		}
+	}
+	if n != len(want) {
+		t.Errorf("%d combos allowed, want %d", n, len(want))
+	}
+}
+
+// ---- Differential tests ---------------------------------------------
+
+func TestTwoLayerVsBruteForce(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randObjects(rng, 300, 0, world, 3+rng.Float64()*5)
+		ss := randObjects(rng, 300, 10_000, world, 3+rng.Float64()*5)
+		for _, pred := range allPredicates {
+			for _, tiles := range []int{0, 1, 7} {
+				res, err := Join(Config{
+					R: rs, S: ss, Pred: pred, Eps: 2.5, Tiles: tiles, Collect: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d %v tiles=%d: %v", seed, pred, tiles, err)
+				}
+				want := bruteForce(rs, ss, pred, 2.5)
+				pairsEqual(t, fmt.Sprintf("seed %d %v tiles=%d", seed, pred, tiles), res.Pairs, want)
+			}
+		}
+	}
+}
+
+func TestTwoLayerVsSedonasim(t *testing.T) {
+	world := geom.Rect{MinX: -50, MinY: -50, MaxX: 50, MaxY: 50}
+	rng := rand.New(rand.NewSource(42))
+	rs := randObjects(rng, 500, 0, world, 4)
+	ss := randObjects(rng, 350, 10_000, world, 4)
+	for _, pred := range allPredicates {
+		res, err := Join(Config{R: rs, S: ss, Pred: pred, Eps: 1.5, Collect: true})
+		if err != nil {
+			t.Fatalf("%v: %v", pred, err)
+		}
+		oracle, err := sedonasim.JoinObjects(rs, ss, sedonasim.ObjectsConfig{Pred: pred, Eps: 1.5})
+		if err != nil {
+			t.Fatalf("sedonasim %v: %v", pred, err)
+		}
+		sortPairs(oracle)
+		pairsEqual(t, pred.String(), res.Pairs, oracle)
+	}
+}
+
+func TestTwoLayerVsExtjoinWithin(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 80, MaxY: 80}
+	rng := rand.New(rand.NewSource(7))
+	rs := randObjects(rng, 400, 0, world, 3)
+	ss := randObjects(rng, 400, 10_000, world, 3)
+	const eps = 2.0
+	res, err := Join(Config{R: rs, S: ss, Pred: extgeom.WithinDistance, Eps: eps, Collect: true})
+	if err != nil {
+		t.Fatalf("twolayer: %v", err)
+	}
+	ext, err := extjoin.Join(rs, ss, extjoin.Config{Eps: eps, Collect: true})
+	if err != nil {
+		t.Fatalf("extjoin: %v", err)
+	}
+	pairsEqual(t, "within", res.Pairs, func() []tuple.Pair { sortPairs(ext.Pairs); return ext.Pairs }())
+}
+
+// TestTwoLayerNoDuplicates is the exactly-once proof: the collected
+// pairs are the raw kernel emissions (no dedup pass, no hash set
+// anywhere in the path), so any double emission would surface as a
+// repeated pair.
+func TestTwoLayerNoDuplicates(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 60, MaxY: 60}
+	rng := rand.New(rand.NewSource(11))
+	// Fat objects: extents comparable to tile sizes, so B/C/D replicas
+	// and every mini-join combo occur.
+	rs := randObjects(rng, 400, 0, world, 10)
+	ss := randObjects(rng, 400, 10_000, world, 10)
+	for _, pred := range allPredicates {
+		for _, tiles := range []int{2, 5, 16} {
+			res, err := Join(Config{R: rs, S: ss, Pred: pred, Eps: 3, Tiles: tiles, Collect: true})
+			if err != nil {
+				t.Fatalf("%v tiles=%d: %v", pred, tiles, err)
+			}
+			counts := map[tuple.Pair]int{}
+			for _, p := range res.Pairs {
+				counts[p]++
+				if counts[p] > 1 {
+					t.Fatalf("%v tiles=%d: pair %v emitted %d times", pred, tiles, p, counts[p])
+				}
+			}
+		}
+	}
+}
+
+func TestTwoLayerForcedFallbackEquivalence(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 60, MaxY: 60}
+	rng := rand.New(rand.NewSource(13))
+	// Extreme aspect ratios: long flat rectangles that degenerate the
+	// x-interval sweep — the fallback's home turf.
+	rs := make([]extgeom.Object, 200)
+	for i := range rs {
+		cx, cy := rng.Float64()*60, rng.Float64()*60
+		w, h := 5+rng.Float64()*20, 0.05+rng.Float64()*0.2
+		rs[i] = extgeom.NewPolygon(int64(i), []geom.Point{
+			{X: cx - w, Y: cy - h}, {X: cx + w, Y: cy - h},
+			{X: cx + w, Y: cy + h}, {X: cx - w, Y: cy + h},
+		})
+	}
+	ss := randObjects(rng, 300, 10_000, world, 6)
+	for _, pred := range allPredicates {
+		base, err := Join(Config{R: rs, S: ss, Pred: pred, Eps: 2, Tiles: 4, Collect: true})
+		if err != nil {
+			t.Fatalf("sweep %v: %v", pred, err)
+		}
+		forced, err := Join(Config{R: rs, S: ss, Pred: pred, Eps: 2, Tiles: 4, Collect: true, ForceFallback: true})
+		if err != nil {
+			t.Fatalf("fallback %v: %v", pred, err)
+		}
+		sortPairs(base.Pairs)
+		pairsEqual(t, "fallback "+pred.String(), forced.Pairs, base.Pairs)
+	}
+}
+
+func TestTwoLayerFallbackHeuristicFires(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// One tile full of tile-spanning slivers must trip the heuristic.
+	rs := make([]extgeom.Object, 80)
+	ss := make([]extgeom.Object, 80)
+	for i := range rs {
+		y := rng.Float64() * 10
+		rs[i] = extgeom.NewPolyline(int64(i), []geom.Point{{X: 0.1, Y: y}, {X: 9.9, Y: y + 0.01}})
+		y = rng.Float64() * 10
+		ss[i] = extgeom.NewPolyline(int64(1000+i), []geom.Point{{X: 0.1, Y: y}, {X: 9.9, Y: y + 0.01}})
+	}
+	p, err := Prepare(Config{R: rs, S: ss, Pred: extgeom.Intersects, Tiles: 1, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(context.Background(), ExecOptions{Collect: true}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Kernel().Stats.FallbackTiles.Load() == 0 {
+		t.Fatal("degeneracy heuristic never chose the R-tree path")
+	}
+}
+
+// TestTwoLayerResweep: a WithinDistance plan prepared at ε serves any
+// ε' ≤ ε without re-preparation, still exact and duplicate-free.
+func TestTwoLayerResweep(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 70, MaxY: 70}
+	rng := rand.New(rand.NewSource(19))
+	rs := randObjects(rng, 300, 0, world, 4)
+	ss := randObjects(rng, 300, 10_000, world, 4)
+	const planEps = 3.0
+	p, err := Prepare(Config{R: rs, S: ss, Pred: extgeom.WithinDistance, Eps: planEps, Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{planEps, 1.5, 0.4} {
+		res, err := p.Execute(context.Background(), ExecOptions{Eps: eps, Collect: true})
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		want := bruteForce(rs, ss, extgeom.WithinDistance, eps)
+		pairsEqual(t, fmt.Sprintf("resweep eps=%v", eps), res.Pairs, want)
+	}
+	if _, err := p.Execute(context.Background(), ExecOptions{Eps: planEps * 2}); err == nil {
+		t.Fatal("re-sweep above the plan eps must be rejected")
+	}
+	// ε-less plans reject re-sweeps outright.
+	pi, err := Prepare(Config{R: rs[:10], S: ss[:10], Pred: extgeom.Intersects})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pi.Execute(context.Background(), ExecOptions{Eps: 0.5}); err == nil {
+		t.Fatal("eps re-sweep on an Intersects plan must be rejected")
+	}
+}
+
+func TestTwoLayerKernelDescRoundTrip(t *testing.T) {
+	k := &Kernel{
+		Grid: NewTileGrid(geom.Rect{MinX: -3, MinY: 2, MaxX: 9, MaxY: 11}, 12, 7),
+		Pred: extgeom.WithinDistance,
+	}
+	desc := k.Desc(1.25)
+	if desc.Kind != dpe.KernelTwoLayer || desc.RefineEps != 1.25 {
+		t.Fatalf("desc = %+v", desc)
+	}
+	k2, err := KernelFromDesc(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Grid != k.Grid || k2.Pred != k.Pred {
+		t.Fatalf("rebuilt kernel %+v differs from %+v", k2, k)
+	}
+	if _, err := KernelFromDesc(dpe.KernelDesc{Kind: dpe.KernelSweep}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := KernelFromDesc(dpe.KernelDesc{Kind: dpe.KernelTwoLayer, TileNX: 0, TileNY: 3}); err == nil {
+		t.Fatal("zero tile grid accepted")
+	}
+}
+
+// TestTwoLayerSkewReport: the assign span carries per-class replica
+// bytes and the skew report surfaces them.
+func TestTwoLayerSkewReport(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 40}
+	rng := rand.New(rand.NewSource(23))
+	rs := randObjects(rng, 200, 0, world, 8)
+	ss := randObjects(rng, 200, 10_000, world, 8)
+	tr := obs.New()
+	root := tr.Start(0, obs.SpanJoin)
+	p, err := Prepare(Config{
+		R: rs, S: ss, Pred: extgeom.Intersects, Tiles: 6, Collect: true,
+		Tracer: tr, TraceParent: root.SpanID(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(context.Background(), ExecOptions{Collect: true}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	rep := tr.Skew()
+	if len(rep.ReplicationBytesByClass) == 0 {
+		t.Fatal("skew report has no per-class replication bytes")
+	}
+	if rep.ReplicationBytesByClass["A"] <= 0 {
+		t.Fatalf("class A bytes = %d, want > 0 (every object has a native copy): %+v",
+			rep.ReplicationBytesByClass["A"], rep.ReplicationBytesByClass)
+	}
+	// Fat objects on a 6×6 grid must replicate: some non-A class has bytes.
+	if rep.ReplicationBytesByClass["B"]+rep.ReplicationBytesByClass["C"]+rep.ReplicationBytesByClass["D"] == 0 {
+		t.Fatalf("no extent replication recorded: %+v", rep.ReplicationBytesByClass)
+	}
+	// The plan's own view agrees with the trace.
+	cb := p.ClassBytes()
+	for class, bytes := range rep.ReplicationBytesByClass {
+		if cb[map[string]string{"A": "a", "B": "b", "C": "c", "D": "d"}[class]] != bytes {
+			t.Fatalf("ClassBytes %v disagree with skew report %v", cb, rep.ReplicationBytesByClass)
+		}
+	}
+}
+
+func TestTwoLayerValidation(t *testing.T) {
+	if _, err := Join(Config{Pred: extgeom.WithinDistance}); err == nil {
+		t.Fatal("WithinDistance without eps accepted")
+	}
+	if _, err := Join(Config{Pred: extgeom.Predicate(9)}); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+	// Empty inputs are fine.
+	res, err := Join(Config{Pred: extgeom.Intersects, Collect: true})
+	if err != nil || len(res.Pairs) != 0 {
+		t.Fatalf("empty join: %v, %d pairs", err, len(res.Pairs))
+	}
+}
+
+// TestTwoLayerResolutionSelection: the cost model picks finer grids for
+// many small objects than for few fat ones.
+func TestTwoLayerResolutionSelection(t *testing.T) {
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	rng := rand.New(rand.NewSource(29))
+	small := randObjects(rng, 3000, 0, world, 0.5)
+	fat := randObjects(rng, 60, 50_000, world, 40)
+
+	pSmall, err := Prepare(Config{R: small, S: small, Pred: extgeom.Intersects})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFat, err := Prepare(Config{R: fat, S: fat, Pred: extgeom.Intersects})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSmall.Grid.NX <= pFat.Grid.NX {
+		t.Fatalf("small-object grid %dx%d not finer than fat-object grid %dx%d",
+			pSmall.Grid.NX, pSmall.Grid.NY, pFat.Grid.NX, pFat.Grid.NY)
+	}
+}
