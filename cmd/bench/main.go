@@ -6,7 +6,14 @@
 // Usage:
 //
 //	bench [-out BENCH_sweep.json] [-cells 64] [-per-side 256] [-eps 0.5]
-//	      [-e2e-n 50000]
+//	      [-e2e-n 50000] [-cpu N] [-gate ref.json] [-gate-tolerance 0.2]
+//	      [-history BENCH_history.json]
+//
+// -gate compares this run against a checked-in reference report and
+// exits non-zero when the end-to-end throughput or any gated phase time
+// (partition, replicate, supplementary join) regresses by more than the
+// tolerance. -history appends the report as one compact JSON line, so
+// the per-PR trajectory of the gate metrics accumulates in-repo.
 //
 // Three kernels are measured on identical per-cell inputs:
 //
@@ -48,7 +55,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/core"
@@ -73,12 +82,13 @@ type entry struct {
 }
 
 type report struct {
-	Go       string  `json:"go"`
-	GOOS     string  `json:"goos"`
-	GOARCH   string  `json:"goarch"`
-	CPUs     int     `json:"cpus"`
-	Workload string  `json:"workload"`
-	Entries  []entry `json:"entries"`
+	Go         string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`       // runtime.NumCPU
+	GoMaxProcs int     `json:"gomaxprocs"` // scheduler parallelism the run used
+	Workload   string  `json:"workload"`
+	Entries    []entry `json:"entries"`
 
 	// PhaseMillis is the per-phase wall time of one traced end-to-end
 	// run of the simple-replication variant (which exercises every
@@ -263,6 +273,10 @@ func main() {
 		e2eN    = flag.Int("e2e-n", 50000, "points per side for the end-to-end core benchmark")
 		scanN   = flag.Int("scan-n", 200_000, "points per side for the disk-vs-RAM partition scan")
 		geomN   = flag.Int("geom-n", 20_000, "objects per side for the non-point (two-layer) benchmarks")
+		cpu     = flag.Int("cpu", 0, "GOMAXPROCS for the parallel core/columnar-cpuN row (0 = runtime.NumCPU)")
+		gate    = flag.String("gate", "", "reference report to gate against; exit non-zero on regression")
+		gateTol = flag.Float64("gate-tolerance", 0.20, "allowed fractional regression vs the gate reference")
+		history = flag.String("history", "", "append this report as one compact JSON line to the given file")
 	)
 	flag.Parse()
 
@@ -300,10 +314,11 @@ func main() {
 	pairs := seedC.N
 
 	rep := report{
-		Go:     runtime.Version(),
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		CPUs:   runtime.NumCPU(),
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workload: fmt.Sprintf("%d cells x (%d R + %d S) uniform points in [0,%g)^2, eps=%g, %d pairs/op",
 			*cells, *perSide, *perSide, *extent, *eps, pairs),
 	}
@@ -372,6 +387,26 @@ func main() {
 			}
 		}
 	}))
+
+	// The same end-to-end join pinned to -cpu procs (default NumCPU), so
+	// the report carries an explicit scaling row next to the
+	// default-GOMAXPROCS one: on multi-core boxes the pair shows how the
+	// map/shuffle/join parallelism scales, on this repo's 1-CPU reference
+	// box the two rows coincide and document that fact.
+	benchCPU := *cpu
+	if benchCPU <= 0 {
+		benchCPU = runtime.NumCPU()
+	}
+	prevProcs := runtime.GOMAXPROCS(benchCPU)
+	rep.Entries = append(rep.Entries, measure(fmt.Sprintf("core/columnar-cpu%d", benchCPU), e2ePairs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Join(e2eR, e2eS, e2eCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	runtime.GOMAXPROCS(prevProcs)
 
 	// Disk vs RAM: the same grid-partitioned join, once streamed from
 	// mmap colfiles (dstore.JoinFiles) and once over the identical
@@ -524,10 +559,92 @@ func main() {
 	js = append(js, '\n')
 	if *out == "-" {
 		os.Stdout.Write(js)
-		return
+	} else {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, js, 0o644); err != nil {
-		log.Fatalf("bench: %v", err)
+
+	if *history != "" {
+		if err := appendHistory(*history, rep); err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		fmt.Printf("appended %s\n", *history)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	if *gate != "" {
+		if err := gateAgainst(*gate, rep, *gateTol); err != nil {
+			log.Fatalf("bench: %v", err)
+		}
+		fmt.Printf("gate passed against %s (tolerance %.0f%%)\n", *gate, *gateTol*100)
+	}
+}
+
+// gatePhases are the phase times the perf gate watches: the map-side
+// costs the adaptive-replication work targets. Sweep and dedup are
+// deliberately ungated — their duration tracks the pair count, which
+// varies with workload flags, not with regressions.
+var gatePhases = []string{obs.SpanPartition, obs.SpanReplicate, obs.SpanSupplementary}
+
+// gateAgainst fails when this run regresses more than tol (fractional)
+// against the reference report: lower pairs/sec on the end-to-end
+// columnar row, or higher wall time on any gated phase.
+func gateAgainst(refPath string, cur report, tol float64) error {
+	raw, err := os.ReadFile(refPath)
+	if err != nil {
+		return fmt.Errorf("gate reference: %w", err)
+	}
+	var ref report
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		return fmt.Errorf("gate reference %s: %w", refPath, err)
+	}
+	var fails []string
+	refBy := map[string]entry{}
+	for _, e := range ref.Entries {
+		refBy[e.Name] = e
+	}
+	curBy := map[string]entry{}
+	for _, e := range cur.Entries {
+		curBy[e.Name] = e
+	}
+	if r := refBy["core/columnar"].PairsPerSec; r > 0 {
+		if c := curBy["core/columnar"].PairsPerSec; c < r*(1-tol) {
+			fails = append(fails, fmt.Sprintf(
+				"core/columnar throughput %.0f pairs/sec, reference %.0f (-%.0f%%)", c, r, (1-c/r)*100))
+		}
+	}
+	for _, ph := range gatePhases {
+		r, ok := ref.PhaseMillis[ph]
+		if !ok || r <= 0 {
+			continue
+		}
+		if c := cur.PhaseMillis[ph]; c > r*(1+tol) {
+			fails = append(fails, fmt.Sprintf(
+				"phase %s %.2fms, reference %.2fms (+%.0f%%)", ph, c, r, (c/r-1)*100))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("perf gate failed vs %s:\n  %s", refPath, strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// appendHistory adds the report as one compact JSON line (with a
+// timestamp) to path, creating it if needed — a per-PR trajectory of
+// the gate metrics that plain `jq -s` can analyse.
+func appendHistory(path string, rep report) error {
+	line, err := json.Marshal(struct {
+		Time string `json:"time"`
+		report
+	}{Time: time.Now().UTC().Format(time.RFC3339), report: rep})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialjoin/internal/obs"
+)
+
+func gateRef(t *testing.T, rep report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ref.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateAgainst pins the regression rules CI relies on: the gate must
+// pass inside tolerance, fail on a throughput drop or a gated-phase
+// slowdown beyond it, and ignore phases outside gatePhases (sweep/dedup
+// durations track the pair count, not pipeline overhead).
+func TestGateAgainst(t *testing.T) {
+	ref := report{
+		Entries: []entry{{Name: "core/columnar", PairsPerSec: 1000}},
+		PhaseMillis: map[string]float64{
+			obs.SpanPartition:     10,
+			obs.SpanReplicate:     20,
+			obs.SpanSupplementary: 15,
+			obs.SpanSweep:         8,
+		},
+	}
+	path := gateRef(t, ref)
+
+	cur := report{
+		Entries: []entry{{Name: "core/columnar", PairsPerSec: 900}},
+		PhaseMillis: map[string]float64{
+			obs.SpanPartition:     11,
+			obs.SpanReplicate:     22,
+			obs.SpanSupplementary: 17,
+			obs.SpanSweep:         80, // ungated: may grow with pair count
+		},
+	}
+	if err := gateAgainst(path, cur, 0.20); err != nil {
+		t.Fatalf("within tolerance, want pass: %v", err)
+	}
+
+	slow := cur
+	slow.Entries = []entry{{Name: "core/columnar", PairsPerSec: 700}}
+	err := gateAgainst(path, slow, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "core/columnar throughput") {
+		t.Fatalf("30%% throughput drop, want throughput failure, got: %v", err)
+	}
+
+	lag := cur
+	lag.PhaseMillis = map[string]float64{obs.SpanReplicate: 30}
+	err = gateAgainst(path, lag, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "phase replicate") {
+		t.Fatalf("50%% replicate slowdown, want phase failure, got: %v", err)
+	}
+
+	if err := gateAgainst(filepath.Join(t.TempDir(), "missing.json"), cur, 0.20); err == nil {
+		t.Fatal("missing reference, want error")
+	}
+}
+
+// TestAppendHistory: each run appends exactly one JSON line carrying a
+// timestamp plus the full report, and existing lines are preserved.
+func TestAppendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	for i := 1; i <= 2; i++ {
+		rep := report{GoMaxProcs: i, Entries: []entry{{Name: "core/columnar", PairsPerSec: float64(i)}}}
+		if err := appendHistory(path, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d history lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var rec struct {
+			Time string `json:"time"`
+			report
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Time == "" || rec.GoMaxProcs != i+1 {
+			t.Fatalf("line %d: time %q gomaxprocs %d", i, rec.Time, rec.GoMaxProcs)
+		}
+	}
+}

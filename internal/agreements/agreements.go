@@ -103,6 +103,15 @@ type Subgraph struct {
 	wgt   [grid.NumPos][grid.NumPos]int64
 	mark  [grid.NumPos][grid.NumPos]bool
 	lock  [grid.NumPos][grid.NumPos]bool
+	// anyMark caches whether any directed edge is marked: the assignment
+	// hot path (Algorithms 3 and 4) consults it to skip the per-edge
+	// mark machinery entirely in the — overwhelmingly common — quartets
+	// Algorithm 1 left untouched.
+	anyMark bool
+	// uniform caches whether all six pair types are equal (the common
+	// value is typ[0][1]); together with anyMark it gives Algorithm 3 a
+	// branch-light fast path for the dominant quartet shape.
+	uniform bool
 }
 
 // Type returns the agreement type of the edge from position i to j
@@ -110,6 +119,8 @@ type Subgraph struct {
 func (s *Subgraph) Type(i, j grid.Pos) tuple.Set { return s.typ[i][j] }
 
 // Weight returns the processing-cost weight of the directed edge i->j.
+// Weights exist to order Algorithm 1's traversal, which uniform quartets
+// skip entirely — their weights are never materialised and read as zero.
 func (s *Subgraph) Weight(i, j grid.Pos) int64 { return s.wgt[i][j] }
 
 // Marked reports whether the directed edge i->j is marked: points in the
@@ -120,17 +131,70 @@ func (s *Subgraph) Marked(i, j grid.Pos) bool { return s.mark[i][j] }
 // Locked reports whether the directed edge i->j is locked against marking.
 func (s *Subgraph) Locked(i, j grid.Pos) bool { return s.lock[i][j] }
 
+// AnyMarked reports whether any directed edge of the subgraph is marked.
+// When false, every Marked query would return false and no supplementary
+// area exists in the quartet — the fast-path guard of Algorithms 3 and 4.
+func (s *Subgraph) AnyMarked() bool { return s.anyMark }
+
+// UniformType reports whether all six pair types of the quartet agree,
+// and when they do, their common value. A uniform quartet has no mixed
+// triangle, so Algorithm 1 marks nothing in it and every Type query
+// returns the same set — the precondition of Algorithm 3's fast path.
+func (s *Subgraph) UniformType() (tuple.Set, bool) { return s.typ[0][1], s.uniform }
+
 // Graph is the full graph of agreements of a grid: one Subgraph per
 // quartet reference point, indexed by grid.QuartetID.
 type Graph struct {
 	Grid   *grid.Grid
 	Policy Policy
 	Subs   []Subgraph
+	// flags packs each quartet's fast-path state (uniform, uniform type,
+	// any-marked) into one byte, indexed like Subs. The assignment hot
+	// path probes millions of random quartets; the byte table stays
+	// cache-resident where the ~200-byte Subgraph structs cannot.
+	flags []byte
 }
+
+const (
+	flagUniform byte = 1 << iota
+	flagUniformS
+	flagMarked
+)
 
 // Sub returns the subgraph of the quartet at corner (gx, gy).
 func (gr *Graph) Sub(gx, gy int) *Subgraph {
 	return &gr.Subs[gr.Grid.QuartetID(gx, gy)]
+}
+
+// Info returns the quartet's assignment fast-path state from the packed
+// one-byte side table: the uniform pair type (meaningful only when
+// uniform is true), whether all six pair types agree, and whether any
+// directed edge is marked — without touching the Subgraph itself.
+func (gr *Graph) Info(gx, gy int) (t tuple.Set, uniform, marked bool) {
+	f := gr.flags[gr.Grid.QuartetID(gx, gy)]
+	t = tuple.R
+	if f&flagUniformS != 0 {
+		t = tuple.S
+	}
+	return t, f&flagUniform != 0, f&flagMarked != 0
+}
+
+// refreshFlag re-derives the packed flags of quartet (gx, gy) from its
+// resolved subgraph. Every path that mutates a subgraph's types or marks
+// must call it before the graph is used for assignment.
+func (gr *Graph) refreshFlag(gx, gy int) {
+	s := gr.Sub(gx, gy)
+	var f byte
+	if s.uniform {
+		f |= flagUniform
+		if s.typ[0][1] == tuple.S {
+			f |= flagUniformS
+		}
+	}
+	if s.anyMark {
+		f |= flagMarked
+	}
+	gr.flags[gr.Grid.QuartetID(gx, gy)] = f
 }
 
 // Order selects the edge traversal order of Algorithm 1. The paper
@@ -171,14 +235,21 @@ func BuildOrdered(st *grid.Stats, policy Policy, order Order) *Graph {
 	if !g.SupportsAgreements() {
 		panic(fmt.Sprintf("agreements: grid resolution %v·ε violates the l >= 2ε precondition", g.Res))
 	}
-	gr := &Graph{Grid: g, Policy: policy, Subs: make([]Subgraph, g.NumQuartets())}
+	gr := &Graph{Grid: g, Policy: policy, Subs: make([]Subgraph, g.NumQuartets()), flags: make([]byte, g.NumQuartets())}
 	for gy := 0; gy <= g.NY; gy++ {
 		for gx := 0; gx <= g.NX; gx++ {
 			s := gr.Sub(gx, gy)
 			s.Ref = g.RefPoint(gx, gy)
 			s.Cells = g.QuartetCells(gx, gy)
-			instantiate(s, st, policy)
-			resolveOrdered(s, order)
+			if instantiateTypes(s, st, policy) {
+				// Uniform quartet: Algorithm 1 marks nothing, so the 12
+				// edge-weight products would never be read — skip them.
+				s.uniform = true
+			} else {
+				instantiateWeights(s, st)
+				resolveOrdered(s, order)
+			}
+			gr.refreshFlag(gx, gy)
 		}
 	}
 	return gr
@@ -194,7 +265,7 @@ func BuildFromTypeFunc(g *grid.Grid, typeOf func(ci, cj int) tuple.Set) *Graph {
 	if !g.SupportsAgreements() {
 		panic(fmt.Sprintf("agreements: grid resolution %v·ε violates the l >= 2ε precondition", g.Res))
 	}
-	gr := &Graph{Grid: g, Subs: make([]Subgraph, g.NumQuartets())}
+	gr := &Graph{Grid: g, Subs: make([]Subgraph, g.NumQuartets()), flags: make([]byte, g.NumQuartets())}
 	for gy := 0; gy <= g.NY; gy++ {
 		for gx := 0; gx <= g.NX; gx++ {
 			s := gr.Sub(gx, gy)
@@ -207,6 +278,7 @@ func BuildFromTypeFunc(g *grid.Grid, typeOf func(ci, cj int) tuple.Set) *Graph {
 				}
 			}
 			resolve(s)
+			gr.refreshFlag(gx, gy)
 		}
 	}
 	return gr
@@ -248,15 +320,35 @@ func (gr *Graph) RebuildSub(st *grid.Stats, gx, gy int, typeOf func(ci, cj int) 
 	}
 	s.mark = [grid.NumPos][grid.NumPos]bool{}
 	s.lock = [grid.NumPos][grid.NumPos]bool{}
+	s.anyMark = false
 	resolve(s)
+	gr.refreshFlag(gx, gy)
 }
 
-// instantiate decides types and weights for the 12 edges of s.
-func instantiate(s *Subgraph, st *grid.Stats, policy Policy) {
+// instantiateTypes decides only the agreement types of s; weights stay
+// untouched. Build uses it to defer the 12 edge-weight products until a
+// quartet turns out mixed — uniform quartets skip Algorithm 1 entirely,
+// so their weights are never read.
+func instantiateTypes(s *Subgraph, st *grid.Stats, policy Policy) (uniform bool) {
+	uniform = true
 	for i := grid.Pos(0); i < grid.NumPos; i++ {
 		for j := i + 1; j < grid.NumPos; j++ {
 			t := pairType(st, s.Cells[i], s.Cells[j], dirBetween(i, j), policy)
 			s.typ[i][j], s.typ[j][i] = t, t
+			if t != s.typ[0][1] {
+				uniform = false
+			}
+		}
+	}
+	return uniform
+}
+
+// instantiateWeights fills in the 12 edge weights from the already
+// decided types.
+func instantiateWeights(s *Subgraph, st *grid.Stats) {
+	for i := grid.Pos(0); i < grid.NumPos; i++ {
+		for j := i + 1; j < grid.NumPos; j++ {
+			t := s.typ[i][j]
 			s.wgt[i][j] = edgeWeight(st, s.Cells[i], s.Cells[j], dirBetween(i, j), t)
 			s.wgt[j][i] = edgeWeight(st, s.Cells[j], s.Cells[i], dirBetween(j, i), t)
 		}
@@ -361,7 +453,29 @@ func otherTwo(a, b grid.Pos) [2]grid.Pos {
 func resolve(s *Subgraph) { resolveOrdered(s, OrderPaper) }
 
 func resolveOrdered(s *Subgraph, order Order) {
-	edges := make([]quartetEdge, 0, 12)
+	// Marking needs a mixed triangle: an edge of each type meeting at an
+	// apex. A quartet whose six pair types are all equal cannot contain
+	// one, so Algorithm 1 would mark nothing — skip the sort and the
+	// traversal outright. Under sparse sampling most quartets are
+	// uniform (empty regions tie to R everywhere), making this the
+	// common case by a wide margin.
+	uniform := true
+	t0 := s.typ[0][1]
+	for i := grid.Pos(0); uniform && i < grid.NumPos; i++ {
+		for j := i + 1; j < grid.NumPos; j++ {
+			if s.typ[i][j] != t0 {
+				uniform = false
+				break
+			}
+		}
+	}
+	s.uniform = uniform
+	if uniform {
+		return
+	}
+
+	var edgeArr [12]quartetEdge
+	edges := edgeArr[:0]
 	for i := grid.Pos(0); i < grid.NumPos; i++ {
 		for j := grid.Pos(0); j < grid.NumPos; j++ {
 			if i == j {
@@ -429,6 +543,7 @@ func resolveOrdered(s *Subgraph, order Order) {
 		}
 		if bestK != grid.Pos(255) {
 			s.mark[i][j] = true
+			s.anyMark = true
 			s.lock[j][bestK] = true
 			s.lock[i][bestK] = true
 		}
@@ -484,6 +599,7 @@ func (s *Subgraph) SetTypesForTest(types [6]tuple.Set) {
 	}
 	s.mark = [grid.NumPos][grid.NumPos]bool{}
 	s.lock = [grid.NumPos][grid.NumPos]bool{}
+	s.anyMark = false
 	resolve(s)
 }
 

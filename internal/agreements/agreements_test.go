@@ -139,11 +139,19 @@ func TestEdgeWeight(t *testing.T) {
 	// S points inside cell (1,0) for the weight product.
 	st.Add(tuple.S, geom.Point{X: 6, Y: 2})
 	st.Add(tuple.S, geom.Point{X: 6, Y: 2.5})
+	// Make the (0,1)-(1,1) agreement S (2 R candidates, 0 S) so the
+	// quartet is mixed: uniform quartets skip Algorithm 1 and never
+	// materialise their edge weights.
+	st.Add(tuple.R, geom.Point{X: 3.5, Y: 6})
+	st.Add(tuple.R, geom.Point{X: 3.5, Y: 6.5})
 
 	gr := Build(st, LPiB)
 	s := gr.Sub(1, 1)
 	if got := s.Type(grid.BL, grid.BR); got != tuple.R {
 		t.Fatalf("agreement type = %v, want R", got)
+	}
+	if got := s.Type(grid.TL, grid.TR); got != tuple.S {
+		t.Fatalf("agreement type TL-TR = %v, want S (mixed quartet)", got)
 	}
 	// w(BL->BR) = 1 R candidate * 2 S points in (1,0) = 2.
 	if got := s.Weight(grid.BL, grid.BR); got != 2 {

@@ -119,7 +119,7 @@ func Decode(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("agreements: decode: %d quartets, grid needs %d", count, g.NumQuartets())
 	}
 
-	gr := &Graph{Grid: g, Policy: policy, Subs: make([]Subgraph, count)}
+	gr := &Graph{Grid: g, Policy: policy, Subs: make([]Subgraph, count), flags: make([]byte, count)}
 	body := make([]byte, bytesPerQuartet)
 	for gy := 0; gy <= g.NY; gy++ {
 		for gx := 0; gx <= g.NX; gx++ {
@@ -147,6 +147,11 @@ func Decode(r io.Reader) (*Graph, error) {
 					mbit++
 				}
 			}
+			s.anyMark = marks != 0
+			// types is the packed 6-bit pair-type vector: all-R (0) and
+			// all-S (0b111111) are the uniform quartets.
+			s.uniform = types == 0 || types == 0b111111
+			gr.refreshFlag(gx, gy)
 		}
 	}
 	return gr, nil

@@ -5,10 +5,12 @@ import (
 	"context"
 	"errors"
 	"log/slog"
+	"slices"
 	"sort"
 	"testing"
 	"time"
 
+	"spatialjoin/internal/colpipe"
 	"spatialjoin/internal/datagen"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
@@ -434,6 +436,45 @@ func TestClusterProtoRoundTrips(t *testing.T) {
 		}
 		if gotR[0].Cell != 5 || gotR[0].T.ID != 1 || string(gotS[0].T.Payload) != "p" {
 			t.Fatalf("task records corrupted: %+v / %+v", gotR[0], gotS[0])
+		}
+	})
+	t.Run("taskCols", func(t *testing.T) {
+		rs := &colpipe.Slab{
+			Ranks:  []int32{1, 5},
+			Starts: []int32{0, 2, 3},
+			Xs:     []float64{1, 2, 3}, Ys: []float64{4, 5, 6}, IDs: []int64{7, 8, 9},
+			WorkerRows: []int32{2, 1},
+		}
+		ss := &colpipe.Slab{
+			Ranks:  []int32{5},
+			Starts: []int32{0, 1},
+			Xs:     []float64{2.5}, Ys: []float64{5.5}, IDs: []int64{11},
+			WorkerRows: []int32{0, 1},
+		}
+		frame, local, remote := encodeTaskCols(taskHeader{plan: 4, part: 2, attempt: 1}, rs, ss,
+			func(src int) bool { return src == 0 })
+		if local != 2*colsRowWire || remote != 2*colsRowWire {
+			t.Fatalf("byte classification: local=%d remote=%d, want %d each", local, remote, 2*colsRowWire)
+		}
+		h, gotR, gotS, err := decodeTaskCols(frame[frameHeader:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != (taskHeader{plan: 4, part: 2, attempt: 1}) {
+			t.Fatalf("header round trip: %+v", h)
+		}
+		if !slices.Equal(gotR.Ranks, rs.Ranks) || !slices.Equal(gotR.Starts, rs.Starts) ||
+			!slices.Equal(gotR.Xs, rs.Xs) || !slices.Equal(gotR.Ys, rs.Ys) || !slices.Equal(gotR.IDs, rs.IDs) {
+			t.Fatalf("R slab corrupted: %+v", gotR)
+		}
+		if !slices.Equal(gotS.Ranks, ss.Ranks) || gotS.Rows() != 1 || gotS.IDs[0] != 11 {
+			t.Fatalf("S slab corrupted: %+v", gotS)
+		}
+		// Lying group offsets must be rejected, not scanned past.
+		bad := append([]byte(nil), frame[frameHeader:]...)
+		bad[16+4+8] = 0xff // first Starts entry of the R slab
+		if _, _, _, err := decodeTaskCols(bad); err == nil {
+			t.Error("corrupt offsets accepted")
 		}
 	})
 	t.Run("result", func(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spatialjoin/internal/colpipe"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/obs"
 	"spatialjoin/internal/tuple"
@@ -392,10 +393,13 @@ type run struct {
 	cm                 dpe.ClusterMetrics
 }
 
-// task is one reduce partition of a run.
+// task is one reduce partition of a run: either the Keyed record
+// buckets (rs/ss) or, for columnar plans, the kernel-ready slabs
+// (colR/colS) — never both.
 type task struct {
 	part        uint32
 	rs, ss      []dpe.Keyed
+	colR, colS  *colpipe.Slab
 	active      []attempt
 	nextAttempt uint32
 	retries     int
@@ -491,11 +495,20 @@ func (e engine) ExecutePrepared(ctx context.Context, pr *dpe.Prepared, opt dpe.E
 	start := time.Now()
 	var tasks []*task
 	for p := 0; p < pr.NumPartitions(); p++ {
-		rs, ss := pr.Partition(p)
-		if len(rs) == 0 || len(ss) == 0 {
-			continue
+		var t *task
+		if pr.Columnar() {
+			rs, ss := pr.ColumnarPartition(p)
+			if rs.Rows() == 0 || ss.Rows() == 0 {
+				continue
+			}
+			t = &task{part: uint32(p), colR: rs, colS: ss}
+		} else {
+			rs, ss := pr.Partition(p)
+			if len(rs) == 0 || len(ss) == 0 {
+				continue
+			}
+			t = &task{part: uint32(p), rs: rs, ss: ss}
 		}
-		t := &task{part: uint32(p), rs: rs, ss: ss}
 		r.tasks[t.part] = t
 		tasks = append(tasks, t)
 	}
@@ -625,11 +638,15 @@ func (c *Coordinator) dispatch(r *run, t *task, w *remote, speculative bool) {
 	nw := len(r.workers)
 	r.mu.Unlock()
 
-	frame, local, remote := encodeTask(
-		taskHeader{plan: r.id, part: t.part, attempt: att.id},
-		t.rs, t.ss,
-		func(src int) bool { return r.workers[src%nw] == w },
-	)
+	h := taskHeader{plan: r.id, part: t.part, attempt: att.id}
+	isLocal := func(src int) bool { return r.workers[src%nw] == w }
+	var frame []byte
+	var local, remote int64
+	if t.colR != nil {
+		frame, local, remote = encodeTaskCols(h, t.colR, t.colS, isLocal)
+	} else {
+		frame, local, remote = encodeTask(h, t.rs, t.ss, isLocal)
+	}
 	r.mu.Lock()
 	r.cm.TaskBytesLocal += local
 	r.cm.TaskBytesRemote += remote
@@ -716,6 +733,7 @@ func (c *Coordinator) handleResult(w *remote, payload []byte) {
 	// Free the partition buckets: a completed task's tuples are not
 	// needed for any retry.
 	t.rs, t.ss = nil, nil
+	t.colR, t.colS = nil, nil
 
 	r.durs = append(r.durs, m.dur)
 	r.busy[w.id] += m.dur

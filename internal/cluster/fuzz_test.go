@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"spatialjoin/internal/colpipe"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/obs"
@@ -76,10 +77,25 @@ func FuzzFrame(f *testing.F) {
 	lyingSpans = binary.LittleEndian.AppendUint32(lyingSpans, 1<<30) // a billion spans, no bytes
 	f.Add(appendFrame(msgSpans, lyingSpans))
 
+	// Columnar task frames of the v3 protocol.
+	colsFrame, _, _ := encodeTaskCols(taskHeader{plan: 7, part: 3, attempt: 1},
+		&colpipe.Slab{Ranks: []int32{2, 9}, Starts: []int32{0, 1, 3},
+			Xs: []float64{1, 2, 3}, Ys: []float64{4, 5, 6}, IDs: []int64{7, 8, 9},
+			WorkerRows: []int32{3}},
+		&colpipe.Slab{Ranks: []int32{9}, Starts: []int32{0, 1},
+			Xs: []float64{2}, Ys: []float64{5}, IDs: []int64{10},
+			WorkerRows: []int32{1}},
+		func(int) bool { return true })
+	f.Add(colsFrame)
+	f.Add(colsFrame[:len(colsFrame)-8]) // truncated mid-lane
+
 	// Frames whose payloads lie about their contents.
 	lyingTask := appendTaskHeader(nil, taskHeader{plan: 1})
 	lyingTask = binary.LittleEndian.AppendUint32(lyingTask, 1<<30) // a billion records, no bytes
 	f.Add(appendFrame(msgTask, lyingTask))
+	lyingCols := appendTaskHeader(nil, taskHeader{plan: 1})
+	lyingCols = binary.LittleEndian.AppendUint32(lyingCols, 1<<30) // a billion groups, no bytes
+	f.Add(appendFrame(msgTaskCols, lyingCols))
 	lyingResult := resultMsg{taskHeader: taskHeader{plan: 1}}.encode()
 	binary.LittleEndian.PutUint32(lyingResult[len(lyingResult)-4:], 1<<30)
 	f.Add(appendFrame(msgResult, lyingResult))
@@ -101,6 +117,8 @@ func FuzzFrame(f *testing.F) {
 				decodePlan(payload)
 			case msgTask:
 				decodeTask(payload)
+			case msgTaskCols:
+				decodeTaskCols(payload)
 			case msgResult:
 				decodeResult(payload)
 			case msgTaskErr:

@@ -35,7 +35,9 @@ import (
 // protoVersion is bumped on any incompatible frame change.
 // v2 added the trace-context (msgTrace) and span-shipping (msgSpans)
 // frames that stitch worker-process spans into the coordinator's trace.
-const protoVersion = 2
+// v3 added the columnar task frame (msgTaskCols): a reduce partition
+// shipped as kernel-ready slab columns instead of per-record tuples.
+const protoVersion = 3
 
 // helloMagic opens the worker → coordinator handshake.
 const helloMagic = "SJWK"
@@ -52,6 +54,7 @@ const (
 	msgPlanDone  byte = 8  // coordinator → worker: plan finished, free its state
 	msgTrace     byte = 9  // coordinator → worker: trace context for a plan
 	msgSpans     byte = 10 // worker → coordinator: finished spans of one task
+	msgTaskCols  byte = 11 // coordinator → worker: one reduce partition as columnar slabs
 )
 
 // defaultMaxFrame bounds a single frame; a task carries a whole reduce

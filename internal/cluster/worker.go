@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialjoin/internal/colpipe"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/grid"
 	"spatialjoin/internal/obs"
@@ -71,10 +72,12 @@ type workerPlan struct {
 	parent obs.SpanID
 }
 
-// workerTask is one queued task attempt.
+// workerTask is one queued task attempt: Keyed record buckets for a
+// tuple-form task, or decoded slabs for a columnar one.
 type workerTask struct {
-	h      taskHeader
-	rs, ss []dpe.Keyed
+	h          taskHeader
+	rs, ss     []dpe.Keyed
+	colR, colS *colpipe.Slab
 }
 
 // workerState is everything the read loop and the executors share.
@@ -204,6 +207,16 @@ func RunWorker(ctx context.Context, addr string, opt WorkerOptions) error {
 				// refuse rather than deadlock the read loop.
 				w.sendTaskErr(h, "worker task queue overflow")
 			}
+		case msgTaskCols:
+			h, rs, ss, err := decodeTaskCols(payload)
+			if err != nil {
+				return err
+			}
+			select {
+			case tasks <- workerTask{h: h, colR: rs, colS: ss}:
+			default:
+				w.sendTaskErr(h, "worker task queue overflow")
+			}
 		case msgCancel:
 			m, err := decodeCancel(payload)
 			if err != nil {
@@ -317,7 +330,12 @@ func (w *workerState) runTask(t workerTask) {
 	sp.SetWorker(w.opt.Name).
 		SetInt("partition", int64(t.h.part)).
 		SetInt("attempt", int64(t.h.attempt))
-	out := dpe.JoinPartitionTraced(t.rs, t.ss, plan.eps, plan.kernel, plan.collect, plan.selfFilter, sp)
+	var out dpe.PartitionResult
+	if t.colR != nil {
+		out = dpe.JoinSlabsTraced(t.colR, t.colS, plan.eps, plan.collect, plan.selfFilter, sp)
+	} else {
+		out = dpe.JoinPartitionTraced(t.rs, t.ss, plan.eps, plan.kernel, plan.collect, plan.selfFilter, sp)
+	}
 	if plan.tr != nil {
 		// Ship the finished spans before the result on the same ordered
 		// connection, so the coordinator stitches them while the run is

@@ -247,7 +247,13 @@ func JoinCell(b *Buffers, rs, ss []tuple.Tuple, eps float64, out *Batch) {
 // SweepSorted joins two x-sorted columnar slabs, adding every pair within
 // eps to out. It is the inner kernel of JoinCell and the batch entry
 // point for callers that maintain sorted slabs themselves (the streaming
-// engine's per-cell slabs).
+// engine's per-cell slabs and the columnar pipeline's partition slabs).
+//
+// The ε-window scan separates true hits from candidates: a pair whose
+// coordinate deltas satisfy |dx|+|dy| <= ε is within ε in L2 as well
+// (the L1 ball is inscribed in the L2 ball), so it is emitted without
+// the squared-distance refinement; only the candidates in the annulus
+// between the two balls pay the multiplications.
 func SweepSorted(r, s *Cols, eps float64, out *Batch) {
 	rx, ry, rid := r.Xs, r.Ys, r.IDs
 	sx, sy, sid := s.Xs, s.Ys, s.IDs
@@ -268,8 +274,23 @@ func SweepSorted(r, s *Cols, eps float64, out *Batch) {
 		y := ry[i]
 		hi := x + eps
 		for j := start; j < len(sx) && sx[j] <= hi; j++ {
-			dx := x - sx[j]
 			dy := y - sy[j]
+			if dy < 0 {
+				dy = -dy
+			}
+			if dy > eps {
+				continue
+			}
+			dx := x - sx[j]
+			if dx < 0 {
+				dx = -dx
+			}
+			// True hit: inside the inscribed L1 ball, no refinement needed.
+			if dx+dy <= eps {
+				out.Add(rid[i], sid[j])
+				continue
+			}
+			// Candidate: refine with the exact squared distance.
 			if dx*dx+dy*dy <= eps2 {
 				out.Add(rid[i], sid[j])
 			}
@@ -301,9 +322,19 @@ func Probe(c *Cols, px, py, eps float64, emit func(i int)) {
 	eps2 := eps * eps
 	end := px + eps
 	for i := lo; i < n && c.Xs[i] <= end; i++ {
-		dx := px - c.Xs[i]
 		dy := py - c.Ys[i]
-		if dx*dx+dy*dy <= eps2 {
+		if dy < 0 {
+			dy = -dy
+		}
+		if dy > eps {
+			continue
+		}
+		dx := px - c.Xs[i]
+		if dx < 0 {
+			dx = -dx
+		}
+		// Same true-hit/candidate split as SweepSorted.
+		if dx+dy <= eps || dx*dx+dy*dy <= eps2 {
 			emit(i)
 		}
 	}

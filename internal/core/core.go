@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"spatialjoin/internal/agreements"
+	"spatialjoin/internal/colpipe"
 	"spatialjoin/internal/dpe"
 	"spatialjoin/internal/geom"
 	"spatialjoin/internal/grid"
@@ -191,6 +192,14 @@ func BuildPlan(rs, ss []tuple.Tuple, cfg Config) (*Plan, error) {
 	if cfg.Engine != nil {
 		spec.Broadcast = broadcastBlob(gr, part)
 	}
+	// The adaptive assigns emit cell ids of the 2ε-grid, all within
+	// [0, NumCells) — the contract that turns the map/shuffle into the
+	// columnar slab pipeline. Ranking cells along the Hilbert curve
+	// keeps adjacent slab groups spatially adjacent.
+	if cfg.Kernel == nil {
+		spec.Cells = gr.Grid.NumCells()
+		spec.CellRank = colpipe.HilbertRanks(gr.Grid.NX, gr.Grid.NY)
+	}
 	planSp.End()
 	prep, err := dpe.Prepare(spec)
 	if err != nil {
@@ -311,6 +320,11 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 func edgeCounts(gr *agreements.Graph) (marked, locked int64) {
 	for q := range gr.Subs {
 		s := &gr.Subs[q]
+		// Locks are only ever placed alongside a mark, so an unmarked
+		// subgraph contributes to neither count.
+		if !s.AnyMarked() {
+			continue
+		}
 		marked += int64(s.MarkedEdges())
 		for i := grid.Pos(0); i < grid.NumPos; i++ {
 			for j := grid.Pos(0); j < grid.NumPos; j++ {

@@ -1,0 +1,196 @@
+package dpe
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"spatialjoin/internal/colpipe"
+	"spatialjoin/internal/geom"
+	"spatialjoin/internal/grid"
+	"spatialjoin/internal/tuple"
+)
+
+// columnarWorkloads are the differential inputs: uniform random points,
+// a lattice whose points sit exactly on cell borders (the replication
+// tie cases), and a comb of points exactly ε apart so the inclusive
+// distance boundary is exercised on both the scalar and columnar paths.
+func columnarWorkloads(eps float64) map[string][2][]tuple.Tuple {
+	rng := rand.New(rand.NewSource(41))
+	random := [2][]tuple.Tuple{
+		randomTuples(rng, 2500, 20, 0),
+		randomTuples(rng, 2500, 20, 1_000_000),
+	}
+
+	// grid.New(bounds, eps, 2) cells have side 2ε; put points on every
+	// multiple of ε so half of them lie exactly on cell borders.
+	var latR, latS []tuple.Tuple
+	id := int64(0)
+	for x := 0.0; x <= 20; x += eps {
+		for y := 0.0; y <= 20; y += 2 * eps {
+			latR = append(latR, tuple.Tuple{ID: id, Pt: geom.Point{X: x, Y: y}})
+			latS = append(latS, tuple.Tuple{ID: 1_000_000 + id, Pt: geom.Point{X: x, Y: y + eps}})
+			id++
+		}
+	}
+
+	// Exact ε-border: R at x=k·3ε, S exactly ε to the right — every
+	// pair's distance is exactly eps and must be emitted (inclusive ≤).
+	var combR, combS []tuple.Tuple
+	for i := 0; i < 400; i++ {
+		x := float64(i%20) * 3 * eps
+		y := float64(i/20) * 3 * eps
+		combR = append(combR, tuple.Tuple{ID: int64(i), Pt: geom.Point{X: x, Y: y}})
+		combS = append(combS, tuple.Tuple{ID: 1_000_000 + int64(i), Pt: geom.Point{X: x + eps, Y: y}})
+	}
+
+	return map[string][2][]tuple.Tuple{
+		"random":     random,
+		"lattice":    {latR, latS},
+		"eps-border": {combR, combS},
+	}
+}
+
+// columnarSpec is uniSpec plus the columnar gate: Cells (and optionally
+// CellRank) switch Prepare onto the slab pipeline.
+func columnarSpec(rs, ss []tuple.Tuple, eps float64, workers, nparts int, hilbert bool) (Spec, *grid.Grid) {
+	spec, g := uniSpec(rs, ss, eps, workers, nparts)
+	spec.Cells = g.NumCells()
+	if hilbert {
+		spec.CellRank = colpipe.HilbertRanks(g.NX, g.NY)
+	}
+	return spec, g
+}
+
+// TestColumnarMatchesScalarDifferential runs every workload through the
+// columnar pipeline and the Keyed scalar oracle (dpe.ScalarKernel) and
+// requires byte-identical outcomes: result count, checksum, and the
+// full collected pair set.
+func TestColumnarMatchesScalarDifferential(t *testing.T) {
+	const eps = 0.5
+	for name, w := range columnarWorkloads(eps) {
+		for _, hilbert := range []bool{false, true} {
+			spec, _ := columnarSpec(w[0], w[1], eps, 3, 8, hilbert)
+			spec.Collect = true
+			col, err := Run(spec)
+			if err != nil {
+				t.Fatalf("%s columnar: %v", name, err)
+			}
+
+			oracle := spec
+			oracle.Kernel = ScalarKernel
+			want, err := Run(oracle)
+			if err != nil {
+				t.Fatalf("%s scalar: %v", name, err)
+			}
+
+			if col.Results != want.Results || col.Checksum != want.Checksum {
+				t.Fatalf("%s hilbert=%v: columnar %d/%x, scalar %d/%x",
+					name, hilbert, col.Results, col.Checksum, want.Results, want.Checksum)
+			}
+			sortPairs(col.Pairs)
+			sortPairs(want.Pairs)
+			if !slices.Equal(col.Pairs, want.Pairs) {
+				t.Fatalf("%s hilbert=%v: pair sets diverge (%d vs %d pairs)",
+					name, hilbert, len(col.Pairs), len(want.Pairs))
+			}
+		}
+	}
+}
+
+// cellMembers maps cell id → sorted tuple IDs, the canonical form both
+// representations are reduced to for the per-cell comparison.
+type cellMembers map[int][]int64
+
+func (m cellMembers) add(cell int, id int64) {
+	m[cell] = append(m[cell], id)
+}
+
+func (m cellMembers) sorted() cellMembers {
+	for _, ids := range m {
+		slices.Sort(ids)
+	}
+	return m
+}
+
+// TestColumnarPartitionContents proves the index-permutation shuffle
+// reproduces the scalar path's partitions exactly: for every reduce
+// partition and every cell, the columnar slab group holds the same
+// tuple IDs — native and halo replicas alike — as the Keyed buckets.
+func TestColumnarPartitionContents(t *testing.T) {
+	const eps = 0.5
+	for name, w := range columnarWorkloads(eps) {
+		for _, hilbert := range []bool{false, true} {
+			spec, g := columnarSpec(w[0], w[1], eps, 3, 8, hilbert)
+			prCol, err := Prepare(spec)
+			if err != nil {
+				t.Fatalf("%s columnar prepare: %v", name, err)
+			}
+			if !prCol.Columnar() {
+				t.Fatalf("%s: prepared plan is not columnar", name)
+			}
+
+			oracle := spec
+			oracle.Kernel = ScalarKernel
+			prKey, err := Prepare(oracle)
+			if err != nil {
+				t.Fatalf("%s scalar prepare: %v", name, err)
+			}
+
+			// rank → cell, inverting CellRank (identity when unset).
+			rankCell := make([]int, g.NumCells())
+			for c := 0; c < g.NumCells(); c++ {
+				if spec.CellRank != nil {
+					rankCell[spec.CellRank[c]] = c
+				} else {
+					rankCell[c] = c
+				}
+			}
+
+			if prCol.NumPartitions() != prKey.NumPartitions() {
+				t.Fatalf("%s: %d columnar partitions, %d keyed",
+					name, prCol.NumPartitions(), prKey.NumPartitions())
+			}
+			for p := 0; p < prCol.NumPartitions(); p++ {
+				krs, kss := prKey.Partition(p)
+				crs, css := prCol.ColumnarPartition(p)
+				for side, pair := range [2]struct {
+					keyed []Keyed
+					slab  *colpipe.Slab
+				}{{krs, crs}, {kss, css}} {
+					wantCells := cellMembers{}
+					for _, rec := range pair.keyed {
+						wantCells.add(rec.Cell, rec.T.ID)
+					}
+					gotCells := cellMembers{}
+					for k := 0; k < pair.slab.NumGroups(); k++ {
+						cell := rankCell[pair.slab.Ranks[k]]
+						lo, hi := pair.slab.Group(k)
+						for i := lo; i < hi; i++ {
+							gotCells.add(cell, pair.slab.IDs[i])
+						}
+					}
+					wantCells.sorted()
+					gotCells.sorted()
+					if len(gotCells) != len(wantCells) {
+						t.Fatalf("%s hilbert=%v part %d side %d: %d cells, want %d",
+							name, hilbert, p, side, len(gotCells), len(wantCells))
+					}
+					for cell, want := range wantCells {
+						if !slices.Equal(gotCells[cell], want) {
+							t.Fatalf("%s hilbert=%v part %d side %d cell %d: members %v, want %v",
+								name, hilbert, p, side, cell, gotCells[cell], want)
+						}
+					}
+				}
+			}
+
+			// The modelled shuffle footprint must agree too: replicas are
+			// index ranges, not copies, but the byte model still counts
+			// every keyed record.
+			if a, b := prCol.FootprintBytes(), prKey.FootprintBytes(); a != b {
+				t.Fatalf("%s hilbert=%v: columnar footprint %d bytes, keyed %d", name, hilbert, a, b)
+			}
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialjoin/internal/colpipe"
 	"spatialjoin/internal/colsweep"
 	"spatialjoin/internal/dedup"
 	"spatialjoin/internal/geom"
@@ -185,6 +186,24 @@ type Spec struct {
 	// the span the pipeline's phase spans are parented under.
 	Tracer      *obs.Tracer
 	TraceParent obs.SpanID
+
+	// Cells, when positive, declares that every cell id the point
+	// Assigns produce lies in [0, Cells) — the contract that enables
+	// the columnar pipeline: map workers append straight into SoA
+	// segments, the shuffle counting-sorts them into per-partition
+	// slabs (grouped by cell rank, each group x-sorted once), and the
+	// partition join sweeps slab subranges with zero re-boxing. The
+	// columnar path activates only for point joins on the default
+	// kernel (Kernel nil, no TupleAssign); any explicit kernel —
+	// including ScalarKernel, the differential oracle — keeps the
+	// keyed-record path, whose results the columnar path must match
+	// exactly.
+	Cells int
+	// CellRank optionally maps cell id → slab group rank (any bijection
+	// onto [0, Cells)); nil means identity. Orchestrators pass a
+	// Hilbert- or Morton-curve ranking so adjacent slab groups are
+	// spatially adjacent (see colpipe.HilbertRanks).
+	CellRank []int32
 }
 
 // Engine executes the reduce phase of a Prepared join. The eps in opt is
@@ -329,6 +348,12 @@ type Prepared struct {
 	workers      int
 	partR, partS [][]Keyed
 	build        Metrics // map + shuffle phase metrics
+
+	// Columnar-pipeline state: per-partition slabs replacing the keyed
+	// buckets when the spec qualifies (see Spec.Cells). partR/partS
+	// stay allocated (empty) so partition-count accessors keep working.
+	col        bool
+	colR, colS []colpipe.Slab
 }
 
 // Prepare runs the map and shuffle phases of the pipeline and returns the
@@ -356,6 +381,14 @@ func Prepare(spec Spec) (*Prepared, error) {
 	pr := &Prepared{spec: spec, workers: workers}
 	res := &pr.build
 	nparts := spec.Part.NumPartitions()
+
+	// The columnar pipeline handles point joins on the default kernel;
+	// explicit kernels (the scalar oracle, R-tree and reference-point
+	// baselines) and whole-tuple assignments keep the keyed-record path.
+	if spec.Cells > 0 && spec.Kernel == nil && spec.TupleAssignR == nil && spec.TupleAssignS == nil {
+		prepareColumnar(pr, workers, nparts)
+		return pr, nil
+	}
 
 	// ---- Map phase: flatMapToPair on both inputs, one split per worker.
 	replSp := spec.Tracer.Start(spec.TraceParent, obs.SpanReplicate)
@@ -424,6 +457,149 @@ func Prepare(spec Spec) (*Prepared, error) {
 	return pr, nil
 }
 
+// prepareColumnar is Prepare's columnar pipeline: map workers append
+// replicas straight into SoA segments keyed by cell rank, and the
+// shuffle counting-sorts each partition's segments into a kernel-ready
+// slab (groups ascending by rank, each group x-sorted once). The byte
+// accounting is identical to the keyed path — every appended record
+// carries its KeyedSize — so ShuffledBytes, RemoteBytes and the
+// replication-byte span attributes match the scalar pipeline exactly.
+func prepareColumnar(pr *Prepared, workers, nparts int) {
+	spec := &pr.spec
+	res := &pr.build
+
+	// With every cell id in [0, Cells), partition routing becomes one
+	// table lookup per replica instead of a hash per replica.
+	partTab := make([]int32, spec.Cells)
+	for c := range partTab {
+		partTab[c] = int32(spec.Part.PartitionOf(c))
+	}
+
+	replSp := spec.Tracer.Start(spec.TraceParent, obs.SpanReplicate)
+	start := time.Now()
+	outR, replR, busyR := mapPhaseCol(spec.R, tuple.R, spec.AssignR, partTab, nparts, spec.CellRank, workers, spec.PoolSize)
+	outS, replS, busyS := mapPhaseCol(spec.S, tuple.S, spec.AssignS, partTab, nparts, spec.CellRank, workers, spec.PoolSize)
+	res.ReplicatedR, res.ReplicatedS = replR, replS
+	res.MapTime = time.Since(start)
+	replSp.SetInt("replicated_r", replR).SetInt("replicated_s", replS)
+	replSp.End()
+	res.MapBusy = make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		res.MapBusy[w] = busyR[w] + busyS[w]
+	}
+
+	// ---- Shuffle: counting-sort each partition's per-worker segments
+	// into one slab per side. A record is a remote read when the
+	// partition's owner differs from the worker that produced it; the
+	// slab's per-worker byte counters carry that split.
+	shufSp := spec.Tracer.Start(spec.TraceParent, obs.SpanShuffle)
+	start = time.Now()
+	builder := colpipe.NewBuilder(spec.Cells)
+	pr.colR = make([]colpipe.Slab, nparts)
+	pr.colS = make([]colpipe.Slab, nparts)
+	scratch := make([]colpipe.Seg, workers)
+	var bytesR, bytesS, recsR, recsS int64
+	for p := 0; p < nparts; p++ {
+		owner := p % workers
+		for w := 0; w < workers; w++ {
+			scratch[w] = outR[w][p]
+		}
+		builder.BuildInto(&pr.colR[p], scratch)
+		for w := 0; w < workers; w++ {
+			scratch[w] = outS[w][p]
+		}
+		builder.BuildInto(&pr.colS[p], scratch)
+		bytesR += pr.colR[p].Bytes
+		bytesS += pr.colS[p].Bytes
+		recsR += int64(pr.colR[p].Rows())
+		recsS += int64(pr.colS[p].Rows())
+		for w := 0; w < workers; w++ {
+			if w != owner {
+				res.RemoteBytes += pr.colR[p].WorkerBytes[w] + pr.colS[p].WorkerBytes[w]
+			}
+		}
+	}
+	res.ShuffledBytes = bytesR + bytesS
+	res.ShuffleTime = time.Since(start)
+	shufSp.SetInt("shuffled_bytes", res.ShuffledBytes).SetInt("remote_bytes", res.RemoteBytes)
+	shufSp.End()
+	if recsR > 0 {
+		replSp.SetInt("repl_bytes_r", replR*(bytesR/recsR))
+	}
+	if recsS > 0 {
+		replSp.SetInt("repl_bytes_s", replS*(bytesS/recsS))
+	}
+	if spec.NetBandwidth > 0 {
+		res.NetTime = time.Duration(float64(res.RemoteBytes) / float64(workers) / spec.NetBandwidth * float64(time.Second))
+	}
+
+	pr.col = true
+	// Empty keyed buckets keep NumPartitions and Partition working for
+	// callers that only inspect partition counts.
+	pr.partR = make([][]Keyed, nparts)
+	pr.partS = make([][]Keyed, nparts)
+}
+
+// mapPhaseCol is the columnar map phase: each worker assigns its split's
+// points and appends every replica — rank, coordinates, id, modelled
+// wire bytes — into its own per-partition segment. No Keyed records are
+// built; the halo replicas become ordinary slab rows after the shuffle.
+func mapPhaseCol(in []tuple.Tuple, set tuple.Set, assign Assign, partTab []int32, nparts int, rank []int32, workers, pool int) ([][]colpipe.Seg, int64, []time.Duration) {
+	out := make([][]colpipe.Seg, workers)
+	repl := make([]int64, workers)
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel(workers, pool))
+	chunk := (len(in) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo > len(in) {
+			lo = len(in)
+		}
+		if hi > len(in) {
+			hi = len(in)
+		}
+		out[w] = make([]colpipe.Seg, nparts)
+		wg.Add(1)
+		go func(w int, split []tuple.Tuple) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			var cells []int
+			segs := out[w]
+			// Reserve the native-rows floor per partition up front;
+			// replicas overflow into at most one further doubling.
+			if est := len(split) / nparts; est > 0 {
+				for p := range segs {
+					segs[p].Grow(est)
+				}
+			}
+			for i := range split {
+				t := &split[i]
+				cells = assign(t.Pt, set, cells[:0])
+				repl[w] += int64(len(cells) - 1)
+				sz := t.KeyedSize()
+				for _, c := range cells {
+					rk := int32(c)
+					if rank != nil {
+						rk = rank[c]
+					}
+					segs[partTab[c]].Append(rk, t.Pt.X, t.Pt.Y, t.ID, sz)
+				}
+			}
+			busy[w] = time.Since(t0)
+		}(w, in[lo:hi])
+	}
+	wg.Wait()
+	var total int64
+	for _, r := range repl {
+		total += r
+	}
+	return out, total, busy
+}
+
 // Eps returns the distance threshold the plan was prepared for — the
 // upper bound on the ε any Execute may use.
 func (pr *Prepared) Eps() float64 { return pr.spec.Eps }
@@ -445,6 +621,17 @@ func (pr *Prepared) NumPartitions() int { return len(pr.partR) }
 // Partition returns the R and S shuffle records of one reduce partition.
 // The slices are shared and must not be mutated.
 func (pr *Prepared) Partition(p int) (rs, ss []Keyed) { return pr.partR[p], pr.partS[p] }
+
+// Columnar reports whether the plan's partitions are columnar slabs
+// (see Spec.Cells); when true, Partition returns empty slices and
+// ColumnarPartition holds the data.
+func (pr *Prepared) Columnar() bool { return pr.col }
+
+// ColumnarPartition returns the R and S slabs of one reduce partition
+// of a columnar plan. The slabs are shared and must not be mutated.
+func (pr *Prepared) ColumnarPartition(p int) (rs, ss *colpipe.Slab) {
+	return &pr.colR[p], &pr.colS[p]
+}
 
 // SelfFilter reports whether the plan joins in self-join mode.
 func (pr *Prepared) SelfFilter() bool { return pr.spec.SelfFilter }
@@ -701,6 +888,45 @@ func JoinPartitionTraced(rs, ss []Keyed, eps float64, kernel Kernel, collect, se
 	out := JoinPartition(rs, ss, eps, kernel, collect, selfFilter)
 	sp.SetInt("tuples_r", int64(len(rs)))
 	sp.SetInt("tuples_s", int64(len(ss)))
+	sp.SetInt("pairs", out.Results)
+	sp.SetInt("cost", out.Cost)
+	sp.End()
+	return out
+}
+
+// JoinSlabs joins the matching rank groups of a columnar partition's
+// two slabs — the reduce task of the columnar pipeline. The sweep
+// reads the slab lanes in place: no hash grouping, no sorting, no
+// tuple materialisation, zero allocations per partition in steady
+// state (result collection, when requested, is the only growth).
+func JoinSlabs(rs, ss *colpipe.Slab, eps float64, collect, selfFilter bool) PartitionResult {
+	var out PartitionResult
+	var counter sweep.Counter
+	bufs := colsweep.Get()
+	defer colsweep.Put(bufs)
+	sink := func(ps []tuple.Pair) {
+		for _, p := range ps {
+			counter.EmitPair(p)
+		}
+		if collect {
+			out.Pairs = append(out.Pairs, ps...)
+		}
+	}
+	bat := bufs.Batch(sink, selfFilter)
+	out.Cost = colpipe.JoinSlabs(rs, ss, eps, bat)
+	bat.Flush()
+	out.Results = counter.N
+	out.Checksum = counter.Checksum
+	return out
+}
+
+// JoinSlabsTraced is JoinSlabs plus the span instrumentation of
+// JoinPartitionTraced: row counts, pair count and cost attached to sp,
+// which is then ended. A nil sp adds zero work.
+func JoinSlabsTraced(rs, ss *colpipe.Slab, eps float64, collect, selfFilter bool, sp *obs.Span) PartitionResult {
+	out := JoinSlabs(rs, ss, eps, collect, selfFilter)
+	sp.SetInt("tuples_r", int64(rs.Rows()))
+	sp.SetInt("tuples_s", int64(ss.Rows()))
 	sp.SetInt("pairs", out.Results)
 	sp.SetInt("cost", out.Cost)
 	sp.End()

@@ -59,7 +59,11 @@ func (LocalEngine) ExecutePrepared(ctx context.Context, pr *Prepared, opt ExecOp
 				}
 				ts := tr.Start(execSp.SpanID(), obs.SpanTask)
 				ts.SetWorker(wname).SetInt("partition", int64(p))
-				outs[p] = JoinPartitionTraced(partR[p], partS[p], opt.Eps, spec.Kernel, opt.Collect, spec.SelfFilter, ts)
+				if pr.col {
+					outs[p] = JoinSlabsTraced(&pr.colR[p], &pr.colS[p], opt.Eps, opt.Collect, spec.SelfFilter, ts)
+				} else {
+					outs[p] = JoinPartitionTraced(partR[p], partS[p], opt.Eps, spec.Kernel, opt.Collect, spec.SelfFilter, ts)
+				}
 			}
 			busy[w] = time.Since(t0)
 		}(w)

@@ -52,36 +52,69 @@ func Adaptive(gr *agreements.Graph, p geom.Point, set tuple.Set, dst []int) []in
 	case grid.AreaCorner:
 		// Merged duplicate-prone area of the quartet at this corner:
 		// MeDuPAr for that quartet, then SupAr for the two nearest
-		// neighbouring quartets (Algorithm 2 lines 5-11).
+		// neighbouring quartets (Algorithm 2 lines 5-11). The packed
+		// quartet flags decide how much machinery each quartet needs
+		// before its ~200-byte subgraph is touched at all.
 		gx, gy, pos := g.CornerQuartet(cx, cy, area.Corner)
-		sub := gr.Sub(gx, gy)
-		dst = meDuPAr(sub, g, p, set, pos, dst)
-		// Deviation from the paper's Algorithm 2 pseudocode (documented in
-		// DESIGN.md): a point in the merged duplicate-prone area of q can
-		// simultaneously lie in a supplementary area of ANOTHER triad of
-		// the same quartet (Def. 4.10 admits it: within ε of a side
-		// neighbour whose marked edge excluded partners from this cell,
-		// farther than ε from the third cell, within 2ε of the reference
-		// point). The pseudocode only probes q' and q'', which loses such
-		// pairs; running SupAr on q as well restores them.
-		dst = supAr(sub, g, p, set, pos, dst)
+		t, uniform, marked := gr.Info(gx, gy)
+		switch {
+		case uniform && t != set:
+			// All borders agree on the opposite set: p crosses nowhere.
+		case uniform:
+			// All borders agree on p's set and nothing is marked
+			// (marking needs mixed types): both side-adjacent cells,
+			// plus the diagonal cell when p is within ε of the
+			// reference point.
+			sub := gr.Sub(gx, gy)
+			for _, j := range pos.SideAdjacent() {
+				if sub.Cells[j] != grid.NoCell {
+					dst = append(dst, sub.Cells[j])
+				}
+			}
+			if l := pos.Diagonal(); sub.Cells[l] != grid.NoCell && p.WithinDist(sub.Ref, g.Eps) {
+				dst = append(dst, sub.Cells[l])
+			}
+		default:
+			sub := gr.Sub(gx, gy)
+			dst = meDuPAr(sub, g, p, set, pos, dst)
+			// Deviation from the paper's Algorithm 2 pseudocode (documented in
+			// DESIGN.md): a point in the merged duplicate-prone area of q can
+			// simultaneously lie in a supplementary area of ANOTHER triad of
+			// the same quartet (Def. 4.10 admits it: within ε of a side
+			// neighbour whose marked edge excluded partners from this cell,
+			// farther than ε from the third cell, within 2ε of the reference
+			// point). The pseudocode only probes q' and q'', which loses such
+			// pairs; running SupAr on q as well restores them.
+			if marked {
+				dst = supAr(sub, g, p, set, pos, dst)
+			}
+		}
 		q1x, q1y, pos1, q2x, q2y, pos2 := g.AdjacentCornerQuartets(cx, cy, area.Corner)
-		dst = supAr(gr.Sub(q1x, q1y), g, p, set, pos1, dst)
-		dst = supAr(gr.Sub(q2x, q2y), g, p, set, pos2, dst)
+		if _, _, m := gr.Info(q1x, q1y); m {
+			dst = supAr(gr.Sub(q1x, q1y), g, p, set, pos1, dst)
+		}
+		if _, _, m := gr.Info(q2x, q2y); m {
+			dst = supAr(gr.Sub(q2x, q2y), g, p, set, pos2, dst)
+		}
 
 	default: // grid.AreaStrip
 		// Plain replication area: replicate across the side when the
 		// agreement type matches, then SupAr for the two quartets at the
 		// side's endpoints (Algorithm 2 lines 12-19).
 		q1x, q1y, pos1, q2x, q2y, pos2 := g.StripQuartets(p, cx, cy, area.Side)
-		sub := gr.Sub(q1x, q1y)
-		if j, ok := grid.PosAcross(pos1, area.Side); ok {
+		t1, uniform1, marked1 := gr.Info(q1x, q1y)
+		if j, ok := grid.PosAcross(pos1, area.Side); ok && (!uniform1 || t1 == set) {
+			sub := gr.Sub(q1x, q1y)
 			if sub.Cells[j] != grid.NoCell && sub.Type(pos1, j) == set {
 				dst = append(dst, sub.Cells[j])
 			}
 		}
-		dst = supAr(sub, g, p, set, pos1, dst)
-		dst = supAr(gr.Sub(q2x, q2y), g, p, set, pos2, dst)
+		if marked1 {
+			dst = supAr(gr.Sub(q1x, q1y), g, p, set, pos1, dst)
+		}
+		if _, _, m := gr.Info(q2x, q2y); m {
+			dst = supAr(gr.Sub(q2x, q2y), g, p, set, pos2, dst)
+		}
 	}
 	return dedupeKeepFirst(dst)
 }
@@ -90,6 +123,25 @@ func Adaptive(gr *agreements.Graph, p geom.Point, set tuple.Set, dst []int) []in
 // duplicate-prone area of the quartet sub, where the point's native cell
 // occupies position i.
 func meDuPAr(sub *agreements.Subgraph, g *grid.Grid, p geom.Point, set tuple.Set, i grid.Pos, dst []int) []int {
+	// Fast path for the dominant quartet shape: all six pair types equal
+	// and nothing marked. A point of the opposite set replicates nowhere;
+	// a point of the matching set crosses to every real side-adjacent
+	// cell, and to the diagonal cell exactly when it is within ε of the
+	// reference point (no marked edge can redirect it there).
+	if t, ok := sub.UniformType(); ok && !sub.AnyMarked() {
+		if t != set {
+			return dst
+		}
+		for _, j := range i.SideAdjacent() {
+			if sub.Cells[j] != grid.NoCell {
+				dst = append(dst, sub.Cells[j])
+			}
+		}
+		if l := i.Diagonal(); sub.Cells[l] != grid.NoCell && p.WithinDist(sub.Ref, g.Eps) {
+			dst = append(dst, sub.Cells[l])
+		}
+		return dst
+	}
 	adj := i.SideAdjacent()
 	// Lines 2-4: side-adjacent cells via unmarked same-type edges.
 	for _, j := range adj {
@@ -128,23 +180,34 @@ func meDuPAr(sub *agreements.Subgraph, g *grid.Grid, p geom.Point, set tuple.Set
 // into i's cell travel to a third cell of the quartet, and p — which can
 // form pairs with them — must follow them there.
 func supAr(sub *agreements.Subgraph, g *grid.Grid, p geom.Point, set tuple.Set, i grid.Pos, dst []int) []int {
+	// Line 4's precondition, hoisted: without a marked edge anywhere in
+	// the quartet no supplementary area exists, so the geometry tests
+	// below cannot matter. Algorithm 1 leaves most quartets unmarked,
+	// making this the common exit.
+	if !sub.AnyMarked() {
+		return dst
+	}
+	// Line 3's first clause is independent of the neighbour: p must be
+	// within 2ε of the quartet's reference point for any supplementary
+	// area of the quartet to contain it.
+	if !p.WithinDist(sub.Ref, 2*g.Eps) {
+		return dst
+	}
 	adj := i.SideAdjacent()
 	for n, j := range adj {
 		if sub.Cells[j] == grid.NoCell {
 			continue
 		}
-		// Line 3: p must be near the reference point and near cell j.
-		if !p.WithinDist(sub.Ref, 2*g.Eps) {
-			continue
-		}
-		jx, jy := g.CellCoords(sub.Cells[j])
-		if !g.CellRect(jx, jy).WithinMinDist(p, g.Eps) {
-			continue
-		}
 		// Line 4: the edge from j into i is marked with the opposite type,
 		// so j's duplicate-prone points that p could match were excluded
-		// from i's cell.
+		// from i's cell. Checked before line 3's remaining geometry —
+		// two array reads against a MINDIST computation.
 		if sub.Type(j, i) == set || !sub.Marked(j, i) {
+			continue
+		}
+		// Line 3: p must also be near cell j.
+		jx, jy := g.CellCoords(sub.Cells[j])
+		if !g.CellRect(jx, jy).WithinMinDist(p, g.Eps) {
 			continue
 		}
 		k := adj[1-n]     // the other side-adjacent cell
@@ -184,6 +247,12 @@ func AdaptiveSimple(gr *agreements.Graph, p geom.Point, set tuple.Set, dst []int
 
 	case grid.AreaCorner:
 		gx, gy, pos := g.CornerQuartet(cx, cy, area.Corner)
+		// Uniform quartet of the opposite set: no border agrees with p's
+		// set, so no geometry test can add a cell — decided from the
+		// packed flags without touching the subgraph.
+		if t, uniform, _ := gr.Info(gx, gy); uniform && t != set {
+			return dst
+		}
 		sub := gr.Sub(gx, gy)
 		for _, j := range pos.SideAdjacent() {
 			if sub.Cells[j] == grid.NoCell || sub.Type(pos, j) != set {
@@ -201,6 +270,9 @@ func AdaptiveSimple(gr *agreements.Graph, p geom.Point, set tuple.Set, dst []int
 
 	default: // grid.AreaStrip
 		q1x, q1y, pos1, _, _, _ := g.StripQuartets(p, cx, cy, area.Side)
+		if t, uniform, _ := gr.Info(q1x, q1y); uniform && t != set {
+			return dst
+		}
 		sub := gr.Sub(q1x, q1y)
 		if j, ok := grid.PosAcross(pos1, area.Side); ok {
 			if sub.Cells[j] != grid.NoCell && sub.Type(pos1, j) == set {

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sync"
 	"sync/atomic"
 
 	"spatialjoin/internal/dpe"
@@ -101,6 +102,35 @@ type entry struct {
 	obj *extgeom.Object
 }
 
+// tileScratch is the reusable per-tile working set: the class buckets
+// of both sides plus the R-tree fallback's flattened S side. Tiles run
+// concurrently across partition tasks, so the scratch cycles through a
+// sync.Pool — after warm-up a tile join allocates nothing but the
+// occasional bucket regrowth.
+type tileScratch struct {
+	byClassR, byClassS [numClasses][]entry
+	boxes              []rtree.BoxEntry
+	flatS              []*entry
+	classS             []Class
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(tileScratch) }}
+
+// release drops the scratch's entry references (decoded geometries
+// would otherwise pin arbitrarily large payloads inside the pool) and
+// returns it, capacity intact.
+func (sc *tileScratch) release() {
+	for c := range sc.byClassR {
+		clear(sc.byClassR[c])
+		clear(sc.byClassS[c])
+		sc.byClassR[c] = sc.byClassR[c][:0]
+		sc.byClassS[c] = sc.byClassS[c][:0]
+	}
+	clear(sc.flatS)
+	sc.boxes, sc.flatS, sc.classS = sc.boxes[:0], sc.flatS[:0], sc.classS[:0]
+	scratchPool.Put(sc)
+}
+
 func (k *Kernel) object(e *entry) *extgeom.Object {
 	if e.obj == nil {
 		o, err := extgeom.DecodeObject(e.t.ID, e.t.Payload)
@@ -130,8 +160,11 @@ func (k *Kernel) Join(cell int, rs, ss []tuple.Tuple, eps float64, emit sweep.Em
 	col, row := k.Grid.TileCoords(cell)
 	widen := k.widenR(eps)
 
-	// Materialise replicas, classify tile-locally, and bucket by class.
-	var byClassR, byClassS [numClasses][]entry
+	// Materialise replicas, classify tile-locally, and bucket by class
+	// in pooled scratch.
+	sc := scratchPool.Get().(*tileScratch)
+	defer sc.release()
+	byClassR, byClassS := &sc.byClassR, &sc.byClassS
 	for _, t := range rs {
 		mbr, err := extgeom.DecodeObjectBounds(t.Payload)
 		if err != nil {
@@ -166,9 +199,9 @@ func (k *Kernel) Join(cell int, rs, ss []tuple.Tuple, eps float64, emit sweep.Em
 	}
 	k.Stats.Tiles.Add(1)
 
-	if k.ForceFallback || k.degenerate(byClassR, byClassS) {
+	if k.ForceFallback || k.degenerate(sc) {
 		k.Stats.FallbackTiles.Add(1)
-		k.joinRtree(byClassR[:], byClassS[:], eps, emit)
+		k.joinRtree(sc, eps, emit)
 		return
 	}
 
@@ -185,7 +218,8 @@ func (k *Kernel) Join(cell int, rs, ss []tuple.Tuple, eps float64, emit sweep.Em
 // degenerate applies the fallback heuristic: a populated tile whose
 // entries' x-extents mostly span the tile makes the x-interval sweep
 // quadratic, so the R-tree (which also partitions on y) wins.
-func (k *Kernel) degenerate(byClassR, byClassS [numClasses][]entry) bool {
+func (k *Kernel) degenerate(sc *tileScratch) bool {
+	byClassR, byClassS := &sc.byClassR, &sc.byClassS
 	minEntries := k.FallbackMinEntries
 	if minEntries <= 0 {
 		minEntries = DefaultFallbackMinEntries
@@ -261,30 +295,27 @@ func (k *Kernel) tryPair(r, s *entry, eps float64, emit sweep.Emit) {
 // into a BoxTree, probe with each R MBR, and gate emissions on the same
 // class table. The candidate set (MBR x AND y overlap) is identical to
 // the sweeps', so both paths emit identical result sets.
-func (k *Kernel) joinRtree(byClassR, byClassS [][]entry, eps float64, emit sweep.Emit) {
-	var boxes []rtree.BoxEntry
-	var flatS []*entry
-	var classS []Class
+func (k *Kernel) joinRtree(sc *tileScratch, eps float64, emit sweep.Emit) {
 	for c := ClassA; c < numClasses; c++ {
-		for i := range byClassS[c] {
-			e := &byClassS[c][i]
-			boxes = append(boxes, rtree.BoxEntry{Rect: e.mbr, Ref: int32(len(flatS))})
-			flatS = append(flatS, e)
-			classS = append(classS, c)
+		for i := range sc.byClassS[c] {
+			e := &sc.byClassS[c][i]
+			sc.boxes = append(sc.boxes, rtree.BoxEntry{Rect: e.mbr, Ref: int32(len(sc.flatS))})
+			sc.flatS = append(sc.flatS, e)
+			sc.classS = append(sc.classS, c)
 		}
 	}
-	if len(boxes) == 0 {
+	if len(sc.boxes) == 0 {
 		return
 	}
-	tree := rtree.BuildBoxes(boxes, rtree.DefaultFanout)
+	tree := rtree.BuildBoxes(sc.boxes, rtree.DefaultFanout)
 	for cr := ClassA; cr < numClasses; cr++ {
-		for i := range byClassR[cr] {
-			r := &byClassR[cr][i]
+		for i := range sc.byClassR[cr] {
+			r := &sc.byClassR[cr][i]
 			tree.SearchIntersects(r.mbr, func(be rtree.BoxEntry) {
-				if !comboAllowed(cr, classS[be.Ref]) {
+				if !comboAllowed(cr, sc.classS[be.Ref]) {
 					return
 				}
-				k.tryPair(r, flatS[be.Ref], eps, emit)
+				k.tryPair(r, sc.flatS[be.Ref], eps, emit)
 			})
 		}
 	}

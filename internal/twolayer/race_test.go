@@ -1,0 +1,9 @@
+//go:build race
+
+package twolayer
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count gates skip under it because its instrumentation (and
+// sync.Pool's altered behaviour) makes testing.AllocsPerRun
+// nondeterministic.
+const raceEnabled = true

@@ -433,3 +433,42 @@ func TestTwoLayerResolutionSelection(t *testing.T) {
 			pSmall.Grid.NX, pSmall.Grid.NY, pFat.Grid.NX, pFat.Grid.NY)
 	}
 }
+
+// TestTwoLayerKernelJoinAllocs pins the per-tile allocation behaviour
+// of the kernel: with the pooled tile scratch warm, a tile join whose
+// candidates die in the MBR filter (no lazy geometry decodes) must not
+// allocate at all — the class buckets, the sorts and the sweep all run
+// in reused memory. This is the regression gate for the per-execute
+// churn that used to rebuild every bucket slice per tile.
+func TestTwoLayerKernelJoinAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate runs in the non-race pass")
+	}
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	k := &Kernel{
+		Grid: NewTileGrid(world, 1, 1),
+		Pred: extgeom.WithinDistance,
+		// Keep the heuristic from routing this tile to the R-tree path,
+		// whose bulk load allocates by design.
+		FallbackMinEntries: 1 << 30,
+	}
+	var rs, ss []tuple.Tuple
+	for i := 0; i < 40; i++ {
+		x := float64(i) * 25
+		ro := extgeom.NewPolygon(int64(i), []geom.Point{
+			{X: x, Y: 10}, {X: x + 1, Y: 10}, {X: x + 1, Y: 11}, {X: x, Y: 11},
+		})
+		so := extgeom.NewPolygon(int64(1000+i), []geom.Point{
+			{X: x, Y: 500}, {X: x + 1, Y: 500}, {X: x + 1, Y: 501}, {X: x, Y: 501},
+		})
+		rs = append(rs, tuple.Tuple{ID: ro.ID, Pt: ro.Bounds().Center(), Payload: extgeom.AppendObject(nil, &ro)})
+		ss = append(ss, tuple.Tuple{ID: so.ID, Pt: so.Bounds().Center(), Payload: extgeom.AppendObject(nil, &so)})
+	}
+	emit := func(r, s tuple.Tuple) {}
+	k.Join(0, rs, ss, 0.5, emit) // warm the scratch pool
+	if allocs := testing.AllocsPerRun(100, func() {
+		k.Join(0, rs, ss, 0.5, emit)
+	}); allocs > 0 {
+		t.Errorf("steady-state tile join allocates %.1f objects/op, want 0", allocs)
+	}
+}
