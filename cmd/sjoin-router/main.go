@@ -53,6 +53,7 @@ func main() {
 		fanoutMin = flag.Int("fanout-min-points", 0, "fan a cross-shard join out by grid region when both inputs have at least this many points (0 streams instead)")
 		warmJoins = flag.Int("warm-joins", 4, "recent join shapes replayed to warm a migrated dataset's new owner")
 		maxUpload = flag.Int64("max-upload-bytes", 64<<20, "dataset upload size cap")
+		traceRing = flag.Int("trace-ring", 0, "retained routed-join traces for /v1/joins/{id}/trace (default 64)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	var defQuota fleet.Quota
@@ -95,6 +96,10 @@ func main() {
 		logger.Error("at least one -shards entry is required")
 		os.Exit(2)
 	}
+	if flagWasSet("trace-ring") && *traceRing < 1 {
+		logger.Error("-trace-ring must be at least 1")
+		os.Exit(1)
+	}
 
 	rt := fleet.NewRouter(fleet.Config{
 		VNodes:            *vnodes,
@@ -107,6 +112,7 @@ func main() {
 		FanoutMinPoints:   *fanoutMin,
 		WarmJoins:         *warmJoins,
 		MaxUploadBytes:    *maxUpload,
+		TraceRing:         *traceRing,
 		Log:               logger,
 	}, shardURLs)
 	defer rt.Close()
@@ -136,6 +142,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command
+// line — distinguishing an explicit bad value from the zero default.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // parseShards decodes "id=url,id=url".

@@ -39,6 +39,15 @@
 // a single pass and exits at EOF (for scripts). -bounds declares the
 // data-space MBR the streaming grid covers, and -algo must be lpib or
 // diff. A summary "# ..." line is printed at the end.
+//
+// Watch mode: with -watch URL the command becomes a live terminal
+// dashboard over a daemon's /v1/telemetry endpoints (or a router's
+// /v1/fleet/overview): sparkline charts of the rollup series, the
+// per-tenant SLO table, and recent anomaly events, refreshed every
+// -watch-interval. -watch-count N renders N frames then exits (for
+// scripts); -watch-window sets the rollup window per frame.
+//
+//	sjoin -watch http://localhost:8080 -watch-interval 2s
 package main
 
 import (
@@ -98,9 +107,18 @@ func main() {
 		followPath = flag.String("follow", "", "continuous join: tail this mutation file and print result deltas")
 		followPoll = flag.Duration("follow-poll", 200*time.Millisecond, "poll interval once -follow reaches EOF (0: single pass, exit at EOF)")
 		boundsSpec = flag.String("bounds", "", "data-space MBR as minx,miny,maxx,maxy (required with -follow)")
+
+		watchURL      = flag.String("watch", "", "live telemetry dashboard: poll this sjoind (or sjoin-router) base URL and render sparkline charts")
+		watchInterval = flag.Duration("watch-interval", 2*time.Second, "refresh period for -watch")
+		watchCount    = flag.Int("watch-count", 0, "frames to render before exiting; 0 runs until interrupted (requires -watch)")
+		watchWindow   = flag.String("watch-window", "2m", "rollup window requested per -watch frame")
 	)
 	flag.Parse()
 
+	if *watchURL != "" {
+		watchMain(*watchURL, *watchInterval, *watchCount, *watchWindow)
+		return
+	}
 	if *followPath != "" {
 		followMain(*followPath, *followPoll, *boundsSpec, *eps, *algoName, *gridRes, *tracePath)
 		return

@@ -1,0 +1,226 @@
+// Watch mode: a terminal telemetry dashboard. sjoin polls a daemon's
+// /v1/telemetry endpoints (or, against a router, /v1/fleet/overview)
+// and renders the rollup series as asciichart sparklines alongside the
+// per-tenant SLO table and the recent anomaly events.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"spatialjoin/internal/asciichart"
+	"spatialjoin/internal/fleet"
+	"spatialjoin/internal/telem"
+)
+
+// watchFrame is one refresh worth of telemetry, from either source.
+type watchFrame struct {
+	source string // "daemon" or "fleet"
+	series []telem.SeriesDump
+	slos   []telem.SLOStatus
+	events []string // pre-rendered, newest last
+}
+
+func watchMain(baseURL string, interval time.Duration, count int, window string) {
+	baseURL = strings.TrimRight(baseURL, "/")
+	if interval <= 0 {
+		fail("-watch-interval must be positive")
+	}
+	client := &http.Client{Timeout: interval}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	for frame := 0; count <= 0 || frame < count; frame++ {
+		if frame > 0 {
+			select {
+			case <-sigCh:
+				return
+			case <-time.After(interval):
+			}
+			fmt.Print("\033[2J\033[H") // clear + home between frames
+		}
+		wf, err := fetchFrame(client, baseURL, window)
+		if err != nil {
+			fmt.Printf("sjoin watch: %s: %v\n", baseURL, err)
+			continue
+		}
+		renderFrame(wf, baseURL, window)
+	}
+}
+
+// fetchFrame tries the daemon telemetry surface first and falls back to
+// the router's fleet overview when the daemon endpoints are absent.
+func fetchFrame(client *http.Client, baseURL, window string) (*watchFrame, error) {
+	var series []telem.SeriesDump
+	code, err := getJSON(client, baseURL+"/v1/telemetry/series?window="+window, &series)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusOK {
+		wf := &watchFrame{source: "daemon", series: series}
+		if _, err := getJSON(client, baseURL+"/v1/telemetry/slo", &wf.slos); err != nil {
+			return nil, err
+		}
+		var evs []telem.Event
+		if _, err := getJSON(client, baseURL+"/v1/telemetry/events?limit=5", &evs); err != nil {
+			return nil, err
+		}
+		for _, ev := range evs {
+			wf.events = append(wf.events, renderEvent("", ev))
+		}
+		return wf, nil
+	}
+	var ov fleet.OverviewResponse
+	code, err = getJSON(client, baseURL+"/v1/fleet/overview?window="+window, &ov)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("no telemetry surface (series: 404, overview: %d)", code)
+	}
+	wf := &watchFrame{source: "fleet", series: ov.Series, slos: ov.SLOs}
+	evs := ov.Events
+	if len(evs) > 5 {
+		evs = evs[len(evs)-5:]
+	}
+	for _, ev := range evs {
+		wf.events = append(wf.events, renderEvent(ev.Shard, ev.Event))
+	}
+	return wf, nil
+}
+
+func renderFrame(wf *watchFrame, baseURL, window string) {
+	fmt.Printf("sjoin watch  %s  (%s telemetry, window %s, %s)\n\n",
+		baseURL, wf.source, window, time.Now().Format("15:04:05"))
+
+	// One chart per series name at the finest resolution; each key
+	// (tenant or join shape) is a line.
+	byName := map[string][]telem.SeriesDump{}
+	var names []string
+	for _, d := range wf.series {
+		if d.Res != "1s" {
+			continue
+		}
+		if _, ok := byName[d.Name]; !ok {
+			names = append(names, d.Name)
+		}
+		byName[d.Name] = append(byName[d.Name], d)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		chart := renderSeriesChart(name, byName[name])
+		if chart != "" {
+			fmt.Println(chart)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Println("  (no series yet — run a join)")
+	}
+
+	if len(wf.slos) > 0 {
+		fmt.Println("tenant SLOs:")
+		for _, st := range wf.slos {
+			tenant := st.Tenant
+			if tenant == "" {
+				tenant = "(anonymous)"
+			}
+			fmt.Printf("  %-16s total %-6d err %-4d p50 %7.2fms  p99 %7.2fms  burn %.2fx\n",
+				tenant, st.Total, st.Errors, st.P50Millis, st.P99Millis, st.BurnRate)
+		}
+		fmt.Println()
+	}
+	if len(wf.events) > 0 {
+		fmt.Println("recent events:")
+		for _, line := range wf.events {
+			fmt.Println("  " + line)
+		}
+	}
+}
+
+// renderSeriesChart turns one series name's dumps into a labelled
+// sparkline chart over the union of bucket timestamps.
+func renderSeriesChart(name string, dumps []telem.SeriesDump) string {
+	startSet := map[int64]bool{}
+	for _, d := range dumps {
+		for _, b := range d.Buckets {
+			startSet[b.Start] = true
+		}
+	}
+	if len(startSet) == 0 {
+		return ""
+	}
+	starts := make([]int64, 0, len(startSet))
+	for s := range startSet {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	xlabels := make([]string, len(starts))
+	slot := map[int64]int{}
+	for i, s := range starts {
+		slot[s] = i
+		xlabels[i] = time.Unix(s, 0).Format("15:04:05")
+	}
+	var series []asciichart.Series
+	for _, d := range dumps {
+		vals := make([]float64, len(starts))
+		for i := range vals {
+			vals[i] = naNStandIn
+		}
+		for _, b := range d.Buckets {
+			vals[slot[b.Start]] = b.Mean()
+		}
+		// asciichart skips NaN-ish gaps only by shorter slices; fill
+		// gaps by carrying the previous mean so the line stays readable.
+		last := 0.0
+		for i, v := range vals {
+			if v == naNStandIn {
+				vals[i] = last
+			} else {
+				last = v
+			}
+		}
+		label := d.Key
+		if label == "" {
+			label = name
+		}
+		series = append(series, asciichart.Series{Name: label, Values: vals})
+	}
+	return asciichart.Render(name+" (1s mean)", xlabels, series, asciichart.Options{Width: 60, Height: 8})
+}
+
+// naNStandIn marks "no bucket at this timestamp" while filling chart
+// slots; real means are folded from observations and never equal it.
+const naNStandIn = -1.0e308
+
+func renderEvent(shard string, ev telem.Event) string {
+	at := time.UnixMilli(ev.UnixMS).Format("15:04:05")
+	origin := ""
+	if shard != "" {
+		origin = shard + " "
+	}
+	return fmt.Sprintf("%s %s%-18s %s", at, origin, ev.Kind, ev.Message)
+}
+
+// getJSON GETs url and decodes the body on 200; non-200 returns the
+// status with a nil error so callers can fall back.
+func getJSON(client *http.Client, url string, out any) (int, error) {
+	res, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, res.Body)
+		return res.StatusCode, nil
+	}
+	return res.StatusCode, json.NewDecoder(res.Body).Decode(out)
+}

@@ -7,6 +7,8 @@
 //	       [-plan-cache N] [-timeout 30s] [-pprof :6060]
 //	       [-data-dir DIR] [-fsync] [-checkpoint-every 30s]
 //	       [-cluster-listen :7077] [-cluster-workers N] [-log-level info]
+//	       [-trace-ring N] [-telem-sample 1s] [-telem-flush 2s]
+//	       [-straggler-threshold 4] [-slo-objective 0.995]
 //
 // With -data-dir the daemon is durable: datasets, streams, and skew
 // history are logged to an append-only record log (plus columnar
@@ -37,6 +39,9 @@
 //	GET    /v1/stream/subscribe?name=N   chunked NDJSON result deltas
 //	POST   /v1/admin/checkpoint          write a durable checkpoint now
 //	GET    /v1/planner/history           persisted per-(R,S,eps) skew reports
+//	GET    /v1/telemetry/series          multi-resolution rollup series
+//	GET    /v1/telemetry/slo             per-tenant SLO status (p50/p99, burn)
+//	GET    /v1/telemetry/events          bounded anomaly event log
 //	GET    /healthz                      200 ok / 503 draining
 //	GET    /metrics                      Prometheus text format
 //	GET    /debug/vars                   JSON metrics mirror
@@ -89,6 +94,12 @@ func main() {
 		clusterWorkers = flag.Int("cluster-workers", 0, "workers to wait for before serving (requires -cluster-listen)")
 		clusterWait    = flag.Duration("cluster-wait", time.Minute, "how long to wait for -cluster-workers connections")
 		logLevel       = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+
+		traceRing    = flag.Int("trace-ring", 0, "retained join traces for /v1/joins/{id}/trace (default 64)")
+		telemSample  = flag.Duration("telem-sample", time.Second, "service gauge sampling interval for /v1/telemetry/series; 0 disables the sampler")
+		telemFlush   = flag.Duration("telem-flush", 0, "telemetry snapshot flush interval (default 2s; requires -data-dir)")
+		stragglerThr = flag.Float64("straggler-threshold", 0, "straggler ratio that raises a straggler_spike event (default 4)")
+		sloObjective = flag.Float64("slo-objective", 0, "per-tenant join success objective for burn-rate math (default 0.995)")
 	)
 	var tenantQuota fleet.Quota
 	flag.Func("tenant-quota", "default per-tenant join budget as RATE:BURST (e.g. 5:10); empty disables tenant admission", func(s string) error {
@@ -122,21 +133,30 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &level}))
 
 	cfg := service.Config{
-		MaxConcurrent:   *maxConc,
-		MaxQueue:        *maxQueue,
-		PlanCacheSize:   *planCache,
-		DefaultTimeout:  *timeout,
-		DataDir:         *dataDir,
-		Fsync:           *fsync,
-		CheckpointEvery: *ckptEvery,
-		TenantQuota:     tenantQuota,
-		TenantOverrides: tenantOverrides,
+		MaxConcurrent:      *maxConc,
+		MaxQueue:           *maxQueue,
+		PlanCacheSize:      *planCache,
+		DefaultTimeout:     *timeout,
+		DataDir:            *dataDir,
+		Fsync:              *fsync,
+		CheckpointEvery:    *ckptEvery,
+		TenantQuota:        tenantQuota,
+		TenantOverrides:    tenantOverrides,
+		TraceRing:          *traceRing,
+		TelemSampleEvery:   *telemSample,
+		TelemFlushEvery:    *telemFlush,
+		StragglerThreshold: *stragglerThr,
+		SLOObjective:       *sloObjective,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
 	}
 	if (*fsync || *ckptEvery > 0) && *dataDir == "" {
 		logger.Error("-fsync and -checkpoint-every require -data-dir")
+		os.Exit(1)
+	}
+	if flagWasSet("trace-ring") && *traceRing < 1 {
+		logger.Error("-trace-ring must be at least 1")
 		os.Exit(1)
 	}
 	if *clusterWorkers > 0 && *clusterListen == "" {
@@ -227,4 +247,16 @@ func main() {
 		logger.Error("closing durable store failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command
+// line — distinguishing an explicit bad value from the zero default.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

@@ -115,8 +115,11 @@ func TestFleetEndToEnd(t *testing.T) {
 	shardCmds := map[string]*exec.Cmd{}
 	for i := 1; i <= 3; i++ {
 		id := fmt.Sprintf("s%d", i)
+		// Straggler threshold 1: any join raises a straggler_spike event,
+		// so the observability subtest sees a deterministic anomaly.
 		u, cmd := startProc(t, bins["sjoind"], "sjoind listening on ",
-			filepath.Join(logDir, id+".log"), "-addr", "127.0.0.1:0")
+			filepath.Join(logDir, id+".log"), "-addr", "127.0.0.1:0",
+			"-straggler-threshold", "1", "-telem-sample", "250ms")
 		shardURLs[id] = u
 		shardCmds[id] = cmd
 		defer cmd.Process.Kill()
@@ -180,6 +183,95 @@ func TestFleetEndToEnd(t *testing.T) {
 		}
 		if code, m, _ := fleetPost(t, routerURL+"/v1/join", "", join); code != http.StatusOK {
 			t.Fatalf("anonymous join during noisy throttle: status %d, %v", code, m)
+		}
+	})
+
+	// The fleet overview aggregates every shard's telemetry: per-shard
+	// series, merged fleet-wide series, SLO rows with interpolated
+	// percentiles, and the straggler anomalies the threshold-1 shards
+	// raised. Runs before the destructive subtests so all 3 shards are
+	// still standing.
+	t.Run("Observability", func(t *testing.T) {
+		resp, err := http.Get(routerURL + "/v1/fleet/overview")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("overview: status %d: %s", resp.StatusCode, raw)
+		}
+		if out := os.Getenv("FLEET_OVERVIEW_OUT"); out != "" {
+			if err := os.WriteFile(out, raw, 0o644); err != nil {
+				t.Errorf("writing FLEET_OVERVIEW_OUT: %v", err)
+			}
+		}
+		var ov struct {
+			Shards []struct {
+				ID     string           `json:"id"`
+				Alive  bool             `json:"alive"`
+				Err    string           `json:"error"`
+				Series []map[string]any `json:"series"`
+			} `json:"shards"`
+			Series []struct {
+				Name string `json:"name"`
+				Res  string `json:"res"`
+			} `json:"series"`
+			SLOs []struct {
+				Tenant    string  `json:"tenant"`
+				Total     int64   `json:"total"`
+				P99Millis float64 `json:"p99_ms"`
+				BurnRate  float64 `json:"burn_rate"`
+			} `json:"slos"`
+			Events []struct {
+				Shard string `json:"shard"`
+				Kind  string `json:"kind"`
+			} `json:"events"`
+		}
+		if err := json.Unmarshal(raw, &ov); err != nil {
+			t.Fatalf("decoding overview: %v", err)
+		}
+		if len(ov.Shards) != 3 {
+			t.Fatalf("overview shards = %d, want 3", len(ov.Shards))
+		}
+		withSeries := 0
+		for _, sh := range ov.Shards {
+			if !sh.Alive || sh.Err != "" {
+				t.Errorf("shard %s: alive=%v err=%q", sh.ID, sh.Alive, sh.Err)
+			}
+			if len(sh.Series) > 0 {
+				withSeries++
+			}
+		}
+		if withSeries == 0 {
+			t.Fatal("no shard reported any telemetry series")
+		}
+		aggNames := map[string]bool{}
+		for _, s := range ov.Series {
+			aggNames[s.Name] = true
+		}
+		for _, want := range []string{"join_latency_seconds", "straggler_ratio"} {
+			if !aggNames[want] {
+				t.Errorf("aggregated series missing %q (have %v)", want, aggNames)
+			}
+		}
+		sloOK := false
+		for _, st := range ov.SLOs {
+			if st.Total > 0 && st.P99Millis > 0 && st.BurnRate >= 0 {
+				sloOK = true
+			}
+		}
+		if !sloOK {
+			t.Fatalf("no usable SLO row in overview: %+v", ov.SLOs)
+		}
+		spikes := 0
+		for _, ev := range ov.Events {
+			if ev.Kind == "straggler_spike" {
+				spikes++
+			}
+		}
+		if spikes == 0 {
+			t.Fatalf("no straggler_spike anomaly in overview events: %+v", ov.Events)
 		}
 	})
 

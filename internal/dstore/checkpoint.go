@@ -35,10 +35,12 @@ type ckptManifest struct {
 	RegistrySeq uint64        `json:"registry_seq"`
 	StreamsSeq  uint64        `json:"streams_seq"`
 	SkewSeq     uint64        `json:"skew_seq"`
+	TelemSeq    uint64        `json:"telem_seq,omitempty"`
 	LastSeq     uint64        `json:"last_seq"`
 	Datasets    []ckptDataset `json:"datasets"`
 	Streams     []ckptStream  `json:"streams"`
 	Skew        []SkewSample  `json:"skew,omitempty"`
+	Telem       []byte        `json:"telem,omitempty"` // opaque telemetry snapshot (base64 via JSON)
 }
 
 type ckptDataset struct {

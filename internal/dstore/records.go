@@ -21,6 +21,7 @@ const (
 	recStreamDelete  byte = 5 // stream engine dropped
 	recStreamBatch   byte = 6 // one acked batch of stream mutations
 	recSkew          byte = 7 // an observed per-(R,S,eps) skew report
+	recTelem         byte = 8 // latest-wins telemetry rollup snapshot (opaque)
 )
 
 var errShortRecord = errors.New("dstore: truncated record payload")
@@ -364,4 +365,21 @@ func decodeSkew(p []byte) (SkewSample, error) {
 		}
 	}
 	return s, c.done()
+}
+
+// --- recTelem ---
+
+// The telemetry snapshot is an opaque blob owned by the service layer
+// (internal/telem's JSON form); dstore only frames it. Records are
+// latest-wins: replay keeps the highest-sequence blob.
+
+func encodeTelem(b []byte, blob []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(blob)))
+	return append(b, blob...)
+}
+
+func decodeTelem(p []byte) ([]byte, error) {
+	c := cursor{b: p}
+	blob := append([]byte(nil), c.bytes(int(c.u32()))...)
+	return blob, c.done()
 }

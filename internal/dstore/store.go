@@ -76,6 +76,9 @@ type Store struct {
 	skewKeys []string
 	skewSeq  uint64
 
+	telemBlob []byte // latest telemetry snapshot (opaque to dstore)
+	telemSeq  uint64
+
 	ckptMu sync.Mutex // serializes WriteCheckpoint
 }
 
@@ -109,6 +112,7 @@ type Recovery struct {
 	Datasets        []RecoveredDataset
 	Streams         []RecoveredStream
 	Skew            []SkewSample
+	TelemSnapshot   []byte // latest telemetry rollup snapshot (nil = none)
 	CheckpointSeq   uint64 // log position of the checkpoint used (0 = none)
 	ReplayedRecords int64  // records replayed from the log tail
 	LastSeq         uint64 // log position after recovery
@@ -236,13 +240,17 @@ func (s *Store) recover() (*Recovery, error) {
 		s.addSkewLocked(sample)
 	}
 	s.skewSeq = m.SkewSeq
+	if len(m.Telem) > 0 {
+		s.telemBlob = m.Telem
+	}
+	s.telemSeq = m.TelemSeq
 	nextRev := m.NextRev
 
 	// Replay the log tail. Per-class cursors decide what is already
 	// reflected in the checkpoint; replay starts at the lowest cursor
 	// and skips covered records per class.
-	regSeq, strSeq, skewSeq := m.RegistrySeq, m.StreamsSeq, m.SkewSeq
-	from := minCursor(regSeq, strSeq, skewSeq, streams) + 1
+	regSeq, strSeq, skewSeq, telemSeq := m.RegistrySeq, m.StreamsSeq, m.SkewSeq, m.TelemSeq
+	from := minCursor(regSeq, strSeq, skewSeq, telemSeq, streams) + 1
 	var replayed int64
 	putFiles := make(map[string]bool) // files referenced by replayed puts
 	replayErr := s.log.Replay(from, func(seq uint64, typ byte, payload []byte) error {
@@ -332,6 +340,20 @@ func (s *Store) recover() (*Recovery, error) {
 			}
 			s.addSkewLocked(sample)
 			s.skewSeq = seq
+		case recTelem:
+			if seq <= telemSeq {
+				return nil
+			}
+			blob, err := decodeTelem(payload)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", seq, err)
+			}
+			s.telemBlob = blob
+			s.telemSeq = seq
+			// Telemetry snapshots are continuous latest-wins housekeeping,
+			// not part of the mutation tail the replayed-records gauge
+			// bounds; counting them would drown the signal.
+			return nil
 		default:
 			s.opts.Logf("dstore: skipping record seq %d of unknown type %d", seq, typ)
 			return nil
@@ -349,6 +371,7 @@ func (s *Store) recover() (*Recovery, error) {
 		ReplayedRecords: replayed,
 		LastSeq:         s.log.LastSeq(),
 		Skew:            s.skewHistoryLocked(),
+		TelemSnapshot:   s.telemBlob,
 	}
 	for name, d := range datasets {
 		rec.Datasets = append(rec.Datasets, RecoveredDataset{Name: name, Rev: d.rev, Gen: d.gen, Tuples: d.tuples})
@@ -370,7 +393,7 @@ func (s *Store) recover() (*Recovery, error) {
 // classes. A zero cursor means no record of that class existed at
 // snapshot time (later ones necessarily sit above every other cursor),
 // so it imposes no bound.
-func minCursor(regSeq, strSeq, skewSeq uint64, streams map[string]*strState) uint64 {
+func minCursor(regSeq, strSeq, skewSeq, telemSeq uint64, streams map[string]*strState) uint64 {
 	lo := ^uint64(0)
 	take := func(c uint64) {
 		if c > 0 && c < lo {
@@ -380,6 +403,7 @@ func minCursor(regSeq, strSeq, skewSeq uint64, streams map[string]*strState) uin
 	take(regSeq)
 	take(strSeq)
 	take(skewSeq)
+	take(telemSeq)
 	for _, st := range streams {
 		take(st.coveredSeq)
 	}
@@ -601,6 +625,30 @@ func (s *Store) AppendSkew(r, sname string, eps float64, report any) error {
 	return nil
 }
 
+// AppendTelemSnapshot durably records the latest telemetry rollup
+// snapshot. The blob is opaque to dstore and latest-wins: recovery
+// keeps only the highest-sequence snapshot, and checkpoints fold it
+// into the manifest so the covering log prefix can truncate.
+func (s *Store) AppendTelemSnapshot(blob []byte) error {
+	payload := encodeTelem(nil, blob)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq, err := s.log.Append(recTelem, payload)
+	if err != nil {
+		return err
+	}
+	s.telemBlob = append([]byte(nil), blob...)
+	s.telemSeq = seq
+	return nil
+}
+
+// TelemSnapshot returns the latest telemetry snapshot (nil = none).
+func (s *Store) TelemSnapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.telemBlob
+}
+
 func skewKey(r, s string, eps float64) string {
 	return fmt.Sprintf("%s\xff%s\xff%g", r, s, eps)
 }
@@ -648,6 +696,8 @@ func (s *Store) WriteCheckpoint(st CheckpointState) (uint64, error) {
 	s.mu.Lock()
 	skew := s.skewHistoryLocked()
 	skewSeq := s.skewSeq
+	telemBlob := s.telemBlob
+	telemSeq := s.telemSeq
 	files := make(map[string]dsFile, len(s.files))
 	for k, v := range s.files {
 		files[k] = v
@@ -665,6 +715,8 @@ func (s *Store) WriteCheckpoint(st CheckpointState) (uint64, error) {
 		StreamsSeq:  st.StreamsSeq,
 		SkewSeq:     skewSeq,
 		Skew:        skew,
+		TelemSeq:    telemSeq,
+		Telem:       telemBlob,
 	}
 	replaced := make(map[string]string) // dataset -> captured path the rewrite replaced
 	for _, d := range st.Datasets {
@@ -696,6 +748,7 @@ func (s *Store) WriteCheckpoint(st CheckpointState) (uint64, error) {
 	takeCover(st.RegistrySeq)
 	takeCover(st.StreamsSeq)
 	takeCover(skewSeq)
+	takeCover(telemSeq)
 	for _, cs := range st.Streams {
 		m.Streams = append(m.Streams, ckptStream{Spec: cs.Spec, CoveredSeq: cs.CoveredSeq})
 		blobs = append(blobs, cs.Blob)

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"spatialjoin/internal/telem"
 )
 
 // Metrics is the router's metric set, rendered in the Prometheus text
@@ -145,4 +147,5 @@ func (m *Metrics) Render(w io.Writer) {
 	for _, l := range out {
 		io.WriteString(w, l)
 	}
+	telem.RenderRuntime(w)
 }

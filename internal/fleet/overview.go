@@ -1,0 +1,161 @@
+// Fleet observability: GET /v1/fleet/overview fans out to every live
+// shard's telemetry endpoints and returns the per-shard views alongside
+// fleet-wide aggregates — merged rollup series, cross-shard SLOs
+// re-interpolated from the summed latency histograms, and a time-sorted
+// union of recent anomaly events.
+
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"spatialjoin/internal/telem"
+)
+
+// parseWindowDuration validates a ?window= value before it is fanned
+// out to the shards.
+func parseWindowDuration(win string) (time.Duration, error) {
+	d, err := time.ParseDuration(win)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("fleet: bad window %q (want a positive duration like 5m)", win)
+	}
+	return d, nil
+}
+
+// overviewEventCap bounds the aggregated event list in an overview
+// response; each shard already bounds its own log.
+const overviewEventCap = 256
+
+// ShardTelemetry is one shard's slice of the fleet overview. Err is set
+// (and the data fields empty) when the shard was alive in the ring but
+// its telemetry fetch failed.
+type ShardTelemetry struct {
+	ID     string             `json:"id"`
+	URL    string             `json:"url"`
+	Alive  bool               `json:"alive"`
+	Err    string             `json:"error,omitempty"`
+	Series []telem.SeriesDump `json:"series,omitempty"`
+	SLOs   []telem.SLOStatus  `json:"slos,omitempty"`
+	Events []telem.Event      `json:"events,omitempty"`
+}
+
+// OverviewResponse is the payload of GET /v1/fleet/overview.
+type OverviewResponse struct {
+	Shards []ShardTelemetry `json:"shards"`
+	// Series is the fleet-wide merge of every shard's rollup series:
+	// same (name, key, res) buckets summed across shards.
+	Series []telem.SeriesDump `json:"series"`
+	// SLOs re-interpolates per-tenant latency percentiles from the
+	// summed cross-shard histograms.
+	SLOs []telem.SLOStatus `json:"slos"`
+	// Events unions the shards' anomaly logs, oldest first, each tagged
+	// with its origin shard in Series ("shard/series").
+	Events []OverviewEvent `json:"events"`
+}
+
+// OverviewEvent is a shard anomaly event tagged with its origin.
+type OverviewEvent struct {
+	Shard string `json:"shard"`
+	telem.Event
+}
+
+// Overview collects telemetry from every shard. Fetches run in
+// parallel; a dead or failing shard contributes an error row instead of
+// failing the whole view.
+func (rt *Router) Overview(ctx context.Context, window string) OverviewResponse {
+	rt.catMu.Lock()
+	shards := make([]*shard, 0, len(rt.shards))
+	for _, sh := range rt.shards {
+		shards = append(shards, sh)
+	}
+	rt.catMu.Unlock()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].id < shards[j].id })
+
+	rows := make([]ShardTelemetry, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		rows[i] = ShardTelemetry{ID: sh.id, URL: sh.url, Alive: sh.alive.Load()}
+		if !rows[i].Alive {
+			continue
+		}
+		wg.Add(1)
+		go func(row *ShardTelemetry, sh *shard) {
+			defer wg.Done()
+			seriesPath := "/v1/telemetry/series"
+			if window != "" {
+				seriesPath += "?window=" + window
+			}
+			if err := rt.shardGetJSON(ctx, sh, seriesPath, &row.Series); err != nil {
+				row.Err = err.Error()
+				return
+			}
+			if err := rt.shardGetJSON(ctx, sh, "/v1/telemetry/slo", &row.SLOs); err != nil {
+				row.Err = err.Error()
+				return
+			}
+			if err := rt.shardGetJSON(ctx, sh, "/v1/telemetry/events", &row.Events); err != nil {
+				row.Err = err.Error()
+			}
+		}(&rows[i], sh)
+	}
+	wg.Wait()
+
+	resp := OverviewResponse{Shards: rows}
+	var groups [][]telem.SeriesDump
+	var sloGroups [][]telem.SLOStatus
+	for _, row := range rows {
+		if row.Err != "" || !row.Alive {
+			continue
+		}
+		groups = append(groups, row.Series)
+		sloGroups = append(sloGroups, row.SLOs)
+		for _, ev := range row.Events {
+			resp.Events = append(resp.Events, OverviewEvent{Shard: row.ID, Event: ev})
+		}
+	}
+	resp.Series = telem.MergeSeries(groups...)
+	resp.SLOs = telem.MergeSLO(sloGroups...)
+	sort.SliceStable(resp.Events, func(i, j int) bool { return resp.Events[i].UnixMS < resp.Events[j].UnixMS })
+	if len(resp.Events) > overviewEventCap {
+		resp.Events = resp.Events[len(resp.Events)-overviewEventCap:]
+	}
+	if resp.Series == nil {
+		resp.Series = []telem.SeriesDump{}
+	}
+	if resp.SLOs == nil {
+		resp.SLOs = []telem.SLOStatus{}
+	}
+	if resp.Events == nil {
+		resp.Events = []OverviewEvent{}
+	}
+	return resp
+}
+
+// shardGetJSON GETs path on sh and decodes the JSON body into out.
+func (rt *Router) shardGetJSON(ctx context.Context, sh *shard, path string, out any) error {
+	body, _, err := rt.shardGet(ctx, sh, path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("fleet: shard %s: decoding %s: %w", sh.id, path, err)
+	}
+	return nil
+}
+
+// handleOverview serves GET /v1/fleet/overview; ?window= (a duration,
+// e.g. 5m) is forwarded to each shard's series fetch.
+func (rt *Router) handleOverview(w http.ResponseWriter, r *http.Request) (int, error) {
+	if win := r.URL.Query().Get("window"); win != "" {
+		if _, err := parseWindowDuration(win); err != nil {
+			return http.StatusBadRequest, err
+		}
+	}
+	return writeJSON(w, http.StatusOK, rt.Overview(r.Context(), r.URL.Query().Get("window"))), nil
+}

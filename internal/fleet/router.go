@@ -49,6 +49,9 @@ type Config struct {
 	WarmJoins int
 	// MaxUploadBytes bounds dataset upload bodies; default 64 MiB.
 	MaxUploadBytes int64
+	// TraceRing bounds how many routed-join traces the router retains
+	// for GET /v1/joins/{id}/trace; default 64.
+	TraceRing int
 	// Client is the HTTP client for shard calls; a 30s-timeout default
 	// is used when nil.
 	Client *http.Client
@@ -77,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 64 << 20
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = routerTraceRing
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
@@ -536,6 +542,7 @@ func (rt *Router) Owners(tenant, name string) []string {
 //	POST   /v1/join/count             count-only fast path
 //	GET    /v1/joins/{id}/trace       router-stitched span tree
 //	GET    /v1/fleet/ring             shard + placement state
+//	GET    /v1/fleet/overview         per-shard + aggregated telemetry
 //	POST   /v1/fleet/shards           {"id":..,"url":..} join a shard
 //	DELETE /v1/fleet/shards/{id}      graceful shard leave
 //	GET    /healthz                   200 while >= 1 shard lives
@@ -555,6 +562,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/fleet/ring", rt.instrument("ring", func(w http.ResponseWriter, r *http.Request) (int, error) {
 		return writeJSON(w, http.StatusOK, rt.Info()), nil
 	}))
+	mux.HandleFunc("GET /v1/fleet/overview", rt.instrument("overview", rt.handleOverview))
 	mux.HandleFunc("POST /v1/fleet/shards", rt.instrument("shard_join", rt.handleAddShard))
 	mux.HandleFunc("DELETE /v1/fleet/shards/{id}", rt.instrument("shard_leave", rt.handleRemoveShard))
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)

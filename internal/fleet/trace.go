@@ -9,8 +9,8 @@ import (
 	"spatialjoin/internal/obs"
 )
 
-// routerTraceRing bounds how many routed-join traces the router retains
-// for GET /v1/joins/{id}/trace.
+// routerTraceRing is the default Config.TraceRing: how many routed-join
+// traces the router retains for GET /v1/joins/{id}/trace.
 const routerTraceRing = 64
 
 // routerTrace is one retained routed join: the router's own fleet spans
@@ -32,7 +32,7 @@ func (rt *Router) recordTrace(mode string, tr *obs.Tracer, legs []joinLeg) int64
 	id := rt.nextJoinID
 	rt.traces[id] = &routerTrace{id: id, mode: mode, tracer: tr, legs: legs}
 	rt.traceOrder = append(rt.traceOrder, id)
-	if len(rt.traceOrder) > routerTraceRing {
+	if len(rt.traceOrder) > rt.cfg.TraceRing {
 		delete(rt.traces, rt.traceOrder[0])
 		rt.traceOrder = rt.traceOrder[1:]
 	}

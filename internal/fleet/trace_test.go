@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"testing"
+
+	"spatialjoin/internal/obs"
+)
+
+// leg builds a shard-side span forest whose ids deliberately overlap
+// with every other leg's (1, 2, 3, ...), as real shards mint them
+// independently.
+func testLegTree(worker string) []*obs.Node {
+	return []*obs.Node{
+		{ID: 1, Name: "join", Children: []*obs.Node{
+			{ID: 2, Parent: 1, Name: "build", Worker: worker},
+			{ID: 3, Parent: 1, Name: "probe"},
+		}},
+	}
+}
+
+// TestRebaseThreeLegIDCollisionSafety grafts three shard trees with
+// identical span ids under one router tree and checks the per-leg
+// rebase keeps every id unique and every parent edge intact.
+func TestRebaseThreeLegIDCollisionSafety(t *testing.T) {
+	tr := obs.New()
+	root := tr.Start(0, "fleet.join")
+	var proxies []uint64
+	legs := []string{"s1", "s2", "s3"}
+	for range legs {
+		sp := tr.Start(root.SpanID(), "fleet.proxy")
+		proxies = append(proxies, uint64(sp.SpanID()))
+		sp.End()
+	}
+	root.End()
+	tree := tr.Tree()
+
+	for i, shardID := range legs {
+		wire := testLegTree("w0")
+		rebase(wire, uint64(i+1)<<32, shardID)
+		if !obs.Graft(tree, proxies[i], wire) {
+			t.Fatalf("graft under proxy %d failed", proxies[i])
+		}
+	}
+
+	seen := map[uint64]string{}
+	var walk func(nodes []*obs.Node, parent uint64)
+	walk = func(nodes []*obs.Node, parent uint64) {
+		for _, n := range nodes {
+			if where, dup := seen[n.ID]; dup {
+				t.Fatalf("span id %d appears twice (%s and %s)", n.ID, where, n.Worker)
+			}
+			seen[n.ID] = n.Worker
+			if n.Parent != 0 && n.Parent != parent && parent != 0 {
+				t.Fatalf("span %d parent %d, want %d", n.ID, n.Parent, parent)
+			}
+			walk(n.Children, n.ID)
+		}
+	}
+	walk(tree, 0)
+
+	// 1 root + 3 proxies + 3 legs x 3 spans.
+	if got := countNodes(tree); got != 13 {
+		t.Fatalf("stitched span count = %d, want 13", got)
+	}
+	// Worker lanes are shard-qualified so lanes from different shards
+	// cannot merge.
+	var workers []string
+	var collect func(nodes []*obs.Node)
+	collect = func(nodes []*obs.Node) {
+		for _, n := range nodes {
+			if n.Worker != "" {
+				workers = append(workers, n.Worker)
+			}
+			collect(n.Children)
+		}
+	}
+	collect(tree)
+	want := map[string]bool{"s1/w0": false, "s2/w0": false, "s3/w0": false, "s1": false, "s2": false, "s3": false}
+	for _, w := range workers {
+		if _, ok := want[w]; !ok {
+			t.Fatalf("unexpected worker lane %q (all: %v)", w, workers)
+		}
+		want[w] = true
+	}
+	for w, ok := range want {
+		if !ok {
+			t.Fatalf("worker lane %q missing (all: %v)", w, workers)
+		}
+	}
+}
+
+// TestRebaseIsIdempotentPerLeg checks two different legs never share an
+// id even when their shard trees are deep.
+func TestRebaseDeepTreesStayDisjoint(t *testing.T) {
+	a := testLegTree("w0")
+	a[0].Children[0].Children = []*obs.Node{{ID: 4, Parent: 2, Name: "repl", Worker: "w1"}}
+	b := testLegTree("w0")
+	b[0].Children[0].Children = []*obs.Node{{ID: 4, Parent: 2, Name: "repl", Worker: "w1"}}
+	rebase(a, uint64(1)<<32, "sA")
+	rebase(b, uint64(2)<<32, "sB")
+	ids := map[uint64]bool{}
+	var walk func(nodes []*obs.Node)
+	walk = func(nodes []*obs.Node) {
+		for _, n := range nodes {
+			if ids[n.ID] {
+				t.Fatalf("id %d shared across legs", n.ID)
+			}
+			ids[n.ID] = true
+			walk(n.Children)
+		}
+	}
+	walk(a)
+	walk(b)
+	if len(ids) != 8 {
+		t.Fatalf("distinct ids = %d, want 8", len(ids))
+	}
+}

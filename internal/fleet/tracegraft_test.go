@@ -1,0 +1,139 @@
+// Router trace-grafting edge cases: the stitched trace endpoint must
+// degrade to the fleet-level spans when a shard dies between the join
+// and the trace fetch, or when the shard has already evicted its side
+// of the trace.
+package fleet_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spatialjoin/internal/fleet"
+	"spatialjoin/internal/service"
+)
+
+// newTraceFleet is a single-shard fleet whose shard service config the
+// test controls (the shared newTestFleet fixes it).
+func newTraceFleet(t *testing.T, svcCfg service.Config, rtCfg fleet.Config) (*testFleet, *httptest.Server) {
+	t.Helper()
+	svc := service.New(svcCfg)
+	srv := httptest.NewServer(svc.Handler())
+	if rtCfg.HeartbeatInterval == 0 {
+		rtCfg.HeartbeatInterval = time.Hour
+	}
+	rt := fleet.NewRouter(rtCfg, map[string]string{"s1": srv.URL})
+	routerS := httptest.NewServer(rt.Handler())
+	tf := &testFleet{
+		t:       t,
+		rt:      rt,
+		routerS: routerS,
+		shards:  map[string]*httptest.Server{"s1": srv},
+		svcs:    map[string]*service.Service{"s1": svc},
+	}
+	t.Cleanup(func() {
+		routerS.Close()
+		rt.Close()
+		srv.Close()
+	})
+	return tf, srv
+}
+
+// routedJoinID runs a join through the router and returns its
+// router-scoped join id.
+func routedJoinID(tf *testFleet) int64 {
+	tf.t.Helper()
+	m := tf.joinVia("", fmt.Sprintf(joinShape, "r", "s"))
+	id, ok := m["join_id"].(float64)
+	if !ok {
+		tf.t.Fatalf("join response missing join_id: %v", m)
+	}
+	return int64(id)
+}
+
+// fetchTrace GETs the router's stitched trace and returns (status,
+// decoded body).
+func fetchTrace(tf *testFleet, id int64) (int, map[string]any) {
+	tf.t.Helper()
+	res, err := http.Get(fmt.Sprintf("%s/v1/joins/%d/trace", tf.routerS.URL, id))
+	if err != nil {
+		tf.t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var m map[string]any
+	json.NewDecoder(res.Body).Decode(&m)
+	return res.StatusCode, m
+}
+
+func TestRouterTraceShardDiesBeforeTraceFetch(t *testing.T) {
+	tf, shardSrv := newTraceFleet(t, service.Config{PlanCacheSize: 16}, fleet.Config{})
+	tf.generate("", "r", 400, 1)
+	tf.generate("", "s", 400, 2)
+	id := routedJoinID(tf)
+
+	code, full := fetchTrace(tf, id)
+	if code != http.StatusOK {
+		t.Fatalf("trace with live shard: status %d: %v", code, full)
+	}
+	grafted := int(full["spans"].(float64))
+
+	// The shard dies between the join and the next trace fetch. The
+	// router must still serve the fleet-level spans, not error.
+	shardSrv.Close()
+	code, degraded := fetchTrace(tf, id)
+	if code != http.StatusOK {
+		t.Fatalf("trace with dead shard: status %d: %v", code, degraded)
+	}
+	fleetOnly := int(degraded["spans"].(float64))
+	if fleetOnly >= grafted {
+		t.Fatalf("degraded trace spans = %d, want < grafted %d", fleetOnly, grafted)
+	}
+	if fleetOnly == 0 || degraded["tree"] == nil {
+		t.Fatalf("degraded trace lost the fleet spans: %v", degraded)
+	}
+	// The leg is still named even though its tree is gone.
+	shards, _ := degraded["shards"].([]any)
+	if len(shards) != 1 || shards[0] != "s1" {
+		t.Fatalf("degraded trace shards = %v, want [s1]", shards)
+	}
+}
+
+func TestRouterTraceEvictedShardSide(t *testing.T) {
+	// TraceRing 1 on the shard: the second join evicts the first join's
+	// shard-side trace.
+	tf, _ := newTraceFleet(t, service.Config{PlanCacheSize: 16, TraceRing: 1}, fleet.Config{})
+	tf.generate("", "r", 400, 1)
+	tf.generate("", "s", 400, 2)
+	first := routedJoinID(tf)
+	second := routedJoinID(tf)
+
+	code, fresh := fetchTrace(tf, second)
+	if code != http.StatusOK {
+		t.Fatalf("fresh trace: status %d: %v", code, fresh)
+	}
+	code, evicted := fetchTrace(tf, first)
+	if code != http.StatusOK {
+		t.Fatalf("evicted-shard-side trace: status %d: %v", code, evicted)
+	}
+	if got, want := int(evicted["spans"].(float64)), int(fresh["spans"].(float64)); got >= want {
+		t.Fatalf("evicted trace spans = %d, want < fresh %d (fleet spans only)", got, want)
+	}
+}
+
+func TestRouterTraceRingConfigurable(t *testing.T) {
+	tf, _ := newTraceFleet(t, service.Config{PlanCacheSize: 16}, fleet.Config{TraceRing: 1})
+	tf.generate("", "r", 400, 1)
+	tf.generate("", "s", 400, 2)
+	first := routedJoinID(tf)
+	second := routedJoinID(tf)
+
+	if code, _ := fetchTrace(tf, first); code != http.StatusNotFound {
+		t.Fatalf("evicted router trace: status %d, want 404", code)
+	}
+	if code, m := fetchTrace(tf, second); code != http.StatusOK {
+		t.Fatalf("retained router trace: status %d: %v", code, m)
+	}
+}

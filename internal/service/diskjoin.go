@@ -263,7 +263,7 @@ func (s *Service) DiskJoin(ctx context.Context, req JoinRequest) (*JoinResponse,
 	if rHit && sHit {
 		resp.PlanCache = "hit"
 	}
-	resp.JoinID = s.observeTrace("disk", tr, build+probe)
+	resp.JoinID = s.observeTrace("disk", req.Tenant, req.R, req.S, req.Eps, tr, build+probe)
 	s.persistSkew(req, tr)
 	return resp, nil
 }

@@ -89,6 +89,11 @@ func Open(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("service: recovering stream %q: %w", rs.Spec.Name, err)
 		}
 	}
+	if len(rec.TelemSnapshot) > 0 {
+		if err := s.Telem.RestoreSnapshot(rec.TelemSnapshot); err != nil && cfg.Logf != nil {
+			cfg.Logf("service: telemetry snapshot restore: %v", err)
+		}
+	}
 	m.DstoreRecoveredDatasets.Set(int64(len(rec.Datasets)))
 	m.DstoreRecoveredStreams.Set(int64(len(rec.Streams)))
 	m.DstoreReplayedRecords.Set(rec.ReplayedRecords)
@@ -103,7 +108,45 @@ func Open(cfg Config) (*Service, error) {
 		s.ckptDone = make(chan struct{})
 		go s.checkpointLoop(cfg.CheckpointEvery)
 	}
+	s.tflushStop = make(chan struct{})
+	s.tflushDone = make(chan struct{})
+	go s.telemFlushLoop(s.cfg.TelemFlushEvery)
 	return s, nil
+}
+
+// telemFlushLoop periodically appends the telemetry snapshot to the
+// record log (latest-wins) so rollup history survives kill -9.
+func (s *Service) telemFlushLoop(every time.Duration) {
+	defer close(s.tflushDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.tflushStop:
+			return
+		case <-tick.C:
+			s.flushTelem()
+		}
+	}
+}
+
+// flushTelem appends one telemetry snapshot, skipping the append when
+// nothing changed since the last flush (an idle daemon must not grow
+// the log). Best-effort: a failed append only logs.
+func (s *Service) flushTelem() {
+	blob, err := s.Telem.MarshalSnapshot()
+	if err == nil {
+		if bytes.Equal(blob, s.lastTelemFlush) {
+			return
+		}
+		err = s.store.AppendTelemSnapshot(blob)
+		if err == nil {
+			s.lastTelemFlush = blob
+		}
+	}
+	if err != nil && s.cfg.Logf != nil {
+		s.cfg.Logf("service: telemetry flush: %v", err)
+	}
 }
 
 // Durable reports whether the service runs on a durable store.
@@ -272,18 +315,26 @@ func (s *Service) SkewHistory() ([]dstore.SkewSample, error) {
 	return s.store.SkewHistory(), nil
 }
 
-// Close stops the checkpoint loop, writes a final checkpoint so the
-// next start replays nothing, and closes the store. It is a no-op on
-// an in-memory service.
+// Close stops the telemetry and checkpoint loops, flushes a final
+// telemetry snapshot, writes a final checkpoint so the next start
+// replays nothing, and closes the store. On an in-memory service it
+// only stops the telemetry sampler.
 func (s *Service) Close() error {
+	s.Telem.Stop()
 	if s.store == nil {
 		return nil
+	}
+	if s.tflushStop != nil {
+		close(s.tflushStop)
+		<-s.tflushDone
+		s.tflushStop = nil
 	}
 	if s.ckptStop != nil {
 		close(s.ckptStop)
 		<-s.ckptDone
 		s.ckptStop = nil
 	}
+	s.flushTelem()
 	if _, err := s.Checkpoint(); err != nil && s.cfg.Logf != nil {
 		s.cfg.Logf("service: final checkpoint: %v", err)
 	}

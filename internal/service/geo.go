@@ -246,7 +246,7 @@ func (s *Service) GeoJoin(ctx context.Context, req GeoJoinRequest) (*GeoJoinResp
 			resp.Pairs[i] = [2]int64{res.Pairs[i].RID, res.Pairs[i].SID}
 		}
 	}
-	resp.JoinID = s.observeTrace("twolayer-"+pred.String(), tr, build+probe)
+	resp.JoinID = s.observeTrace("twolayer-"+pred.String(), req.Tenant, rd.Name, sd.Name, req.Eps, tr, build+probe)
 	return resp, nil
 }
 
@@ -314,6 +314,7 @@ func (s *Service) handleGeoJoin(w http.ResponseWriter, r *http.Request, allowCol
 	}
 	resp, err := s.GeoJoin(r.Context(), req)
 	if err != nil {
+		s.Telem.ObserveJoinError(req.Tenant, time.Now())
 		return joinErrorCode(err), err
 	}
 	return writeJSON(w, http.StatusOK, resp)

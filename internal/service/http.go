@@ -79,6 +79,10 @@ type errorWire struct {
 //	GET    /v1/stream/subscribe?name=N  chunked NDJSON delta feed
 //	POST   /v1/admin/checkpoint      write a durable checkpoint now
 //	GET    /v1/planner/history       persisted per-(R,S,eps) skew reports
+//	                                 (?window=5m for rollup-backed series)
+//	GET    /v1/telemetry/series      rollup time series (?name=&key=&res=&window=)
+//	GET    /v1/telemetry/slo         per-tenant SLO status (p50/p99, burn rate)
+//	GET    /v1/telemetry/events      anomaly event log (?limit=)
 //	GET    /healthz                  200 ok / 503 draining
 //	GET    /metrics                  Prometheus text format
 //	GET    /debug/vars               JSON mirror of /metrics
@@ -101,6 +105,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/admin/skew", s.instrument("skew_import", s.handleSkewImport))
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.instrument("admin_checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("GET /v1/planner/history", s.instrument("planner_history", s.handlePlannerHistory))
+	mux.HandleFunc("GET /v1/telemetry/series", s.instrument("telemetry_series", s.handleTelemetrySeries))
+	mux.HandleFunc("GET /v1/telemetry/slo", s.instrument("telemetry_slo", s.handleTelemetrySLO))
+	mux.HandleFunc("GET /v1/telemetry/events", s.instrument("telemetry_events", s.handleTelemetryEvents))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -223,6 +230,7 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request, allowCollec
 	if strings.EqualFold(wire.Algorithm, "disk") {
 		resp, err := s.DiskJoin(r.Context(), req)
 		if err != nil {
+			s.Telem.ObserveJoinError(req.Tenant, time.Now())
 			return joinErrorCode(err), err
 		}
 		return writeJSON(w, http.StatusOK, resp)
@@ -234,6 +242,9 @@ func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request, allowCollec
 	req.Algorithm = algo
 	resp, err := s.Join(r.Context(), req)
 	if err != nil {
+		// The error (a 429 included) counts against the tenant's SLO
+		// budget; successes are recorded by observeTrace inside Join.
+		s.Telem.ObserveJoinError(req.Tenant, time.Now())
 		return joinErrorCode(err), err
 	}
 	return writeJSON(w, http.StatusOK, resp)
@@ -278,8 +289,14 @@ func (s *Service) handleCheckpoint(w http.ResponseWriter, r *http.Request) (int,
 }
 
 // handlePlannerHistory serves the persisted skew observations: GET
-// /v1/planner/history. 400 on an in-memory daemon.
+// /v1/planner/history. 400 on an in-memory daemon. With ?window= (a
+// duration, e.g. 5m) it instead serves the rollup-backed skew series
+// for that window — the multi-resolution view the adaptive planner
+// consumes — which works on in-memory daemons too.
 func (s *Service) handlePlannerHistory(w http.ResponseWriter, r *http.Request) (int, error) {
+	if win := r.URL.Query().Get("window"); win != "" {
+		return s.handlePlannerWindow(w, r, win)
+	}
 	hist, err := s.SkewHistory()
 	if err != nil {
 		return http.StatusBadRequest, err

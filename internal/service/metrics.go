@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"spatialjoin"
+	"spatialjoin/internal/telem"
 )
 
 // counter is a monotonically increasing metric.
@@ -330,6 +331,7 @@ func (m *Metrics) Render(w io.Writer) {
 	} {
 		renderHistogram(w, h)
 	}
+	telem.RenderRuntime(w)
 }
 
 func renderVec(w io.Writer, v *counterVec) {
@@ -445,6 +447,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		h.mu.Lock()
 		out[h.name] = map[string]any{"count": h.n, "sum": h.sum}
 		h.mu.Unlock()
+	}
+	for k, v := range telem.RuntimeVars() {
+		out[k] = v
 	}
 	return out
 }

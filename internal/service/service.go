@@ -27,6 +27,7 @@ import (
 	"spatialjoin/internal/dstore"
 	"spatialjoin/internal/fleet"
 	"spatialjoin/internal/obs"
+	"spatialjoin/internal/telem"
 )
 
 // Config tunes the service. Zero values select sensible defaults.
@@ -59,6 +60,25 @@ type Config struct {
 	// partition joins to remote worker processes. Measured wire counters
 	// of distributed runs surface as the sjoind_cluster_* metrics.
 	Engine spatialjoin.Engine
+
+	// TraceRing bounds how many completed join traces are retained for
+	// GET /v1/joins/{id}/trace; older ones are evicted FIFO. Default 64.
+	TraceRing int
+	// TelemSampleEvery starts a background loop sampling service gauges
+	// (queue depth, in-flight, plan cache, runtime) into the telemetry
+	// rollup store. 0 disables the loop; join-driven series are recorded
+	// either way.
+	TelemSampleEvery time.Duration
+	// TelemFlushEvery is how often the durable service appends a
+	// telemetry snapshot to the record log so rollup history survives
+	// restart. Default 2s; ignored without DataDir.
+	TelemFlushEvery time.Duration
+	// StragglerThreshold is the anomaly detector's straggler-ratio
+	// trigger (max/median task time). Default 4.
+	StragglerThreshold float64
+	// SLOObjective is the per-tenant availability objective in (0, 1).
+	// Default 0.995.
+	SLOObjective float64
 
 	// DataDir, when set, makes the service durable: dataset and stream
 	// mutations are logged to an append-only record log under this
@@ -97,6 +117,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCollect <= 0 {
 		c.MaxCollect = 10000
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = traceRingSize
+	}
+	if c.TelemFlushEvery <= 0 {
+		c.TelemFlushEvery = 2 * time.Second
 	}
 	return c
 }
@@ -151,10 +177,20 @@ type Service struct {
 	store    *dstore.Store
 	ckptStop chan struct{}
 	ckptDone chan struct{}
+
+	// Telem is the continuous-telemetry hub: rollup series, per-tenant
+	// SLOs, and the anomaly event log (see internal/telem).
+	Telem      *telem.Hub
+	tflushStop chan struct{}
+	tflushDone chan struct{}
+	// lastTelemFlush dedups no-op snapshot appends; only the flush
+	// loop (and Close, after stopping it) touch it.
+	lastTelemFlush []byte
 }
 
-// traceRingSize bounds how many completed join traces the service
-// retains for GET /v1/joins/{id}/trace; older ones are evicted FIFO.
+// traceRingSize is the default Config.TraceRing: how many completed
+// join traces the service retains for GET /v1/joins/{id}/trace before
+// FIFO eviction.
 const traceRingSize = 64
 
 // joinTrace is one retained join trace.
@@ -182,7 +218,25 @@ func New(cfg Config) *Service {
 	if !cfg.TenantQuota.IsZero() || len(cfg.TenantOverrides) > 0 {
 		s.quotas = fleet.NewQuotas(cfg.TenantQuota, cfg.TenantOverrides)
 	}
+	s.Telem = telem.NewHub(telem.Config{
+		SLO:      telem.SLOConfig{Objective: cfg.SLOObjective},
+		Detector: telem.DetectorConfig{StragglerRatio: cfg.StragglerThreshold},
+	})
+	if cfg.TelemSampleEvery > 0 {
+		s.Telem.Start(cfg.TelemSampleEvery, s.collectTelem)
+	}
 	return s
+}
+
+// collectTelem is the periodic gauge sampler feeding the rollup store.
+func (s *Service) collectTelem(sample func(name, key string, v float64)) {
+	sample("queue_depth", "", float64(s.queued.Load()))
+	sample("in_flight", "", float64(s.Metrics.InFlight.Value()))
+	sample("plan_cache_entries", "", float64(s.cache.Len()))
+	sample("datasets", "", float64(len(s.Registry.List())))
+	rs := telem.ReadRuntime()
+	sample("goroutines", "", float64(rs.Goroutines))
+	sample("heap_alloc_bytes", "", float64(rs.HeapAllocBytes))
 }
 
 // StartDrain flips the service into draining mode: /healthz turns 503
@@ -324,17 +378,31 @@ func (s *Service) TraceChrome(id int64, w io.Writer) (bool, error) {
 }
 
 // observeTrace feeds a finished join's trace into the latency, task and
-// shuffle histograms, retains it in the ring, and returns its join id.
-func (s *Service) observeTrace(algorithm string, tr *spatialjoin.Tracer, total time.Duration) int64 {
+// shuffle histograms plus the telemetry hub (per-tenant latency series
+// and SLO, per-(R,S,eps) skew series and anomaly rules), retains the
+// trace in the ring, and returns its join id.
+func (s *Service) observeTrace(algorithm, tenant, rname, sname string, eps float64, tr *spatialjoin.Tracer, total time.Duration) int64 {
 	s.Metrics.JoinLatency.Observe(total.Seconds())
 	for _, sp := range tr.Spans() {
 		if sp.Name == obs.SpanTask && sp.Done > sp.Start {
 			s.Metrics.TaskDuration.Observe(float64(sp.Done-sp.Start) / 1e9)
 		}
 	}
-	if sk := tr.Skew(); sk.ShuffleBytes > 0 {
+	sk := tr.Skew()
+	if sk.ShuffleBytes > 0 {
 		s.Metrics.ShuffleBytes.Observe(float64(sk.ShuffleBytes))
 	}
+
+	now := time.Now()
+	s.Telem.ObserveJoin(tenant, now, total.Seconds())
+	var replBytes int64
+	for _, b := range sk.ReplicationBytes {
+		replBytes += b
+	}
+	for _, b := range sk.ReplicationBytesByClass {
+		replBytes += b
+	}
+	s.Telem.ObserveSkew(tenant, telem.JoinKey(rname, sname, eps), now, sk.StragglerRatio, replBytes, sk.ShuffleBytes)
 
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
@@ -342,7 +410,7 @@ func (s *Service) observeTrace(algorithm string, tr *spatialjoin.Tracer, total t
 	id := s.nextJoinID
 	s.traces[id] = &joinTrace{id: id, algorithm: algorithm, tracer: tr}
 	s.traceOrder = append(s.traceOrder, id)
-	if len(s.traceOrder) > traceRingSize {
+	if len(s.traceOrder) > s.cfg.TraceRing {
 		delete(s.traces, s.traceOrder[0])
 		s.traceOrder = s.traceOrder[1:]
 	}
@@ -423,7 +491,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 		s.Metrics.Probe.Observe(total.Seconds())
 		s.Metrics.JoinResults.Add(rep.Results, req.Tenant)
 		resp := s.respond(req, rep, rd, sd, false, 0, total)
-		resp.JoinID = s.observeTrace(resp.Algorithm, tr, total)
+		resp.JoinID = s.observeTrace(resp.Algorithm, req.Tenant, rd.Name, sd.Name, req.Eps, tr, total)
 		s.persistSkew(req, tr)
 		return resp, nil
 	}
@@ -511,7 +579,7 @@ func (s *Service) Join(ctx context.Context, req JoinRequest) (*JoinResponse, err
 
 	root.End()
 	resp := s.respond(req, rep, rd, sd, hit, buildDur, probe)
-	resp.JoinID = s.observeTrace(resp.Algorithm, tr, buildDur+probe)
+	resp.JoinID = s.observeTrace(resp.Algorithm, req.Tenant, rd.Name, sd.Name, req.Eps, tr, buildDur+probe)
 	s.persistSkew(req, tr)
 	return resp, nil
 }

@@ -1,0 +1,90 @@
+// Telemetry endpoints: the HTTP surface over the internal/telem hub.
+// These are read-only views; observations flow in from observeTrace,
+// handleJoin's error path, and the optional gauge-sampling loop.
+
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spatialjoin/internal/telem"
+)
+
+// parseWindow turns a ?window= duration into the since-unix-seconds
+// cutoff Dump expects. Empty means no cutoff.
+func parseWindow(win string) (int64, error) {
+	if win == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(win)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("service: bad window %q (want a positive duration like 5m)", win)
+	}
+	return time.Now().Add(-d).Unix(), nil
+}
+
+// handleTelemetrySeries serves GET /v1/telemetry/series: rollup series
+// filtered by ?name=, ?key=, ?res= (1s/10s/1m) and ?window= (duration).
+func (s *Service) handleTelemetrySeries(w http.ResponseWriter, r *http.Request) (int, error) {
+	q := r.URL.Query()
+	since, err := parseWindow(q.Get("window"))
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	dumps := s.Telem.Store.Dump(q.Get("name"), q.Get("key"), q.Get("res"), since)
+	if dumps == nil {
+		dumps = []telem.SeriesDump{}
+	}
+	return writeJSON(w, http.StatusOK, dumps)
+}
+
+// handleTelemetrySLO serves GET /v1/telemetry/slo: one row per tenant
+// with interpolated p50/p99, error rate, and budget burn.
+func (s *Service) handleTelemetrySLO(w http.ResponseWriter, r *http.Request) (int, error) {
+	sts := s.Telem.SLO.Status(time.Now())
+	if sts == nil {
+		sts = []telem.SLOStatus{}
+	}
+	return writeJSON(w, http.StatusOK, sts)
+}
+
+// handleTelemetryEvents serves GET /v1/telemetry/events: the bounded
+// anomaly event log, oldest first; ?limit= caps the tail returned.
+func (s *Service) handleTelemetryEvents(w http.ResponseWriter, r *http.Request) (int, error) {
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			return http.StatusBadRequest, fmt.Errorf("service: bad limit %q", ls)
+		}
+		limit = n
+	}
+	evs := s.Telem.Events.Recent(limit)
+	if evs == nil {
+		evs = []telem.Event{}
+	}
+	return writeJSON(w, http.StatusOK, evs)
+}
+
+// handlePlannerWindow serves the rollup-backed planner history: the
+// skew series (straggler ratio, replication bytes, shuffle bytes) per
+// (R,S,eps) key over the requested window, at ?res= resolution.
+func (s *Service) handlePlannerWindow(w http.ResponseWriter, r *http.Request, win string) (int, error) {
+	since, err := parseWindow(win)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	res := r.URL.Query().Get("res")
+	out := map[string][]telem.SeriesDump{}
+	for _, name := range []string{telem.SeriesStragglerRatio, telem.SeriesReplicationBytes, telem.SeriesShuffleBytes} {
+		d := s.Telem.Store.Dump(name, r.URL.Query().Get("key"), res, since)
+		if d == nil {
+			d = []telem.SeriesDump{}
+		}
+		out[name] = d
+	}
+	return writeJSON(w, http.StatusOK, out)
+}

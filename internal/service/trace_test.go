@@ -60,7 +60,7 @@ func TestServiceTraceRingEviction(t *testing.T) {
 		tr := spatialjoin.NewTracer()
 		sp := tr.Start(0, "join")
 		sp.End()
-		last = s.observeTrace("lpib", tr, time.Millisecond)
+		last = s.observeTrace("lpib", "", "r", "s", 0.5, tr, time.Millisecond)
 		if i == 0 {
 			first = last
 		}

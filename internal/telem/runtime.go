@@ -1,0 +1,64 @@
+package telem
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// RuntimeStats is a point-in-time sample of the Go runtime.
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	GCPauseSeconds float64 `json:"gc_pause_seconds_total"`
+	GCCycles       uint32  `json:"gc_cycles"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+}
+
+// ReadRuntime samples the runtime. runtime.ReadMemStats stops the world
+// briefly; callers should only invoke it on scrape, not in hot paths.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		GCPauseSeconds: float64(ms.PauseTotalNs) / 1e9,
+		GCCycles:       ms.NumGC,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+}
+
+// RenderRuntime writes the runtime sample in Prometheus exposition
+// format; both sjoind and the router append it to their /metrics.
+func RenderRuntime(w io.Writer) {
+	rs := ReadRuntime()
+	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines that currently exist.\n")
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+	fmt.Fprintf(w, "go_goroutines %d\n", rs.Goroutines)
+	fmt.Fprintf(w, "# HELP go_memstats_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	fmt.Fprintf(w, "# TYPE go_memstats_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "go_memstats_heap_alloc_bytes %d\n", rs.HeapAllocBytes)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", rs.GCPauseSeconds)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "go_gc_cycles_total %d\n", rs.GCCycles)
+	fmt.Fprintf(w, "# HELP go_gomaxprocs The GOMAXPROCS setting.\n")
+	fmt.Fprintf(w, "# TYPE go_gomaxprocs gauge\n")
+	fmt.Fprintf(w, "go_gomaxprocs %d\n", rs.GOMAXPROCS)
+}
+
+// RuntimeVars returns the sample as a JSON-friendly map for /vars-style
+// snapshots.
+func RuntimeVars() map[string]any {
+	rs := ReadRuntime()
+	return map[string]any{
+		"go_goroutines":                rs.Goroutines,
+		"go_memstats_heap_alloc_bytes": rs.HeapAllocBytes,
+		"go_gc_pause_seconds_total":    rs.GCPauseSeconds,
+		"go_gc_cycles_total":           rs.GCCycles,
+		"go_gomaxprocs":                rs.GOMAXPROCS,
+	}
+}

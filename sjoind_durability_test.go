@@ -24,7 +24,10 @@ import (
 //	SJOIND_TEST_CHECKPOINT_EVERY=200ms  add periodic checkpoints on top
 //	                                    of the explicit admin one
 func durableArgs(dataDir string) []string {
-	args := []string{"-data-dir", dataDir}
+	// A fast telemetry flush keeps the rollup snapshot in the record log
+	// within a test-scale window of each observation, so the crash test
+	// can assert pre-crash series survive SIGKILL.
+	args := []string{"-data-dir", dataDir, "-telem-flush", "100ms"}
 	if os.Getenv("SJOIND_TEST_NO_FSYNC") == "" {
 		args = append(args, "-fsync")
 	}
@@ -132,6 +135,29 @@ func postNDJSON(t *testing.T, url, body string) (int, map[string]any) {
 	return resp.StatusCode, m
 }
 
+// telemLatencyCount sums the 1s join-latency rollup observations the
+// daemon serves on /v1/telemetry/series.
+func telemLatencyCount(t *testing.T, base string) int64 {
+	t.Helper()
+	var dumps []struct {
+		Res     string `json:"res"`
+		Buckets []struct {
+			Count int64 `json:"count"`
+		} `json:"buckets"`
+	}
+	getJSON(t, base+"/v1/telemetry/series?name=join_latency_seconds", &dumps)
+	var n int64
+	for _, d := range dumps {
+		if d.Res != "1s" {
+			continue
+		}
+		for _, b := range d.Buckets {
+			n += b.Count
+		}
+	}
+	return n
+}
+
 // TestSjoindCrashRecovery is the durability end-to-end test: a daemon
 // with -data-dir -fsync takes datasets, a live stream, joins and a
 // mid-run checkpoint, is killed with SIGKILL (no drain, no final
@@ -213,6 +239,14 @@ func TestSjoindCrashRecovery(t *testing.T) {
 		t.Fatal("stream has no pairs before the crash; test is vacuous")
 	}
 
+	// The pre-crash join landed in the telemetry rollups; give the
+	// 100ms flush loop time to log a snapshot before the SIGKILL.
+	telemBefore := telemLatencyCount(t, base)
+	if telemBefore == 0 {
+		t.Fatal("no join latency telemetry before the crash; test is vacuous")
+	}
+	time.Sleep(400 * time.Millisecond)
+
 	// SIGKILL: no drain, no final checkpoint, torn tail possible.
 	if err := cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
@@ -269,6 +303,13 @@ func TestSjoindCrashRecovery(t *testing.T) {
 	getJSON(t, base2+"/v1/planner/history", &hist)
 	if len(hist) == 0 {
 		t.Fatal("planner history empty after recovery")
+	}
+
+	// The telemetry rollup history survives too: the restarted daemon
+	// serves the pre-crash series from the restored snapshot.
+	if after := telemLatencyCount(t, base2); after < telemBefore {
+		t.Fatalf("telemetry lost across the crash: %d latency observations, want >= %d",
+			after, telemBefore)
 	}
 
 	// The recovered daemon keeps accepting acked work.
